@@ -1,0 +1,80 @@
+// Command figures regenerates every table and figure of the paper into
+// an output directory (text table, CSV, and an ASCII chart where the
+// original is a plot).
+//
+// Usage:
+//
+//	figures [-out DIR] [-quick] [-only id1,id2,...] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"papimc/internal/figures"
+)
+
+func main() {
+	out := flag.String("out", "out", "output directory")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	only := flag.String("only", "", "comma-separated figure ids (default: all)")
+	seed := flag.Uint64("seed", 0, "noise seed (0 = default)")
+	flag.Parse()
+
+	opts := figures.Options{Quick: *quick, Seed: *seed}
+	gens := figures.All()
+	if *only != "" {
+		gens = nil
+		for _, id := range strings.Split(*only, ",") {
+			g, err := figures.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			gens = append(gens, g)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, g := range gens {
+		res, err := g.Gen(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", g.ID, err)
+			os.Exit(1)
+		}
+		if err := writeResult(*out, res); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", g.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%s)\n", res.ID, res.Title)
+	}
+}
+
+func writeResult(dir string, res *figures.Result) error {
+	txt, err := os.Create(filepath.Join(dir, res.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	fmt.Fprintf(txt, "%s\n\n", res.Title)
+	if err := res.Table.Write(txt); err != nil {
+		return err
+	}
+	if res.Chart != nil {
+		fmt.Fprintln(txt)
+		if err := res.Chart.Write(txt); err != nil {
+			return err
+		}
+	}
+	csv, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	return res.Table.WriteCSV(csv)
+}

@@ -1,0 +1,53 @@
+// Command memtraffic runs the BLAS memory-traffic accuracy experiments
+// of Sections II–III (Figs. 2–5) and prints the measured-vs-expected
+// table and an ASCII chart.
+//
+// Usage:
+//
+//	memtraffic -fig 2a|2b|3a|3b|4a|4b|5a|5b [-quick] [-csv FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"papimc/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "3b", "figure to reproduce: 2a 2b 3a 3b 4a 4b 5a 5b")
+	quick := flag.Bool("quick", false, "shrink the size sweep")
+	csv := flag.String("csv", "", "also write the table as CSV to this file")
+	seed := flag.Uint64("seed", 0, "noise seed (0 = default)")
+	flag.Parse()
+
+	g, err := figures.ByID("fig" + *fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := g.Gen(figures.Options{Quick: *quick, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n\n", res.Title)
+	res.Table.Write(os.Stdout)
+	if res.Chart != nil {
+		fmt.Println()
+		res.Chart.Write(os.Stdout)
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Table.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command papitool is the papi_avail / papi_command_line analogue for
+// the simulated testbed: it lists every event of every component, or
+// reads a set of events around a synthetic workload.
+//
+// Usage:
+//
+//	papitool -machine summit -avail
+//	papitool -machine tellico -read ev1,ev2 [-mb 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"papimc/internal/arch"
+	"papimc/internal/model"
+	"papimc/internal/node"
+	"papimc/internal/report"
+	"papimc/internal/simtime"
+)
+
+func main() {
+	machine := flag.String("machine", "summit", "summit | tellico")
+	avail := flag.Bool("avail", false, "list every available event")
+	read := flag.String("read", "", "comma-separated events to measure")
+	mb := flag.Int64("mb", 64, "synthetic workload size in MiB (with -read)")
+	flag.Parse()
+
+	var m arch.Machine
+	switch strings.ToLower(*machine) {
+	case "summit":
+		m = arch.Summit()
+	case "tellico":
+		m = arch.Tellico()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	tb, err := node.NewTestbed(m, 1, node.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer tb.Close()
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *avail:
+		events, err := lib.AllEvents()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := &report.Table{Headers: []string{"Event", "Units", "Instant", "Description"}}
+		for _, e := range events {
+			t.AddRow(e.Name, e.Units, e.Instant, e.Description)
+		}
+		fmt.Printf("%d events available on %s:\n\n", len(events), m.Name)
+		t.Write(os.Stdout)
+	case *read != "":
+		es := lib.NewEventSet()
+		names := strings.Split(*read, ",")
+		for _, n := range names {
+			if err := es.Add(strings.TrimSpace(n)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := es.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr := model.Traffic{
+			ReadBytes:  *mb << 20,
+			WriteBytes: *mb << 19,
+			Duration:   100 * simtime.Millisecond,
+		}
+		tb.Nodes[0].Play(0, tr, 16)
+		tb.Clock.Advance(100 * simtime.Millisecond)
+		vals, err := es.Stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := &report.Table{Headers: []string{"Event", "Value"}}
+		for i, n := range es.EventNames() {
+			t.AddRow(n, vals[i])
+		}
+		fmt.Printf("after a synthetic %d MiB-read / %d MiB-write workload:\n\n", *mb, *mb/2)
+		t.Write(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+// Command qmcprofile runs the QMCPACK-analogue example problem — VMC
+// without drift, VMC with drift, then DMC on the 3D harmonic oscillator
+// — printing the physics results, and produces the Fig. 12
+// multi-component profile of the run.
+//
+// Usage:
+//
+//	qmcprofile [-walkers 512] [-steps 2000] [-alpha 0.8] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"papimc/internal/figures"
+	"papimc/internal/qmc"
+	"papimc/internal/report"
+)
+
+func main() {
+	walkers := flag.Int("walkers", 512, "Monte Carlo walker population")
+	steps := flag.Int("steps", 2000, "steps per stage")
+	alpha := flag.Float64("alpha", 0.8, "trial wavefunction parameter")
+	quick := flag.Bool("quick", false, "shrink the profile")
+	seed := flag.Uint64("seed", 0, "noise seed")
+	flag.Parse()
+
+	cfg := qmc.Config{Alpha: *alpha, Walkers: *walkers, StepSize: 0.3, Seed: 42}
+	v1, err := qmc.VMCNoDrift(cfg, *steps)
+	exitOn(err)
+	v2, err := qmc.VMCDrift(cfg, *steps)
+	exitOn(err)
+	dmcCfg := cfg
+	dmcCfg.StepSize = 0.02
+	d, err := qmc.DMC(dmcCfg, *steps)
+	exitOn(err)
+
+	t := &report.Table{Headers: []string{"stage", "energy", "variance", "acceptance", "walkers"}}
+	t.AddRow(string(qmc.PhaseVMCNoDrift), v1.Energy, v1.Variance, v1.Acceptance, v1.Walkers)
+	t.AddRow(string(qmc.PhaseVMCDrift), v2.Energy, v2.Variance, v2.Acceptance, v2.Walkers)
+	t.AddRow(string(qmc.PhaseDMC), d.Energy, d.Variance, d.Acceptance, d.Walkers)
+	fmt.Printf("QMC example problem (3D harmonic oscillator, alpha=%.2f):\n", *alpha)
+	fmt.Printf("  analytic VMC energy %.4f, exact ground state %.1f\n\n", qmc.ExactVMCEnergy(*alpha), qmc.GroundStateEnergy)
+	t.Write(os.Stdout)
+
+	fmt.Println()
+	g, err := figures.ByID("fig12")
+	exitOn(err)
+	res, err := g.Gen(figures.Options{Quick: *quick, Seed: *seed})
+	exitOn(err)
+	fmt.Printf("%s\n\n", res.Title)
+	res.Table.Write(os.Stdout)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

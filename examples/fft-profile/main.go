@@ -1,0 +1,88 @@
+// FFT profile: run the real distributed 3D-FFT (verifying its numerics
+// against the local transform), then produce the Fig. 11-style
+// multi-component profile of the GPU-accelerated pipeline — memory
+// traffic, GPU power and InfiniBand activity per phase.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"papimc"
+	"papimc/internal/fft"
+	"papimc/internal/mpi"
+	"papimc/internal/profile"
+	"papimc/internal/simtime"
+	"papimc/internal/xrand"
+)
+
+func main() {
+	// Part 1: the real transform at a verifiable size.
+	g := fft.Grid{N: 16, R: 2, C: 4}
+	rng := xrand.New(3)
+	global := make([]complex128, g.N*g.N*g.N)
+	for i := range global {
+		global[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	want := append([]complex128(nil), global...)
+	fft.FFT3D(want, g.N)
+
+	comm := mpi.New(g.Ranks(), nil, nil, nil)
+	results := make([][]complex128, g.Ranks())
+	comm.Run(func(r *mpi.Rank) {
+		i, j := g.RankCoords(r.ID())
+		results[r.ID()] = fft.Distributed3D(g, r, fft.LocalSlab(g, global, i, j))
+	})
+	worst := 0.0
+	for id, out := range results {
+		i, j := g.RankCoords(id)
+		for off, v := range out {
+			x, y, z := fft.OutputIndex(g, i, j, off)
+			if d := cmplx.Abs(v - want[(x*g.N+y)*g.N+z]); d > worst {
+				worst = d
+			}
+		}
+	}
+	fmt.Printf("distributed 3D-FFT on %d goroutine ranks: max error vs local = %.2g\n\n", g.Ranks(), worst)
+
+	// Part 2: the Fig. 11 profile of the GPU-accelerated pipeline at
+	// paper scale (N=2016, 8×8 grid).
+	tb, err := papimc.NewTestbed(papimc.Summit(), 2, papimc.Options{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	phases, err := profile.FFTPhases(tb, profile.FFTAppConfig{N: 2016, GridR: 8, GridC: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := papimc.ProfileRun(lib, profile.FFTProfileEvents(tb), 10*simtime.Millisecond, phases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nCh := tb.Machine.Socket.MBAChannels
+	fmt.Println("per-phase totals (one 3D-FFT rank):")
+	fmt.Printf("%-16s %14s %14s %12s %12s\n", "phase", "mem read (MB)", "mem write (MB)", "GPU avg (W)", "IB recv (MB)")
+	totals := res.PhaseTotals()
+	for _, ph := range phases {
+		vals, ok := totals[ph.Name]
+		if !ok {
+			continue
+		}
+		var r, w float64
+		for i := 0; i < 2*nCh; i += 2 {
+			r += vals[i]
+			w += vals[i+1]
+		}
+		fmt.Printf("%-16s %14.1f %14.1f %12.0f %12.1f\n",
+			ph.Name, r/1e6, w/1e6, vals[2*nCh]/1000, vals[2*nCh+1]*4/1e6)
+	}
+	fmt.Println("\nThe Fig. 11 shape: read burst → GPU power spike → write burst per")
+	fmt.Println("dimension; strided resorts read ~2x what they write; IB only moves")
+	fmt.Println("during the All2Alls.")
+}

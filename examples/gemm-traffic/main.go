@@ -1,0 +1,57 @@
+// GEMM traffic: reproduce the paper's measurement-accuracy experiment in
+// ~40 lines — run the batched reference GEMM at several sizes with
+// Equation 5's adaptive repetitions, measure through PCP, and compare
+// against the 3N²+N² expectation, watching the Eq. 4 cache-capacity jump.
+//
+// This example also runs the *numeric* reference GEMM once to show the
+// kernels are real code, not just traffic models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"papimc"
+	"papimc/internal/harness"
+	"papimc/internal/kernels"
+	"papimc/internal/node"
+)
+
+func main() {
+	// The numeric kernel (Listing 3/4): multiply two 64×64 matrices on
+	// 4 goroutine "cores" and spot-check the result.
+	const n = 64
+	as, bs, cs := make([][]float64, 4), make([][]float64, 4), make([][]float64, 4)
+	for t := range as {
+		as[t] = make([]float64, n*n)
+		bs[t] = make([]float64, n*n)
+		cs[t] = make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			as[t][i*n+i] = 2 // 2·I
+			bs[t][i*n+i] = float64(t + 1)
+		}
+	}
+	kernels.BatchedGEMM(as, bs, cs, n)
+	fmt.Printf("numeric batched GEMM: C[3] diagonal element = %.0f (want %d)\n\n", cs[3][0], 2*4)
+
+	// The measurement experiment (Fig. 3b's shape).
+	pts, err := papimc.GEMMSweep(harness.GEMMConfig{
+		Machine: papimc.Summit(),
+		Batched: true,
+		Route:   node.ViaPCP,
+		Reps:    harness.AdaptiveReps,
+		Sizes:   []int64{256, 512, 700, 1024, 2048},
+		Options: papimc.Options{Seed: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batched GEMM via PCP, adaptive repetitions:")
+	fmt.Printf("%6s %6s %16s %16s %10s\n", "N", "reps", "measured reads", "expected reads", "read err")
+	for _, p := range pts {
+		fmt.Printf("%6d %6d %16.0f %16d %9.2f%%\n",
+			p.Size, p.Reps, p.MeasuredReadBytes, p.ExpectedReadBytes, 100*p.ReadError())
+	}
+	fmt.Println("\nNote the agreement below N≈809 (one matrix per core fits its 5 MB L3")
+	fmt.Println("share) and the drastic jump above it — Equation 4's boundary.")
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a Summit-like testbed, add the Table I memory-traffic
+// events to a PAPI event set through the PCP component (the only route an
+// unprivileged Summit user has), run a workload, and read the counters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"papimc"
+	"papimc/internal/model"
+	"papimc/internal/simtime"
+)
+
+func main() {
+	// One Summit node with its PMCD daemon running.
+	tb, err := papimc.NewTestbed(papimc.Summit(), 1, papimc.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Close()
+
+	// A PAPI library with perf_uncore, pcp, nvml and infiniband
+	// components registered for this node.
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table I events, spelled exactly as on Summit.
+	es := lib.NewEventSet()
+	for _, name := range []string{
+		"pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+		"pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
+	} {
+		if err := es.Add(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := es.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The "application": 256 MiB of reads and 64 MiB of writes over
+	// 50 ms of simulated time.
+	tb.Nodes[0].Play(0, model.Traffic{
+		ReadBytes:  256 << 20,
+		WriteBytes: 64 << 20,
+		Duration:   50 * simtime.Millisecond,
+	}, 16)
+	tb.Clock.Advance(50 * simtime.Millisecond) // let the daemon resample
+
+	values, err := es.Stop()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, name := range es.EventNames() {
+		fmt.Printf("%-75s %12d bytes\n", name, values[i])
+	}
+	fmt.Println("\n(the counters cover MBA channel 0 of 8; total traffic is ~8x these values,")
+	fmt.Println(" plus OS background noise and the measurement's own overhead)")
+}

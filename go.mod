@@ -1,0 +1,3 @@
+module papimc
+
+go 1.22

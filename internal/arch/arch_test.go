@@ -1,0 +1,140 @@
+package arch
+
+import (
+	"testing"
+
+	"papimc/internal/units"
+)
+
+func TestMachinesValidate(t *testing.T) {
+	for _, m := range []Machine{Summit(), Tellico(), Skylake(), Power10()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPower10Geometry(t *testing.T) {
+	m := Power10()
+	if got := m.Socket.L3PerCoreShare(); got != 8*units.MiB {
+		t.Errorf("Power10 per-core L3 share = %s, want 8 MiB", units.FormatBytes(got))
+	}
+	if m.Socket.MBAChannels != 16 {
+		t.Errorf("Power10 channels = %d, want 16", m.Socket.MBAChannels)
+	}
+	// SMT8: 16 cores × 8 threads per socket.
+	if got := m.HWThreadsPerSocket(); got != 128 {
+		t.Errorf("Power10 threads/socket = %d, want 128", got)
+	}
+	if s := m.SocketForCPU(127); s != 0 {
+		t.Errorf("cpu127 -> socket %d, want 0", s)
+	}
+	if s := m.SocketForCPU(128); s != 1 {
+		t.Errorf("cpu128 -> socket %d, want 1", s)
+	}
+	if m.PrivilegedNestAccess {
+		t.Error("Power10 users should still go through PCP")
+	}
+}
+
+func TestSummitGeometry(t *testing.T) {
+	m := Summit()
+	s := m.Socket
+	if s.Cores != 22 || s.UsableCores != 21 {
+		t.Errorf("Summit cores = %d/%d, want 22/21", s.Cores, s.UsableCores)
+	}
+	if s.CorePairs != 11 {
+		t.Errorf("Summit core pairs = %d, want 11", s.CorePairs)
+	}
+	// "a total of 110 MB of L3 cache" per socket.
+	if got := s.L3Total(); got != 110*units.MiB {
+		t.Errorf("Summit L3 total = %s, want 110 MiB", units.FormatBytes(got))
+	}
+	// "each core can use up to 5MB of L3 cache without creating contention"
+	if got := s.L3PerCoreShare(); got != 5*units.MiB {
+		t.Errorf("Summit per-core L3 share = %s, want 5 MiB", units.FormatBytes(got))
+	}
+	if s.MBAChannels != 8 {
+		t.Errorf("Summit MBA channels = %d, want 8", s.MBAChannels)
+	}
+	if m.PrivilegedNestAccess {
+		t.Error("Summit must not expose privileged nest access")
+	}
+	if m.GPUsPerSocket != 3 || m.SocketsPerNode != 2 {
+		t.Errorf("Summit GPU/socket layout wrong: %d GPUs/socket, %d sockets", m.GPUsPerSocket, m.SocketsPerNode)
+	}
+}
+
+func TestTellicoGeometry(t *testing.T) {
+	m := Tellico()
+	if m.Socket.Cores != 16 {
+		t.Errorf("Tellico cores = %d, want 16", m.Socket.Cores)
+	}
+	if !m.PrivilegedNestAccess {
+		t.Error("Tellico must expose privileged nest access")
+	}
+	if got := m.Socket.L3PerCoreShare(); got != 5*units.MiB {
+		t.Errorf("Tellico per-core L3 share = %s, want 5 MiB", units.FormatBytes(got))
+	}
+}
+
+func TestSkylakeLineSize(t *testing.T) {
+	m := Skylake()
+	if m.Socket.L1D.LineBytes != 64 {
+		t.Errorf("Skylake line = %d, want 64", m.Socket.L1D.LineBytes)
+	}
+	if m.Arch != "Intel Skylake" {
+		t.Errorf("Skylake arch label = %q", m.Arch)
+	}
+}
+
+func TestCacheGeomSets(t *testing.T) {
+	g := CacheGeom{Name: "t", SizeBytes: 32 * units.KiB, LineBytes: 128, Assoc: 8}
+	if got := g.Sets(); got != 32 {
+		t.Errorf("Sets = %d, want 32", got)
+	}
+}
+
+func TestCacheGeomValidate(t *testing.T) {
+	bad := CacheGeom{Name: "bad", SizeBytes: 1000, LineBytes: 128, Assoc: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error for non-multiple size")
+	}
+	zero := CacheGeom{}
+	if err := zero.Validate(); err == nil {
+		t.Error("expected validation error for zero geometry")
+	}
+}
+
+func TestValidateCatchesInconsistencies(t *testing.T) {
+	m := Summit()
+	m.Socket.UsableCores = 23
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for usable > physical cores")
+	}
+	m = Summit()
+	m.Socket.CorePairs = 10
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for inconsistent core pairs")
+	}
+	m = Summit()
+	m.Socket.MBAChannels = 0
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for zero MBA channels")
+	}
+	m = Summit()
+	m.Socket.MemBandwidth = 0
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for zero bandwidth")
+	}
+}
+
+func TestNoiseDefaultsPresent(t *testing.T) {
+	for _, m := range []Machine{Summit(), Tellico()} {
+		n := m.Noise
+		if n.BackgroundBytesPerSec <= 0 || n.MeasurementOverheadBytes <= 0 ||
+			n.CounterPostLatency <= 0 || n.PMCDSampleInterval <= 0 {
+			t.Errorf("%s noise params incomplete: %+v", m.Name, n)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"papimc/internal/arch"
+	"papimc/internal/trace"
+	"papimc/internal/units"
+)
+
+// fakeMem counts traffic by direction.
+type fakeMem struct {
+	readBytes, writeBytes int64
+	reads, writes         int
+}
+
+func (m *fakeMem) MemRead(addr, bytes int64)  { m.readBytes += bytes; m.reads++ }
+func (m *fakeMem) MemWrite(addr, bytes int64) { m.writeBytes += bytes; m.writes++ }
+
+func summitSocket() arch.Socket { return arch.Summit().Socket }
+
+func singleCore(t *testing.T, opts ...func(*Config)) (*Hierarchy, *fakeMem) {
+	t.Helper()
+	mem := &fakeMem{}
+	cfg := Config{Socket: summitSocket(), ActiveCores: []int{0}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg, mem), mem
+}
+
+func seqLoads(h *Hierarchy, core int, base, bytes, elem int64) {
+	for off := int64(0); off < bytes; off += elem {
+		h.Access(core, trace.Access{Addr: base + off, Size: elem, Kind: trace.Load})
+	}
+}
+
+func seqStores(h *Hierarchy, core int, base, bytes, elem int64) {
+	for off := int64(0); off < bytes; off += elem {
+		h.Access(core, trace.Access{Addr: base + off, Size: elem, Kind: trace.Store})
+	}
+}
+
+func TestColdSequentialReadTrafficEqualsFootprint(t *testing.T) {
+	h, mem := singleCore(t)
+	const footprint = 64 * units.KiB
+	seqLoads(h, 0, 1<<20, footprint, 8)
+	if mem.readBytes != footprint {
+		t.Errorf("cold read traffic = %d, want %d", mem.readBytes, footprint)
+	}
+	if mem.writeBytes != 0 {
+		t.Errorf("pure reads generated %d write bytes", mem.writeBytes)
+	}
+}
+
+func TestWarmReReadIsFree(t *testing.T) {
+	h, mem := singleCore(t)
+	const footprint = 16 * units.KiB // fits in L1
+	seqLoads(h, 0, 1<<20, footprint, 8)
+	before := mem.readBytes
+	seqLoads(h, 0, 1<<20, footprint, 8)
+	if mem.readBytes != before {
+		t.Errorf("re-read of cached data caused %d extra bytes", mem.readBytes-before)
+	}
+	if h.Stats().L1Hits == 0 {
+		t.Error("expected L1 hits on re-read")
+	}
+}
+
+// A pure sequential store stream must bypass the cache: writes equal to
+// the footprint, no reads (the S1CF loop-nest-1 observation, Fig. 6a).
+func TestSequentialStoreBypass(t *testing.T) {
+	h, mem := singleCore(t)
+	const footprint = 64 * units.KiB
+	seqStores(h, 0, 1<<20, footprint, 16)
+	h.Drain()
+	// The stream confirms after a few stores, so at most the first block
+	// is write-allocated before bypass engages.
+	if mem.readBytes > BlockBytes {
+		t.Errorf("bypassed stores read %d bytes from memory", mem.readBytes)
+	}
+	if mem.writeBytes != footprint {
+		t.Errorf("store traffic = %d, want %d", mem.writeBytes, footprint)
+	}
+	if h.Stats().BypassStoreBlocks == 0 {
+		t.Error("expected bypass path to be used")
+	}
+}
+
+// With software prefetch (-fprefetch-loop-arrays) the same store stream
+// must incur a read per written block (Fig. 6b).
+func TestSoftwarePrefetchForcesReadPerWrite(t *testing.T) {
+	h, mem := singleCore(t, func(c *Config) { c.SoftwarePrefetch = true })
+	const footprint = 64 * units.KiB
+	seqStores(h, 0, 1<<20, footprint, 16)
+	h.Drain()
+	if mem.readBytes != footprint {
+		t.Errorf("prefetched store reads = %d, want %d", mem.readBytes, footprint)
+	}
+	if mem.writeBytes != footprint {
+		t.Errorf("prefetched store writes = %d, want %d", mem.writeBytes, footprint)
+	}
+}
+
+// An explicit dcbtst (PrefetchStore) before each store has the same
+// effect as the config flag: the target blocks are read into L3.
+func TestExplicitPrefetchStore(t *testing.T) {
+	h, mem := singleCore(t)
+	const footprint = 16 * units.KiB
+	base := int64(1 << 20)
+	for off := int64(0); off < footprint; off += 16 {
+		h.Access(0, trace.Access{Addr: base + off, Size: 16, Kind: trace.PrefetchStore})
+		h.Access(0, trace.Access{Addr: base + off, Size: 16, Kind: trace.Store})
+	}
+	h.Drain()
+	if mem.readBytes != footprint {
+		t.Errorf("dcbtst reads = %d, want %d", mem.readBytes, footprint)
+	}
+	if mem.writeBytes != footprint {
+		t.Errorf("writes = %d, want %d", mem.writeBytes, footprint)
+	}
+	if h.Stats().PrefetchFills == 0 {
+		t.Error("expected prefetch fills")
+	}
+}
+
+// A strided load stream on the core disables store bypass: the GEMM
+// "read for C" effect (Section III / Fig. 3b discussion).
+func TestStridedStreamDisablesBypass(t *testing.T) {
+	h, mem := singleCore(t)
+	loadBase := int64(1 << 24)
+	storeBase := int64(1 << 26)
+	const n = 2048
+	const stride = 4096 // strided: lands on a new block every access
+	for i := int64(0); i < n; i++ {
+		h.Access(0, trace.Access{Addr: loadBase + i*stride, Size: 8, Kind: trace.Load})
+		h.Access(0, trace.Access{Addr: storeBase + i*8, Size: 8, Kind: trace.Store})
+	}
+	h.Drain()
+	st := h.Stats()
+	if st.AllocStores == 0 {
+		t.Error("expected allocating stores in the presence of a strided stream")
+	}
+	// Store blocks: n*8/64 blocks, each read (RFO) and eventually written.
+	storeBytes := int64(n * 8)
+	wantReads := int64(n)*BlockBytes + storeBytes // strided loads: one block each + RFO per store block
+	if mem.readBytes != wantReads {
+		t.Errorf("reads = %d, want %d", mem.readBytes, wantReads)
+	}
+	if mem.writeBytes != storeBytes {
+		t.Errorf("writes = %d, want %d", mem.writeBytes, storeBytes)
+	}
+}
+
+// A strided store stream always incurs read-per-write (S1CF combined
+// nest, Fig. 8).
+func TestStridedStoreStreamReadsPerWrite(t *testing.T) {
+	h, mem := singleCore(t)
+	base := int64(1 << 24)
+	const n = 1024
+	const stride = 8192
+	for i := int64(0); i < n; i++ {
+		h.Access(0, trace.Access{Addr: base + i*stride, Size: 16, Kind: trace.Store})
+	}
+	h.Drain()
+	want := int64(n) * BlockBytes
+	if mem.readBytes != want {
+		t.Errorf("reads = %d, want %d (read per written block)", mem.readBytes, want)
+	}
+	if mem.writeBytes != want {
+		t.Errorf("writes = %d, want %d", mem.writeBytes, want)
+	}
+}
+
+// With idle core pairs, a single core's working set can overflow its
+// local slice into borrowed slices and still be re-read mostly from
+// cache (the 110 MB single-thread effect).
+func TestLateralCastoutBorrowing(t *testing.T) {
+	h, mem := singleCore(t)
+	const footprint = 24 * units.MiB // > 10 MiB local slice, << 110 MiB total
+	base := int64(1 << 30)
+	seqLoads(h, 0, base, footprint, 64)
+	cold := mem.readBytes
+	if cold != footprint {
+		t.Fatalf("cold reads = %d, want %d", cold, footprint)
+	}
+	seqLoads(h, 0, base, footprint, 64)
+	warm := mem.readBytes - cold
+	if warm >= footprint/2 {
+		t.Errorf("warm re-read traffic %d not reduced by borrowing (footprint %d)", warm, footprint)
+	}
+	st := h.Stats()
+	if st.LateralCastouts == 0 {
+		t.Error("expected lateral castouts")
+	}
+	if st.L3BorrowHits == 0 {
+		t.Error("expected borrow-slice hits")
+	}
+	if st.CastoutSpills == 0 {
+		t.Error("expected some castout spills (the Fig. 3a extraneous traffic)")
+	}
+}
+
+// With every core active there is nowhere to borrow: the same overflow
+// working set must be re-read from memory (the batched-GEMM jump).
+func TestNoBorrowingWhenAllCoresActive(t *testing.T) {
+	mem := &fakeMem{}
+	soc := summitSocket()
+	all := make([]int, soc.Cores)
+	for i := range all {
+		all[i] = i
+	}
+	h := New(Config{Socket: soc, ActiveCores: all}, mem)
+	const footprint = 24 * units.MiB
+	base := int64(1 << 30)
+	seqLoads(h, 0, base, footprint, 64)
+	cold := mem.readBytes
+	seqLoads(h, 0, base, footprint, 64)
+	warm := mem.readBytes - cold
+	if warm < footprint*9/10 {
+		t.Errorf("warm re-read traffic %d; want nearly full footprint %d without borrowing", warm, footprint)
+	}
+	if h.Stats().LateralCastouts != 0 {
+		t.Error("no lateral castouts expected with all cores active")
+	}
+}
+
+// Partial write-combining flushes cost a full 64-byte transaction: the
+// write amplification behind Fig. 5's extra write traffic.
+func TestWriteCombiningPartialFlushAmplification(t *testing.T) {
+	h, mem := singleCore(t)
+	// Store 16 bytes into each of 8 distinct blocks: each partial entry
+	// is displaced (buffer holds 4) or drained, always as a full block.
+	base := int64(1 << 20)
+	for i := int64(0); i < 8; i++ {
+		h.Access(0, trace.Access{Addr: base + i*BlockBytes, Size: 16, Kind: trace.Store})
+	}
+	h.Drain()
+	want := int64(8) * BlockBytes
+	if mem.writeBytes != want {
+		t.Errorf("amplified writes = %d, want %d (8 blocks × 64B for 128B stored)", mem.writeBytes, want)
+	}
+}
+
+// A sparse sequential store stream (one store per many loads, like
+// GEMV's y[i] after each dot product) cannot keep a gather buffer open
+// and must write-allocate: one read per written block. This is why the
+// paper's GEMV expectation includes M reads "incurred by the hardware
+// when writing into the vector y".
+func TestSparseStoreStreamAllocates(t *testing.T) {
+	h, mem := singleCore(t)
+	loadBase := int64(1 << 24)
+	storeBase := int64(1 << 26)
+	const rows = 64
+	const rowLen = 256 // loads per store: far above the gather window
+	for i := int64(0); i < rows; i++ {
+		for k := int64(0); k < rowLen; k++ {
+			h.Access(0, trace.Access{Addr: loadBase + (i*rowLen+k)*8, Size: 8, Kind: trace.Load})
+		}
+		h.Access(0, trace.Access{Addr: storeBase + i*8, Size: 8, Kind: trace.Store})
+	}
+	h.Drain()
+	st := h.Stats()
+	if st.AllocStores == 0 {
+		t.Error("sparse store stream should write-allocate")
+	}
+	storeBytes := int64(rows * 8)
+	loadBytes := int64(rows * rowLen * 8)
+	if mem.readBytes != loadBytes+storeBytes {
+		t.Errorf("reads = %d, want %d (loads) + %d (store RFO)", mem.readBytes, loadBytes, storeBytes)
+	}
+	if mem.writeBytes != storeBytes {
+		t.Errorf("writes = %d, want %d", mem.writeBytes, storeBytes)
+	}
+}
+
+func TestDrainWritesBackDirtyLines(t *testing.T) {
+	h, mem := singleCore(t, func(c *Config) { c.SoftwarePrefetch = true })
+	const footprint = 8 * units.KiB
+	seqStores(h, 0, 1<<20, footprint, 8)
+	if mem.writeBytes != 0 {
+		t.Fatalf("writes before drain = %d (dirty data should be cached)", mem.writeBytes)
+	}
+	h.Drain()
+	if mem.writeBytes != footprint {
+		t.Errorf("drained writes = %d, want %d", mem.writeBytes, footprint)
+	}
+	if h.CachedBlocks() != 0 {
+		t.Errorf("%d blocks still cached after drain", h.CachedBlocks())
+	}
+}
+
+func TestAccessStraddlingBlocksSplits(t *testing.T) {
+	h, mem := singleCore(t)
+	// 64-byte load at offset 32 touches two blocks.
+	h.Access(0, trace.Access{Addr: 1<<20 + 32, Size: 64, Kind: trace.Load})
+	if mem.readBytes != 2*BlockBytes {
+		t.Errorf("straddling read traffic = %d, want %d", mem.readBytes, 2*BlockBytes)
+	}
+	if h.Stats().Accesses != 2 {
+		t.Errorf("straddling access counted as %d", h.Stats().Accesses)
+	}
+}
+
+func TestPanicsOnBadUse(t *testing.T) {
+	h, _ := singleCore(t)
+	mustPanic(t, "inactive core", func() {
+		h.Access(5, trace.Access{Addr: 0, Size: 8, Kind: trace.Load})
+	})
+	mustPanic(t, "zero size", func() {
+		h.Access(0, trace.Access{Addr: 0, Size: 0, Kind: trace.Load})
+	})
+	mustPanic(t, "no active cores", func() {
+		New(Config{Socket: summitSocket()}, &fakeMem{})
+	})
+	mustPanic(t, "core out of range", func() {
+		New(Config{Socket: summitSocket(), ActiveCores: []int{99}}, &fakeMem{})
+	})
+	mustPanic(t, "duplicate core", func() {
+		New(Config{Socket: summitSocket(), ActiveCores: []int{1, 1}}, &fakeMem{})
+	})
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// Property: for any access mix, memory writes never exceed the number of
+// store accesses (each store dirties at most one block, and every write
+// traces back to a dirtied or gathered block), and after Drain the
+// hierarchy is empty.
+func TestTrafficConservationProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		mem := &fakeMem{}
+		h := New(Config{Socket: summitSocket(), ActiveCores: []int{0, 1, 4}}, mem)
+		stores := 0
+		cores := []int{0, 1, 4}
+		for _, op := range ops {
+			core := cores[int(op%3)]
+			kind := trace.Kind(op / 3 % 3)
+			addr := int64(op/9%(1<<16)) * 8
+			if kind == trace.Store {
+				stores++
+			}
+			h.Access(core, trace.Access{Addr: addr, Size: 8, Kind: kind})
+		}
+		h.Drain()
+		if h.CachedBlocks() != 0 {
+			return false
+		}
+		return mem.writeBytes <= int64(stores)*BlockBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: traffic is always a whole number of 64-byte transactions.
+func TestTrafficGranularityProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		mem := &fakeMem{}
+		h := New(Config{Socket: summitSocket(), ActiveCores: []int{0}}, mem)
+		for _, op := range ops {
+			kind := trace.Kind(op % 2) // loads and stores
+			addr := int64(op % (1 << 20))
+			size := int64(op%3)*8 + 8
+			h.Access(0, trace.Access{Addr: addr, Size: size, Kind: kind})
+		}
+		h.Drain()
+		return mem.readBytes%BlockBytes == 0 && mem.writeBytes%BlockBytes == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

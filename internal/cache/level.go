@@ -1,0 +1,152 @@
+package cache
+
+// way is one cache way within a set.
+type way struct {
+	tag   int64 // block number (addr >> blockShift)
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// level is one set-associative cache array, indexed by 64-byte block
+// number. The simulator tracks 64-byte blocks (the POWER9 memory
+// transaction granularity) rather than full 128-byte lines, so traffic is
+// naturally expressed in the same units as the paper's expectations.
+type level struct {
+	name    string
+	sets    []way // len = numSets*assoc, set s occupies [s*assoc, (s+1)*assoc)
+	numSets int
+	assoc   int
+	pow2    bool // numSets is a power of two
+	mask    int64
+	tick    uint64
+}
+
+func newLevel(name string, sizeBytes int64, assoc int) *level {
+	numSets := int(sizeBytes / (BlockBytes * int64(assoc)))
+	if numSets < 1 {
+		numSets = 1
+	}
+	l := &level{
+		name:    name,
+		sets:    make([]way, numSets*assoc),
+		numSets: numSets,
+		assoc:   assoc,
+	}
+	if numSets&(numSets-1) == 0 {
+		l.pow2 = true
+		l.mask = int64(numSets - 1)
+	}
+	return l
+}
+
+func (l *level) setIndex(block int64) int {
+	if l.pow2 {
+		return int(block & l.mask)
+	}
+	return int(block % int64(l.numSets))
+}
+
+// lookup returns the way holding block, or nil. A hit refreshes LRU state.
+func (l *level) lookup(block int64) *way {
+	base := l.setIndex(block) * l.assoc
+	for i := 0; i < l.assoc; i++ {
+		w := &l.sets[base+i]
+		if w.valid && w.tag == block {
+			l.tick++
+			w.lru = l.tick
+			return w
+		}
+	}
+	return nil
+}
+
+// evicted describes a line displaced by an insert.
+type evicted struct {
+	block int64
+	dirty bool
+	valid bool
+}
+
+// insert places block into the level (LRU replacement) and returns the
+// displaced line, if any. If the block is already present it is updated
+// in place and no eviction occurs.
+func (l *level) insert(block int64, dirty bool) evicted {
+	l.tick++
+	base := l.setIndex(block) * l.assoc
+	var victim *way
+	for i := 0; i < l.assoc; i++ {
+		w := &l.sets[base+i]
+		if w.valid && w.tag == block {
+			w.dirty = w.dirty || dirty
+			w.lru = l.tick
+			return evicted{}
+		}
+		if !w.valid {
+			if victim == nil || victim.valid {
+				victim = w
+			}
+			continue
+		}
+		if victim == nil || (victim.valid && w.lru < victim.lru) {
+			victim = w
+		}
+	}
+	ev := evicted{}
+	if victim.valid {
+		ev = evicted{block: victim.tag, dirty: victim.dirty, valid: true}
+	}
+	victim.tag = block
+	victim.valid = true
+	victim.dirty = dirty
+	victim.lru = l.tick
+	return ev
+}
+
+// invalidate removes block from the level, returning whether it was
+// present and dirty.
+func (l *level) invalidate(block int64) (present, dirty bool) {
+	base := l.setIndex(block) * l.assoc
+	for i := 0; i < l.assoc; i++ {
+		w := &l.sets[base+i]
+		if w.valid && w.tag == block {
+			w.valid = false
+			return true, w.dirty
+		}
+	}
+	return false, false
+}
+
+// forEachValid visits every valid line. The visitor may not mutate the
+// level; use drain for destructive walks.
+func (l *level) forEachValid(f func(block int64, dirty bool)) {
+	for i := range l.sets {
+		if l.sets[i].valid {
+			f(l.sets[i].tag, l.sets[i].dirty)
+		}
+	}
+}
+
+// drain invalidates every line, invoking f for each dirty one.
+func (l *level) drain(f func(block int64)) {
+	for i := range l.sets {
+		if l.sets[i].valid {
+			if l.sets[i].dirty {
+				f(l.sets[i].tag)
+			}
+			l.sets[i].valid = false
+			l.sets[i].dirty = false
+		}
+	}
+}
+
+// countValid returns the number of valid lines.
+func (l *level) countValid() int {
+	n := 0
+	for i := range l.sets {
+		if l.sets[i].valid {
+			n++
+		}
+	}
+	return n
+}

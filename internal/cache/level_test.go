@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelLRUEvictionOrder(t *testing.T) {
+	// 2 sets × 2 ways of 64-byte blocks.
+	l := newLevel("t", 4*BlockBytes, 2)
+	// Blocks 0 and 2 map to set 0; 1 and 3 to set 1.
+	if ev := l.insert(0, false); ev.valid {
+		t.Fatalf("insert into empty set evicted %+v", ev)
+	}
+	if ev := l.insert(2, false); ev.valid {
+		t.Fatalf("second way evicted %+v", ev)
+	}
+	// Touch block 0 so block 2 becomes LRU.
+	if w := l.lookup(0); w == nil {
+		t.Fatal("block 0 missing")
+	}
+	ev := l.insert(4, false) // maps to set 0, must evict block 2
+	if !ev.valid || ev.block != 2 {
+		t.Errorf("evicted %+v, want block 2 (LRU)", ev)
+	}
+	if l.lookup(0) == nil {
+		t.Error("MRU block 0 was evicted")
+	}
+}
+
+func TestLevelDirtyPropagation(t *testing.T) {
+	l := newLevel("t", 4*BlockBytes, 2)
+	l.insert(0, false)
+	// Re-inserting dirty marks the line dirty without eviction.
+	if ev := l.insert(0, true); ev.valid {
+		t.Fatalf("re-insert evicted %+v", ev)
+	}
+	l.insert(2, false)
+	l.lookup(2) // make 0 the LRU
+	if ev := l.insert(4, false); !ev.valid || ev.block != 0 || !ev.dirty {
+		t.Errorf("evicted %+v, want dirty block 0", ev)
+	}
+}
+
+func TestLevelInvalidate(t *testing.T) {
+	l := newLevel("t", 4*BlockBytes, 2)
+	l.insert(7, true)
+	present, dirty := l.invalidate(7)
+	if !present || !dirty {
+		t.Errorf("invalidate = %v/%v, want true/true", present, dirty)
+	}
+	if p, _ := l.invalidate(7); p {
+		t.Error("double invalidate found the block")
+	}
+	if l.lookup(7) != nil {
+		t.Error("invalidated block still present")
+	}
+}
+
+func TestLevelDrain(t *testing.T) {
+	l := newLevel("t", 8*BlockBytes, 2)
+	l.insert(0, true)
+	l.insert(1, false)
+	l.insert(2, true)
+	var dirty []int64
+	l.drain(func(b int64) { dirty = append(dirty, b) })
+	if len(dirty) != 2 {
+		t.Errorf("drained dirty blocks %v, want 2 of them", dirty)
+	}
+	if l.countValid() != 0 {
+		t.Errorf("%d blocks valid after drain", l.countValid())
+	}
+}
+
+func TestLevelNonPow2Sets(t *testing.T) {
+	// 3 sets: falls back to modulo indexing.
+	l := newLevel("t", 3*2*BlockBytes, 2)
+	if l.pow2 {
+		t.Fatal("3 sets misdetected as a power of two")
+	}
+	for b := int64(0); b < 12; b++ {
+		l.insert(b, false)
+	}
+	if l.countValid() != 6 {
+		t.Errorf("valid = %d, want capacity 6", l.countValid())
+	}
+}
+
+// Property: a level never holds more lines than its capacity, and a
+// lookup after insert always hits until the block is evicted.
+func TestLevelCapacityProperty(t *testing.T) {
+	f := func(blocks []uint16) bool {
+		l := newLevel("t", 16*BlockBytes, 4) // capacity 16
+		for _, raw := range blocks {
+			b := int64(raw % 256)
+			l.insert(b, raw%2 == 0)
+			if l.lookup(b) == nil {
+				return false // just-inserted block must be present
+			}
+			if l.countValid() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eviction conserves lines — insertions minus evictions
+// equals the resident count.
+func TestLevelConservationProperty(t *testing.T) {
+	f := func(blocks []uint16) bool {
+		l := newLevel("t", 8*BlockBytes, 2)
+		inserted, evicted := 0, 0
+		seen := map[int64]bool{}
+		for _, raw := range blocks {
+			b := int64(raw % 64)
+			wasPresent := l.lookup(b) != nil
+			ev := l.insert(b, false)
+			if !wasPresent {
+				inserted++
+			}
+			if ev.valid {
+				evicted++
+			}
+			seen[b] = true
+		}
+		return l.countValid() == inserted-evicted
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

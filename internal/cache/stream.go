@@ -1,0 +1,159 @@
+package cache
+
+// streamClass classifies a detected access stream.
+type streamClass uint8
+
+const (
+	// classUntrained: too few observations to classify.
+	classUntrained streamClass = iota
+	// classSequential: consecutive accesses touch the same or adjacent
+	// cache blocks (|stride| <= sequentialMaxStride).
+	classSequential
+	// classStrided: a confirmed Stride-N stream whose consecutive
+	// accesses land on non-adjacent cache blocks. Per the POWER9 ISA,
+	// "hardware may detect Stride-N streams"; their presence disables
+	// cache-bypassing stores.
+	classStrided
+)
+
+const (
+	// sequentialMaxStride: strides up to one full cache line still walk
+	// blocks in order and count as sequential.
+	sequentialMaxStride = 128
+	// confirmCount observations with a stable stride confirm a stream.
+	confirmCount = 3
+	// stridedWindow is how many detector ticks a confirmed strided
+	// stream stays "active" after its last access.
+	stridedWindow = 4096
+	// numStreamRegs is the number of hardware stream registers per core.
+	numStreamRegs = 8
+	// bypassMaxGap is the maximum inter-arrival gap (in core accesses)
+	// at which a store stream still gathers into bypass buffers; sparser
+	// streams write-allocate instead.
+	bypassMaxGap = 64
+)
+
+type streamReg struct {
+	last     int64 // last byte address observed
+	stride   int64
+	count    int // consecutive accesses matching stride
+	lastTick uint64
+	used     bool
+}
+
+func (r *streamReg) class() streamClass {
+	if !r.used || r.count < confirmCount || r.stride == 0 {
+		return classUntrained
+	}
+	if r.stride < 0 {
+		if -r.stride <= sequentialMaxStride {
+			return classSequential
+		}
+		return classStrided
+	}
+	if r.stride <= sequentialMaxStride {
+		return classSequential
+	}
+	return classStrided
+}
+
+// detector models a per-core hardware stream prefetcher's detection logic.
+// It only classifies streams; it does not generate prefetch traffic.
+type detector struct {
+	regs [numStreamRegs]streamReg
+	tick uint64
+}
+
+// observe records an access and returns the classification of the stream
+// the access belongs to, together with the stream's inter-arrival gap in
+// detector ticks (how many core accesses elapsed since the stream was
+// last touched). Sparse store streams — e.g. one result element written
+// per dot product — cannot keep a gather buffer open and therefore do
+// not bypass the cache, which is why the paper's GEMV expectation
+// includes a read-for-ownership per element of y.
+func (d *detector) observe(addr int64) (streamClass, uint64) {
+	d.tick++
+	// Pass 1: exact prediction match (addr == last + stride).
+	for i := range d.regs {
+		r := &d.regs[i]
+		if r.used && r.stride != 0 && addr == r.last+r.stride {
+			gap := d.tick - r.lastTick
+			r.count++
+			r.last = addr
+			r.lastTick = d.tick
+			return r.class(), gap
+		}
+	}
+	// Pass 2: repeated address (e.g. re-reading the same element) keeps
+	// the register warm without retraining.
+	for i := range d.regs {
+		r := &d.regs[i]
+		if r.used && addr == r.last {
+			gap := d.tick - r.lastTick
+			r.lastTick = d.tick
+			return r.class(), gap
+		}
+	}
+	// Pass 3: retrain the register whose last address is closest, if the
+	// new delta is plausible for a single stream. Real stream detectors
+	// only track bounded strides; larger jumps allocate a fresh register
+	// (and a stream of such jumps never confirms — its stores therefore
+	// write-allocate, like the S1CF combined nest's output array).
+	const trainWindow = int64(1) << 20
+	best := -1
+	var bestDelta int64
+	for i := range d.regs {
+		r := &d.regs[i]
+		if !r.used {
+			continue
+		}
+		delta := addr - r.last
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta < trainWindow && (best < 0 || delta < bestDelta) {
+			best = i
+			bestDelta = delta
+		}
+	}
+	if best >= 0 {
+		r := &d.regs[best]
+		gap := d.tick - r.lastTick
+		newStride := addr - r.last
+		if r.stride == newStride {
+			r.count++
+		} else {
+			r.stride = newStride
+			r.count = 1
+		}
+		r.last = addr
+		r.lastTick = d.tick
+		return r.class(), gap
+	}
+	// Pass 4: allocate the LRU register for a brand-new stream.
+	victim := 0
+	for i := range d.regs {
+		if !d.regs[i].used {
+			victim = i
+			break
+		}
+		if d.regs[i].lastTick < d.regs[victim].lastTick {
+			victim = i
+		}
+	}
+	d.regs[victim] = streamReg{last: addr, used: true, lastTick: d.tick}
+	return classUntrained, d.tick
+}
+
+// stridedActive reports whether any confirmed strided stream has been
+// observed recently. While true, the core's sequential stores do not
+// bypass the cache (the GEMM "read for C" effect).
+func (d *detector) stridedActive() bool {
+	for i := range d.regs {
+		r := &d.regs[i]
+		if r.class() == classStrided && d.tick-r.lastTick < stridedWindow {
+			return true
+		}
+	}
+	return false
+}

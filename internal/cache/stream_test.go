@@ -1,0 +1,248 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func observeAll(d *detector, addrs []int64) (last streamClass, lastGap uint64) {
+	for _, a := range addrs {
+		last, lastGap = d.observe(a)
+	}
+	return last, lastGap
+}
+
+func seq(base, stride int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*stride
+	}
+	return out
+}
+
+func TestDetectorSequentialStream(t *testing.T) {
+	var d detector
+	cls, _ := observeAll(&d, seq(0, 8, 10))
+	if cls != classSequential {
+		t.Errorf("stride-8 stream classified %d, want sequential", cls)
+	}
+	if d.stridedActive() {
+		t.Error("sequential stream flagged strided")
+	}
+}
+
+func TestDetectorStridedStream(t *testing.T) {
+	var d detector
+	cls, _ := observeAll(&d, seq(0, 4096, 10))
+	if cls != classStrided {
+		t.Errorf("stride-4096 stream classified %d, want strided", cls)
+	}
+	if !d.stridedActive() {
+		t.Error("strided stream not active")
+	}
+}
+
+func TestDetectorNegativeStride(t *testing.T) {
+	var d detector
+	if cls, _ := observeAll(&d, seq(1<<20, -8, 10)); cls != classSequential {
+		t.Errorf("stride -8 classified %d, want sequential", cls)
+	}
+	var d2 detector
+	if cls, _ := observeAll(&d2, seq(1<<20, -4096, 10)); cls != classStrided {
+		t.Errorf("stride -4096 classified %d, want strided", cls)
+	}
+}
+
+func TestDetectorFullLineStrideIsSequential(t *testing.T) {
+	var d detector
+	// 128-byte strides still walk blocks in order.
+	if cls, _ := observeAll(&d, seq(0, 128, 10)); cls != classSequential {
+		t.Errorf("stride-128 classified %d, want sequential", cls)
+	}
+}
+
+// Two interleaved streams must be tracked in separate registers.
+func TestDetectorInterleavedStreams(t *testing.T) {
+	var d detector
+	loadBase := int64(0)
+	storeBase := int64(1 << 26) // beyond the 1 MiB retrain window
+	var clsA, clsB streamClass
+	for i := int64(0); i < 10; i++ {
+		clsA, _ = d.observe(loadBase + i*4096)
+		clsB, _ = d.observe(storeBase + i*16)
+	}
+	if clsA != classStrided {
+		t.Errorf("interleaved strided stream classified %d", clsA)
+	}
+	if clsB != classSequential {
+		t.Errorf("interleaved sequential stream classified %d", clsB)
+	}
+}
+
+// Huge strides (like the combined nest's PLANES·ROWS jumps) must never
+// confirm: their stores then write-allocate, as the paper observes.
+func TestDetectorHugeStrideStaysUntrained(t *testing.T) {
+	var d detector
+	cls, _ := observeAll(&d, seq(0, 8<<20, 20))
+	if cls != classUntrained {
+		t.Errorf("8 MiB stride classified %d, want untrained", cls)
+	}
+}
+
+// The gap return reflects the stream's inter-arrival distance: dense
+// streams report small gaps, sparse ones (one store per row of loads)
+// large gaps — the write-gather density rule.
+func TestDetectorGapTracksDensity(t *testing.T) {
+	var d detector
+	loadBase, storeBase := int64(0), int64(1<<26)
+	var storeGap uint64
+	for i := int64(0); i < 8; i++ {
+		for k := int64(0); k < 200; k++ {
+			d.observe(loadBase + (i*200+k)*8)
+		}
+		_, storeGap = d.observe(storeBase + i*8)
+	}
+	if storeGap <= bypassMaxGap {
+		t.Errorf("sparse store gap = %d, want > %d", storeGap, bypassMaxGap)
+	}
+	var d2 detector
+	var denseGap uint64
+	for i := int64(0); i < 10; i++ {
+		_, denseGap = d2.observe(int64(i) * 16)
+	}
+	if denseGap > 2 {
+		t.Errorf("dense stream gap = %d, want <= 2", denseGap)
+	}
+}
+
+// stridedActive decays once the strided stream goes quiet.
+func TestStridedActiveDecays(t *testing.T) {
+	var d detector
+	observeAll(&d, seq(0, 4096, 10))
+	if !d.stridedActive() {
+		t.Fatal("strided stream not active after training")
+	}
+	// Flood with sequential traffic well past the decay window.
+	observeAll(&d, seq(1<<30, 8, stridedWindow+100))
+	if d.stridedActive() {
+		t.Error("strided stream still active after the decay window")
+	}
+}
+
+// Property: the detector never classifies a constant-stride stream with
+// |stride| <= 128 as strided, nor one with |stride| in (128, 1 MiB) as
+// sequential, once confirmed.
+func TestDetectorClassificationProperty(t *testing.T) {
+	f := func(strideRaw int32, lenRaw uint8) bool {
+		stride := int64(strideRaw)
+		if stride == 0 {
+			return true
+		}
+		if s := stride; s > 1<<20 || -s > 1<<20 {
+			return true // huge strides never confirm; covered above
+		}
+		n := int(lenRaw%32) + confirmCount + 2
+		var d detector
+		cls, _ := observeAll(&d, seq(1<<21, stride, n))
+		abs := stride
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs <= sequentialMaxStride {
+			return cls == classSequential
+		}
+		return cls == classStrided
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- write-gather buffer -------------------------------------------------
+
+func TestWCBufferGathersFullBlock(t *testing.T) {
+	var b wcBuffer
+	var flushed []int64
+	emit := func(blk int64) { flushed = append(flushed, blk) }
+	// 8 stores of 8 bytes fill one 64-byte block exactly.
+	for i := int64(0); i < 8; i++ {
+		b.add(i*8, 8, emit)
+	}
+	if len(flushed) != 1 || flushed[0] != 0 {
+		t.Errorf("flushed = %v, want [0]", flushed)
+	}
+}
+
+func TestWCBufferDisplacesLRU(t *testing.T) {
+	var b wcBuffer
+	var flushed []int64
+	emit := func(blk int64) { flushed = append(flushed, blk) }
+	// Open 5 partial blocks; the 5th displaces the LRU (block 0).
+	for i := int64(0); i < 5; i++ {
+		b.add(i*64, 16, emit)
+	}
+	if len(flushed) != 1 || flushed[0] != 0 {
+		t.Errorf("flushed = %v, want [0] (LRU displaced)", flushed)
+	}
+}
+
+func TestWCBufferFullBlockStoreBypassesGathering(t *testing.T) {
+	var b wcBuffer
+	var flushed []int64
+	b.add(128, 64, func(blk int64) { flushed = append(flushed, blk) })
+	if len(flushed) != 1 || flushed[0] != 2 {
+		t.Errorf("flushed = %v, want [2]", flushed)
+	}
+}
+
+func TestWCBufferFlushAllAndInvalidate(t *testing.T) {
+	var b wcBuffer
+	noop := func(int64) {}
+	b.add(0, 16, noop)
+	b.add(64, 16, noop)
+	b.add(128, 16, noop)
+	if !b.invalidate(1) {
+		t.Error("invalidate missed an open block")
+	}
+	if b.invalidate(1) {
+		t.Error("invalidate found an already-dropped block")
+	}
+	var flushed []int64
+	b.flushAll(func(blk int64) { flushed = append(flushed, blk) })
+	if len(flushed) != 2 {
+		t.Errorf("flushAll emitted %v, want 2 blocks", flushed)
+	}
+	flushed = nil
+	b.flushAll(func(blk int64) { flushed = append(flushed, blk) })
+	if len(flushed) != 0 {
+		t.Error("second flushAll emitted blocks")
+	}
+}
+
+// Property: every byte stored through the gather path is eventually
+// covered by exactly the flushed blocks (no loss, no duplicates while
+// open).
+func TestWCBufferConservationProperty(t *testing.T) {
+	f := func(blockIdx []uint8) bool {
+		var b wcBuffer
+		flushCount := map[int64]int{}
+		emit := func(blk int64) { flushCount[blk]++ }
+		open := map[int64]bool{}
+		for _, raw := range blockIdx {
+			blk := int64(raw % 16)
+			b.add(blk*64+int64(raw%4)*16, 16, emit)
+			open[blk] = true
+		}
+		b.flushAll(emit)
+		// Every touched block flushed at least once.
+		for blk := range open {
+			if flushCount[blk] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package cache
+
+// wcEntry is one open block in a core's write-combining buffer.
+type wcEntry struct {
+	block    int64 // block number
+	filled   int64 // bytes written into the block so far
+	lastTick uint64
+	used     bool
+}
+
+// numWCEntries is the number of concurrently open store-gather buffers
+// per core.
+const numWCEntries = 4
+
+// wcBuffer models the store-gathering hardware used by cache-bypassing
+// writes. Sequential stores accumulate into 64-byte blocks; a block is
+// written to memory as one transaction when it fills, is displaced, or is
+// flushed. Partially filled blocks still cost a full transaction, which
+// is the write-amplification source behind the capped GEMV's extra write
+// traffic (Fig. 5).
+type wcBuffer struct {
+	entries [numWCEntries]wcEntry
+	tick    uint64
+}
+
+// add records size bytes stored at addr (all within one block), calling
+// emit with each block number that must be written to memory as a result
+// (a completed block, and/or a displaced older one).
+func (b *wcBuffer) add(addr, size int64, emit func(block int64)) {
+	b.tick++
+	block := addr >> blockShift
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.used && e.block == block {
+			e.filled += size
+			e.lastTick = b.tick
+			if e.filled >= BlockBytes {
+				e.used = false
+				emit(block)
+			}
+			return
+		}
+	}
+	if size >= BlockBytes {
+		// A full-block store needs no gathering.
+		emit(block)
+		return
+	}
+	// Find a free entry, displacing the LRU one if the buffer is full.
+	victim := -1
+	for i := range b.entries {
+		if !b.entries[i].used {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < numWCEntries; i++ {
+			if b.entries[i].lastTick < b.entries[victim].lastTick {
+				victim = i
+			}
+		}
+		emit(b.entries[victim].block)
+	}
+	b.entries[victim] = wcEntry{block: block, filled: size, lastTick: b.tick, used: true}
+}
+
+// flushAll invalidates all entries, invoking emit for each open block.
+func (b *wcBuffer) flushAll(emit func(block int64)) {
+	for i := range b.entries {
+		if b.entries[i].used {
+			emit(b.entries[i].block)
+			b.entries[i].used = false
+		}
+	}
+}
+
+// invalidate drops an open entry for block (used when a store stream's
+// block gets allocated in cache after all). It reports whether an entry
+// was dropped.
+func (b *wcBuffer) invalidate(block int64) bool {
+	for i := range b.entries {
+		if b.entries[i].used && b.entries[i].block == block {
+			b.entries[i].used = false
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+// Package expect encodes the paper's closed-form expected-traffic
+// formulas — the dashed lines of Figs. 2–9 — and the regime boundaries of
+// Equations 3, 4 and 7. All results are in bytes of 64-byte-granular
+// memory traffic.
+package expect
+
+import (
+	"math"
+
+	"papimc/internal/units"
+)
+
+// Traffic is an expected (read, write) byte pair.
+type Traffic struct {
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Scale multiplies both directions (e.g. per-thread → batched).
+func (t Traffic) Scale(k int64) Traffic {
+	return Traffic{ReadBytes: t.ReadBytes * k, WriteBytes: t.WriteBytes * k}
+}
+
+const elem = units.DoubleBytes // 8-byte doubles for the BLAS kernels
+
+// GEMM returns the expected traffic of one reference N×N GEMM when the
+// matrices are cacheable (Section II-B): 3·N² elements read (A once, B
+// once, and a read-for-ownership per element of C) and N² written.
+func GEMM(n int64) Traffic {
+	return Traffic{
+		ReadBytes:  3 * n * n * elem,
+		WriteBytes: n * n * elem,
+	}
+}
+
+// SquareGEMV returns the expected traffic of an unmodified M=N GEMV
+// (Section III: M² + 2·M elements read — the matrix, the x vector, and
+// the hardware's read per write of y — and M elements written).
+func SquareGEMV(m int64) Traffic {
+	return Traffic{
+		ReadBytes:  (m*m + 2*m) * elem,
+		WriteBytes: m * elem,
+	}
+}
+
+// CappedGEMV returns the expected traffic of the capped GEMV (Equation
+// 1): M×N + M + N elements read and M written.
+func CappedGEMV(m, n int64) Traffic {
+	return Traffic{
+		ReadBytes:  (m*n + m + n) * elem,
+		WriteBytes: m * elem,
+	}
+}
+
+// complexElem is the size of the 3D-FFT's double-complex elements.
+const complexElem = units.ComplexBytes
+
+// RankElems returns the number of elements a single MPI rank holds in
+// the r×c-decomposed N³ FFT: (N/r)·(N/c)·N.
+func RankElems(n, r, c int64) int64 {
+	return (n / r) * (n / c) * n
+}
+
+// S1CFLoopNest1 returns per-rank expected traffic of the first S1CF loop
+// nest (Listing 5). Without software prefetch the sequential stores to
+// tmp bypass the cache: one read (in), one write (tmp). With prefetch
+// the target is read first: two reads, one write (Fig. 6).
+func S1CFLoopNest1(n, r, c int64, prefetch bool) Traffic {
+	bytes := RankElems(n, r, c) * complexElem
+	t := Traffic{ReadBytes: bytes, WriteBytes: bytes}
+	if prefetch {
+		t.ReadBytes *= 2
+	}
+	return t
+}
+
+// S1CFLoopNest2 returns per-rank expected traffic of the second S1CF
+// loop nest (Listing 7) in its cache-friendly regime: tmp is read once
+// and each write to out incurs a read (strided stream present), so two
+// reads and one write per element. Past the Equation 7 boundary the
+// strided tmp reads amplify to a full cache line per element — up to
+// five reads per write (Fig. 7a); see Equation7Bound and the model
+// package for the amplified regime.
+func S1CFLoopNest2(n, r, c int64) Traffic {
+	bytes := RankElems(n, r, c) * complexElem
+	return Traffic{ReadBytes: 2 * bytes, WriteBytes: bytes}
+}
+
+// S1CFCombined returns per-rank expected traffic of the fused S1CF nest
+// (Listing 8): one read for in, one read for out (strided store stream —
+// read per write), one write (Fig. 8).
+func S1CFCombined(n, r, c int64) Traffic {
+	bytes := RankElems(n, r, c) * complexElem
+	return Traffic{ReadBytes: 2 * bytes, WriteBytes: bytes}
+}
+
+// S2CF returns per-rank expected traffic of S2CF (Listing 9): the
+// traversal's innermost dimension matches the layout's, so the stores
+// bypass: one read, one write (Fig. 9a). With prefetch: two reads.
+func S2CF(n, r, c int64, prefetch bool) Traffic {
+	bytes := RankElems(n, r, c) * complexElem
+	t := Traffic{ReadBytes: bytes, WriteBytes: bytes}
+	if prefetch {
+		t.ReadBytes *= 2
+	}
+	return t
+}
+
+// Equation3Bound returns the GEMM problem size below which all three
+// matrices fit in the given cache: 8·3·N² = cacheBytes (≈467 for 5 MiB).
+func Equation3Bound(cacheBytes int64) int64 {
+	return int64(math.Sqrt(float64(cacheBytes) / (3 * float64(elem))))
+}
+
+// Equation4Bound returns the GEMM problem size below which one matrix
+// fits in the given cache: 8·N² = cacheBytes (≈809 for 5 MiB).
+func Equation4Bound(cacheBytes int64) int64 {
+	return int64(math.Sqrt(float64(cacheBytes) / float64(elem)))
+}
+
+// Equation7Bound returns the FFT problem size at which the S1CF loop
+// nest 2 reuse footprint 5·16·N²/(r·c) exceeds the cache
+// (≈724 for 5 MiB and an 8-process grid).
+func Equation7Bound(cacheBytes, r, c int64) int64 {
+	return int64(math.Sqrt(float64(cacheBytes) * float64(r*c) / (5 * float64(complexElem))))
+}

@@ -1,0 +1,98 @@
+package expect
+
+import (
+	"testing"
+
+	"papimc/internal/units"
+)
+
+func TestGEMMExpectation(t *testing.T) {
+	tr := GEMM(100)
+	if tr.ReadBytes != 3*100*100*8 {
+		t.Errorf("reads = %d", tr.ReadBytes)
+	}
+	if tr.WriteBytes != 100*100*8 {
+		t.Errorf("writes = %d", tr.WriteBytes)
+	}
+}
+
+func TestGEMVExpectations(t *testing.T) {
+	sq := SquareGEMV(10)
+	if sq.ReadBytes != (100+20)*8 || sq.WriteBytes != 80 {
+		t.Errorf("square GEMV = %+v", sq)
+	}
+	cp := CappedGEMV(100, 10)
+	if cp.ReadBytes != (1000+110)*8 || cp.WriteBytes != 800 {
+		t.Errorf("capped GEMV = %+v", cp)
+	}
+	// At M=N the capped formula reduces to the square one.
+	if CappedGEMV(10, 10) != SquareGEMV(10) {
+		t.Error("capped(M,M) != square(M)")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := Traffic{ReadBytes: 3, WriteBytes: 5}.Scale(21)
+	if tr.ReadBytes != 63 || tr.WriteBytes != 105 {
+		t.Errorf("scaled = %+v", tr)
+	}
+}
+
+// The paper's Eq. 3 and 4 numbers: N≈467 and N≈809 for the 5 MB slice.
+func TestEquation3And4Bounds(t *testing.T) {
+	cache := 5 * units.MiB
+	if n := Equation3Bound(cache); n != 467 {
+		t.Errorf("Eq3 bound = %d, want 467", n)
+	}
+	if n := Equation4Bound(cache); n != 809 {
+		t.Errorf("Eq4 bound = %d, want 809", n)
+	}
+}
+
+// The paper's Eq. 7 number: N≈724 for 5 MB and the 2×4 grid.
+func TestEquation7Bound(t *testing.T) {
+	if n := Equation7Bound(5*units.MiB, 2, 4); n != 724 {
+		t.Errorf("Eq7 bound = %d, want 724", n)
+	}
+}
+
+func TestRankElems(t *testing.T) {
+	// 2×4 grid over N=8: each rank holds 4×2×8 = 64 elements; ranks
+	// total must equal N³.
+	if got := RankElems(8, 2, 4); got != 64 {
+		t.Errorf("RankElems = %d, want 64", got)
+	}
+	if got := RankElems(8, 2, 4) * 8; got != 512 {
+		t.Errorf("aggregate = %d, want N³ = 512", got)
+	}
+}
+
+func TestFFTExpectations(t *testing.T) {
+	n, r, c := int64(64), int64(2), int64(4)
+	bytes := RankElems(n, r, c) * 16
+
+	ln1 := S1CFLoopNest1(n, r, c, false)
+	if ln1.ReadBytes != bytes || ln1.WriteBytes != bytes {
+		t.Errorf("S1CF LN1 = %+v, want 1 read / 1 write", ln1)
+	}
+	ln1p := S1CFLoopNest1(n, r, c, true)
+	if ln1p.ReadBytes != 2*bytes || ln1p.WriteBytes != bytes {
+		t.Errorf("S1CF LN1 prefetch = %+v, want 2 reads / 1 write", ln1p)
+	}
+	ln2 := S1CFLoopNest2(n, r, c)
+	if ln2.ReadBytes != 2*bytes || ln2.WriteBytes != bytes {
+		t.Errorf("S1CF LN2 = %+v, want 2 reads / 1 write", ln2)
+	}
+	comb := S1CFCombined(n, r, c)
+	if comb.ReadBytes != 2*bytes || comb.WriteBytes != bytes {
+		t.Errorf("S1CF combined = %+v", comb)
+	}
+	s2 := S2CF(n, r, c, false)
+	if s2.ReadBytes != bytes || s2.WriteBytes != bytes {
+		t.Errorf("S2CF = %+v, want 1 read / 1 write", s2)
+	}
+	s2p := S2CF(n, r, c, true)
+	if s2p.ReadBytes != 2*bytes {
+		t.Errorf("S2CF prefetch = %+v, want 2 reads", s2p)
+	}
+}

@@ -1,0 +1,103 @@
+package fft
+
+import (
+	"fmt"
+
+	"papimc/internal/mpi"
+)
+
+// Distributed3D computes the forward 3D FFT of a global N³ array
+// decomposed on grid g across the communicator. Each rank passes its
+// local input slab in layout [plane][row][col] (x-slab i, y-slab j, all
+// z, z contiguous) and receives its output slab in layout [y”][z'][x]
+// (x contiguous); OutputIndex maps the result back to global
+// coordinates. The pipeline is the paper's: 1D FFTs along z, S1CF
+// re-sort, all-to-all within the row group, 1D FFTs along y, S2CF
+// re-sort, all-to-all within the column group, 1D FFTs along x.
+func Distributed3D(g Grid, r *mpi.Rank, local []complex128) []complex128 {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if r.Size() != g.Ranks() {
+		panic(fmt.Sprintf("fft: %d ranks for a %dx%d grid", r.Size(), g.R, g.C))
+	}
+	if len(local) != g.LocalElems() {
+		panic(fmt.Sprintf("fft: rank %d local slab has %d elements, want %d", r.ID(), len(local), g.LocalElems()))
+	}
+	i, j := g.RankCoords(r.ID())
+
+	// Phase 1: 1D FFTs along z (contiguous).
+	work := append([]complex128(nil), local...)
+	ForwardBatch(work, g.Cols())
+
+	// Phase 2: S1CF + all-to-all within the row group (fixed i).
+	chunks := g.S1CF(work)
+	rowPeer := func(jp int) int { return g.RankID(i, jp) }
+	recv := groupAlltoall(r, g.C, j, rowPeer, chunks)
+	mid := g.UnpackFirst(recv)
+
+	// Phase 3: 1D FFTs along y (contiguous after the re-sort).
+	ForwardBatch(mid, g.N)
+
+	// Phase 4: S2CF + all-to-all within the column group (fixed j).
+	chunks2 := g.S2CF(mid)
+	colPeer := func(ip int) int { return g.RankID(ip, j) }
+	recv2 := groupAlltoall(r, g.R, i, colPeer, chunks2)
+	out := g.UnpackSecond(recv2)
+
+	// Phase 5: 1D FFTs along x (contiguous after the re-sort).
+	ForwardBatch(out, g.N)
+	return out
+}
+
+// groupAlltoall exchanges chunks among a subgroup of ranks: member m of
+// the group (self = selfIdx) is global rank peer(m). chunks[m] goes to
+// member m; the returned slice is indexed the same way.
+func groupAlltoall(r *mpi.Rank, groupSize, selfIdx int, peer func(int) int, chunks [][]complex128) [][]complex128 {
+	if len(chunks) != groupSize {
+		panic(fmt.Sprintf("fft: %d chunks for a group of %d", len(chunks), groupSize))
+	}
+	// Buffered mailboxes make the send phase non-blocking.
+	for m := 0; m < groupSize; m++ {
+		if m == selfIdx {
+			continue
+		}
+		r.Send(peer(m), chunks[m])
+	}
+	out := make([][]complex128, groupSize)
+	out[selfIdx] = chunks[selfIdx]
+	for m := 0; m < groupSize; m++ {
+		if m == selfIdx {
+			continue
+		}
+		out[m] = r.Recv(peer(m))
+	}
+	return out
+}
+
+// LocalSlab extracts rank (i,j)'s input slab from a global row-major
+// [x][y][z] array.
+func LocalSlab(g Grid, global []complex128, i, j int) []complex128 {
+	p, rows, n := g.Planes(), g.Rows(), g.N
+	out := make([]complex128, 0, g.LocalElems())
+	for plane := 0; plane < p; plane++ {
+		x := i*p + plane
+		for row := 0; row < rows; row++ {
+			y := j*rows + row
+			base := (x*n + y) * n
+			out = append(out, global[base:base+n]...)
+		}
+	}
+	return out
+}
+
+// OutputIndex maps an offset into rank (i,j)'s Distributed3D output to
+// the global (x,y,z) coordinates of the transformed array.
+func OutputIndex(g Grid, i, j, offset int) (x, y, z int) {
+	zc, yr, n := g.N/g.C, g.N/g.R, g.N
+	x = offset % n
+	rest := offset / n
+	z = j*zc + rest%zc
+	y = i*yr + rest/zc
+	return x, y, z
+}

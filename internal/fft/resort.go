@@ -1,0 +1,207 @@
+package fft
+
+import "fmt"
+
+// The data re-sorting routines of Section IV. Each MPI rank of the r×c
+// grid holds PLANES×ROWS×COLS = (N/r)×(N/c)×N double-complex elements.
+// Before each of the two all-to-all exchanges, the local array is
+// re-sorted into per-destination chunks; the paper measures exactly
+// these packing loops (S1CF = store-1st-colwise-forward, etc.). The
+// colwise and planewise variants traverse in different orders but
+// produce identical chunks — which is why the paper reports only the
+// colwise results ("the structure and performance of S1PF and S2PF are
+// similar").
+
+// Grid describes the process decomposition of an N³ transform.
+type Grid struct {
+	N, R, C int
+}
+
+// Validate checks divisibility.
+func (g Grid) Validate() error {
+	if g.N <= 0 || g.R <= 0 || g.C <= 0 {
+		return fmt.Errorf("fft: non-positive grid %+v", g)
+	}
+	if g.N%g.R != 0 || g.N%g.C != 0 {
+		return fmt.Errorf("fft: N=%d not divisible by grid %dx%d", g.N, g.R, g.C)
+	}
+	if g.N%(g.R*g.C) != 0 && g.N%g.R != 0 {
+		return fmt.Errorf("fft: invalid grid %+v", g)
+	}
+	return nil
+}
+
+// Planes, Rows, Cols are the local extents (N/r, N/c, N).
+func (g Grid) Planes() int { return g.N / g.R }
+func (g Grid) Rows() int   { return g.N / g.C }
+func (g Grid) Cols() int   { return g.N }
+
+// LocalElems returns the per-rank element count.
+func (g Grid) LocalElems() int { return g.Planes() * g.Rows() * g.Cols() }
+
+// Ranks returns the total rank count.
+func (g Grid) Ranks() int { return g.R * g.C }
+
+// RankID maps grid coordinates to a rank number.
+func (g Grid) RankID(i, j int) int { return i*g.C + j }
+
+// RankCoords inverts RankID.
+func (g Grid) RankCoords(id int) (i, j int) { return id / g.C, id % g.C }
+
+// S1CF packs the local array (layout [plane][row][col], col = z
+// contiguous) into c chunks for the first all-to-all: chunk j' holds the
+// z-slab z ∈ [j'·N/c, (j'+1)·N/c) in layout [plane][z'][row]. This is
+// the colwise variant: the output is filled sequentially while the input
+// is read in strides (Listing 8's access pattern).
+func (g Grid) S1CF(local []complex128) [][]complex128 {
+	return g.packFirst(local, true)
+}
+
+// S1PF is the planewise variant of S1CF: identical chunks, produced by
+// traversing the input sequentially and scattering into the outputs.
+func (g Grid) S1PF(local []complex128) [][]complex128 {
+	return g.packFirst(local, false)
+}
+
+func (g Grid) packFirst(local []complex128, colwise bool) [][]complex128 {
+	p, r, n, zc := g.Planes(), g.Rows(), g.Cols(), g.N/g.C
+	if len(local) != g.LocalElems() {
+		panic(fmt.Sprintf("fft: S1 pack of %d elements, want %d", len(local), g.LocalElems()))
+	}
+	chunks := make([][]complex128, g.C)
+	for j := range chunks {
+		chunks[j] = make([]complex128, p*zc*r)
+	}
+	if colwise {
+		// Destination-major traversal: chunks fill sequentially, the
+		// source is read with a stride of COLS elements.
+		for j := 0; j < g.C; j++ {
+			dst := chunks[j]
+			idx := 0
+			for plane := 0; plane < p; plane++ {
+				for z := 0; z < zc; z++ {
+					zGlobal := j*zc + z
+					for row := 0; row < r; row++ {
+						dst[idx] = local[(plane*r+row)*n+zGlobal]
+						idx++
+					}
+				}
+			}
+		}
+		return chunks
+	}
+	// Planewise: source-major traversal, scattered stores.
+	for plane := 0; plane < p; plane++ {
+		for row := 0; row < r; row++ {
+			base := (plane*r + row) * n
+			for col := 0; col < n; col++ {
+				j := col / zc
+				z := col % zc
+				chunks[j][(plane*zc+z)*r+row] = local[base+col]
+			}
+		}
+	}
+	return chunks
+}
+
+// UnpackFirst merges the chunks received in the first all-to-all into
+// the mid-pipeline layout [plane][z'][y] with y ∈ [0,N) contiguous, so
+// the second FFT pass runs on unit-stride rows. received[j”] is the
+// chunk from column-group peer j” (layout [plane][z'][row]).
+func (g Grid) UnpackFirst(received [][]complex128) []complex128 {
+	p, r, zc := g.Planes(), g.Rows(), g.N/g.C
+	if len(received) != g.C {
+		panic(fmt.Sprintf("fft: UnpackFirst with %d chunks, want %d", len(received), g.C))
+	}
+	out := make([]complex128, p*zc*g.N)
+	for j := 0; j < g.C; j++ {
+		chunk := received[j]
+		if len(chunk) != p*zc*r {
+			panic(fmt.Sprintf("fft: first-stage chunk %d has %d elements, want %d", j, len(chunk), p*zc*r))
+		}
+		for plane := 0; plane < p; plane++ {
+			for z := 0; z < zc; z++ {
+				dstBase := (plane*zc+z)*g.N + j*r
+				srcBase := (plane*zc + z) * r
+				copy(out[dstBase:dstBase+r], chunk[srcBase:srcBase+r])
+			}
+		}
+	}
+	return out
+}
+
+// S2CF packs the mid-pipeline array (layout [plane][z'][y]) into r
+// chunks for the second all-to-all: chunk i' holds y ∈ [i'·N/r,
+// (i'+1)·N/r) in layout [plane][z'][y”]. The innermost traversal
+// dimension matches the innermost layout dimension, so the stride's
+// effect is amortized (Fig. 9's 1-read-1-write behaviour).
+func (g Grid) S2CF(mid []complex128) [][]complex128 {
+	return g.packSecond(mid, true)
+}
+
+// S2PF is the planewise variant of S2CF (identical chunks).
+func (g Grid) S2PF(mid []complex128) [][]complex128 {
+	return g.packSecond(mid, false)
+}
+
+func (g Grid) packSecond(mid []complex128, colwise bool) [][]complex128 {
+	p, zc, yr := g.Planes(), g.N/g.C, g.N/g.R
+	if len(mid) != p*zc*g.N {
+		panic(fmt.Sprintf("fft: S2 pack of %d elements, want %d", len(mid), p*zc*g.N))
+	}
+	chunks := make([][]complex128, g.R)
+	for i := range chunks {
+		chunks[i] = make([]complex128, p*zc*yr)
+	}
+	if colwise {
+		for i := 0; i < g.R; i++ {
+			dst := chunks[i]
+			idx := 0
+			for plane := 0; plane < p; plane++ {
+				for z := 0; z < zc; z++ {
+					srcBase := (plane*zc+z)*g.N + i*yr
+					copy(dst[idx:idx+yr], mid[srcBase:srcBase+yr])
+					idx += yr
+				}
+			}
+		}
+		return chunks
+	}
+	for plane := 0; plane < p; plane++ {
+		for z := 0; z < zc; z++ {
+			base := (plane*zc + z) * g.N
+			for y := 0; y < g.N; y++ {
+				i := y / yr
+				chunks[i][(plane*zc+z)*yr+(y%yr)] = mid[base+y]
+			}
+		}
+	}
+	return chunks
+}
+
+// UnpackSecond merges the second-exchange chunks into the final layout
+// [y”][z'][x] with x ∈ [0,N) contiguous for the third FFT pass.
+// received[i”] is the chunk from row-group peer i” (layout
+// [plane][z'][y”]).
+func (g Grid) UnpackSecond(received [][]complex128) []complex128 {
+	p, zc, yr := g.Planes(), g.N/g.C, g.N/g.R
+	if len(received) != g.R {
+		panic(fmt.Sprintf("fft: UnpackSecond with %d chunks, want %d", len(received), g.R))
+	}
+	out := make([]complex128, yr*zc*g.N)
+	for i := 0; i < g.R; i++ {
+		chunk := received[i]
+		if len(chunk) != p*zc*yr {
+			panic(fmt.Sprintf("fft: second-stage chunk %d has %d elements, want %d", i, len(chunk), p*zc*yr))
+		}
+		for plane := 0; plane < p; plane++ {
+			x := i*p + plane
+			for z := 0; z < zc; z++ {
+				for y2 := 0; y2 < yr; y2++ {
+					out[(y2*zc+z)*g.N+x] = chunk[(plane*zc+z)*yr+y2]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package fft
+
+import (
+	"papimc/internal/loopnest"
+	"papimc/internal/trace"
+	"papimc/internal/units"
+)
+
+// Loop-nest traffic descriptors of the re-sorting listings (5, 7, 8, 9).
+// These drive the exact cache simulator for Figs. 6–9 at small sizes and
+// document precisely which access pattern each figure measures; the
+// analytic engine (internal/model) covers the paper-scale sweeps.
+
+const complexElem = units.ComplexBytes
+
+// S1CFLoopNest1Nest is Listing 5: the sequential copy of the 1D input
+// into the 3D tmp array. Both references are unit-stride, so without
+// software prefetch the tmp stores bypass the cache (Fig. 6a).
+func (g Grid) S1CFLoopNest1Nest(as *trace.AddressSpace, prefetch bool) *loopnest.Nest {
+	p, r, n := int64(g.Planes()), int64(g.Rows()), int64(g.Cols())
+	in := as.Alloc("s1cf.in", p*r*n*complexElem)
+	tmp := as.Alloc("s1cf.tmp", p*r*n*complexElem)
+	// Linear index (plane·ROWS + row)·COLS + col for both arrays.
+	idx := loopnest.Add(
+		loopnest.Var(0, r*n),
+		loopnest.Var(1, n),
+		loopnest.Var(2, 1),
+	)
+	return &loopnest.Nest{
+		Name: "S1CF.LN1",
+		Loops: []loopnest.Loop{
+			{Name: "plane", Extent: p},
+			{Name: "row", Extent: r},
+			{Name: "col", Extent: n},
+		},
+		Refs: []loopnest.Ref{
+			{Array: in, ElemSize: complexElem, Kind: trace.Load, Index: idx},
+			{Array: tmp, ElemSize: complexElem, Kind: trace.Store, Index: idx},
+		},
+		SoftwarePrefetch: prefetch,
+	}
+}
+
+// S1CFLoopNest2Nest is Listing 7: tmp is traversed column-major (a
+// stride of COLS elements between consecutive reads) while out fills
+// sequentially. The strided stream forces out's stores to
+// write-allocate, and past the Eq. 7 working set each tmp element costs
+// a whole transaction (Fig. 7a's five-reads regime).
+func (g Grid) S1CFLoopNest2Nest(as *trace.AddressSpace, prefetch bool) *loopnest.Nest {
+	p, r, n := int64(g.Planes()), int64(g.Rows()), int64(g.Cols())
+	tmp := as.Alloc("s1cf.tmp2", p*r*n*complexElem)
+	out := as.Alloc("s1cf.out", p*r*n*complexElem)
+	return &loopnest.Nest{
+		Name: "S1CF.LN2",
+		Loops: []loopnest.Loop{
+			{Name: "col", Extent: n},
+			{Name: "plane", Extent: p},
+			{Name: "row", Extent: r},
+		},
+		Refs: []loopnest.Ref{
+			// tmp[plane][row][col] read with col fixed in the outer
+			// loop: consecutive (plane,row) steps stride by COLS.
+			{Array: tmp, ElemSize: complexElem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.Var(1, r*n), loopnest.Var(2, n), loopnest.Var(0, 1))},
+			// out[col][plane][row] written sequentially.
+			{Array: out, ElemSize: complexElem, Kind: trace.Store,
+				Index: loopnest.Add(loopnest.Var(0, p*r), loopnest.Var(1, r), loopnest.Var(2, 1))},
+		},
+		SoftwarePrefetch: prefetch,
+	}
+}
+
+// S1CFCombinedNest is Listing 8: the fused re-sort. in is read
+// sequentially; out is written with a stride of PLANES·ROWS elements —
+// a stream whose jumps are too large to train, so its stores
+// write-allocate (Fig. 8's two reads per write).
+func (g Grid) S1CFCombinedNest(as *trace.AddressSpace, prefetch bool) *loopnest.Nest {
+	p, r, n := int64(g.Planes()), int64(g.Rows()), int64(g.Cols())
+	in := as.Alloc("s1cf.in", p*r*n*complexElem)
+	out := as.Alloc("s1cf.out", p*r*n*complexElem)
+	return &loopnest.Nest{
+		Name: "S1CF.combined",
+		Loops: []loopnest.Loop{
+			{Name: "plane", Extent: p},
+			{Name: "row", Extent: r},
+			{Name: "col", Extent: n},
+		},
+		Refs: []loopnest.Ref{
+			{Array: in, ElemSize: complexElem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.Var(0, r*n), loopnest.Var(1, n), loopnest.Var(2, 1))},
+			{Array: out, ElemSize: complexElem, Kind: trace.Store,
+				Index: loopnest.Add(loopnest.Var(2, p*r), loopnest.Var(0, r), loopnest.Var(1, 1))},
+		},
+		SoftwarePrefetch: prefetch,
+	}
+}
+
+// S1PFNest is the planewise first-stage pack: the input is traversed
+// sequentially while the per-destination chunks fill in short strides of
+// ROWS elements. Those strides stay within a cache line for realistic
+// grids, so the store streams remain bypassable — the reason the paper
+// reports "the structure and performance of S1PF ... are similar to
+// those of S1CF" and shows only the colwise results.
+func (g Grid) S1PFNest(as *trace.AddressSpace, prefetch bool) *loopnest.Nest {
+	p, r, n := int64(g.Planes()), int64(g.Rows()), int64(g.Cols())
+	zc := int64(g.N / g.C)
+	in := as.Alloc("s1pf.in", p*r*n*complexElem)
+	// The C chunks are contiguous in one buffer, chunk j at offset
+	// j·(p·zc·r); within it the store lands at (plane·zc + z)·r + row
+	// with col = j·zc + z.
+	out := as.Alloc("s1pf.chunks", p*r*n*complexElem)
+	return &loopnest.Nest{
+		Name: "S1PF",
+		Loops: []loopnest.Loop{
+			{Name: "plane", Extent: p},
+			{Name: "row", Extent: r},
+			{Name: "j", Extent: int64(g.C)},
+			{Name: "z", Extent: zc},
+		},
+		Refs: []loopnest.Ref{
+			// in[(plane·r + row)·n + j·zc + z]: sequential overall.
+			{Array: in, ElemSize: complexElem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.Var(0, r*n), loopnest.Var(1, n),
+					loopnest.Var(2, zc), loopnest.Var(3, 1))},
+			// chunk_j[(plane·zc + z)·r + row]: stride r elements per z.
+			{Array: out, ElemSize: complexElem, Kind: trace.Store,
+				Index: loopnest.Add(loopnest.Var(2, p*zc*r), loopnest.Var(0, zc*r),
+					loopnest.Var(3, r), loopnest.Var(1, 1))},
+		},
+		SoftwarePrefetch: prefetch,
+	}
+}
+
+// S2PFNest is the planewise second-stage pack: like S2CF it copies runs
+// of N/r contiguous elements, just grouped per source plane first, so
+// its traffic is indistinguishable from S2CF's.
+func (g Grid) S2PFNest(as *trace.AddressSpace, prefetch bool) *loopnest.Nest {
+	p := int64(g.Planes())
+	zc := int64(g.N / g.C)
+	yr := int64(g.N / g.R)
+	n := int64(g.N)
+	in := as.Alloc("s2pf.in", p*zc*n*complexElem)
+	out := as.Alloc("s2pf.chunks", int64(g.R)*p*zc*yr*complexElem)
+	return &loopnest.Nest{
+		Name: "S2PF",
+		Loops: []loopnest.Loop{
+			{Name: "plane", Extent: p},
+			{Name: "z", Extent: zc},
+			{Name: "dst", Extent: int64(g.R)},
+			{Name: "y", Extent: yr},
+		},
+		Refs: []loopnest.Ref{
+			// in[(plane·zc + z)·N + dst·yr + y]: sequential overall.
+			{Array: in, ElemSize: complexElem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.Var(0, zc*n), loopnest.Var(1, n),
+					loopnest.Var(2, yr), loopnest.Var(3, 1))},
+			// chunk_dst[(plane·zc + z)·yr + y].
+			{Array: out, ElemSize: complexElem, Kind: trace.Store,
+				Index: loopnest.Add(loopnest.Var(2, p*zc*yr), loopnest.Var(0, zc*yr),
+					loopnest.Var(1, yr), loopnest.Var(3, 1))},
+		},
+		SoftwarePrefetch: prefetch,
+	}
+}
+
+// S2CFNest is Listing 9's pattern as realized by the second-stage pack:
+// the mid array [plane][z'][y] is read in runs of N/r contiguous
+// elements (the innermost traversal dimension matches the innermost
+// layout dimension, amortizing the outer stride) and out fills
+// sequentially — so the stores bypass (Fig. 9a's one read, one write).
+func (g Grid) S2CFNest(as *trace.AddressSpace, prefetch bool) *loopnest.Nest {
+	p := int64(g.Planes())
+	zc := int64(g.N / g.C)
+	yr := int64(g.N / g.R)
+	n := int64(g.N)
+	in := as.Alloc("s2cf.in", p*zc*n*complexElem)
+	out := as.Alloc("s2cf.out", int64(g.R)*p*zc*yr*complexElem)
+	return &loopnest.Nest{
+		Name: "S2CF",
+		Loops: []loopnest.Loop{
+			{Name: "dst", Extent: int64(g.R)},
+			{Name: "plane", Extent: p},
+			{Name: "z", Extent: zc},
+			{Name: "y", Extent: yr},
+		},
+		Refs: []loopnest.Ref{
+			// in[(plane·zc + z)·N + dst·yr + y]: y contiguous.
+			{Array: in, ElemSize: complexElem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.Var(1, zc*n), loopnest.Var(2, n),
+					loopnest.Var(0, yr), loopnest.Var(3, 1))},
+			// out fills sequentially across the whole traversal.
+			{Array: out, ElemSize: complexElem, Kind: trace.Store,
+				Index: loopnest.Add(loopnest.Var(0, p*zc*yr), loopnest.Var(1, zc*yr),
+					loopnest.Var(2, yr), loopnest.Var(3, 1))},
+		},
+		SoftwarePrefetch: prefetch,
+	}
+}

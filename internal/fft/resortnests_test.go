@@ -1,0 +1,196 @@
+package fft
+
+import (
+	"math"
+	"testing"
+
+	"papimc/internal/arch"
+	"papimc/internal/cache"
+	"papimc/internal/expect"
+	"papimc/internal/loopnest"
+	"papimc/internal/trace"
+)
+
+type countingMem struct{ readBytes, writeBytes int64 }
+
+func (m *countingMem) MemRead(addr, bytes int64)  { m.readBytes += bytes }
+func (m *countingMem) MemWrite(addr, bytes int64) { m.writeBytes += bytes }
+
+// simulate runs a re-sort nest on core 0 of a fully occupied Summit
+// socket and returns its memory traffic.
+func simulate(nest *loopnest.Nest) (reads, writes int64) {
+	mem := &countingMem{}
+	soc := arch.Summit().Socket
+	active := make([]int, soc.Cores)
+	for i := range active {
+		active[i] = i
+	}
+	h := cache.New(cache.Config{Socket: soc, ActiveCores: active}, mem)
+	nest.Execute(0, h)
+	h.Drain()
+	return mem.readBytes, mem.writeBytes
+}
+
+func relErr(got, want int64) float64 {
+	return math.Abs(float64(got)-float64(want)) / float64(want)
+}
+
+// The test grid: the paper's 2×4 decomposition at simulator-friendly N.
+var testGrid = Grid{N: 128, R: 2, C: 4}
+
+// Fig. 6a: the sequential copy of loop nest 1 shows ONE read and one
+// write per element — the stores bypass the cache.
+func TestLN1TrafficNoPrefetch(t *testing.T) {
+	nest := testGrid.S1CFLoopNest1Nest(trace.NewAddressSpace(), false)
+	reads, writes := simulate(nest)
+	want := expect.S1CFLoopNest1(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C), false)
+	if e := relErr(reads, want.ReadBytes); e > 0.02 {
+		t.Errorf("reads = %d, want %d (rel err %.3f)", reads, want.ReadBytes, e)
+	}
+	if e := relErr(writes, want.WriteBytes); e > 0.02 {
+		t.Errorf("writes = %d, want %d (rel err %.3f)", writes, want.WriteBytes, e)
+	}
+}
+
+// Fig. 6b: with -fprefetch-loop-arrays the dcbtst forces tmp into the
+// cache: TWO reads and one write per element.
+func TestLN1TrafficWithPrefetch(t *testing.T) {
+	nest := testGrid.S1CFLoopNest1Nest(trace.NewAddressSpace(), true)
+	reads, writes := simulate(nest)
+	want := expect.S1CFLoopNest1(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C), true)
+	if e := relErr(reads, want.ReadBytes); e > 0.02 {
+		t.Errorf("reads = %d, want %d (rel err %.3f)", reads, want.ReadBytes, e)
+	}
+	if e := relErr(writes, want.WriteBytes); e > 0.02 {
+		t.Errorf("writes = %d, want %d", writes, want.WriteBytes)
+	}
+}
+
+// Fig. 7a, cache-friendly region: the strided tmp reads cost one
+// transaction per element (blocks are reused before eviction) and out's
+// writes each incur a read — two reads, one write.
+func TestLN2TrafficCacheFriendly(t *testing.T) {
+	nest := testGrid.S1CFLoopNest2Nest(trace.NewAddressSpace(), false)
+	reads, writes := simulate(nest)
+	want := expect.S1CFLoopNest2(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C))
+	if e := relErr(reads, want.ReadBytes); e > 0.05 {
+		t.Errorf("reads = %d, want %d (rel err %.3f)", reads, want.ReadBytes, e)
+	}
+	if e := relErr(writes, want.WriteBytes); e > 0.05 {
+		t.Errorf("writes = %d, want %d", writes, want.WriteBytes)
+	}
+}
+
+// Fig. 7a, past the Eq. 7 boundary: reads amplify toward five per
+// write. Exceeding the boundary at simulator-feasible sizes requires a
+// small cache, so this test shrinks the L3 slice instead of growing N:
+// the Eq. 7 working set for N=128, 2×4 is 5·16·128²/8 = 160 KiB, so a
+// socket with 64 KiB slices is far past the boundary.
+func TestLN2TrafficAmplifiedRegime(t *testing.T) {
+	soc := arch.Summit().Socket
+	soc.L3SlicePerPair = 64 << 10
+	soc.L2.SizeBytes = 16 << 10
+	soc.L1D.SizeBytes = 4 << 10
+	mem := &countingMem{}
+	active := make([]int, soc.Cores)
+	for i := range active {
+		active[i] = i
+	}
+	h := cache.New(cache.Config{Socket: soc, ActiveCores: active}, mem)
+	nest := testGrid.S1CFLoopNest2Nest(trace.NewAddressSpace(), false)
+	nest.Execute(0, h)
+	h.Drain()
+	bytes := expect.RankElems(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C)) * 16
+	// Expect close to 5 reads per write: 4× amplified tmp + out RFO.
+	ratio := float64(mem.readBytes) / float64(bytes)
+	if ratio < 4.2 || ratio > 5.2 {
+		t.Errorf("amplified read ratio = %.2f, want ~5", ratio)
+	}
+	if e := relErr(mem.writeBytes, bytes); e > 0.05 {
+		t.Errorf("writes = %d, want %d", mem.writeBytes, bytes)
+	}
+}
+
+// Fig. 8: the combined nest reads in once and out once (write-allocate
+// on the huge-stride store stream): two reads, one write.
+func TestCombinedTraffic(t *testing.T) {
+	nest := testGrid.S1CFCombinedNest(trace.NewAddressSpace(), false)
+	reads, writes := simulate(nest)
+	want := expect.S1CFCombined(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C))
+	if e := relErr(reads, want.ReadBytes); e > 0.05 {
+		t.Errorf("reads = %d, want %d (rel err %.3f)", reads, want.ReadBytes, e)
+	}
+	if e := relErr(writes, want.WriteBytes); e > 0.05 {
+		t.Errorf("writes = %d, want %d", writes, want.WriteBytes)
+	}
+}
+
+// Fig. 9a: S2CF's traversal matches the layout's innermost dimension,
+// so the stores bypass: one read, one write.
+func TestS2CFTraffic(t *testing.T) {
+	nest := testGrid.S2CFNest(trace.NewAddressSpace(), false)
+	reads, writes := simulate(nest)
+	want := expect.S2CF(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C), false)
+	if e := relErr(reads, want.ReadBytes); e > 0.05 {
+		t.Errorf("reads = %d, want %d (rel err %.3f)", reads, want.ReadBytes, e)
+	}
+	if e := relErr(writes, want.WriteBytes); e > 0.05 {
+		t.Errorf("writes = %d, want %d", writes, want.WriteBytes)
+	}
+}
+
+// Fig. 9b: prefetch adds the out read.
+func TestS2CFTrafficWithPrefetch(t *testing.T) {
+	nest := testGrid.S2CFNest(trace.NewAddressSpace(), true)
+	reads, _ := simulate(nest)
+	want := expect.S2CF(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C), true)
+	if e := relErr(reads, want.ReadBytes); e > 0.05 {
+		t.Errorf("reads = %d, want %d (rel err %.3f)", reads, want.ReadBytes, e)
+	}
+}
+
+// The planewise variants behave like their colwise counterparts, with
+// one honest nuance the simulator surfaces: S1PF's chunk stores stride
+// by ROWS elements (512 B at this grid), so they write-allocate — 2
+// reads per write, like the fused S1CF nest rather than its bypassing
+// first nest. S2PF copies contiguous runs like S2CF and matches it to
+// within the stream-retrain cost at run boundaries. This is consistent
+// with the paper treating the planewise results as redundant.
+func TestPlanewiseVariantsMatchColwise(t *testing.T) {
+	reads, writes := simulate(testGrid.S1PFNest(trace.NewAddressSpace(), false))
+	bytes := expect.RankElems(int64(testGrid.N), int64(testGrid.R), int64(testGrid.C)) * 16
+	if e := relErr(reads, 2*bytes); e > 0.05 {
+		t.Errorf("S1PF reads = %d, want ~%d (strided stores write-allocate)", reads, 2*bytes)
+	}
+	if e := relErr(writes, bytes); e > 0.05 {
+		t.Errorf("S1PF writes = %d, want ~%d", writes, bytes)
+	}
+
+	r2, w2 := simulate(testGrid.S2PFNest(trace.NewAddressSpace(), false))
+	rc, wc := simulate(testGrid.S2CFNest(trace.NewAddressSpace(), false))
+	if e := relErr(r2, rc); e > 0.08 {
+		t.Errorf("S2PF reads %d vs S2CF %d", r2, rc)
+	}
+	if e := relErr(w2, wc); e > 0.08 {
+		t.Errorf("S2PF writes %d vs S2CF %d", w2, wc)
+	}
+}
+
+// All six nests must validate structurally at several grids.
+func TestNestsValidate(t *testing.T) {
+	for _, g := range []Grid{{N: 64, R: 2, C: 4}, {N: 48, R: 4, C: 4}, {N: 32, R: 1, C: 1}} {
+		as := trace.NewAddressSpace()
+		for _, nest := range []*loopnest.Nest{
+			g.S1CFLoopNest1Nest(as, false),
+			g.S1CFLoopNest2Nest(as, false),
+			g.S1CFCombinedNest(as, false),
+			g.S2CFNest(as, false),
+			g.S1PFNest(as, false),
+			g.S2PFNest(as, false),
+		} {
+			if err := nest.Validate(); err != nil {
+				t.Errorf("grid %+v %s: %v", g, nest.Name, err)
+			}
+		}
+	}
+}

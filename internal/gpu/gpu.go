@@ -1,0 +1,167 @@
+// Package gpu simulates the NVIDIA Tesla V100 accelerators of a Summit
+// node at the level Fig. 11 needs: copy engines whose host-side DMA
+// appears in the nest counters (the read burst before and write burst
+// after each batched 1D-FFT), kernel execution with a power model whose
+// spikes the NVML component observes, and enough compute throughput
+// bookkeeping to time the phases.
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"papimc/internal/mem"
+	"papimc/internal/simtime"
+)
+
+// Model parameters for a V100-SXM2-16GB on Summit.
+const (
+	// DeviceName as NVML reports it (Table II).
+	DeviceName = "Tesla_V100-SXM2-16GB"
+	// CopyBandwidth is the host↔device NVLink bandwidth.
+	CopyBandwidth = 50e9 // bytes/s
+	// Flops is the double-precision peak.
+	Flops = 7.8e12
+	// IdleMilliwatts is the device's idle power draw.
+	IdleMilliwatts = 52_000
+	// CopyMilliwatts is drawn during transfers.
+	CopyMilliwatts = 90_000
+	// BusyMilliwatts is drawn during kernel execution.
+	BusyMilliwatts = 285_000
+)
+
+// powerSegment is a time interval with elevated power.
+type powerSegment struct {
+	start, end simtime.Time
+	milliwatts uint64
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	index int
+	host  *mem.Controller // host socket memory for DMA traffic
+
+	mu       sync.Mutex
+	segments []powerSegment
+	busyTo   simtime.Time
+}
+
+// New builds device `index` attached to the given host socket memory.
+func New(index int, host *mem.Controller) *Device {
+	return &Device{index: index, host: host}
+}
+
+// Index returns the device index (the device_N of PAPI event names).
+func (d *Device) Index() int { return d.index }
+
+// EventName returns the NVML power event spelling of Table II.
+func (d *Device) EventName() string {
+	return fmt.Sprintf("%s:device_%d:power", DeviceName, d.index)
+}
+
+// available returns the earliest time the device can start new work.
+func (d *Device) available(t simtime.Time) simtime.Time {
+	if d.busyTo > t {
+		return d.busyTo
+	}
+	return t
+}
+
+func (d *Device) addSegment(start simtime.Time, dur simtime.Duration, mw uint64) simtime.Time {
+	end := start.Add(dur)
+	d.segments = append(d.segments, powerSegment{start: start, end: end, milliwatts: mw})
+	d.busyTo = end
+	// Bound memory: drop segments that ended long before the latest.
+	if len(d.segments) > 4096 {
+		cut := len(d.segments) - 2048
+		d.segments = append(d.segments[:0], d.segments[cut:]...)
+	}
+	return end
+}
+
+// CopyToDevice schedules a host→device transfer of the given bytes at
+// (or after) time start. The host memory is read by the DMA engine. It
+// returns when the copy completes.
+func (d *Device) CopyToDevice(bytes int64, start simtime.Time) simtime.Time {
+	if bytes <= 0 {
+		return start
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	begin := d.available(start)
+	dur := simtime.FromSeconds(float64(bytes) / CopyBandwidth)
+	if d.host != nil {
+		d.host.AddTrafficSpread(true, 0, bytes, begin, begin.Add(dur), copySlices)
+	}
+	return d.addSegment(begin, dur, CopyMilliwatts)
+}
+
+// copySlices is how finely DMA traffic is spread across its window so
+// profilers sampling mid-copy see the transfer progressing.
+const copySlices = 16
+
+// CopyFromDevice schedules a device→host transfer; the host memory is
+// written by the DMA engine.
+func (d *Device) CopyFromDevice(bytes int64, start simtime.Time) simtime.Time {
+	if bytes <= 0 {
+		return start
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	begin := d.available(start)
+	dur := simtime.FromSeconds(float64(bytes) / CopyBandwidth)
+	if d.host != nil {
+		d.host.AddTrafficSpread(false, 1<<29, bytes, begin, begin.Add(dur), copySlices)
+	}
+	return d.addSegment(begin, dur, CopyMilliwatts)
+}
+
+// Execute schedules a kernel of the given floating-point operations,
+// drawing full power for its duration, and returns the completion time.
+func (d *Device) Execute(flops float64, start simtime.Time) simtime.Time {
+	if flops <= 0 {
+		return start
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	begin := d.available(start)
+	dur := simtime.FromSeconds(flops / Flops)
+	if dur < simtime.Microsecond {
+		dur = simtime.Microsecond // kernel launch floor
+	}
+	return d.addSegment(begin, dur, BusyMilliwatts)
+}
+
+// BusyFor schedules dur of kernel execution starting at (or after)
+// start, drawing full power; duration-based scheduling for workload
+// models that know how long their kernels run on the device.
+func (d *Device) BusyFor(dur simtime.Duration, start simtime.Time) simtime.Time {
+	if dur <= 0 {
+		return start
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addSegment(d.available(start), dur, BusyMilliwatts)
+}
+
+// PowerMilliwatts returns the device's power draw at simulated time t —
+// the value the NVML component reports. Segment boundaries are closed
+// so a sample taken exactly at a kernel's end still sees it.
+func (d *Device) PowerMilliwatts(t simtime.Time) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	power := uint64(IdleMilliwatts)
+	for _, s := range d.segments {
+		if t >= s.start && t <= s.end && s.milliwatts > power {
+			power = s.milliwatts
+		}
+	}
+	return power
+}
+
+// BusyUntil returns the device's scheduled completion horizon.
+func (d *Device) BusyUntil() simtime.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busyTo
+}

@@ -1,0 +1,120 @@
+package gpu
+
+import (
+	"testing"
+
+	"papimc/internal/mem"
+	"papimc/internal/simtime"
+)
+
+func newDevice() (*Device, *mem.Controller, *simtime.Clock) {
+	clock := simtime.NewClock()
+	ctl := mem.NewController(mem.Config{Channels: 8, DisableNoise: true}, clock)
+	return New(0, ctl), ctl, clock
+}
+
+func TestEventNameMatchesTableII(t *testing.T) {
+	d, _, _ := newDevice()
+	if got := d.EventName(); got != "Tesla_V100-SXM2-16GB:device_0:power" {
+		t.Errorf("event name = %q", got)
+	}
+}
+
+func TestIdlePower(t *testing.T) {
+	d, _, _ := newDevice()
+	if p := d.PowerMilliwatts(0); p != IdleMilliwatts {
+		t.Errorf("idle power = %d, want %d", p, IdleMilliwatts)
+	}
+}
+
+func TestExecutePowerSpike(t *testing.T) {
+	d, _, _ := newDevice()
+	end := d.Execute(Flops/100, 0) // 10 ms of work
+	mid := simtime.Time(int64(end) / 2)
+	if p := d.PowerMilliwatts(mid); p != BusyMilliwatts {
+		t.Errorf("power during kernel = %d, want %d", p, BusyMilliwatts)
+	}
+	if p := d.PowerMilliwatts(end.Add(simtime.Millisecond)); p != IdleMilliwatts {
+		t.Errorf("power after kernel = %d, want idle", p)
+	}
+}
+
+func TestCopyToDeviceReadsHostMemory(t *testing.T) {
+	d, ctl, _ := newDevice()
+	end := d.CopyToDevice(1<<20, 0)
+	r, w := ctl.Totals(end)
+	if r != 1<<20 || w != 0 {
+		t.Errorf("H2D traffic = %d/%d, want 1 MiB reads", r, w)
+	}
+	if p := d.PowerMilliwatts(simtime.Time(int64(end) / 2)); p != CopyMilliwatts {
+		t.Errorf("power during copy = %d, want %d", p, CopyMilliwatts)
+	}
+}
+
+func TestCopyFromDeviceWritesHostMemory(t *testing.T) {
+	d, ctl, _ := newDevice()
+	end := d.CopyFromDevice(1<<20, 0)
+	r, w := ctl.Totals(end)
+	if r != 0 || w != 1<<20 {
+		t.Errorf("D2H traffic = %d/%d, want 1 MiB writes", r, w)
+	}
+}
+
+func TestOperationsSerialize(t *testing.T) {
+	d, _, _ := newDevice()
+	e1 := d.CopyToDevice(1<<20, 0)
+	e2 := d.Execute(Flops/1000, 0) // requested at t=0, must queue
+	if e2 <= e1 {
+		t.Errorf("kernel finished at %v, before the copy at %v", e2, e1)
+	}
+	if d.BusyUntil() != e2 {
+		t.Errorf("BusyUntil = %v, want %v", d.BusyUntil(), e2)
+	}
+}
+
+func TestPipelinePhaseOrdering(t *testing.T) {
+	// The Fig. 11 shape: H2D read burst, power spike, D2H write burst.
+	d, ctl, _ := newDevice()
+	const bytes = 64 << 20
+	t1 := d.CopyToDevice(bytes, 0)
+	t2 := d.Execute(Flops/50, t1)
+	t3 := d.CopyFromDevice(bytes, t2)
+	// During the kernel there must be no new host traffic.
+	r1, w1 := ctl.Totals(t1)
+	r2, w2 := ctl.Totals(t2)
+	if r2 != r1 || w2 != w1 {
+		t.Errorf("host traffic during kernel: %d/%d -> %d/%d", r1, w1, r2, w2)
+	}
+	r3, w3 := ctl.Totals(t3)
+	if w3-w2 != bytes {
+		t.Errorf("D2H wrote %d, want %d", w3-w2, bytes)
+	}
+	if r3 != r2 {
+		t.Errorf("unexpected reads during D2H")
+	}
+	if p := d.PowerMilliwatts(t1.Add(simtime.Microsecond)); p != BusyMilliwatts {
+		t.Errorf("power right after H2D = %d, want busy", p)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	d, _, _ := newDevice()
+	if end := d.Execute(0, 42); end != 42 {
+		t.Errorf("zero-flop kernel moved time to %v", end)
+	}
+	if end := d.CopyToDevice(0, 42); end != 42 {
+		t.Errorf("zero-byte copy moved time to %v", end)
+	}
+}
+
+func TestSegmentPruning(t *testing.T) {
+	d, _, _ := newDevice()
+	var at simtime.Time
+	for i := 0; i < 10000; i++ {
+		at = d.Execute(Flops/1e6, at)
+	}
+	// Must still answer power queries and not grow unboundedly.
+	if p := d.PowerMilliwatts(at.Add(simtime.Second)); p != IdleMilliwatts {
+		t.Errorf("power after workload = %d", p)
+	}
+}

@@ -1,0 +1,206 @@
+// Package harness drives the paper's quantitative experiments: it plays
+// kernel executions on a simulated testbed, measures their memory
+// traffic through PAPI via either route (PCP or perf_uncore), applies
+// the repetition-averaging methodology of Section III, and reports
+// measured-versus-expected traffic for every point of Figs. 2–10.
+package harness
+
+import (
+	"fmt"
+
+	"papimc/internal/arch"
+	"papimc/internal/expect"
+	"papimc/internal/model"
+	"papimc/internal/node"
+	"papimc/internal/simtime"
+	"papimc/internal/stats"
+)
+
+// Point is one problem size of a traffic-accuracy sweep.
+type Point struct {
+	Size               int64
+	Reps               int
+	MeasuredReadBytes  float64 // average per kernel execution
+	MeasuredWriteBytes float64
+	ExpectedReadBytes  int64
+	ExpectedWriteBytes int64
+}
+
+// ReadError returns the relative error of the measured reads.
+func (p Point) ReadError() float64 {
+	return stats.RelativeError(p.MeasuredReadBytes, float64(p.ExpectedReadBytes))
+}
+
+// WriteError returns the relative error of the measured writes.
+func (p Point) WriteError() float64 {
+	return stats.RelativeError(p.MeasuredWriteBytes, float64(p.ExpectedWriteBytes))
+}
+
+// RepsPolicy decides how many kernel repetitions to average at a given
+// problem size.
+type RepsPolicy func(size int64) int
+
+// SingleRep is the 1-repetition policy of Fig. 2.
+func SingleRep(int64) int { return 1 }
+
+// AdaptiveReps is Equation 5's policy (Figs. 3–5).
+func AdaptiveReps(size int64) int { return stats.AdaptiveRepetitions(int(size)) }
+
+// FixedReps always runs k repetitions.
+func FixedReps(k int) RepsPolicy { return func(int64) int { return k } }
+
+// settle advances the clock far enough for posted traffic and the PMCD
+// sampling interval to make everything visible.
+func settle(tb *node.Testbed) {
+	d := 2 * tb.Machine.Noise.PMCDSampleInterval
+	if lag := 10 * tb.Machine.Noise.CounterPostLatency; lag > d {
+		d = lag
+	}
+	if d < 50*simtime.Millisecond {
+		d = 50 * simtime.Millisecond
+	}
+	tb.Clock.Advance(d)
+}
+
+// MeasureAveraged measures the average per-execution read/write traffic
+// of reps kernel executions: counters are read before and after the
+// whole batch (the aggregate) and divided by reps, exactly the paper's
+// amortization technique.
+func MeasureAveraged(tb *node.Testbed, route node.Route, reps int, run func(rep int)) (readAvg, writeAvg float64, err error) {
+	if reps <= 0 {
+		return 0, 0, fmt.Errorf("harness: non-positive repetition count %d", reps)
+	}
+	lib, cleanup, err := tb.NewLibrary()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	es := lib.NewEventSet()
+	// Socket 0's events only: the kernel is pinned there.
+	names := tb.NestEventNames(route)[:tb.Machine.Socket.MBAChannels*2]
+	if err := es.AddAll(names...); err != nil {
+		return 0, 0, err
+	}
+	settle(tb) // flush pre-existing activity out of the window
+	if err := es.Start(); err != nil {
+		return 0, 0, err
+	}
+	for rep := 0; rep < reps; rep++ {
+		run(rep)
+	}
+	settle(tb)
+	vals, err := es.Stop()
+	if err != nil {
+		return 0, 0, err
+	}
+	var reads, writes uint64
+	for i, v := range vals {
+		if i%2 == 0 { // events alternate READ, WRITE per channel
+			reads += v
+		} else {
+			writes += v
+		}
+	}
+	return float64(reads) / float64(reps), float64(writes) / float64(reps), nil
+}
+
+// GEMMConfig parameterizes the GEMM accuracy experiment.
+type GEMMConfig struct {
+	Machine arch.Machine
+	Batched bool // one GEMM per usable core vs. single-threaded
+	Route   node.Route
+	Reps    RepsPolicy
+	Sizes   []int64
+	Options node.Options
+}
+
+// GEMMSweep reproduces Figs. 2–4: for each N it plays the model-predicted
+// traffic of the (serial or batched) reference GEMM and measures it.
+func GEMMSweep(cfg GEMMConfig) ([]Point, error) {
+	tb, err := node.NewTestbed(cfg.Machine, 1, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	ctx := model.Serial(cfg.Machine)
+	threads := int64(1)
+	if cfg.Batched {
+		ctx = model.Batched(cfg.Machine)
+		threads = int64(ctx.ActiveCores)
+	}
+	var out []Point
+	for _, n := range cfg.Sizes {
+		tr := model.GEMM(ctx, n)
+		reps := cfg.Reps(n)
+		r, w, err := MeasureAveraged(tb, cfg.Route, reps, func(int) {
+			tb.Nodes[0].Play(0, tr, 4)
+		})
+		if err != nil {
+			return nil, err
+		}
+		want := expect.GEMM(n).Scale(threads)
+		out = append(out, Point{
+			Size: n, Reps: reps,
+			MeasuredReadBytes: r, MeasuredWriteBytes: w,
+			ExpectedReadBytes: want.ReadBytes, ExpectedWriteBytes: want.WriteBytes,
+		})
+	}
+	return out, nil
+}
+
+// GEMVConfig parameterizes the capped-GEMV experiment (Fig. 5).
+type GEMVConfig struct {
+	Machine arch.Machine
+	Route   node.Route
+	Reps    RepsPolicy
+	// Sizes are output-vector lengths M. Below Cap the kernel runs as a
+	// square GEMV (M=N=P); above it the matrix is capped at Cap×Cap.
+	Sizes   []int64
+	Cap     int64
+	Options node.Options
+}
+
+// DefaultGEMVCap is the paper's transition point: the size at which the
+// square matrix stops fitting the per-thread L3 allotment.
+const DefaultGEMVCap = 1280
+
+// CappedGEMVSweep reproduces Fig. 5: batched capped GEMV across output
+// sizes, square below the cap and capped above it.
+func CappedGEMVSweep(cfg GEMVConfig) ([]Point, error) {
+	if cfg.Cap == 0 {
+		cfg.Cap = DefaultGEMVCap
+	}
+	tb, err := node.NewTestbed(cfg.Machine, 1, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	ctx := model.Batched(cfg.Machine)
+	threads := int64(ctx.ActiveCores)
+	var out []Point
+	for _, m := range cfg.Sizes {
+		n, p := m, m
+		var want expect.Traffic
+		if m > cfg.Cap {
+			n, p = cfg.Cap, cfg.Cap
+			want = expect.CappedGEMV(m, n)
+		} else {
+			want = expect.SquareGEMV(m)
+		}
+		tr := model.CappedGEMV(ctx, m, n, p)
+		reps := cfg.Reps(m)
+		r, w, err := MeasureAveraged(tb, cfg.Route, reps, func(int) {
+			tb.Nodes[0].Play(0, tr, 4)
+		})
+		if err != nil {
+			return nil, err
+		}
+		scaled := want.Scale(threads)
+		out = append(out, Point{
+			Size: m, Reps: reps,
+			MeasuredReadBytes: r, MeasuredWriteBytes: w,
+			ExpectedReadBytes: scaled.ReadBytes, ExpectedWriteBytes: scaled.WriteBytes,
+		})
+	}
+	return out, nil
+}

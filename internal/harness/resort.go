@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+
+	"papimc/internal/arch"
+	"papimc/internal/expect"
+	"papimc/internal/model"
+	"papimc/internal/node"
+)
+
+// ResortRoutine selects one of Section IV's measured loop nests.
+type ResortRoutine int
+
+// The measured re-sort nests.
+const (
+	S1CFLoopNest1 ResortRoutine = iota
+	S1CFLoopNest2
+	S1CFCombined
+	S2CFRoutine
+)
+
+// String implements fmt.Stringer.
+func (r ResortRoutine) String() string {
+	switch r {
+	case S1CFLoopNest1:
+		return "S1CF.LN1"
+	case S1CFLoopNest2:
+		return "S1CF.LN2"
+	case S1CFCombined:
+		return "S1CF.combined"
+	case S2CFRoutine:
+		return "S2CF"
+	default:
+		return fmt.Sprintf("ResortRoutine(%d)", int(r))
+	}
+}
+
+// Traffic returns the model prediction for the routine at grid (n,r,c).
+func (rt ResortRoutine) Traffic(ctx model.Context, n, r, c int64) model.Traffic {
+	switch rt {
+	case S1CFLoopNest1:
+		return model.S1CFLoopNest1(ctx, n, r, c)
+	case S1CFLoopNest2:
+		return model.S1CFLoopNest2(ctx, n, r, c)
+	case S1CFCombined:
+		return model.S1CFCombined(ctx, n, r, c)
+	case S2CFRoutine:
+		return model.S2CF(ctx, n, r, c)
+	default:
+		panic(fmt.Sprintf("harness: unknown resort routine %d", int(rt)))
+	}
+}
+
+// Expected returns the closed-form expectation for the routine.
+func (rt ResortRoutine) Expected(n, r, c int64, prefetch bool) expect.Traffic {
+	switch rt {
+	case S1CFLoopNest1:
+		return expect.S1CFLoopNest1(n, r, c, prefetch)
+	case S1CFLoopNest2:
+		return expect.S1CFLoopNest2(n, r, c)
+	case S1CFCombined:
+		return expect.S1CFCombined(n, r, c)
+	case S2CFRoutine:
+		return expect.S2CF(n, r, c, prefetch)
+	default:
+		panic(fmt.Sprintf("harness: unknown resort routine %d", int(rt)))
+	}
+}
+
+// ResortPoint is one problem size of a re-sort measurement: the range
+// (min..max) over the configured number of runs, as Figs. 6–9 plot.
+type ResortPoint struct {
+	N                  int64
+	Runs               int
+	MinReadBytes       float64
+	MaxReadBytes       float64
+	MinWriteBytes      float64
+	MaxWriteBytes      float64
+	ExpectedReadBytes  int64
+	ExpectedWriteBytes int64
+}
+
+// ResortConfig parameterizes a Figs. 6–9 sweep.
+type ResortConfig struct {
+	Machine  arch.Machine
+	Routine  ResortRoutine
+	Prefetch bool // -fprefetch-loop-arrays
+	GridR    int64
+	GridC    int64
+	Route    node.Route
+	Sizes    []int64
+	Runs     int // the paper uses 50
+	Options  node.Options
+}
+
+// ResortSweep measures the per-rank memory traffic of one re-sort
+// routine across problem sizes, each size run cfg.Runs times with the
+// min–max range recorded ("pursuant to organically measuring a
+// production application job, we do not use the average of multiple
+// repetitions").
+func ResortSweep(cfg ResortConfig) ([]ResortPoint, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 50
+	}
+	tb, err := node.NewTestbed(cfg.Machine, 1, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	// The re-sort loops are OpenMP-parallel across every usable core
+	// (Listings 5–9), so no L3 slices are borrowable and the effective
+	// per-core capacity is the ~5 MB share Eq. 7 uses.
+	ctx := model.Batched(cfg.Machine)
+	ctx.SoftwarePrefetch = cfg.Prefetch
+	var out []ResortPoint
+	for _, n := range cfg.Sizes {
+		tr := cfg.Routine.Traffic(ctx, n, cfg.GridR, cfg.GridC)
+		pt := ResortPoint{N: n, Runs: cfg.Runs}
+		want := cfg.Routine.Expected(n, cfg.GridR, cfg.GridC, cfg.Prefetch)
+		pt.ExpectedReadBytes = want.ReadBytes
+		pt.ExpectedWriteBytes = want.WriteBytes
+		for run := 0; run < cfg.Runs; run++ {
+			r, w, err := MeasureAveraged(tb, cfg.Route, 1, func(int) {
+				tb.Nodes[0].Play(0, tr, 4)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 || r < pt.MinReadBytes {
+				pt.MinReadBytes = r
+			}
+			if r > pt.MaxReadBytes {
+				pt.MaxReadBytes = r
+			}
+			if run == 0 || w < pt.MinWriteBytes {
+				pt.MinWriteBytes = w
+			}
+			if w > pt.MaxWriteBytes {
+				pt.MaxWriteBytes = w
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig10Row is one bar group of Fig. 10: a routine's realized bandwidth
+// and traffic at one problem size on the 16-node, 4×8-grid job.
+type Fig10Row struct {
+	Routine        string
+	N              int64
+	ReadBytes      int64
+	WriteBytes     int64
+	ReadWriteRatio float64
+	BandwidthGBs   float64
+}
+
+// Fig10 computes the large-job re-sort comparison: S1CF (its two loop
+// nests back to back) versus S2CF on a 4×8 virtual processor grid at
+// N ∈ {1344, 2016}, without software prefetch.
+func Fig10(machine arch.Machine, sizes []int64) []Fig10Row {
+	const gr, gc = 4, 8
+	ctx := model.Serial(machine)
+	var out []Fig10Row
+	for _, n := range sizes {
+		ln1 := model.S1CFLoopNest1(ctx, n, gr, gc)
+		ln2 := model.S1CFLoopNest2(ctx, n, gr, gc)
+		s1 := model.Traffic{
+			ReadBytes:  ln1.ReadBytes + ln2.ReadBytes,
+			WriteBytes: ln1.WriteBytes + ln2.WriteBytes,
+			Duration:   ln1.Duration + ln2.Duration,
+		}
+		s2 := model.S2CF(ctx, n, gr, gc)
+		for _, row := range []struct {
+			name string
+			tr   model.Traffic
+		}{{"S1CF", s1}, {"S2CF", s2}} {
+			out = append(out, Fig10Row{
+				Routine:        row.name,
+				N:              n,
+				ReadBytes:      row.tr.ReadBytes,
+				WriteBytes:     row.tr.WriteBytes,
+				ReadWriteRatio: float64(row.tr.ReadBytes) / float64(row.tr.WriteBytes),
+				BandwidthGBs:   float64(row.tr.TotalBytes()) / row.tr.Duration.Seconds() / 1e9,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package ib simulates the InfiniBand hardware of a Summit node: dual
+// Mellanox ConnectX-5 EX ports with the port counters PAPI's infiniband
+// component reads (Table II), and a fabric whose transfers update those
+// counters, generate host-memory DMA traffic, and take link-speed time.
+package ib
+
+import (
+	"fmt"
+	"sync"
+
+	"papimc/internal/mem"
+	"papimc/internal/simtime"
+)
+
+// WordBytes: InfiniBand port_{recv,xmit}_data counters tick in 4-byte
+// words, a quirk PAPI users must know; we reproduce it.
+const WordBytes = 4
+
+// LinkBandwidth is the EDR 100 Gb/s link's usable payload bandwidth.
+const LinkBandwidth = 12.5e9 // bytes/s
+
+// Port is one HCA port with PAPI-visible counters.
+type Port struct {
+	name string
+
+	mu        sync.Mutex
+	recvWords uint64
+	xmitWords uint64
+}
+
+// NewPort builds a port named like Summit's devices, e.g. "mlx5_0_1_ext"
+// for HCA 0, port 1.
+func NewPort(hca, port int) *Port {
+	return &Port{name: fmt.Sprintf("mlx5_%d_%d_ext", hca, port)}
+}
+
+// Name returns the device name used in PAPI event spellings.
+func (p *Port) Name() string { return p.name }
+
+// CountRecv adds received payload bytes to the port counter.
+func (p *Port) CountRecv(bytes int64) {
+	p.mu.Lock()
+	p.recvWords += uint64((bytes + WordBytes - 1) / WordBytes)
+	p.mu.Unlock()
+}
+
+// CountXmit adds transmitted payload bytes to the port counter.
+func (p *Port) CountXmit(bytes int64) {
+	p.mu.Lock()
+	p.xmitWords += uint64((bytes + WordBytes - 1) / WordBytes)
+	p.mu.Unlock()
+}
+
+// Counters returns the port_recv_data and port_xmit_data counters, in
+// 4-byte words as on real hardware.
+func (p *Port) Counters() (recvWords, xmitWords uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recvWords, p.xmitWords
+}
+
+// Endpoint is a node's attachment to the fabric: its ports plus the
+// socket memory controllers that DMA traffic lands in.
+type Endpoint struct {
+	Ports []*Port
+	// Mem receives the DMA traffic of sends (reads) and receives
+	// (writes); may be nil for counter-only simulations.
+	Mem *mem.Controller
+}
+
+// NewEndpoint builds an endpoint with the given number of HCAs (one
+// port each, as used on Summit's dual-rail nodes).
+func NewEndpoint(hcas int, ctl *mem.Controller) *Endpoint {
+	e := &Endpoint{Mem: ctl}
+	for h := 0; h < hcas; h++ {
+		e.Ports = append(e.Ports, NewPort(h, 1))
+	}
+	return e
+}
+
+// Fabric connects endpoints with EDR links.
+type Fabric struct {
+	Bandwidth float64 // bytes/s per endpoint pair
+}
+
+// NewFabric returns a fabric at the default EDR bandwidth.
+func NewFabric() *Fabric { return &Fabric{Bandwidth: LinkBandwidth} }
+
+// Transfer moves bytes from src to dst starting at simulated time start,
+// striping across the source and destination ports (dual-rail), counting
+// DMA traffic on both hosts' memory, and returns the transfer duration.
+// Self-transfers are free (rank-local exchange goes through memory only).
+func (f *Fabric) Transfer(src, dst *Endpoint, bytes int64, start simtime.Time) simtime.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	if src == dst {
+		// Local "transfer": a memory copy on the same node.
+		if src.Mem != nil {
+			end := start.Add(simtime.FromSeconds(float64(bytes) / f.Bandwidth))
+			src.Mem.AddTraffic(true, 0, bytes, start, end)
+			src.Mem.AddTraffic(false, 1<<28, bytes, start, end)
+			return end.Sub(start)
+		}
+		return 0
+	}
+	dur := simtime.FromSeconds(float64(bytes) / f.Bandwidth)
+	end := start.Add(dur)
+	stripe(src.Ports, bytes, func(p *Port, b int64) { p.CountXmit(b) })
+	stripe(dst.Ports, bytes, func(p *Port, b int64) { p.CountRecv(b) })
+	// RDMA: the HCA reads the send buffer on the source host and writes
+	// the receive buffer on the destination host, progressively over the
+	// transfer.
+	if src.Mem != nil {
+		src.Mem.AddTrafficSpread(true, 0, bytes, start, end, 8)
+	}
+	if dst.Mem != nil {
+		dst.Mem.AddTrafficSpread(false, 1<<28, bytes, start, end, 8)
+	}
+	return dur
+}
+
+// stripe splits bytes evenly over the ports.
+func stripe(ports []*Port, bytes int64, f func(*Port, int64)) {
+	if len(ports) == 0 {
+		return
+	}
+	share := bytes / int64(len(ports))
+	rem := bytes - share*int64(len(ports))
+	for i, p := range ports {
+		b := share
+		if int64(i) < rem {
+			b++
+		}
+		if b > 0 {
+			f(p, b)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package ib
+
+import (
+	"testing"
+
+	"papimc/internal/mem"
+	"papimc/internal/simtime"
+)
+
+func TestPortNaming(t *testing.T) {
+	// Table II: mlx5_[0|1]_1_ext.
+	if got := NewPort(0, 1).Name(); got != "mlx5_0_1_ext" {
+		t.Errorf("port name = %q", got)
+	}
+	if got := NewPort(1, 1).Name(); got != "mlx5_1_1_ext" {
+		t.Errorf("port name = %q", got)
+	}
+}
+
+func TestCountersTickInWords(t *testing.T) {
+	p := NewPort(0, 1)
+	p.CountRecv(100) // 25 words
+	p.CountXmit(7)   // rounds up to 2 words
+	r, x := p.Counters()
+	if r != 25 || x != 2 {
+		t.Errorf("counters = %d/%d, want 25/2", r, x)
+	}
+}
+
+func TestTransferUpdatesBothEnds(t *testing.T) {
+	f := NewFabric()
+	src := NewEndpoint(2, nil)
+	dst := NewEndpoint(2, nil)
+	dur := f.Transfer(src, dst, 1<<20, 0)
+	if dur <= 0 {
+		t.Error("transfer took no time")
+	}
+	var xmit, recv uint64
+	for _, p := range src.Ports {
+		_, x := p.Counters()
+		xmit += x
+	}
+	for _, p := range dst.Ports {
+		r, _ := p.Counters()
+		recv += r
+	}
+	if xmit != (1<<20)/WordBytes || recv != (1<<20)/WordBytes {
+		t.Errorf("xmit/recv words = %d/%d, want %d", xmit, recv, (1<<20)/WordBytes)
+	}
+	// Dual-rail striping: both source ports used.
+	_, x0 := src.Ports[0].Counters()
+	_, x1 := src.Ports[1].Counters()
+	if x0 == 0 || x1 == 0 {
+		t.Errorf("striping failed: %d/%d", x0, x1)
+	}
+}
+
+func TestTransferGeneratesDMATraffic(t *testing.T) {
+	clock := simtime.NewClock()
+	srcMem := mem.NewController(mem.Config{Channels: 8, DisableNoise: true}, clock)
+	dstMem := mem.NewController(mem.Config{Channels: 8, DisableNoise: true}, clock)
+	f := NewFabric()
+	src := NewEndpoint(1, srcMem)
+	dst := NewEndpoint(1, dstMem)
+	dur := f.Transfer(src, dst, 1<<20, 0)
+	at := simtime.Time(0).Add(dur)
+	r, w := srcMem.Totals(at)
+	if r != 1<<20 || w != 0 {
+		t.Errorf("source DMA = %d reads / %d writes, want 1 MiB reads", r, w)
+	}
+	r, w = dstMem.Totals(at)
+	if r != 0 || w != 1<<20 {
+		t.Errorf("dest DMA = %d reads / %d writes, want 1 MiB writes", r, w)
+	}
+}
+
+func TestSelfTransferIsLocalCopy(t *testing.T) {
+	clock := simtime.NewClock()
+	ctl := mem.NewController(mem.Config{Channels: 8, DisableNoise: true}, clock)
+	f := NewFabric()
+	e := NewEndpoint(2, ctl)
+	dur := f.Transfer(e, e, 4096, 0)
+	r, x := e.Ports[0].Counters()
+	if r != 0 || x != 0 {
+		t.Error("self transfer must not touch the NIC")
+	}
+	rd, wr := ctl.Totals(simtime.Time(0).Add(dur))
+	if rd != 4096 || wr != 4096 {
+		t.Errorf("local copy traffic = %d/%d, want 4096/4096", rd, wr)
+	}
+}
+
+func TestZeroTransfer(t *testing.T) {
+	f := NewFabric()
+	a, b := NewEndpoint(1, nil), NewEndpoint(1, nil)
+	if d := f.Transfer(a, b, 0, 0); d != 0 {
+		t.Error("zero-byte transfer should be instantaneous")
+	}
+}
+
+func TestTransferDurationMatchesBandwidth(t *testing.T) {
+	f := NewFabric()
+	a, b := NewEndpoint(1, nil), NewEndpoint(1, nil)
+	bytes := int64(125 << 20) // 125 MiB over 12.5 GB/s ~ 10.5ms
+	d := f.Transfer(a, b, bytes, 0)
+	want := simtime.FromSeconds(float64(bytes) / LinkBandwidth)
+	if d != want {
+		t.Errorf("duration = %v, want %v", d, want)
+	}
+}

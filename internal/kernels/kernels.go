@@ -1,0 +1,182 @@
+// Package kernels implements the paper's BLAS benchmark kernels twice
+// over, deliberately:
+//
+//   - numerically, as straightforward Go translations of Listings 1–4
+//     (reference, non-blocked triple loops — the paper uses reference
+//     implementations because their memory behaviour is analyzable), with
+//     batched variants that run one kernel per simulated core using real
+//     goroutine parallelism; and
+//   - symbolically, as loop-nest descriptors (internal/loopnest) that the
+//     cache simulator executes and the analytic traffic engine reasons
+//     about.
+//
+// Tests cross-check the two: the numeric kernels against naive
+// references, and the descriptors' access counts against the closed-form
+// expectations of internal/expect.
+package kernels
+
+import (
+	"fmt"
+	"sync"
+
+	"papimc/internal/loopnest"
+	"papimc/internal/trace"
+)
+
+// DOT returns the dot product of x and y. It panics on length mismatch.
+func DOT(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("kernels: DOT length mismatch %d vs %d", len(x), len(y)))
+	}
+	sum := 0.0
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	return sum
+}
+
+// GEMV computes y = A·x for an m×n row-major matrix A (Listing 1).
+func GEMV(a []float64, x, y []float64, m, n int) {
+	checkLen("GEMV A", a, m*n)
+	checkLen("GEMV x", x, n)
+	checkLen("GEMV y", y, m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := a[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			sum += row[k] * x[k]
+		}
+		y[i] = sum
+	}
+}
+
+// CappedGEMV computes the paper's modified GEMV (Equation 1):
+// y_i = Σ_k A[i%p][k]·x[k], with A capped to p×n rows so that a very
+// large output vector y can be produced without allocating an m×n
+// matrix.
+func CappedGEMV(a []float64, x, y []float64, m, n, p int) {
+	if p <= 0 || p > m && m < p {
+		// p = min(m, n) by construction; only positivity is essential.
+		p = min(m, n)
+	}
+	checkLen("CappedGEMV A", a, p*n)
+	checkLen("CappedGEMV x", x, n)
+	checkLen("CappedGEMV y", y, m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := a[(i%p)*n : (i%p+1)*n]
+		for k := 0; k < n; k++ {
+			sum += row[k] * x[k]
+		}
+		y[i] = sum
+	}
+}
+
+// GEMM computes C = A·B for n×n row-major matrices (Listing 3).
+func GEMM(a, b, c []float64, n int) {
+	checkLen("GEMM A", a, n*n)
+	checkLen("GEMM B", b, n*n)
+	checkLen("GEMM C", c, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = sum
+		}
+	}
+}
+
+// BatchedGEMM runs numThreads independent GEMM operations concurrently
+// (Listing 4): as[t]·bs[t] → cs[t]. There is no inter-thread
+// communication, exactly as in the paper's batched kernels.
+func BatchedGEMM(as, bs, cs [][]float64, n int) {
+	batch(len(as), func(t int) { GEMM(as[t], bs[t], cs[t], n) })
+}
+
+// BatchedCappedGEMV runs numThreads independent capped GEMVs
+// concurrently (Listing 2).
+func BatchedCappedGEMV(as [][]float64, xs, ys [][]float64, m, n, p int) {
+	batch(len(as), func(t int) { CappedGEMV(as[t], xs[t], ys[t], m, n, p) })
+}
+
+// batch runs f(0..n-1) on n goroutines and waits.
+func batch(n int, f func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for t := 0; t < n; t++ {
+		go func(t int) {
+			defer wg.Done()
+			f(t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+func checkLen(what string, s []float64, want int) {
+	if len(s) < want {
+		panic(fmt.Sprintf("kernels: %s has %d elements, need %d", what, len(s), want))
+	}
+}
+
+// --- loop-nest descriptors ---------------------------------------------
+
+const elem = 8 // double precision
+
+// GEMMNest describes the reference GEMM (Listing 3) over fresh regions
+// in as: loads A[i][k] and B[k][j], store C[i][j].
+func GEMMNest(as *trace.AddressSpace, label string, n int64) *loopnest.Nest {
+	a := as.Alloc(label+".A", n*n*elem)
+	b := as.Alloc(label+".B", n*n*elem)
+	c := as.Alloc(label+".C", n*n*elem)
+	return &loopnest.Nest{
+		Name:  label,
+		Loops: []loopnest.Loop{{Name: "i", Extent: n}, {Name: "j", Extent: n}, {Name: "k", Extent: n}},
+		Refs: []loopnest.Ref{
+			{Array: a, ElemSize: elem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.Var(0, n), loopnest.Var(2, 1))},
+			{Array: b, ElemSize: elem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.Var(2, n), loopnest.Var(1, 1))},
+			// C[i][j] is stored once per (i,j), after the k loop.
+			{Array: c, ElemSize: elem, Kind: trace.Store, AtDepth: 2,
+				Index: loopnest.Add(loopnest.Var(0, n), loopnest.Var(1, 1))},
+		},
+	}
+}
+
+// CappedGEMVNest describes the capped GEMV (Listing 2, one thread):
+// loads A[i%p][k] and x[k], store y[i].
+func CappedGEMVNest(as *trace.AddressSpace, label string, m, n, p int64) *loopnest.Nest {
+	if p > m {
+		p = m
+	}
+	a := as.Alloc(label+".A", p*n*elem)
+	x := as.Alloc(label+".x", n*elem)
+	y := as.Alloc(label+".y", m*elem)
+	return &loopnest.Nest{
+		Name:  label,
+		Loops: []loopnest.Loop{{Name: "i", Extent: m}, {Name: "k", Extent: n}},
+		Refs: []loopnest.Ref{
+			{Array: a, ElemSize: elem, Kind: trace.Load,
+				Index: loopnest.Add(loopnest.ModVar(0, p, n), loopnest.Var(1, 1))},
+			{Array: x, ElemSize: elem, Kind: trace.Load,
+				Index: loopnest.Var(1, 1)},
+			// y[i] is stored once per completed dot product (after the
+			// k loop): a sparse store stream that write-allocates.
+			{Array: y, ElemSize: elem, Kind: trace.Store, AtDepth: 1,
+				Index: loopnest.Var(0, 1)},
+		},
+	}
+}
+
+// Batched builds one descriptor per thread over a shared address space,
+// so each simulated core works on disjoint arrays (no sharing, as the
+// paper requires to keep per-core traffic analyzable).
+func Batched(as *trace.AddressSpace, numThreads int, build func(t int, as *trace.AddressSpace) *loopnest.Nest) []*loopnest.Nest {
+	out := make([]*loopnest.Nest, numThreads)
+	for t := 0; t < numThreads; t++ {
+		out[t] = build(t, as)
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+// Package loopnest provides an affine loop-nest intermediate
+// representation for the paper's computational kernels. A Nest describes
+// the loops and array references of a kernel (Listings 1–9) once; the
+// executor then replays its exact access stream into the cache simulator,
+// while the analytic traffic engine (internal/model) reasons about the
+// same description symbolically. Index expressions support the modular
+// term needed for the capped GEMV's A[i%P][k] row recycling.
+package loopnest
+
+import (
+	"fmt"
+
+	"papimc/internal/trace"
+)
+
+// Loop is one loop of the nest, outermost first.
+type Loop struct {
+	Name   string
+	Extent int64
+}
+
+// Term is one addend of an index expression: Coeff * (idx[Loop] % Mod),
+// with Mod == 0 meaning no modulus.
+type Term struct {
+	Loop  int
+	Coeff int64
+	Mod   int64
+}
+
+// Expr is an affine-with-modulus index expression yielding a linear
+// element index.
+type Expr struct {
+	Terms []Term
+	Const int64
+}
+
+// Eval computes the element index for the given loop indices.
+func (e Expr) Eval(idx []int64) int64 {
+	v := e.Const
+	for _, t := range e.Terms {
+		x := idx[t.Loop]
+		if t.Mod > 0 {
+			x %= t.Mod
+		}
+		v += t.Coeff * x
+	}
+	return v
+}
+
+// Var builds the common single-variable term idx[loop]*coeff.
+func Var(loop int, coeff int64) Expr {
+	return Expr{Terms: []Term{{Loop: loop, Coeff: coeff}}}
+}
+
+// Add combines expressions.
+func Add(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		out.Terms = append(out.Terms, e.Terms...)
+		out.Const += e.Const
+	}
+	return out
+}
+
+// ModVar builds the term (idx[loop] % mod) * coeff.
+func ModVar(loop int, mod, coeff int64) Expr {
+	return Expr{Terms: []Term{{Loop: loop, Coeff: coeff, Mod: mod}}}
+}
+
+// Ref is one array reference in the nest.
+type Ref struct {
+	Array    trace.Region
+	ElemSize int64
+	Kind     trace.Kind
+	Index    Expr
+	// AtDepth is the number of loops enclosing the reference: a ref at
+	// depth d executes once per iteration of loop d-1, after any deeper
+	// loops complete (like the y[i] store that follows each dot
+	// product in Listing 1). Zero means innermost (len(Loops)).
+	AtDepth int
+}
+
+// depth resolves AtDepth's zero-default.
+func (r Ref) depth(numLoops int) int {
+	if r.AtDepth == 0 {
+		return numLoops
+	}
+	return r.AtDepth
+}
+
+// Nest is a complete affine loop nest.
+type Nest struct {
+	Name string
+	// Loops are ordered outermost first; the last loop is innermost.
+	Loops []Loop
+	// Refs are issued in order on every innermost iteration.
+	Refs []Ref
+	// SoftwarePrefetch models -fprefetch-loop-arrays: a PrefetchStore is
+	// issued before every Store reference.
+	SoftwarePrefetch bool
+}
+
+// Validate checks the nest for structural errors.
+func (n *Nest) Validate() error {
+	if len(n.Loops) == 0 {
+		return fmt.Errorf("loopnest %s: no loops", n.Name)
+	}
+	for _, l := range n.Loops {
+		if l.Extent <= 0 {
+			return fmt.Errorf("loopnest %s: loop %s has extent %d", n.Name, l.Name, l.Extent)
+		}
+	}
+	if len(n.Refs) == 0 {
+		return fmt.Errorf("loopnest %s: no references", n.Name)
+	}
+	for i, r := range n.Refs {
+		if r.ElemSize <= 0 {
+			return fmt.Errorf("loopnest %s: ref %d has element size %d", n.Name, i, r.ElemSize)
+		}
+		d := r.depth(len(n.Loops))
+		if d < 1 || d > len(n.Loops) {
+			return fmt.Errorf("loopnest %s: ref %d at depth %d of %d loops", n.Name, i, r.AtDepth, len(n.Loops))
+		}
+		for _, t := range r.Index.Terms {
+			if t.Loop < 0 || t.Loop >= len(n.Loops) {
+				return fmt.Errorf("loopnest %s: ref %d indexes loop %d of %d", n.Name, i, t.Loop, len(n.Loops))
+			}
+			if t.Loop >= d && t.Coeff != 0 {
+				return fmt.Errorf("loopnest %s: ref %d at depth %d uses inner loop %d", n.Name, i, d, t.Loop)
+			}
+			if t.Mod < 0 {
+				return fmt.Errorf("loopnest %s: ref %d has negative modulus", n.Name, i)
+			}
+		}
+		// Bounds check the extreme index.
+		if max := r.maxIndex(n.Loops); (max+1)*r.ElemSize > r.Array.Size {
+			return fmt.Errorf("loopnest %s: ref %d reaches element %d beyond region %s (%d bytes)",
+				n.Name, i, max, r.Array.Name, r.Array.Size)
+		}
+		if min := r.minIndex(n.Loops); min < 0 {
+			return fmt.Errorf("loopnest %s: ref %d reaches negative element %d", n.Name, i, min)
+		}
+	}
+	return nil
+}
+
+// maxIndex computes the largest element index the ref can produce.
+func (r Ref) maxIndex(loops []Loop) int64 {
+	v := r.Index.Const
+	for _, t := range r.Index.Terms {
+		hi := loops[t.Loop].Extent - 1
+		if t.Mod > 0 && hi >= t.Mod {
+			hi = t.Mod - 1
+		}
+		if t.Coeff >= 0 {
+			v += t.Coeff * hi
+		}
+	}
+	return v
+}
+
+// minIndex computes the smallest element index the ref can produce.
+func (r Ref) minIndex(loops []Loop) int64 {
+	v := r.Index.Const
+	for _, t := range r.Index.Terms {
+		hi := loops[t.Loop].Extent - 1
+		if t.Mod > 0 && hi >= t.Mod {
+			hi = t.Mod - 1
+		}
+		if t.Coeff < 0 {
+			v += t.Coeff * hi
+		}
+	}
+	return v
+}
+
+// Iterations returns the total number of innermost-body executions.
+func (n *Nest) Iterations() int64 {
+	total := int64(1)
+	for _, l := range n.Loops {
+		total *= l.Extent
+	}
+	return total
+}
+
+// Execute replays the nest's exact access stream into sink as core. It
+// panics on invalid nests (call Validate first for a graceful error).
+func (n *Nest) Execute(core int, sink trace.Sink) {
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	idx := make([]int64, len(n.Loops))
+	n.run(0, idx, core, sink)
+}
+
+func (n *Nest) run(depth int, idx []int64, core int, sink trace.Sink) {
+	if depth == len(n.Loops) {
+		n.emit(depth, idx, core, sink)
+		return
+	}
+	for i := int64(0); i < n.Loops[depth].Extent; i++ {
+		idx[depth] = i
+		n.run(depth+1, idx, core, sink)
+		// Refs at depth+1 execute after the deeper loops complete,
+		// once per iteration of this loop.
+		if depth+1 < len(n.Loops) {
+			n.emit(depth+1, idx, core, sink)
+		}
+	}
+}
+
+// emit issues the refs attached at the given depth.
+func (n *Nest) emit(depth int, idx []int64, core int, sink trace.Sink) {
+	for _, r := range n.Refs {
+		if r.depth(len(n.Loops)) != depth {
+			continue
+		}
+		addr := r.Array.Addr(r.Index.Eval(idx) * r.ElemSize)
+		if r.Kind == trace.Store && n.SoftwarePrefetch {
+			sink.Access(core, trace.Access{Addr: addr, Size: r.ElemSize, Kind: trace.PrefetchStore})
+		}
+		sink.Access(core, trace.Access{Addr: addr, Size: r.ElemSize, Kind: r.Kind})
+	}
+}
+
+// --- analysis ----------------------------------------------------------
+
+// StrideClass classifies a reference's innermost access pattern.
+type StrideClass int
+
+const (
+	// Invariant: the reference does not vary with the innermost
+	// varying loop it appears under (e.g. fully loop-invariant).
+	Invariant StrideClass = iota
+	// Sequential: consecutive body executions touch the same or
+	// adjacent cache blocks.
+	Sequential
+	// Strided: consecutive touches jump further than a cache line.
+	Strided
+)
+
+func (s StrideClass) String() string {
+	switch s {
+	case Invariant:
+		return "invariant"
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	default:
+		return fmt.Sprintf("StrideClass(%d)", int(s))
+	}
+}
+
+// InnerStrideBytes returns the byte stride between consecutive innermost
+// iterations (the Coeff sum over terms of the innermost loop that the
+// reference actually uses), and the loop index it varies with. A second
+// return of -1 means the reference is constant.
+func (n *Nest) InnerStrideBytes(ref int) (int64, int) {
+	r := n.Refs[ref]
+	// Find the innermost loop the ref depends on.
+	varying := -1
+	for _, t := range r.Index.Terms {
+		if t.Coeff != 0 && t.Loop > varying {
+			varying = t.Loop
+		}
+	}
+	if varying < 0 {
+		return 0, -1
+	}
+	stride := int64(0)
+	for _, t := range r.Index.Terms {
+		if t.Loop == varying {
+			stride += t.Coeff
+		}
+	}
+	return stride * r.ElemSize, varying
+}
+
+// Classify returns the stride class of reference ref with respect to its
+// own innermost enclosing loop: a ref that varies with that loop is
+// sequential or strided by its byte stride; one varying only with outer
+// loops is invariant (reused) within its enclosing loop.
+func (n *Nest) Classify(ref int) StrideClass {
+	stride, varying := n.InnerStrideBytes(ref)
+	if varying < 0 {
+		return Invariant
+	}
+	if varying != n.Refs[ref].depth(len(n.Loops))-1 {
+		return Invariant
+	}
+	abs := stride
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs <= 128 {
+		return Sequential
+	}
+	return Strided
+}
+
+// ExecCount returns how many times reference ref executes over the whole
+// nest: the product of enclosing loop extents.
+func (n *Nest) ExecCount(ref int) int64 {
+	d := n.Refs[ref].depth(len(n.Loops))
+	total := int64(1)
+	for l := 0; l < d; l++ {
+		total *= n.Loops[l].Extent
+	}
+	return total
+}
+
+// FootprintBytes estimates the distinct bytes reference ref touches over
+// the whole nest: the product over referenced loops of their distinct
+// index contributions, times the element size, clamped to the region
+// size.
+func (n *Nest) FootprintBytes(ref int) int64 {
+	r := n.Refs[ref]
+	elems := int64(1)
+	perLoop := map[int]int64{}
+	for _, t := range r.Index.Terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		distinct := n.Loops[t.Loop].Extent
+		if t.Mod > 0 && t.Mod < distinct {
+			distinct = t.Mod
+		}
+		if cur, ok := perLoop[t.Loop]; !ok || distinct > cur {
+			perLoop[t.Loop] = distinct
+		}
+	}
+	for _, d := range perLoop {
+		elems *= d
+	}
+	bytes := elems * r.ElemSize
+	if bytes > r.Array.Size {
+		bytes = r.Array.Size
+	}
+	return bytes
+}
+
+// HasStridedRef reports whether any reference in the nest is strided —
+// the condition under which POWER9 store streams stop bypassing the
+// cache.
+func (n *Nest) HasStridedRef() bool {
+	for i := range n.Refs {
+		if n.Classify(i) == Strided {
+			return true
+		}
+	}
+	return false
+}
+
+// StoreDensityGap returns, for store reference ref, roughly how many
+// accesses separate consecutive executions of that store: the number of
+// innermost-body references times the iteration distance of the ref's
+// enclosing loop. Sparse stores (large gap) cannot keep a gather buffer
+// open and write-allocate.
+func (n *Nest) StoreDensityGap(ref int) int64 {
+	d := n.Refs[ref].depth(len(n.Loops))
+	bodyRefs := 0
+	for i := range n.Refs {
+		if n.Refs[i].depth(len(n.Loops)) == len(n.Loops) {
+			bodyRefs++
+		}
+	}
+	if bodyRefs == 0 {
+		bodyRefs = 1
+	}
+	inner := int64(1)
+	for l := d; l < len(n.Loops); l++ {
+		inner *= n.Loops[l].Extent
+	}
+	return inner * int64(bodyRefs)
+}

@@ -1,0 +1,266 @@
+package loopnest
+
+import (
+	"testing"
+
+	"papimc/internal/trace"
+)
+
+// recorder captures the emitted access stream.
+type recorder struct {
+	accesses []trace.Access
+	cores    []int
+}
+
+func (r *recorder) Access(core int, a trace.Access) {
+	r.accesses = append(r.accesses, a)
+	r.cores = append(r.cores, core)
+}
+
+// copyNest builds "for i in [0,n): out[i] = in[i]" over fresh regions.
+func copyNest(n int64) (*Nest, trace.Region, trace.Region) {
+	as := trace.NewAddressSpace()
+	in := as.Alloc("in", n*8)
+	out := as.Alloc("out", n*8)
+	nest := &Nest{
+		Name:  "copy",
+		Loops: []Loop{{Name: "i", Extent: n}},
+		Refs: []Ref{
+			{Array: in, ElemSize: 8, Kind: trace.Load, Index: Var(0, 1)},
+			{Array: out, ElemSize: 8, Kind: trace.Store, Index: Var(0, 1)},
+		},
+	}
+	return nest, in, out
+}
+
+func TestExecuteCopy(t *testing.T) {
+	nest, in, out := copyNest(4)
+	var rec recorder
+	nest.Execute(3, &rec)
+	if len(rec.accesses) != 8 {
+		t.Fatalf("emitted %d accesses, want 8", len(rec.accesses))
+	}
+	for i := 0; i < 4; i++ {
+		ld, st := rec.accesses[2*i], rec.accesses[2*i+1]
+		if ld.Kind != trace.Load || ld.Addr != in.Base+int64(i)*8 {
+			t.Errorf("iter %d load = %+v", i, ld)
+		}
+		if st.Kind != trace.Store || st.Addr != out.Base+int64(i)*8 {
+			t.Errorf("iter %d store = %+v", i, st)
+		}
+		if rec.cores[2*i] != 3 {
+			t.Errorf("core = %d, want 3", rec.cores[2*i])
+		}
+	}
+}
+
+func TestSoftwarePrefetchEmitsPrefetchStores(t *testing.T) {
+	nest, _, _ := copyNest(2)
+	nest.SoftwarePrefetch = true
+	var rec recorder
+	nest.Execute(0, &rec)
+	// per iteration: load, prefetch-store, store.
+	if len(rec.accesses) != 6 {
+		t.Fatalf("emitted %d accesses, want 6", len(rec.accesses))
+	}
+	if rec.accesses[1].Kind != trace.PrefetchStore || rec.accesses[2].Kind != trace.Store {
+		t.Errorf("prefetch ordering wrong: %v %v", rec.accesses[1].Kind, rec.accesses[2].Kind)
+	}
+	if rec.accesses[1].Addr != rec.accesses[2].Addr {
+		t.Error("prefetch must target the store address")
+	}
+}
+
+func TestModVarCappedIndexing(t *testing.T) {
+	// A[i%P][k] with P=2, N=3: rows recycle 0,1,0,1...
+	as := trace.NewAddressSpace()
+	a := as.Alloc("A", 2*3*8)
+	nest := &Nest{
+		Name:  "capped",
+		Loops: []Loop{{Name: "i", Extent: 4}, {Name: "k", Extent: 3}},
+		Refs: []Ref{
+			{Array: a, ElemSize: 8, Kind: trace.Load, Index: Add(ModVar(0, 2, 3), Var(1, 1))},
+		},
+	}
+	var rec recorder
+	nest.Execute(0, &rec)
+	if len(rec.accesses) != 12 {
+		t.Fatalf("emitted %d accesses, want 12", len(rec.accesses))
+	}
+	// i=2 must revisit row 0: access 6 (i=2,k=0) equals access 0.
+	if rec.accesses[6].Addr != rec.accesses[0].Addr {
+		t.Errorf("modular row recycling broken: %d vs %d", rec.accesses[6].Addr, rec.accesses[0].Addr)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	as := trace.NewAddressSpace()
+	small := as.Alloc("small", 16)
+	cases := []struct {
+		name string
+		nest Nest
+	}{
+		{"no loops", Nest{Name: "x", Refs: []Ref{{Array: small, ElemSize: 8, Index: Expr{}}}}},
+		{"zero extent", Nest{Name: "x", Loops: []Loop{{"i", 0}}, Refs: []Ref{{Array: small, ElemSize: 8}}}},
+		{"no refs", Nest{Name: "x", Loops: []Loop{{"i", 1}}}},
+		{"zero elem", Nest{Name: "x", Loops: []Loop{{"i", 1}}, Refs: []Ref{{Array: small}}}},
+		{"bad loop ref", Nest{Name: "x", Loops: []Loop{{"i", 1}},
+			Refs: []Ref{{Array: small, ElemSize: 8, Index: Var(5, 1)}}}},
+		{"out of bounds", Nest{Name: "x", Loops: []Loop{{"i", 10}},
+			Refs: []Ref{{Array: small, ElemSize: 8, Index: Var(0, 1)}}}},
+		{"negative index", Nest{Name: "x", Loops: []Loop{{"i", 2}},
+			Refs: []Ref{{Array: small, ElemSize: 8, Index: Expr{Terms: []Term{{Loop: 0, Coeff: -1}}}}}}},
+	}
+	for _, c := range cases {
+		if err := c.nest.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+	good, _, _ := copyNest(8)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid nest rejected: %v", err)
+	}
+}
+
+func TestIterations(t *testing.T) {
+	n := &Nest{Loops: []Loop{{"a", 3}, {"b", 4}, {"c", 5}}}
+	if got := n.Iterations(); got != 60 {
+		t.Errorf("Iterations = %d, want 60", got)
+	}
+}
+
+// gemmNest builds the reference GEMM loop body accesses (Listing 3):
+// loads A[i][k], B[k][j], store C[i][j].
+func gemmNest(n int64) *Nest {
+	as := trace.NewAddressSpace()
+	a := as.Alloc("A", n*n*8)
+	b := as.Alloc("B", n*n*8)
+	c := as.Alloc("C", n*n*8)
+	return &Nest{
+		Name:  "gemm",
+		Loops: []Loop{{"i", n}, {"j", n}, {"k", n}},
+		Refs: []Ref{
+			{Array: a, ElemSize: 8, Kind: trace.Load, Index: Add(Var(0, n), Var(2, 1))},
+			{Array: b, ElemSize: 8, Kind: trace.Load, Index: Add(Var(2, n), Var(1, 1))},
+			{Array: c, ElemSize: 8, Kind: trace.Store, AtDepth: 2, Index: Add(Var(0, n), Var(1, 1))},
+		},
+	}
+}
+
+func TestClassifyGEMM(t *testing.T) {
+	n := gemmNest(64)
+	if got := n.Classify(0); got != Sequential {
+		t.Errorf("A classified %v, want sequential (stride 8)", got)
+	}
+	if got := n.Classify(1); got != Strided {
+		t.Errorf("B classified %v, want strided (stride 8N)", got)
+	}
+	// C varies with j, which is its own enclosing loop: sequential.
+	if got := n.Classify(2); got != Sequential {
+		t.Errorf("C classified %v, want sequential", got)
+	}
+	if !n.HasStridedRef() {
+		t.Error("GEMM must report a strided reference (matrix B)")
+	}
+}
+
+func TestExecCountAndDepth(t *testing.T) {
+	n := gemmNest(16)
+	if got := n.ExecCount(0); got != 16*16*16 {
+		t.Errorf("A exec count = %d", got)
+	}
+	if got := n.ExecCount(2); got != 16*16 {
+		t.Errorf("C exec count = %d, want once per (i,j)", got)
+	}
+	var rec recorder
+	n.Execute(0, &rec)
+	var stores int
+	for _, a := range rec.accesses {
+		if a.Kind == trace.Store {
+			stores++
+		}
+	}
+	if stores != 16*16 {
+		t.Errorf("executed %d stores, want 256 (one per (i,j))", stores)
+	}
+}
+
+func TestRefDepthValidation(t *testing.T) {
+	as := trace.NewAddressSpace()
+	a := as.Alloc("a", 8*8*8)
+	// A depth-1 ref may not use loop 1.
+	bad := &Nest{
+		Name:  "bad-depth",
+		Loops: []Loop{{"i", 8}, {"j", 8}},
+		Refs: []Ref{
+			{Array: a, ElemSize: 8, Kind: trace.Store, AtDepth: 1, Index: Var(1, 1)},
+		},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error: depth-1 ref indexing loop 1")
+	}
+}
+
+func TestInnerStrideBytes(t *testing.T) {
+	n := gemmNest(64)
+	if s, l := n.InnerStrideBytes(0); s != 8 || l != 2 {
+		t.Errorf("A stride = %d on loop %d", s, l)
+	}
+	if s, l := n.InnerStrideBytes(1); s != 64*8 || l != 2 {
+		t.Errorf("B stride = %d on loop %d", s, l)
+	}
+	if s, l := n.InnerStrideBytes(2); s != 8 || l != 1 {
+		t.Errorf("C stride = %d on loop %d", s, l)
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	n := gemmNest(64)
+	want := int64(64 * 64 * 8)
+	for ref := 0; ref < 3; ref++ {
+		if got := n.FootprintBytes(ref); got != want {
+			t.Errorf("ref %d footprint = %d, want %d", ref, got, want)
+		}
+	}
+	// Capped ref: footprint bounded by the modulus.
+	as := trace.NewAddressSpace()
+	a := as.Alloc("A", 2*3*8)
+	capped := &Nest{
+		Name:  "capped",
+		Loops: []Loop{{"i", 100}, {"k", 3}},
+		Refs:  []Ref{{Array: a, ElemSize: 8, Kind: trace.Load, Index: Add(ModVar(0, 2, 3), Var(1, 1))}},
+	}
+	if got := capped.FootprintBytes(0); got != 2*3*8 {
+		t.Errorf("capped footprint = %d, want 48", got)
+	}
+}
+
+func TestStoreDensityGap(t *testing.T) {
+	n := gemmNest(64)
+	// C stores once per k-loop of 64 iterations × 2 innermost-body refs.
+	if got := n.StoreDensityGap(2); got != 64*2 {
+		t.Errorf("C density gap = %d, want 128", got)
+	}
+	copyN, _, _ := copyNest(8)
+	if got := copyN.StoreDensityGap(1); got != 2 {
+		t.Errorf("copy density gap = %d, want 2", got)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	e := Add(Var(0, 10), ModVar(1, 3, 100), Expr{Const: 7})
+	idx := []int64{2, 5} // 2*10 + (5%3)*100 + 7 = 20+200+7
+	if got := e.Eval(idx); got != 227 {
+		t.Errorf("Eval = %d, want 227", got)
+	}
+}
+
+func TestExecutePanicsOnInvalidNest(t *testing.T) {
+	bad := &Nest{Name: "bad"}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	bad.Execute(0, &recorder{})
+}

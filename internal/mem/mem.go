@@ -1,0 +1,255 @@
+// Package mem simulates the memory subsystem behind the POWER9 nest: a
+// per-socket memory controller whose traffic is interleaved across eight
+// MBA channels, each maintaining the PM_MBA*_READ_BYTES and
+// PM_MBA*_WRITE_BYTES counters the paper measures.
+//
+// Two deliberate imperfections make the counters behave like the real
+// ones:
+//
+//   - posting lag: traffic becomes visible in the counters only some
+//     (stochastic) time after it occurs on the bus, so windows around
+//     very short kernels miss part of their own traffic and catch strays
+//     from earlier activity;
+//   - background noise: the OS and other tenants generate traffic at a
+//     heavy-tailed rate, and the act of reading the counters itself
+//     pollutes memory (measurement overhead).
+//
+// Together these reproduce the noise floor of Figs. 2–3 that motivates
+// the paper's adaptive-repetition scheme.
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"papimc/internal/arch"
+	"papimc/internal/simtime"
+	"papimc/internal/units"
+	"papimc/internal/xrand"
+)
+
+// TxBytes is the channel interleaving and counting granularity.
+const TxBytes = units.MemTxBytes
+
+// ChannelCounts is a snapshot of one MBA channel's byte counters.
+type ChannelCounts struct {
+	ReadBytes  uint64
+	WriteBytes uint64
+}
+
+// event is traffic waiting to become visible in a channel counter.
+type event struct {
+	post  simtime.Time
+	ch    int
+	read  bool
+	bytes int64
+}
+
+// Config configures a Controller.
+type Config struct {
+	Channels int
+	Noise    arch.NoiseParams
+	Seed     uint64
+	// DisableNoise turns off background noise, measurement overhead and
+	// posting lag, giving an ideal counter (used by validation tests to
+	// separate modelling effects from noise).
+	DisableNoise bool
+}
+
+// Controller is one socket's memory controller. It is safe for
+// concurrent use.
+type Controller struct {
+	mu        sync.Mutex
+	cfg       Config
+	clock     *simtime.Clock
+	rng       *xrand.Source
+	pending   []event
+	counters  []ChannelCounts
+	lastNoise simtime.Time
+}
+
+// NewController builds a controller with the given channel count and
+// noise model. It panics if channels is not positive.
+func NewController(cfg Config, clock *simtime.Clock) *Controller {
+	if cfg.Channels <= 0 {
+		panic(fmt.Sprintf("mem: invalid channel count %d", cfg.Channels))
+	}
+	return &Controller{
+		cfg:      cfg,
+		clock:    clock,
+		rng:      xrand.New(cfg.Seed),
+		counters: make([]ChannelCounts, cfg.Channels),
+	}
+}
+
+// Channels returns the number of MBA channels.
+func (c *Controller) Channels() int { return c.cfg.Channels }
+
+// Clock returns the simulated clock driving this controller.
+func (c *Controller) Clock() *simtime.Clock { return c.clock }
+
+// AddTraffic records bytes of read or write traffic occurring over
+// [start, end] at the given starting address. The traffic is interleaved
+// across channels in 64-byte transactions and posts to the counters with
+// the configured lag after end.
+func (c *Controller) AddTraffic(read bool, addr, bytes int64, start, end simtime.Time) {
+	if bytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(read, addr, bytes, end)
+	_ = start // start is kept in the signature for future DRAM-timing models
+}
+
+func (c *Controller) addLocked(read bool, addr, bytes int64, at simtime.Time) {
+	tx := units.TxCount(bytes)
+	n := int64(c.cfg.Channels)
+	base := tx / n
+	rem := tx % n
+	first := (addr / TxBytes) % n
+	if first < 0 {
+		first = -first
+	}
+	for i := int64(0); i < n; i++ {
+		chTx := base
+		// The remainder lands on the channels immediately following the
+		// starting address's channel, as interleaving would place it.
+		if (i-first+n)%n < rem {
+			chTx++
+		}
+		if chTx == 0 {
+			continue
+		}
+		post := at
+		if !c.cfg.DisableNoise && c.cfg.Noise.CounterPostLatency > 0 {
+			lag := simtime.Duration(float64(c.cfg.Noise.CounterPostLatency) * c.rng.ExpFloat64())
+			post = at.Add(lag)
+		}
+		c.pending = append(c.pending, event{post: post, ch: int(i), read: read, bytes: chTx * TxBytes})
+	}
+}
+
+// AddTrafficSpread records bytes of traffic distributed uniformly over
+// [start, end] in the given number of slices, so that counter samples
+// taken inside the window see the transfer progressing rather than one
+// lump at the end. Use it for long DMA transfers and copies.
+func (c *Controller) AddTrafficSpread(read bool, addr, bytes int64, start, end simtime.Time, slices int) {
+	if bytes <= 0 {
+		return
+	}
+	if slices < 1 {
+		slices = 1
+	}
+	span := end.Sub(start)
+	per := bytes / int64(slices)
+	for s := 0; s < slices; s++ {
+		b := per
+		if s == slices-1 {
+			b = bytes - per*int64(slices-1)
+		}
+		t1 := start.Add(simtime.Duration(int64(span) * int64(s+1) / int64(slices)))
+		t0 := start.Add(simtime.Duration(int64(span) * int64(s) / int64(slices)))
+		c.AddTraffic(read, addr+int64(s)*TxBytes, b, t0, t1)
+	}
+}
+
+// InjectMeasurementOverhead models the memory traffic caused by one
+// counter-read operation (daemon wakeup, context switches, cache
+// pollution of the measuring process).
+func (c *Controller) InjectMeasurementOverhead(t simtime.Time) {
+	if c.cfg.DisableNoise || c.cfg.Noise.MeasurementOverheadBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Log-normal with unit mean: exp(-σ²/2 + σZ).
+	const sigma = 0.5
+	mag := c.rng.LogNormal(-sigma*sigma/2, sigma)
+	bytes := int64(c.cfg.Noise.MeasurementOverheadBytes * mag)
+	// Overhead is mostly reads (instruction fetch, page metadata), with
+	// a smaller write component.
+	c.addLocked(true, int64(c.rng.Uint64()%(1<<30)), bytes*2/3, t)
+	c.addLocked(false, int64(c.rng.Uint64()%(1<<30)), bytes/3, t)
+}
+
+// noiseStep is the granularity at which background noise is synthesized.
+const noiseStep = simtime.Millisecond
+
+// advanceNoiseLocked synthesizes background traffic from lastNoise to t.
+func (c *Controller) advanceNoiseLocked(t simtime.Time) {
+	if c.cfg.DisableNoise || c.cfg.Noise.BackgroundBytesPerSec <= 0 {
+		c.lastNoise = t
+		return
+	}
+	sigma := c.cfg.Noise.BackgroundBurstSigma
+	for c.lastNoise < t {
+		step := simtime.Duration(noiseStep)
+		if remaining := t.Sub(c.lastNoise); remaining < step {
+			step = remaining
+		}
+		mag := 1.0
+		if sigma > 0 {
+			mag = c.rng.LogNormal(-sigma*sigma/2, sigma)
+		}
+		bytes := int64(c.cfg.Noise.BackgroundBytesPerSec * step.Seconds() * mag)
+		at := c.lastNoise.Add(step)
+		addr := int64(c.rng.Uint64() % (1 << 30))
+		c.addLocked(true, addr, bytes*3/5, at)
+		c.addLocked(false, addr, bytes*2/5, at)
+		c.lastNoise = at
+	}
+}
+
+// Read returns a snapshot of every channel's counters as visible at
+// simulated time t: all traffic posted at or before t, plus background
+// noise up to t.
+func (c *Controller) Read(t simtime.Time) []ChannelCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceNoiseLocked(t)
+	// Fold posted events into the cumulative counters.
+	keep := c.pending[:0]
+	for _, e := range c.pending {
+		if e.post <= t {
+			if e.read {
+				c.counters[e.ch].ReadBytes += uint64(e.bytes)
+			} else {
+				c.counters[e.ch].WriteBytes += uint64(e.bytes)
+			}
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	c.pending = keep
+	out := make([]ChannelCounts, len(c.counters))
+	copy(out, c.counters)
+	return out
+}
+
+// Totals returns the summed read and write bytes across channels at t.
+func (c *Controller) Totals(t simtime.Time) (readBytes, writeBytes uint64) {
+	for _, ch := range c.Read(t) {
+		readBytes += ch.ReadBytes
+		writeBytes += ch.WriteBytes
+	}
+	return readBytes, writeBytes
+}
+
+// Port adapts the controller to the cache simulator's MemPort: each
+// MemRead/MemWrite is traffic at the clock's current instant.
+type Port struct {
+	C *Controller
+}
+
+// MemRead implements cache.MemPort.
+func (p Port) MemRead(addr, bytes int64) {
+	now := p.C.clock.Now()
+	p.C.AddTraffic(true, addr, bytes, now, now)
+}
+
+// MemWrite implements cache.MemPort.
+func (p Port) MemWrite(addr, bytes int64) {
+	now := p.C.clock.Now()
+	p.C.AddTraffic(false, addr, bytes, now, now)
+}

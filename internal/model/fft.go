@@ -1,0 +1,98 @@
+package model
+
+import (
+	"papimc/internal/expect"
+	"papimc/internal/simtime"
+	"papimc/internal/units"
+)
+
+// Per-rank traffic models for the 3D-FFT data re-sorting routines of
+// Section IV. Each MPI rank holds (N/r)·(N/c)·N double-complex elements;
+// one rank is pinned per socket on Summit, so these predictions are also
+// per-socket. Strided phases run at a fraction of streaming bandwidth,
+// which software prefetching partially recovers (the Fig. 7b speed-up).
+
+const complexElem = units.ComplexBytes
+
+// strided-access bandwidth efficiencies relative to streaming.
+const (
+	stridedEfficiency  = 0.30
+	prefetchEfficiency = 0.70
+)
+
+// S1CFLoopNest1 predicts the first S1CF loop nest (Listing 5): a pure
+// sequential copy in → tmp. Without prefetch the stores bypass the
+// cache (1 read + 1 write per element); with -fprefetch-loop-arrays the
+// dcbtst forces tmp to be read too (Fig. 6).
+func S1CFLoopNest1(ctx Context, n, r, c int64) Traffic {
+	ctx.validate()
+	bytes := expect.RankElems(n, r, c) * complexElem
+	reads := bytes
+	if ctx.SoftwarePrefetch {
+		reads *= 2
+	}
+	return Traffic{
+		ReadBytes:  reads,
+		WriteBytes: bytes,
+		Duration:   ctx.duration(reads+bytes, 2*bytes, 0),
+	}
+}
+
+// S1CFLoopNest2 predicts the second S1CF loop nest (Listing 7): tmp is
+// read in strides of COLS elements while out is written sequentially.
+// The strided stream disables store bypass, so out costs a read per
+// write. Each strided tmp read fetches a 64-byte block holding 4
+// elements; the other three are only usable if the block survives until
+// the traversal returns — a working set of 5·16·N²/(r·c) bytes (Eq. 7).
+// Past that boundary reads amplify toward 4 per element: up to 5 reads
+// per write in total (Fig. 7a).
+func S1CFLoopNest2(ctx Context, n, r, c int64) Traffic {
+	ctx.validate()
+	bytes := expect.RankElems(n, r, c) * complexElem
+	reuseFootprint := 5 * complexElem * n * n / (r * c)
+	amp := 1 + 3*lruMiss(reuseFootprint, ctx.EffectiveL3PerCore())
+	tmpReads := int64(float64(bytes) * amp)
+	reads := tmpReads + bytes // + out read-for-ownership
+	eff := stridedEfficiency
+	if ctx.SoftwarePrefetch {
+		eff = prefetchEfficiency
+	}
+	d := ctx.duration(reads+bytes, 2*bytes, 0)
+	d = simtime.Duration(float64(d) / eff)
+	return Traffic{ReadBytes: reads, WriteBytes: bytes, Duration: d}
+}
+
+// S1CFCombined predicts the fused S1CF nest (Listing 8): in is read
+// sequentially; out is written with a huge stride (PLANES·ROWS
+// elements), a stream too sparse in address space to train, so its
+// stores write-allocate: 2 reads + 1 write per element. The out blocks
+// are revisited within a working set of COLS·(64+16) bytes, which fits
+// any realistic cache, so no further amplification occurs.
+func S1CFCombined(ctx Context, n, r, c int64) Traffic {
+	ctx.validate()
+	bytes := expect.RankElems(n, r, c) * complexElem
+	outWorkingSet := n * (64 + complexElem)
+	amp := 1 + 3*lruMiss(outWorkingSet, ctx.EffectiveL3PerCore())
+	outReads := int64(float64(bytes) * amp)
+	reads := bytes + outReads
+	d := ctx.duration(reads+bytes, 2*bytes, 0)
+	d = simtime.Duration(float64(d) / stridedEfficiency)
+	return Traffic{ReadBytes: reads, WriteBytes: bytes, Duration: d}
+}
+
+// S2CF predicts the second-stage re-sort (Listing 9): the innermost
+// traversal dimension matches the innermost layout dimension, so the
+// stride's effect is amortized and the stores bypass: 1 read + 1 write
+// per element (2 reads with prefetch), at near-streaming bandwidth
+// (Fig. 9, and the higher bandwidth of phases 2/4 in Fig. 11).
+func S2CF(ctx Context, n, r, c int64) Traffic {
+	ctx.validate()
+	bytes := expect.RankElems(n, r, c) * complexElem
+	reads := bytes
+	if ctx.SoftwarePrefetch {
+		reads *= 2
+	}
+	d := ctx.duration(reads+bytes, 2*bytes, 0)
+	d = simtime.Duration(float64(d) / 0.85) // mild penalty for the outer stride
+	return Traffic{ReadBytes: reads, WriteBytes: bytes, Duration: d}
+}

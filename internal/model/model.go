@@ -1,0 +1,234 @@
+// Package model is the analytic memory-traffic engine: closed-form
+// predictions of the bytes each kernel moves to and from main memory,
+// including the micro-architectural effects the paper investigates
+// (store bypass, read-per-write, stride amplification past Eq. 7, the
+// Eq. 3/4 GEMM cache regimes, L3 slice borrowing and its imperfect
+// lateral cast-outs). It exists because exact line-level simulation of
+// an N=4096 GEMM (10¹¹ accesses) is infeasible; tests cross-validate the
+// engine against internal/cache at sizes where both run.
+//
+// All functions also predict a duration from the machine's rate
+// parameters, so harnesses can play the traffic into a mem.Controller
+// over simulated time and read it back through PAPI with realistic noise.
+package model
+
+import (
+	"fmt"
+
+	"papimc/internal/arch"
+	"papimc/internal/simtime"
+	"papimc/internal/units"
+)
+
+// Context describes the execution environment of a kernel batch.
+type Context struct {
+	Machine arch.Machine
+	// ActiveCores is the number of cores running kernels (1 = serial;
+	// the paper's batched runs use every usable core of the socket).
+	ActiveCores int
+	// SoftwarePrefetch models -fprefetch-loop-arrays.
+	SoftwarePrefetch bool
+	// CastoutSpillFraction is the fraction of lateral cast-outs routed
+	// through memory (single-thread extraneous traffic, Fig. 3a).
+	// Zero selects the default 1/3.
+	CastoutSpillFraction float64
+}
+
+// Serial returns a single-core context on machine m.
+func Serial(m arch.Machine) Context { return Context{Machine: m, ActiveCores: 1} }
+
+// Batched returns a context using every usable core of one socket.
+func Batched(m arch.Machine) Context {
+	return Context{Machine: m, ActiveCores: m.Socket.UsableCores}
+}
+
+func (c Context) spillFraction() float64 {
+	if c.CastoutSpillFraction == 0 {
+		return 1.0 / 3.0
+	}
+	return c.CastoutSpillFraction
+}
+
+func (c Context) validate() {
+	if c.ActiveCores <= 0 || c.ActiveCores > c.Machine.Socket.Cores {
+		panic(fmt.Sprintf("model: %d active cores on a %d-core socket",
+			c.ActiveCores, c.Machine.Socket.Cores))
+	}
+}
+
+// EffectiveL3PerCore is the L3 capacity one core can realistically use:
+// with idle core pairs present their slices are borrowable (a lone core
+// reaches the full 110 MB on Summit); at full occupancy each core gets
+// its contention-free share.
+func (c Context) EffectiveL3PerCore() int64 {
+	c.validate()
+	return c.Machine.Socket.L3Total() / int64(c.ActiveCores)
+}
+
+// LocalL3PerCore is the capacity reachable without lateral cast-out:
+// the pair's own slice, shared when both of its cores are active.
+func (c Context) LocalL3PerCore() int64 {
+	c.validate()
+	slice := c.Machine.Socket.L3SlicePerPair
+	if eff := c.EffectiveL3PerCore(); eff < slice {
+		return eff
+	}
+	return slice
+}
+
+// IdleSlicesAvailable reports whether any core pair is fully idle
+// (assuming compact thread placement), enabling lateral cast-out.
+func (c Context) IdleSlicesAvailable() bool {
+	c.validate()
+	usedPairs := (c.ActiveCores + 1) / 2
+	return usedPairs < c.Machine.Socket.CorePairs
+}
+
+// Traffic is a predicted traffic volume and duration for one socket.
+type Traffic struct {
+	ReadBytes  int64
+	WriteBytes int64
+	Duration   simtime.Duration
+}
+
+// TotalBytes returns reads plus writes.
+func (t Traffic) TotalBytes() int64 { return t.ReadBytes + t.WriteBytes }
+
+// clamp01 clamps x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// lruMiss returns the steady-state miss fraction of a cyclically
+// re-traversed working set of `footprint` bytes in `capacity` bytes of
+// cache: essentially a step (LRU keeps nothing useful once the set
+// exceeds capacity), smoothed over ±10% to model partial conflict and
+// the non-LRU reality of hashed slices.
+func lruMiss(footprint, capacity int64) float64 {
+	if capacity <= 0 {
+		return 1
+	}
+	f, c := float64(footprint), float64(capacity)
+	return clamp01((f - 0.9*c) / (0.2 * c))
+}
+
+// spillExtra returns the extra read+write bytes caused by imperfect
+// lateral cast-outs when a single thread's footprint overflows its local
+// slice into borrowed ones (Fig. 3a's extraneous traffic). It is zero at
+// full occupancy (nothing to borrow).
+func (c Context) spillExtra(footprint int64) (read, write int64) {
+	if !c.IdleSlicesAvailable() {
+		return 0, 0
+	}
+	local := c.LocalL3PerCore()
+	eff := c.EffectiveL3PerCore()
+	lateral := footprint - local
+	if lateral <= 0 {
+		return 0, 0
+	}
+	if max := eff - local; lateral > max {
+		lateral = max
+	}
+	extra := int64(c.spillFraction() * float64(lateral))
+	extra = units.RoundUpTx(extra)
+	return extra, extra
+}
+
+// duration computes the kernel runtime from its demands: the slowest of
+// the memory system (shared), the core's cache-side bandwidth, and its
+// arithmetic rate.
+func (c Context) duration(memBytes, cacheBytes int64, flops float64) simtime.Duration {
+	s := c.Machine.Socket
+	memTime := float64(memBytes) / s.MemBandwidth
+	cacheTime := float64(cacheBytes) / (s.CacheBandwidth * float64(c.ActiveCores))
+	flopTime := flops / (s.CoreFlopsPerSec * float64(c.ActiveCores))
+	t := memTime
+	if cacheTime > t {
+		t = cacheTime
+	}
+	if flopTime > t {
+		t = flopTime
+	}
+	return simtime.FromSeconds(t)
+}
+
+const elem = units.DoubleBytes
+
+// GEMM predicts the total socket traffic of ctx.ActiveCores independent
+// N×N reference GEMMs (Listings 3–4), one per core.
+//
+// Per core: A is read once (row reuse is immediate); C incurs a
+// read-for-ownership per element because B's column access is a strided
+// stream that disables store bypass; B is read once if it fits the
+// core's effective L3 share and once per outer iteration otherwise —
+// the Eq. 4 jump. A single thread borrowing idle slices additionally
+// pays the lateral cast-out spill once its three matrices overflow the
+// local slice.
+func GEMM(ctx Context, n int64) Traffic {
+	ctx.validate()
+	mat := n * n * elem
+	miss := lruMiss(mat, ctx.EffectiveL3PerCore())
+	readsB := float64(mat) * (1 + float64(n-1)*miss)
+	reads := 2*mat + int64(readsB)
+	writes := mat
+	er, ew := ctx.spillExtra(3 * mat)
+	reads += er
+	writes += ew
+	k := int64(ctx.ActiveCores)
+	flops := 2 * float64(n) * float64(n) * float64(n) * float64(ctx.ActiveCores)
+	cacheBytes := (2*n*n*n + n*n) * elem * k
+	return Traffic{
+		ReadBytes:  reads * k,
+		WriteBytes: writes * k,
+		Duration:   ctx.duration((reads+writes)*k, cacheBytes, flops),
+	}
+}
+
+// CappedGEMV predicts the total socket traffic of ctx.ActiveCores
+// independent capped GEMVs (Listing 2): y_i = Σ A[i%p][k]·x[k] for
+// i < m. The x vector is cached after its first read; A is read once if
+// its p×n footprint fits the effective share and once per row-cycle
+// otherwise (the paper's experiments size A to exceed the share, giving
+// the m·n expectation); y's sparse store stream write-allocates, costing
+// a read per element.
+func CappedGEMV(ctx Context, m, n, p int64) Traffic {
+	ctx.validate()
+	if p > m {
+		p = m
+	}
+	matA := p * n * elem
+	vecX := n * elem
+	vecY := m * elem
+	missA := lruMiss(matA+vecX, ctx.EffectiveL3PerCore())
+	cycles := float64(m)/float64(p) - 1 // extra traversals beyond the first
+	if cycles < 0 {
+		cycles = 0
+	}
+	readsA := float64(matA) * (1 + cycles*missA)
+	missX := lruMiss(vecX, ctx.EffectiveL3PerCore())
+	readsX := float64(vecX) * (1 + float64(m-1)*missX)
+	reads := int64(readsA) + int64(readsX) + vecY // + y RFO
+	writes := vecY
+	er, ew := ctx.spillExtra(matA + vecX + vecY)
+	reads += er
+	writes += ew
+	k := int64(ctx.ActiveCores)
+	flops := 2 * float64(m) * float64(n) * float64(ctx.ActiveCores)
+	cacheBytes := (2*m*n + m) * elem * k
+	return Traffic{
+		ReadBytes:  reads * k,
+		WriteBytes: writes * k,
+		Duration:   ctx.duration((reads+writes)*k, cacheBytes, flops),
+	}
+}
+
+// SquareGEMV predicts the unmodified M=N GEMV's traffic.
+func SquareGEMV(ctx Context, m int64) Traffic {
+	return CappedGEMV(ctx, m, m, m)
+}

@@ -1,0 +1,270 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"papimc/internal/arch"
+	"papimc/internal/expect"
+	"papimc/internal/units"
+)
+
+func relErr(got, want int64) float64 {
+	return math.Abs(float64(got)-float64(want)) / math.Abs(float64(want))
+}
+
+func TestContextGeometry(t *testing.T) {
+	serial := Serial(arch.Summit())
+	if got := serial.EffectiveL3PerCore(); got != 110*units.MiB {
+		t.Errorf("serial effective L3 = %s, want 110 MiB", units.FormatBytes(got))
+	}
+	if got := serial.LocalL3PerCore(); got != 10*units.MiB {
+		t.Errorf("serial local L3 = %s, want 10 MiB", units.FormatBytes(got))
+	}
+	if !serial.IdleSlicesAvailable() {
+		t.Error("a lone core must see idle slices")
+	}
+	batched := Batched(arch.Summit())
+	if batched.ActiveCores != 21 {
+		t.Fatalf("batched cores = %d, want 21", batched.ActiveCores)
+	}
+	eff := batched.EffectiveL3PerCore()
+	if eff < 5*units.MiB || eff > 6*units.MiB {
+		t.Errorf("batched effective L3 = %s, want ~5 MiB", units.FormatBytes(eff))
+	}
+	if batched.IdleSlicesAvailable() {
+		t.Error("21 of 22 cores leaves no fully idle pair")
+	}
+}
+
+func TestLRUMissStep(t *testing.T) {
+	cap := int64(5 * units.MiB)
+	if m := lruMiss(cap/2, cap); m != 0 {
+		t.Errorf("half-capacity miss = %v, want 0", m)
+	}
+	if m := lruMiss(cap*2, cap); m != 1 {
+		t.Errorf("double-capacity miss = %v, want 1", m)
+	}
+	mid := lruMiss(cap, cap)
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("at-capacity miss = %v, want in (0,1)", mid)
+	}
+}
+
+// Batched GEMM at cache-resident sizes matches the paper's dashed-line
+// expectation exactly (Fig. 3b's agreement region).
+func TestGEMMMatchesExpectationWhenCached(t *testing.T) {
+	ctx := Batched(arch.Summit())
+	for _, n := range []int64{128, 256, 400, 700} {
+		got := GEMM(ctx, n)
+		want := expect.GEMM(n).Scale(int64(ctx.ActiveCores))
+		if got.ReadBytes != want.ReadBytes {
+			t.Errorf("N=%d reads = %d, want %d", n, got.ReadBytes, want.ReadBytes)
+		}
+		if got.WriteBytes != want.WriteBytes {
+			t.Errorf("N=%d writes = %d, want %d", n, got.WriteBytes, want.WriteBytes)
+		}
+	}
+}
+
+// Past the Eq. 4 boundary (one matrix > per-core share) batched GEMM
+// traffic jumps drastically; the serial run with 110 MB of borrowable
+// L3 does not (Section III's observation on Figs. 3–4).
+func TestGEMMEquation4Jump(t *testing.T) {
+	batched := Batched(arch.Summit())
+	serial := Serial(arch.Summit())
+	const n = 1200 // one matrix = 11.5 MB: > 5 MB share, << 110 MB
+	expected := expect.GEMM(n)
+
+	b := GEMM(batched, n)
+	perCore := b.ReadBytes / int64(batched.ActiveCores)
+	if perCore < 10*expected.ReadBytes {
+		t.Errorf("batched per-core reads = %d, expected drastic jump over %d", perCore, expected.ReadBytes)
+	}
+
+	s := GEMM(serial, n)
+	// Serial: B still fits in borrowed L3; only the cast-out spill adds
+	// traffic, well under 2× the expectation.
+	if s.ReadBytes > 2*expected.ReadBytes {
+		t.Errorf("serial reads = %d, want < 2× expectation %d (no jump)", s.ReadBytes, expected.ReadBytes)
+	}
+	if s.ReadBytes <= expected.ReadBytes {
+		t.Errorf("serial reads = %d, want > expectation %d (spill extraneous traffic)", s.ReadBytes, expected.ReadBytes)
+	}
+}
+
+// Below the lateral cast-out threshold the serial GEMM matches the
+// expectation exactly; beyond it the divergence grows with N (Fig. 3a).
+func TestGEMMSerialSpillGrowsWithN(t *testing.T) {
+	serial := Serial(arch.Summit())
+	small := GEMM(serial, 400) // 3 matrices = 3.8 MB < 10 MB local slice
+	if small.ReadBytes != expect.GEMM(400).ReadBytes {
+		t.Errorf("serial N=400 reads = %d, want exact expectation %d",
+			small.ReadBytes, expect.GEMM(400).ReadBytes)
+	}
+	prevExcess := 0.0
+	for _, n := range []int64{800, 1200, 1600} {
+		got := GEMM(serial, n)
+		want := expect.GEMM(n)
+		excess := float64(got.ReadBytes-want.ReadBytes) / float64(want.ReadBytes)
+		if excess <= 0 {
+			t.Errorf("N=%d: no extraneous serial traffic", n)
+		}
+		if excess < prevExcess {
+			t.Errorf("N=%d: spill excess %.3f shrank from %.3f", n, excess, prevExcess)
+		}
+		prevExcess = excess
+	}
+}
+
+// The capped GEMV in its design regime (A sized past the share)
+// reproduces M×N + M + N reads and M writes per thread (Fig. 5's
+// "reading perfectly matches expectations").
+func TestCappedGEMVMatchesExpectation(t *testing.T) {
+	ctx := Batched(arch.Summit())
+	const n, p = 1280, 1280 // A = 13.1 MB > 5.24 MB share
+	for _, m := range []int64{2560, 10240, 102400} {
+		got := CappedGEMV(ctx, m, n, p)
+		want := expect.CappedGEMV(m, n).Scale(int64(ctx.ActiveCores))
+		if e := relErr(got.ReadBytes, want.ReadBytes); e > 0.001 {
+			t.Errorf("M=%d reads = %d, want %d (rel err %.4f)", m, got.ReadBytes, want.ReadBytes, e)
+		}
+		if got.WriteBytes != want.WriteBytes {
+			t.Errorf("M=%d writes = %d, want %d", m, got.WriteBytes, want.WriteBytes)
+		}
+	}
+}
+
+// In the square phase (M=N=P) the reads match M² + 2M.
+func TestSquareGEMVMatchesExpectation(t *testing.T) {
+	ctx := Batched(arch.Summit())
+	for _, m := range []int64{256, 512, 1024} {
+		got := SquareGEMV(ctx, m)
+		want := expect.SquareGEMV(m).Scale(int64(ctx.ActiveCores))
+		if e := relErr(got.ReadBytes, want.ReadBytes); e > 0.001 {
+			t.Errorf("M=%d reads = %d, want %d", m, got.ReadBytes, want.ReadBytes)
+		}
+		if got.WriteBytes != want.WriteBytes {
+			t.Errorf("M=%d writes = %d, want %d", m, got.WriteBytes, want.WriteBytes)
+		}
+	}
+}
+
+// --- FFT re-sort models --------------------------------------------------
+
+func TestS1CFLoopNest1Expectation(t *testing.T) {
+	ctx := Serial(arch.Summit())
+	n, r, c := int64(512), int64(2), int64(4)
+	got := S1CFLoopNest1(ctx, n, r, c)
+	want := expect.S1CFLoopNest1(n, r, c, false)
+	if got.ReadBytes != want.ReadBytes || got.WriteBytes != want.WriteBytes {
+		t.Errorf("LN1 = %+v, want %+v", got, want)
+	}
+	ctx.SoftwarePrefetch = true
+	got = S1CFLoopNest1(ctx, n, r, c)
+	want = expect.S1CFLoopNest1(n, r, c, true)
+	if got.ReadBytes != want.ReadBytes {
+		t.Errorf("LN1 prefetch reads = %d, want %d", got.ReadBytes, want.ReadBytes)
+	}
+}
+
+// LN2: two reads per write below the Eq. 7 boundary, approaching five
+// past it (Fig. 7a).
+func TestS1CFLoopNest2Amplification(t *testing.T) {
+	ctx := Batched(arch.Summit()) // 5.24 MB effective share
+	r, c := int64(2), int64(4)
+	small := S1CFLoopNest2(ctx, 400, r, c)
+	wantSmall := expect.S1CFLoopNest2(400, r, c)
+	if small.ReadBytes != wantSmall.ReadBytes {
+		t.Errorf("LN2 N=400 reads = %d, want %d (2 per write)", small.ReadBytes, wantSmall.ReadBytes)
+	}
+	big := S1CFLoopNest2(ctx, 1400, r, c)
+	bytes := expect.RankElems(1400, r, c) * 16
+	if big.ReadBytes != 5*bytes {
+		t.Errorf("LN2 N=1400 reads = %d, want %d (5 per write)", big.ReadBytes, 5*bytes)
+	}
+	if big.WriteBytes != bytes {
+		t.Errorf("LN2 writes = %d, want %d", big.WriteBytes, bytes)
+	}
+}
+
+func TestS1CFCombinedExpectation(t *testing.T) {
+	ctx := Serial(arch.Summit())
+	n, r, c := int64(1024), int64(2), int64(4)
+	got := S1CFCombined(ctx, n, r, c)
+	want := expect.S1CFCombined(n, r, c)
+	if got.ReadBytes != want.ReadBytes || got.WriteBytes != want.WriteBytes {
+		t.Errorf("combined = %+v, want %+v", got, want)
+	}
+}
+
+func TestS2CFExpectation(t *testing.T) {
+	ctx := Serial(arch.Summit())
+	n, r, c := int64(1024), int64(2), int64(4)
+	got := S2CF(ctx, n, r, c)
+	want := expect.S2CF(n, r, c, false)
+	if got.ReadBytes != want.ReadBytes || got.WriteBytes != want.WriteBytes {
+		t.Errorf("S2CF = %+v, want %+v", got, want)
+	}
+	ctx.SoftwarePrefetch = true
+	if got := S2CF(ctx, n, r, c); got.ReadBytes != 2*want.ReadBytes {
+		t.Errorf("S2CF prefetch reads = %d, want %d", got.ReadBytes, 2*want.ReadBytes)
+	}
+}
+
+// Prefetch must speed LN2 up without changing its traffic (Fig. 7b).
+func TestPrefetchSpeedsUpStridedPhase(t *testing.T) {
+	base := Batched(arch.Summit())
+	pf := base
+	pf.SoftwarePrefetch = true
+	n, r, c := int64(1344), int64(2), int64(4)
+	slow := S1CFLoopNest2(base, n, r, c)
+	fast := S1CFLoopNest2(pf, n, r, c)
+	if fast.Duration >= slow.Duration {
+		t.Errorf("prefetch did not speed up LN2: %v vs %v", fast.Duration, slow.Duration)
+	}
+	if fast.ReadBytes != slow.ReadBytes || fast.WriteBytes != slow.WriteBytes {
+		t.Error("prefetch changed LN2 traffic; only bandwidth should improve")
+	}
+}
+
+// S2CF must realize higher bandwidth than S1CF's strided nest (the
+// Fig. 10 / Fig. 11 phase-bandwidth ordering).
+func TestBandwidthOrdering(t *testing.T) {
+	ctx := Serial(arch.Summit())
+	n, r, c := int64(1344), int64(4), int64(8)
+	bw := func(tr Traffic) float64 {
+		return float64(tr.TotalBytes()) / tr.Duration.Seconds()
+	}
+	s1 := S1CFLoopNest2(ctx, n, r, c)
+	s2 := S2CF(ctx, n, r, c)
+	if bw(s2) <= bw(s1) {
+		t.Errorf("S2CF bandwidth %v <= S1CF LN2 bandwidth %v", bw(s2), bw(s1))
+	}
+}
+
+func TestDurationsPositiveAndBounded(t *testing.T) {
+	ctx := Batched(arch.Summit())
+	for _, tr := range []Traffic{
+		GEMM(ctx, 512),
+		CappedGEMV(ctx, 10000, 1280, 1280),
+		S1CFLoopNest2(ctx, 1344, 2, 4),
+	} {
+		if tr.Duration <= 0 {
+			t.Errorf("non-positive duration: %+v", tr)
+		}
+		bw := float64(tr.TotalBytes()) / tr.Duration.Seconds()
+		if bw > ctx.Machine.Socket.MemBandwidth*1.01 {
+			t.Errorf("implied bandwidth %v exceeds the socket's %v", bw, ctx.Machine.Socket.MemBandwidth)
+		}
+	}
+}
+
+func TestContextValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero active cores")
+		}
+	}()
+	Context{Machine: arch.Summit()}.EffectiveL3PerCore()
+}

@@ -1,0 +1,202 @@
+// Package mpi provides the message-passing substrate for the distributed
+// 3D-FFT: ranks run as goroutines exchanging real data over per-pair
+// channels, while every remote transfer is accounted on the simulated
+// InfiniBand fabric (port counters and host-DMA memory traffic), so the
+// PAPI infiniband and PCP components observe the communication exactly as
+// Fig. 11's All2All spikes.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"papimc/internal/ib"
+	"papimc/internal/simtime"
+	"papimc/internal/units"
+)
+
+// message carries payload between ranks.
+type message struct {
+	data []complex128
+}
+
+// Comm is a communicator over a fixed set of ranks.
+type Comm struct {
+	size      int
+	fabric    *ib.Fabric
+	endpoints []*ib.Endpoint // per rank; may be nil entries
+	clock     *simtime.Clock
+
+	// mailboxes[src][dst] holds at most one in-flight message per pair.
+	mailboxes [][]chan message
+
+	bar *barrier
+}
+
+// New creates a communicator of the given size. fabric and endpoints may
+// be nil for purely functional (non-accounted) runs; when endpoints are
+// provided there must be one per rank.
+func New(size int, fabric *ib.Fabric, endpoints []*ib.Endpoint, clock *simtime.Clock) *Comm {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid communicator size %d", size))
+	}
+	if endpoints != nil && len(endpoints) != size {
+		panic(fmt.Sprintf("mpi: %d endpoints for %d ranks", len(endpoints), size))
+	}
+	boxes := make([][]chan message, size)
+	for s := range boxes {
+		boxes[s] = make([]chan message, size)
+		for d := range boxes[s] {
+			boxes[s][d] = make(chan message, 1)
+		}
+	}
+	return &Comm{
+		size:      size,
+		fabric:    fabric,
+		endpoints: endpoints,
+		clock:     clock,
+		mailboxes: boxes,
+		bar:       newBarrier(size),
+	}
+}
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Rank returns the handle for rank id.
+func (c *Comm) Rank(id int) *Rank {
+	if id < 0 || id >= c.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", id, c.size))
+	}
+	return &Rank{comm: c, id: id}
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. Panics inside a rank are re-raised in the caller.
+func (c *Comm) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, c.size)
+	for id := 0; id < c.size; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			body(c.Rank(id))
+		}(id)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// Rank is one process's view of the communicator.
+type Rank struct {
+	comm *Comm
+	id   int
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// account records a transfer on the fabric.
+func (r *Rank) account(dst int, bytes int64) {
+	c := r.comm
+	if c.fabric == nil || c.endpoints == nil || bytes == 0 {
+		return
+	}
+	var now simtime.Time
+	if c.clock != nil {
+		now = c.clock.Now()
+	}
+	c.fabric.Transfer(c.endpoints[r.id], c.endpoints[dst], bytes, now)
+}
+
+// Send delivers data to dst. At most one message per (src,dst) pair may
+// be in flight; a second Send to the same destination blocks until the
+// first is received.
+func (r *Rank) Send(dst int, data []complex128) {
+	if dst == r.id {
+		panic("mpi: self-send; use local copies")
+	}
+	r.account(dst, int64(len(data))*units.ComplexBytes)
+	r.comm.mailboxes[r.id][dst] <- message{data: data}
+}
+
+// Recv receives the message sent by src, blocking until it arrives.
+func (r *Rank) Recv(src int) []complex128 {
+	if src == r.id {
+		panic("mpi: self-receive")
+	}
+	return (<-r.comm.mailboxes[src][r.id]).data
+}
+
+// Barrier blocks until every rank reaches it.
+func (r *Rank) Barrier() { r.comm.bar.await() }
+
+// Alltoallv exchanges chunks[d] with every rank d and returns the chunks
+// received, indexed by source. The self-chunk is passed through without
+// touching the fabric. chunks must have exactly Size entries.
+func (r *Rank) Alltoallv(chunks [][]complex128) [][]complex128 {
+	if len(chunks) != r.Size() {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d chunks on a %d-rank communicator", len(chunks), r.Size()))
+	}
+	// Post all sends first (mailboxes are buffered, so this cannot
+	// block), then collect.
+	for d := 0; d < r.Size(); d++ {
+		if d == r.id {
+			continue
+		}
+		r.Send(d, chunks[d])
+	}
+	out := make([][]complex128, r.Size())
+	out[r.id] = chunks[r.id]
+	for s := 0; s < r.Size(); s++ {
+		if s == r.id {
+			continue
+		}
+		out[s] = r.Recv(s)
+	}
+	return out
+}
+
+// --- reusable barrier ----------------------------------------------------
+
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"papimc/internal/ib"
+	"papimc/internal/simtime"
+)
+
+func TestSendRecv(t *testing.T) {
+	c := New(2, nil, nil, nil)
+	c.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, []complex128{1 + 2i, 3})
+		} else {
+			got := r.Recv(0)
+			if len(got) != 2 || got[0] != 1+2i || got[1] != 3 {
+				t.Errorf("received %v", got)
+			}
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const ranks = 8
+	c := New(ranks, nil, nil, nil)
+	var before, after int32
+	c.Run(func(r *Rank) {
+		atomic.AddInt32(&before, 1)
+		r.Barrier()
+		if atomic.LoadInt32(&before) != ranks {
+			t.Errorf("rank %d passed barrier before all arrived", r.ID())
+		}
+		atomic.AddInt32(&after, 1)
+		r.Barrier()
+		if atomic.LoadInt32(&after) != ranks {
+			t.Errorf("rank %d passed second barrier early", r.ID())
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const ranks, rounds = 4, 10
+	c := New(ranks, nil, nil, nil)
+	var counter int32
+	c.Run(func(r *Rank) {
+		for i := 0; i < rounds; i++ {
+			atomic.AddInt32(&counter, 1)
+			r.Barrier()
+			if v := atomic.LoadInt32(&counter); int(v) != ranks*(i+1) {
+				t.Errorf("round %d: counter = %d, want %d", i, v, ranks*(i+1))
+			}
+			r.Barrier()
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const ranks = 4
+	c := New(ranks, nil, nil, nil)
+	c.Run(func(r *Rank) {
+		chunks := make([][]complex128, ranks)
+		for d := 0; d < ranks; d++ {
+			chunks[d] = []complex128{complex(float64(r.ID()), float64(d))}
+		}
+		got := r.Alltoallv(chunks)
+		for s := 0; s < ranks; s++ {
+			want := complex(float64(s), float64(r.ID()))
+			if len(got[s]) != 1 || got[s][0] != want {
+				t.Errorf("rank %d from %d: got %v, want %v", r.ID(), s, got[s], want)
+			}
+		}
+	})
+}
+
+func TestAlltoallvAccountsFabricTraffic(t *testing.T) {
+	const ranks = 4
+	clock := simtime.NewClock()
+	fabric := ib.NewFabric()
+	eps := make([]*ib.Endpoint, ranks)
+	for i := range eps {
+		eps[i] = ib.NewEndpoint(1, nil)
+	}
+	c := New(ranks, fabric, eps, clock)
+	const chunkElems = 100
+	c.Run(func(r *Rank) {
+		chunks := make([][]complex128, ranks)
+		for d := range chunks {
+			chunks[d] = make([]complex128, chunkElems)
+		}
+		r.Alltoallv(chunks)
+	})
+	// Each rank sends chunkElems×16 bytes to each of the 3 others.
+	wantWords := uint64(3 * chunkElems * 16 / ib.WordBytes)
+	for i, ep := range eps {
+		recv, xmit := ep.Ports[0].Counters()
+		if xmit != wantWords {
+			t.Errorf("rank %d xmit = %d words, want %d", i, xmit, wantWords)
+		}
+		if recv != wantWords {
+			t.Errorf("rank %d recv = %d words, want %d", i, recv, wantWords)
+		}
+	}
+}
+
+func TestSelfChunkSkipsFabric(t *testing.T) {
+	clock := simtime.NewClock()
+	fabric := ib.NewFabric()
+	eps := []*ib.Endpoint{ib.NewEndpoint(1, nil)}
+	c := New(1, fabric, eps, clock)
+	c.Run(func(r *Rank) {
+		got := r.Alltoallv([][]complex128{{42}})
+		if got[0][0] != 42 {
+			t.Errorf("self chunk = %v", got[0])
+		}
+	})
+	recv, xmit := eps[0].Ports[0].Counters()
+	if recv != 0 || xmit != 0 {
+		t.Error("self chunk touched the NIC")
+	}
+}
+
+func TestRunPropagatesPanics(t *testing.T) {
+	c := New(2, nil, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected rank panic to propagate")
+		}
+	}()
+	c.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic("rank 1 failed")
+		}
+		// Rank 0 must not deadlock waiting for rank 1: nothing to do.
+	})
+}
+
+func TestInvalidUses(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero size", func() { New(0, nil, nil, nil) })
+	mustPanic("endpoint mismatch", func() {
+		New(2, ib.NewFabric(), []*ib.Endpoint{ib.NewEndpoint(1, nil)}, nil)
+	})
+	c := New(2, nil, nil, nil)
+	mustPanic("bad rank", func() { c.Rank(5) })
+	mustPanic("self send", func() { c.Rank(0).Send(0, nil) })
+	mustPanic("self recv", func() { c.Rank(0).Recv(0) })
+	mustPanic("bad alltoall", func() { c.Rank(0).Alltoallv(nil) })
+}

@@ -1,0 +1,234 @@
+// Package nest models the IBM POWER9 "nest" performance monitoring unit:
+// the off-core (uncore) counters that measure memory traffic on the MBA
+// channels. Because main memory is shared among all processes, these
+// counters are readable only with elevated privileges — the access-control
+// property that motivates the paper's use of the Performance Co-Pilot.
+//
+// The package provides the event vocabulary of Table I in both spellings:
+// the perf_uncore native names used on Tellico
+// (power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0) and the PCP metric names
+// exported on Summit
+// (perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value).
+package nest
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"papimc/internal/arch"
+	"papimc/internal/mem"
+	"papimc/internal/simtime"
+)
+
+// ErrPermission is returned when unprivileged code reads nest counters
+// directly.
+var ErrPermission = errors.New("nest: reading nest counters requires elevated privileges")
+
+// ErrNoSuchEvent is returned for event names that do not parse or
+// channels that do not exist.
+var ErrNoSuchEvent = errors.New("nest: no such event")
+
+// Event identifies one nest hardware counter.
+type Event struct {
+	Channel int  // MBA channel index
+	Write   bool // false: READ_BYTES, true: WRITE_BYTES
+}
+
+// direction returns the READ/WRITE spelling fragment.
+func (e Event) direction() string {
+	if e.Write {
+		return "WRITE"
+	}
+	return "READ"
+}
+
+// PMUName returns the perf_uncore PMU this event belongs to,
+// e.g. "power9_nest_mba0".
+func (e Event) PMUName() string { return fmt.Sprintf("power9_nest_mba%d", e.Channel) }
+
+// PerfUncoreName renders the direct-access spelling of Table I, e.g.
+// "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0".
+func (e Event) PerfUncoreName(cpu int) string {
+	return fmt.Sprintf("%s::PM_MBA%d_%s_BYTES:cpu=%d", e.PMUName(), e.Channel, e.direction(), cpu)
+}
+
+// PCPMetricName renders the PCP metric namespace spelling of Table I,
+// e.g. "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value".
+func (e Event) PCPMetricName() string {
+	return fmt.Sprintf("perfevent.hwcounters.nest_mba%d_imc.PM_MBA%d_%s_BYTES.value",
+		e.Channel, e.Channel, e.direction())
+}
+
+// ParsePerfUncoreName parses the Tellico spelling, returning the event
+// and the cpu qualifier (or 0 if absent).
+func ParsePerfUncoreName(s string) (Event, int, error) {
+	rest, ok := strings.CutPrefix(s, "power9_nest_mba")
+	if !ok {
+		return Event{}, 0, fmt.Errorf("%w: %q lacks power9_nest_mba prefix", ErrNoSuchEvent, s)
+	}
+	sep := strings.Index(rest, "::")
+	if sep < 0 {
+		return Event{}, 0, fmt.Errorf("%w: %q lacks '::'", ErrNoSuchEvent, s)
+	}
+	ch, err := strconv.Atoi(rest[:sep])
+	if err != nil {
+		return Event{}, 0, fmt.Errorf("%w: bad channel in %q", ErrNoSuchEvent, s)
+	}
+	tail := rest[sep+2:]
+	cpu := 0
+	if name, qual, has := strings.Cut(tail, ":"); has {
+		tail = name
+		q, ok := strings.CutPrefix(qual, "cpu=")
+		if !ok {
+			return Event{}, 0, fmt.Errorf("%w: unknown qualifier %q", ErrNoSuchEvent, qual)
+		}
+		cpu, err = strconv.Atoi(q)
+		if err != nil {
+			return Event{}, 0, fmt.Errorf("%w: bad cpu qualifier in %q", ErrNoSuchEvent, s)
+		}
+	}
+	ev, err := parseCounterName(tail, ch)
+	if err != nil {
+		return Event{}, 0, err
+	}
+	return ev, cpu, nil
+}
+
+// ParsePCPMetricName parses the Summit PCP spelling.
+func ParsePCPMetricName(s string) (Event, error) {
+	rest, ok := strings.CutPrefix(s, "perfevent.hwcounters.nest_mba")
+	if !ok {
+		return Event{}, fmt.Errorf("%w: %q lacks perfevent nest prefix", ErrNoSuchEvent, s)
+	}
+	sep := strings.Index(rest, "_imc.")
+	if sep < 0 {
+		return Event{}, fmt.Errorf("%w: %q lacks _imc segment", ErrNoSuchEvent, s)
+	}
+	ch, err := strconv.Atoi(rest[:sep])
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: bad channel in %q", ErrNoSuchEvent, s)
+	}
+	tail, ok := strings.CutSuffix(rest[sep+5:], ".value")
+	if !ok {
+		return Event{}, fmt.Errorf("%w: %q lacks .value suffix", ErrNoSuchEvent, s)
+	}
+	return parseCounterName(tail, ch)
+}
+
+// parseCounterName parses "PM_MBA<ch>_{READ,WRITE}_BYTES".
+func parseCounterName(s string, ch int) (Event, error) {
+	switch s {
+	case fmt.Sprintf("PM_MBA%d_READ_BYTES", ch):
+		return Event{Channel: ch, Write: false}, nil
+	case fmt.Sprintf("PM_MBA%d_WRITE_BYTES", ch):
+		return Event{Channel: ch, Write: true}, nil
+	default:
+		return Event{}, fmt.Errorf("%w: counter %q does not match channel %d", ErrNoSuchEvent, s, ch)
+	}
+}
+
+// Credential is an access token for counter reads.
+type Credential struct {
+	privileged bool
+}
+
+// RootCredential returns a privileged credential (the PMCD daemon, or a
+// user on a machine granting elevated access).
+func RootCredential() Credential { return Credential{privileged: true} }
+
+// UserCredential returns an ordinary, unprivileged credential.
+func UserCredential() Credential { return Credential{} }
+
+// CredentialFor returns the credential an ordinary user holds on machine
+// m: privileged only where the site grants it (Tellico).
+func CredentialFor(m arch.Machine) Credential {
+	return Credential{privileged: m.PrivilegedNestAccess}
+}
+
+// Privileged reports whether the credential allows direct nest reads.
+func (c Credential) Privileged() bool { return c.privileged }
+
+// PMU exposes the nest counters of one socket.
+type PMU struct {
+	machine arch.Machine
+	socket  int
+	ctl     *mem.Controller
+
+	mu           sync.Mutex
+	overheadDone bool
+	overheadAt   simtime.Time
+}
+
+// NewPMU wraps the given socket's memory controller. It panics if the
+// controller's channel count disagrees with the machine description.
+func NewPMU(m arch.Machine, socket int, ctl *mem.Controller) *PMU {
+	if ctl.Channels() != m.Socket.MBAChannels {
+		panic(fmt.Sprintf("nest: controller has %d channels, machine %s has %d",
+			ctl.Channels(), m.Name, m.Socket.MBAChannels))
+	}
+	return &PMU{machine: m, socket: socket, ctl: ctl}
+}
+
+// Machine returns the machine description this PMU belongs to.
+func (p *PMU) Machine() arch.Machine { return p.machine }
+
+// Socket returns the socket index this PMU monitors.
+func (p *PMU) Socket() int { return p.socket }
+
+// Events lists every counter this PMU exposes: READ and WRITE bytes for
+// each MBA channel.
+func (p *PMU) Events() []Event {
+	out := make([]Event, 0, 2*p.machine.Socket.MBAChannels)
+	for ch := 0; ch < p.machine.Socket.MBAChannels; ch++ {
+		out = append(out, Event{Channel: ch, Write: false}, Event{Channel: ch, Write: true})
+	}
+	return out
+}
+
+// ReadAll reads the given events at simulated time t. Unprivileged
+// credentials are rejected with ErrPermission. One measurement-overhead
+// injection covers the whole batch (one syscall round trip reads all
+// programmed counters).
+func (p *PMU) ReadAll(events []Event, cred Credential, t simtime.Time) ([]uint64, error) {
+	if !cred.privileged {
+		return nil, ErrPermission
+	}
+	for _, ev := range events {
+		if ev.Channel < 0 || ev.Channel >= p.machine.Socket.MBAChannels {
+			return nil, fmt.Errorf("%w: channel %d", ErrNoSuchEvent, ev.Channel)
+		}
+	}
+	// One collection pass costs one measurement-overhead injection, no
+	// matter how many counters it reads: PMCD (or perf_event) gathers
+	// the whole group in a single sweep. Multiple reads at the same
+	// simulated instant are part of the same sweep.
+	p.mu.Lock()
+	if !p.overheadDone || p.overheadAt != t {
+		p.ctl.InjectMeasurementOverhead(t)
+		p.overheadDone = true
+		p.overheadAt = t
+	}
+	p.mu.Unlock()
+	counts := p.ctl.Read(t)
+	out := make([]uint64, len(events))
+	for i, ev := range events {
+		if ev.Write {
+			out[i] = counts[ev.Channel].WriteBytes
+		} else {
+			out[i] = counts[ev.Channel].ReadBytes
+		}
+	}
+	return out, nil
+}
+
+// Read reads a single event at time t.
+func (p *PMU) Read(ev Event, cred Credential, t simtime.Time) (uint64, error) {
+	vs, err := p.ReadAll([]Event{ev}, cred, t)
+	if err != nil {
+		return 0, err
+	}
+	return vs[0], nil
+}

@@ -1,0 +1,196 @@
+package nest
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"papimc/internal/arch"
+	"papimc/internal/mem"
+	"papimc/internal/simtime"
+)
+
+func newTestPMU(m arch.Machine) (*PMU, *mem.Controller) {
+	clock := simtime.NewClock()
+	ctl := mem.NewController(mem.Config{Channels: m.Socket.MBAChannels, DisableNoise: true}, clock)
+	return NewPMU(m, 0, ctl), ctl
+}
+
+func TestEventNamesMatchTableI(t *testing.T) {
+	// Table I, Tellico row: power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0
+	e := Event{Channel: 0, Write: false}
+	if got := e.PerfUncoreName(0); got != "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0" {
+		t.Errorf("PerfUncoreName = %q", got)
+	}
+	// Table I, Summit row (PCP namespace part).
+	if got := e.PCPMetricName(); got != "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value" {
+		t.Errorf("PCPMetricName = %q", got)
+	}
+	w := Event{Channel: 7, Write: true}
+	if got := w.PerfUncoreName(0); got != "power9_nest_mba7::PM_MBA7_WRITE_BYTES:cpu=0" {
+		t.Errorf("PerfUncoreName = %q", got)
+	}
+	if got := w.PCPMetricName(); got != "perfevent.hwcounters.nest_mba7_imc.PM_MBA7_WRITE_BYTES.value" {
+		t.Errorf("PCPMetricName = %q", got)
+	}
+}
+
+func TestParsePerfUncoreName(t *testing.T) {
+	ev, cpu, err := ParsePerfUncoreName("power9_nest_mba3::PM_MBA3_WRITE_BYTES:cpu=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Channel != 3 || !ev.Write || cpu != 5 {
+		t.Errorf("parsed %+v cpu=%d", ev, cpu)
+	}
+	// Without qualifier.
+	ev, cpu, err = ParsePerfUncoreName("power9_nest_mba1::PM_MBA1_READ_BYTES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Channel != 1 || ev.Write || cpu != 0 {
+		t.Errorf("parsed %+v cpu=%d", ev, cpu)
+	}
+}
+
+func TestParsePerfUncoreNameErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"power9_nest_mba0",                     // no '::'
+		"power9_nest_mbaX::PM_MBAX_READ_BYTES", // bad channel
+		"power9_nest_mba0::PM_MBA1_READ_BYTES", // channel mismatch
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:core=0",   // unknown qualifier
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=zero", // bad cpu
+		"intel_imc0::CAS_COUNT",                         // wrong PMU
+	}
+	for _, s := range bad {
+		if _, _, err := ParsePerfUncoreName(s); !errors.Is(err, ErrNoSuchEvent) {
+			t.Errorf("ParsePerfUncoreName(%q) err = %v, want ErrNoSuchEvent", s, err)
+		}
+	}
+}
+
+func TestParsePCPMetricNameErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES", // no .value
+		"perfevent.hwcounters.nest_mbaQ_imc.PM_MBAQ_READ_BYTES.value",
+		"perfevent.hwcounters.nest_mba0_imc.PM_MBA2_READ_BYTES.value", // mismatch
+		"mem.util.used",
+	}
+	for _, s := range bad {
+		if _, err := ParsePCPMetricName(s); !errors.Is(err, ErrNoSuchEvent) {
+			t.Errorf("ParsePCPMetricName(%q) err = %v, want ErrNoSuchEvent", s, err)
+		}
+	}
+}
+
+// Property: both spellings round-trip for every valid event.
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(chRaw uint8, write bool, cpuRaw uint8) bool {
+		ev := Event{Channel: int(chRaw % 8), Write: write}
+		cpu := int(cpuRaw)
+		got, gotCPU, err := ParsePerfUncoreName(ev.PerfUncoreName(cpu))
+		if err != nil || got != ev || gotCPU != cpu {
+			return false
+		}
+		got2, err := ParsePCPMetricName(ev.PCPMetricName())
+		return err == nil && got2 == ev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMUPermissionGate(t *testing.T) {
+	p, _ := newTestPMU(arch.Tellico())
+	ev := Event{Channel: 0}
+	if _, err := p.Read(ev, UserCredential(), 0); !errors.Is(err, ErrPermission) {
+		t.Errorf("unprivileged read err = %v, want ErrPermission", err)
+	}
+	if _, err := p.Read(ev, RootCredential(), 0); err != nil {
+		t.Errorf("privileged read failed: %v", err)
+	}
+}
+
+func TestCredentialFor(t *testing.T) {
+	if CredentialFor(arch.Summit()).Privileged() {
+		t.Error("Summit users must not hold privileged credentials")
+	}
+	if !CredentialFor(arch.Tellico()).Privileged() {
+		t.Error("Tellico users must hold privileged credentials")
+	}
+}
+
+func TestPMUReadsSeeTraffic(t *testing.T) {
+	p, ctl := newTestPMU(arch.Tellico())
+	// 8 channels × 2 tx each.
+	ctl.AddTraffic(true, 0, 64*16, 0, 0)
+	ctl.AddTraffic(false, 0, 64*8, 0, 0)
+	var readSum, writeSum uint64
+	for ch := 0; ch < 8; ch++ {
+		r, err := p.Read(Event{Channel: ch}, RootCredential(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := p.Read(Event{Channel: ch, Write: true}, RootCredential(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readSum += r
+		writeSum += w
+	}
+	if readSum != 64*16 || writeSum != 64*8 {
+		t.Errorf("sums = %d/%d, want 1024/512", readSum, writeSum)
+	}
+}
+
+func TestPMUEventsList(t *testing.T) {
+	p, _ := newTestPMU(arch.Summit())
+	evs := p.Events()
+	if len(evs) != 16 {
+		t.Fatalf("Events() returned %d, want 16", len(evs))
+	}
+	seen := map[Event]bool{}
+	for _, e := range evs {
+		if seen[e] {
+			t.Errorf("duplicate event %+v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestPMUBadChannel(t *testing.T) {
+	p, _ := newTestPMU(arch.Summit())
+	if _, err := p.Read(Event{Channel: 99}, RootCredential(), 0); !errors.Is(err, ErrNoSuchEvent) {
+		t.Errorf("err = %v, want ErrNoSuchEvent", err)
+	}
+}
+
+func TestNewPMUPanicsOnChannelMismatch(t *testing.T) {
+	clock := simtime.NewClock()
+	ctl := mem.NewController(mem.Config{Channels: 4, DisableNoise: true}, clock)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for channel mismatch")
+		}
+	}()
+	NewPMU(arch.Summit(), 0, ctl)
+}
+
+func TestSocketForCPUMatchesTableI(t *testing.T) {
+	m := arch.Summit()
+	// Table I uses cpu87 (socket 0) and cpu175 (socket 1).
+	if s := m.SocketForCPU(87); s != 0 {
+		t.Errorf("cpu87 -> socket %d, want 0", s)
+	}
+	if s := m.SocketForCPU(175); s != 1 {
+		t.Errorf("cpu175 -> socket %d, want 1", s)
+	}
+	if s := m.SocketForCPU(176); s != -1 {
+		t.Errorf("cpu176 -> socket %d, want -1", s)
+	}
+	if s := m.SocketForCPU(-1); s != -1 {
+		t.Errorf("cpu-1 -> socket %d, want -1", s)
+	}
+}

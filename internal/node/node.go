@@ -1,0 +1,224 @@
+// Package node composes the simulated hardware of a compute node —
+// per-socket memory controllers and nest PMUs, GPUs, the InfiniBand
+// endpoint — and wires the measurement plane on top: a PMCD daemon
+// holding the privileged credential, and a PAPI library with the
+// perf_uncore, pcp, nvml and infiniband components registered. Every
+// experiment, example and benchmark builds its testbed through this
+// package.
+package node
+
+import (
+	"fmt"
+
+	"papimc/internal/arch"
+	"papimc/internal/gpu"
+	"papimc/internal/ib"
+	"papimc/internal/mem"
+	"papimc/internal/model"
+	"papimc/internal/nest"
+	"papimc/internal/papi"
+	"papimc/internal/papi/components/ibcomp"
+	"papimc/internal/papi/components/nvmlcomp"
+	"papimc/internal/papi/components/pcpcomp"
+	"papimc/internal/papi/components/perfuncore"
+	"papimc/internal/pcp"
+	"papimc/internal/simtime"
+)
+
+// Options tune testbed construction.
+type Options struct {
+	// Seed drives every stochastic element; runs are reproducible.
+	Seed uint64
+	// DisableNoise builds ideal counters (no background traffic,
+	// measurement overhead, or posting lag).
+	DisableNoise bool
+}
+
+// Node is one compute node.
+type Node struct {
+	Machine arch.Machine
+	Clock   *simtime.Clock
+	Mem     []*mem.Controller // per socket
+	PMUs    []*nest.PMU       // per socket
+	GPUs    [][]*gpu.Device   // per socket
+	NIC     *ib.Endpoint
+}
+
+// New builds a node of the given machine type.
+func New(m arch.Machine, clock *simtime.Clock, opts Options, nodeIndex int) *Node {
+	n := &Node{Machine: m, Clock: clock}
+	gpuIndex := 0
+	for s := 0; s < m.SocketsPerNode; s++ {
+		ctl := mem.NewController(mem.Config{
+			Channels:     m.Socket.MBAChannels,
+			Noise:        m.Noise,
+			Seed:         opts.Seed + uint64(nodeIndex)*1000 + uint64(s),
+			DisableNoise: opts.DisableNoise,
+		}, clock)
+		n.Mem = append(n.Mem, ctl)
+		n.PMUs = append(n.PMUs, nest.NewPMU(m, s, ctl))
+		var devs []*gpu.Device
+		for g := 0; g < m.GPUsPerSocket; g++ {
+			devs = append(devs, gpu.New(gpuIndex, ctl))
+			gpuIndex++
+		}
+		n.GPUs = append(n.GPUs, devs)
+	}
+	if m.NICPorts > 0 {
+		n.NIC = ib.NewEndpoint(m.NICPorts, n.Mem[0])
+	}
+	return n
+}
+
+// AllGPUs flattens the per-socket device lists.
+func (n *Node) AllGPUs() []*gpu.Device {
+	var out []*gpu.Device
+	for _, devs := range n.GPUs {
+		out = append(out, devs...)
+	}
+	return out
+}
+
+// Play posts a model-predicted traffic volume onto the given socket's
+// memory over the prediction's duration, split into steps slices so
+// profilers see a continuous rate, and advances the clock past it.
+func (n *Node) Play(socket int, tr model.Traffic, steps int) {
+	if steps < 1 {
+		steps = 1
+	}
+	start := n.Clock.Now()
+	stepDur := simtime.Duration(int64(tr.Duration) / int64(steps))
+	rPer := tr.ReadBytes / int64(steps)
+	wPer := tr.WriteBytes / int64(steps)
+	ctl := n.Mem[socket]
+	for s := 0; s < steps; s++ {
+		t0 := start.Add(simtime.Duration(int64(stepDur) * int64(s)))
+		t1 := t0.Add(stepDur)
+		r, w := rPer, wPer
+		if s == steps-1 { // remainder on the last step
+			r = tr.ReadBytes - rPer*int64(steps-1)
+			w = tr.WriteBytes - wPer*int64(steps-1)
+		}
+		ctl.AddTraffic(true, int64(s)*4096, r, t0, t1)
+		ctl.AddTraffic(false, 1<<30+int64(s)*4096, w, t0, t1)
+	}
+	n.Clock.AdvanceTo(start.Add(tr.Duration))
+}
+
+// Testbed is a set of nodes on a fabric with a measurement plane.
+type Testbed struct {
+	Machine arch.Machine
+	Clock   *simtime.Clock
+	Nodes   []*Node
+	Fabric  *ib.Fabric
+
+	daemon *pcp.Daemon
+	// PMCDAddr is the TCP address of node 0's PMCD daemon.
+	PMCDAddr string
+}
+
+// NewTestbed builds numNodes nodes of machine m and starts a PMCD
+// daemon exporting node 0's nest counters (the measured node), exactly
+// as on Summit where pmcd runs on every node with root privileges.
+func NewTestbed(m arch.Machine, numNodes int, opts Options) (*Testbed, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("node: need at least one node, got %d", numNodes)
+	}
+	clock := simtime.NewClock()
+	tb := &Testbed{Machine: m, Clock: clock, Fabric: ib.NewFabric()}
+	for i := 0; i < numNodes; i++ {
+		tb.Nodes = append(tb.Nodes, New(m, clock, opts, i))
+	}
+	daemon, err := pcp.NewDaemon(clock, m.Noise.PMCDSampleInterval,
+		pcp.NestMetrics(tb.Nodes[0].PMUs, nest.RootCredential()))
+	if err != nil {
+		return nil, err
+	}
+	addr, err := daemon.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	tb.daemon = daemon
+	tb.PMCDAddr = addr
+	return tb, nil
+}
+
+// Close stops the measurement plane.
+func (tb *Testbed) Close() error {
+	if tb.daemon != nil {
+		return tb.daemon.Close()
+	}
+	return nil
+}
+
+// NewLibrary builds a PAPI library for node 0 with every component the
+// machine supports registered:
+//
+//   - perf_uncore with the credential an ordinary user holds on this
+//     machine (privileged on Tellico, denied on Summit),
+//   - pcp connected to the node's PMCD daemon,
+//   - nvml and infiniband when the node has GPUs / a NIC.
+//
+// The caller owns the returned cleanup function.
+func (tb *Testbed) NewLibrary() (*papi.Library, func(), error) {
+	lib := papi.NewLibrary(tb.Clock)
+	n := tb.Nodes[0]
+	cleanup := func() {}
+
+	if err := lib.Register(perfuncore.New(n.PMUs, nest.CredentialFor(tb.Machine))); err != nil {
+		return nil, nil, err
+	}
+	comp, err := pcpcomp.Dial(tb.PMCDAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("node: connecting to PMCD: %w", err)
+	}
+	if err := lib.Register(comp); err != nil {
+		return nil, nil, err
+	}
+	if gpus := n.AllGPUs(); len(gpus) > 0 {
+		if err := lib.Register(nvmlcomp.New(gpus)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if n.NIC != nil {
+		if err := lib.Register(ibcomp.New(n.NIC.Ports)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return lib, cleanup, nil
+}
+
+// Route selects how nest counters are read in an experiment.
+type Route int
+
+const (
+	// ViaPCP reads through the PMCD daemon (Summit's only option).
+	ViaPCP Route = iota
+	// Direct reads the counters as perf_uncore events (needs privilege).
+	Direct
+)
+
+// String implements fmt.Stringer.
+func (r Route) String() string {
+	if r == ViaPCP {
+		return "pcp"
+	}
+	return "perf_uncore"
+}
+
+// NestEventNames returns the fully qualified event names for every
+// (channel, direction) of socket 0, spelled for the chosen route —
+// exactly the Table I strings.
+func (tb *Testbed) NestEventNames(route Route) []string {
+	var out []string
+	for _, ev := range tb.Nodes[0].PMUs[0].Events() {
+		switch route {
+		case ViaPCP:
+			cpu := tb.Machine.HWThreadsPerSocket() - 1
+			out = append(out, fmt.Sprintf("pcp:::%s:cpu%d", ev.PCPMetricName(), cpu))
+		default:
+			out = append(out, ev.PerfUncoreName(0))
+		}
+	}
+	return out
+}

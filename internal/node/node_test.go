@@ -1,0 +1,180 @@
+package node
+
+import (
+	"errors"
+	"testing"
+
+	"papimc/internal/arch"
+	"papimc/internal/model"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+func summitTestbed(t *testing.T, noise bool) *Testbed {
+	t.Helper()
+	tb, err := NewTestbed(arch.Summit(), 1, Options{Seed: 1, DisableNoise: !noise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+	return tb
+}
+
+func TestNodeComposition(t *testing.T) {
+	tb := summitTestbed(t, false)
+	n := tb.Nodes[0]
+	if len(n.Mem) != 2 || len(n.PMUs) != 2 {
+		t.Errorf("sockets: %d controllers, %d PMUs", len(n.Mem), len(n.PMUs))
+	}
+	if got := len(n.AllGPUs()); got != 6 {
+		t.Errorf("GPUs = %d, want 6", got)
+	}
+	if n.NIC == nil || len(n.NIC.Ports) != 2 {
+		t.Error("NIC missing or wrong port count")
+	}
+}
+
+func TestTellicoNodeHasNoGPUsOrNIC(t *testing.T) {
+	tb, err := NewTestbed(arch.Tellico(), 1, Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if len(tb.Nodes[0].AllGPUs()) != 0 || tb.Nodes[0].NIC != nil {
+		t.Error("Tellico should have no GPUs or NIC")
+	}
+}
+
+func TestLibraryComponentsOnSummit(t *testing.T) {
+	tb := summitTestbed(t, false)
+	lib, cleanup, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	for _, name := range []string{"perf_uncore", "pcp", "nvml", "infiniband"} {
+		if _, err := lib.Component(name); err != nil {
+			t.Errorf("component %s missing: %v", name, err)
+		}
+	}
+	events, err := lib.AllEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 perf_uncore (2 sockets) + 32 pcp (both sockets exported by
+	// PMCD) + 6 nvml + 4 infiniband.
+	if len(events) != 74 {
+		t.Errorf("AllEvents = %d, want 74", len(events))
+	}
+}
+
+// On Summit the perf_uncore route must fail while PCP succeeds; on
+// Tellico both work — the access-control story of the paper.
+func TestRoutePermissions(t *testing.T) {
+	summit := summitTestbed(t, false)
+	lib, _, err := summit.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := lib.NewEventSet()
+	if err := direct.AddAll(summit.NestEventNames(Direct)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Start(); !errors.Is(err, papi.ErrPermission) {
+		t.Errorf("Summit direct route err = %v, want ErrPermission", err)
+	}
+	viaPCP := lib.NewEventSet()
+	if err := viaPCP.AddAll(summit.NestEventNames(ViaPCP)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaPCP.Start(); err != nil {
+		t.Fatalf("Summit PCP route failed: %v", err)
+	}
+	viaPCP.Stop()
+
+	tellico, err := NewTestbed(arch.Tellico(), 1, Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tellico.Close()
+	tlib, _, err := tellico.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdirect := tlib.NewEventSet()
+	if err := tdirect.AddAll(tellico.NestEventNames(Direct)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := tdirect.Start(); err != nil {
+		t.Fatalf("Tellico direct route failed: %v", err)
+	}
+	tdirect.Stop()
+}
+
+func TestNestEventNamesSpelling(t *testing.T) {
+	tb := summitTestbed(t, false)
+	pcpNames := tb.NestEventNames(ViaPCP)
+	if pcpNames[0] != "pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87" {
+		t.Errorf("PCP spelling = %q", pcpNames[0])
+	}
+	directNames := tb.NestEventNames(Direct)
+	if directNames[0] != "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0" {
+		t.Errorf("direct spelling = %q", directNames[0])
+	}
+	if len(pcpNames) != 16 || len(directNames) != 16 {
+		t.Error("wrong event counts")
+	}
+}
+
+// Playing model traffic must be fully visible to a PCP event set after
+// the clock advances past the sampling interval.
+func TestPlayMeasuredThroughPAPI(t *testing.T) {
+	tb := summitTestbed(t, false)
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := lib.NewEventSet()
+	if err := es.AddAll(tb.NestEventNames(ViaPCP)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tr := model.Traffic{ReadBytes: 1 << 22, WriteBytes: 1 << 21, Duration: 20 * simtime.Millisecond}
+	tb.Nodes[0].Play(0, tr, 8)
+	tb.Clock.Advance(50 * simtime.Millisecond)
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes uint64
+	for i, v := range vals {
+		if i%2 == 0 {
+			reads += v
+		} else {
+			writes += v
+		}
+	}
+	if reads != 1<<22 {
+		t.Errorf("measured reads = %d, want %d", reads, 1<<22)
+	}
+	if writes != 1<<21 {
+		t.Errorf("measured writes = %d, want %d", writes, 1<<21)
+	}
+}
+
+func TestPlayAdvancesClock(t *testing.T) {
+	tb := summitTestbed(t, false)
+	before := tb.Clock.Now()
+	tb.Nodes[0].Play(0, model.Traffic{ReadBytes: 64, Duration: simtime.Second}, 4)
+	if tb.Clock.Now().Sub(before) != simtime.Second {
+		t.Errorf("clock advanced by %v, want 1s", tb.Clock.Now().Sub(before))
+	}
+}
+
+func TestNewTestbedValidation(t *testing.T) {
+	if _, err := NewTestbed(arch.Summit(), 0, Options{}); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+}

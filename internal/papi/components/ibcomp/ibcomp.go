@@ -1,0 +1,129 @@
+// Package ibcomp implements PAPI's infiniband component: the HCA port
+// data counters of Table II (infiniband:::mlx5_[0|1]_1_ext:port_recv_data
+// and port_xmit_data). As on real hardware, the counters tick in 4-byte
+// words.
+package ibcomp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"papimc/internal/ib"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+// Component exposes a node's HCA port counters.
+type Component struct {
+	ports  []*ib.Port
+	byName map[string]*ib.Port
+}
+
+// New builds the component over the node's ports.
+func New(ports []*ib.Port) *Component {
+	c := &Component{ports: ports, byName: make(map[string]*ib.Port)}
+	for _, p := range ports {
+		c.byName[p.Name()] = p
+	}
+	return c
+}
+
+// Name implements papi.Component.
+func (c *Component) Name() string { return "infiniband" }
+
+func eventNames(p *ib.Port) []string {
+	return []string{p.Name() + ":port_recv_data", p.Name() + ":port_xmit_data"}
+}
+
+func info(name string) papi.EventInfo {
+	dir := "received"
+	if strings.HasSuffix(name, "xmit_data") {
+		dir = "transmitted"
+	}
+	return papi.EventInfo{
+		Name:        name,
+		Description: fmt.Sprintf("4-byte words %s on the port", dir),
+		Units:       "words(4B)",
+	}
+}
+
+// ListEvents implements papi.Component.
+func (c *Component) ListEvents() ([]papi.EventInfo, error) {
+	var out []papi.EventInfo
+	for _, p := range c.ports {
+		for _, n := range eventNames(p) {
+			out = append(out, info(n))
+		}
+	}
+	return out, nil
+}
+
+// parse resolves a native name to a port and direction.
+func (c *Component) parse(native string) (*ib.Port, bool, error) {
+	i := strings.LastIndex(native, ":")
+	if i < 0 {
+		return nil, false, fmt.Errorf("%w: %q", papi.ErrNoEvent, native)
+	}
+	port, ok := c.byName[native[:i]]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: unknown port in %q", papi.ErrNoEvent, native)
+	}
+	switch native[i+1:] {
+	case "port_recv_data":
+		return port, false, nil
+	case "port_xmit_data":
+		return port, true, nil
+	default:
+		return nil, false, fmt.Errorf("%w: unknown counter in %q", papi.ErrNoEvent, native)
+	}
+}
+
+// Describe implements papi.Component.
+func (c *Component) Describe(native string) (papi.EventInfo, error) {
+	if _, _, err := c.parse(native); err != nil {
+		return papi.EventInfo{}, err
+	}
+	return info(native), nil
+}
+
+// NewCounters implements papi.Component.
+func (c *Component) NewCounters(natives []string) (papi.Counters, error) {
+	set := &counters{}
+	for _, n := range natives {
+		port, xmit, err := c.parse(n)
+		if err != nil {
+			return nil, err
+		}
+		set.ports = append(set.ports, port)
+		set.xmit = append(set.xmit, xmit)
+	}
+	return set, nil
+}
+
+type counters struct {
+	ports  []*ib.Port
+	xmit   []bool
+	closed bool
+}
+
+func (s *counters) ReadAt(t simtime.Time) ([]uint64, error) {
+	if s.closed {
+		return nil, errors.New("ibcomp: counters closed")
+	}
+	out := make([]uint64, len(s.ports))
+	for i, p := range s.ports {
+		recv, xmit := p.Counters()
+		if s.xmit[i] {
+			out[i] = xmit
+		} else {
+			out[i] = recv
+		}
+	}
+	return out, nil
+}
+
+func (s *counters) Close() error {
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,81 @@
+package ibcomp
+
+import (
+	"errors"
+	"testing"
+
+	"papimc/internal/ib"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+func rig() (*Component, *ib.Endpoint) {
+	ep := ib.NewEndpoint(2, nil)
+	return New(ep.Ports), ep
+}
+
+func TestListEventsTableII(t *testing.T) {
+	c, _ := rig()
+	events, err := c.ListEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 { // 2 ports × 2 directions
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e.Name] = true
+	}
+	// Table II: infiniband:::mlx5_[0|1]_1_ext:port_recv_data.
+	for _, want := range []string{
+		"mlx5_0_1_ext:port_recv_data",
+		"mlx5_1_1_ext:port_recv_data",
+		"mlx5_0_1_ext:port_xmit_data",
+	} {
+		if !names[want] {
+			t.Errorf("missing event %q", want)
+		}
+	}
+}
+
+func TestDescribeErrors(t *testing.T) {
+	c, _ := rig()
+	for _, bad := range []string{"", "mlx5_0_1_ext", "mlx5_9_1_ext:port_recv_data", "mlx5_0_1_ext:bogus"} {
+		if _, err := c.Describe(bad); !errors.Is(err, papi.ErrNoEvent) {
+			t.Errorf("Describe(%q) err = %v", bad, err)
+		}
+	}
+}
+
+func TestCountersThroughEventSet(t *testing.T) {
+	c, ep := rig()
+	clock := simtime.NewClock()
+	lib := papi.NewLibrary(clock)
+	if err := lib.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	es := lib.NewEventSet()
+	if err := es.AddAll(
+		"infiniband:::mlx5_0_1_ext:port_recv_data",
+		"infiniband:::mlx5_0_1_ext:port_xmit_data",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ep.Ports[0].CountRecv(4000)
+	ep.Ports[0].CountXmit(8000)
+	vals, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counters tick in 4-byte words.
+	if vals[0] != 1000 || vals[1] != 2000 {
+		t.Errorf("vals = %v, want [1000 2000]", vals)
+	}
+	if _, err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package nvmlcomp implements PAPI's NVML component: instantaneous GPU
+// power readings (Table II: nvml:::Tesla_V100-SXM2-16GB:device_0:power),
+// reported in milliwatts as NVML does.
+package nvmlcomp
+
+import (
+	"errors"
+	"fmt"
+
+	"papimc/internal/gpu"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+// Component exposes the power sensors of a node's GPUs.
+type Component struct {
+	devices []*gpu.Device
+	byName  map[string]*gpu.Device
+}
+
+// New builds the component over the given devices.
+func New(devices []*gpu.Device) *Component {
+	c := &Component{devices: devices, byName: make(map[string]*gpu.Device)}
+	for _, d := range devices {
+		c.byName[d.EventName()] = d
+	}
+	return c
+}
+
+// Name implements papi.Component.
+func (c *Component) Name() string { return "nvml" }
+
+func info(d *gpu.Device) papi.EventInfo {
+	return papi.EventInfo{
+		Name:        d.EventName(),
+		Description: fmt.Sprintf("instantaneous power draw of GPU %d", d.Index()),
+		Units:       "mW",
+		Instant:     true,
+	}
+}
+
+// ListEvents implements papi.Component.
+func (c *Component) ListEvents() ([]papi.EventInfo, error) {
+	out := make([]papi.EventInfo, len(c.devices))
+	for i, d := range c.devices {
+		out[i] = info(d)
+	}
+	return out, nil
+}
+
+// Describe implements papi.Component.
+func (c *Component) Describe(native string) (papi.EventInfo, error) {
+	d, ok := c.byName[native]
+	if !ok {
+		return papi.EventInfo{}, fmt.Errorf("%w: %q", papi.ErrNoEvent, native)
+	}
+	return info(d), nil
+}
+
+// NewCounters implements papi.Component.
+func (c *Component) NewCounters(natives []string) (papi.Counters, error) {
+	set := &counters{}
+	for _, n := range natives {
+		d, ok := c.byName[n]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", papi.ErrNoEvent, n)
+		}
+		set.devices = append(set.devices, d)
+	}
+	return set, nil
+}
+
+type counters struct {
+	devices []*gpu.Device
+	closed  bool
+}
+
+func (s *counters) ReadAt(t simtime.Time) ([]uint64, error) {
+	if s.closed {
+		return nil, errors.New("nvmlcomp: counters closed")
+	}
+	out := make([]uint64, len(s.devices))
+	for i, d := range s.devices {
+		out[i] = d.PowerMilliwatts(t)
+	}
+	return out, nil
+}
+
+func (s *counters) Close() error {
+	s.closed = true
+	return nil
+}

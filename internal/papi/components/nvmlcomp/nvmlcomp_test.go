@@ -1,0 +1,83 @@
+package nvmlcomp
+
+import (
+	"errors"
+	"testing"
+
+	"papimc/internal/gpu"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+func rig() (*Component, []*gpu.Device, *simtime.Clock) {
+	clock := simtime.NewClock()
+	devs := []*gpu.Device{gpu.New(0, nil), gpu.New(1, nil), gpu.New(2, nil)}
+	return New(devs), devs, clock
+}
+
+func TestListAndDescribe(t *testing.T) {
+	c, _, _ := rig()
+	events, err := c.ListEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("len = %d, want 3", len(events))
+	}
+	// Table II spelling.
+	if events[0].Name != "Tesla_V100-SXM2-16GB:device_0:power" {
+		t.Errorf("name = %q", events[0].Name)
+	}
+	if !events[0].Instant {
+		t.Error("power must be an instant (level) event")
+	}
+	if events[0].Units != "mW" {
+		t.Errorf("units = %q", events[0].Units)
+	}
+	if _, err := c.Describe("Tesla_V100-SXM2-16GB:device_9:power"); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPowerLevelsThroughEventSet(t *testing.T) {
+	c, devs, clock := rig()
+	lib := papi.NewLibrary(clock)
+	if err := lib.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	es := lib.NewEventSet()
+	if err := es.Add("nvml:::Tesla_V100-SXM2-16GB:device_1:power"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != gpu.IdleMilliwatts {
+		t.Errorf("idle read = %d", vals[0])
+	}
+	// Start a kernel on device 1 and advance into it.
+	devs[1].Execute(gpu.Flops/100, clock.Now())
+	clock.Advance(simtime.Millisecond)
+	vals, err = es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instant semantics: the level, not a delta from Start.
+	if vals[0] != gpu.BusyMilliwatts {
+		t.Errorf("busy read = %d, want %d", vals[0], gpu.BusyMilliwatts)
+	}
+	if _, err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownEvent(t *testing.T) {
+	c, _, _ := rig()
+	if _, err := c.NewCounters([]string{"bogus"}); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package pcpcomp implements PAPI's PCP component: counters read
+// indirectly through the Performance Metrics Collector Daemon, so no
+// elevated privileges are needed. This is the paper's central artifact —
+// the route by which ordinary Summit users measure memory traffic.
+//
+// Event names follow Table I's spelling:
+//
+//	pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87
+//
+// where the trailing ":cpuNNN" qualifier selects the per-socket instance,
+// mapped onto the daemon's ".cpuNNN"-suffixed metric names.
+package pcpcomp
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"papimc/internal/papi"
+	"papimc/internal/pcp"
+	"papimc/internal/simtime"
+)
+
+// Component reads metrics from a PMCD daemon over its client connection.
+type Component struct {
+	client *pcp.Client
+}
+
+// New wraps an existing client connection.
+func New(client *pcp.Client) *Component { return &Component{client: client} }
+
+// Dial connects to a PMCD daemon and wraps the connection.
+func Dial(addr string) (*Component, error) {
+	c, err := pcp.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Component{client: c}, nil
+}
+
+// Name implements papi.Component.
+func (c *Component) Name() string { return "pcp" }
+
+// instanceSuffix matches the daemon's per-socket instance suffix.
+var instanceSuffix = regexp.MustCompile(`\.(cpu\d+)$`)
+
+// nativeToMetric converts the user-facing ":cpuNNN" qualifier spelling
+// into the daemon's ".cpuNNN" metric name.
+func nativeToMetric(native string) string {
+	if base, qual, ok := strings.Cut(native, ":"); ok && strings.HasPrefix(qual, "cpu") {
+		return base + "." + qual
+	}
+	return native
+}
+
+// metricToNative is the inverse, used when listing.
+func metricToNative(metric string) string {
+	if m := instanceSuffix.FindStringSubmatch(metric); m != nil {
+		return strings.TrimSuffix(metric, "."+m[1]) + ":" + m[1]
+	}
+	return metric
+}
+
+// ListEvents implements papi.Component by querying the daemon's
+// namespace.
+func (c *Component) ListEvents() ([]papi.EventInfo, error) {
+	entries, err := c.client.Names()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]papi.EventInfo, len(entries))
+	for i, e := range entries {
+		out[i] = papi.EventInfo{
+			Name:        metricToNative(e.Name),
+			Description: fmt.Sprintf("PCP metric %s", e.Name),
+			Units:       unitsFor(e.Name),
+		}
+	}
+	return out, nil
+}
+
+// unitsFor guesses display units from the metric name.
+func unitsFor(metric string) string {
+	switch {
+	case strings.Contains(metric, "BYTES"):
+		return "bytes"
+	case strings.Contains(metric, "power"):
+		return "mW"
+	default:
+		return ""
+	}
+}
+
+// Describe implements papi.Component.
+func (c *Component) Describe(native string) (papi.EventInfo, error) {
+	metric := nativeToMetric(native)
+	if _, err := c.client.Lookup(metric); err != nil {
+		return papi.EventInfo{}, fmt.Errorf("%w: %v", papi.ErrNoEvent, err)
+	}
+	return papi.EventInfo{
+		Name:        native,
+		Description: fmt.Sprintf("PCP metric %s", metric),
+		Units:       unitsFor(metric),
+	}, nil
+}
+
+// NewCounters implements papi.Component.
+func (c *Component) NewCounters(natives []string) (papi.Counters, error) {
+	pmids := make([]uint32, len(natives))
+	for i, n := range natives {
+		id, err := c.client.Lookup(nativeToMetric(n))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", papi.ErrNoEvent, err)
+		}
+		pmids[i] = id
+	}
+	return &counters{client: c.client, pmids: pmids}, nil
+}
+
+type counters struct {
+	client *pcp.Client
+	pmids  []uint32
+	closed bool
+}
+
+// ReadAt implements papi.Counters. The daemon decides the sampling
+// instant (its last collection tick); t is unused, which is precisely
+// the indirection the paper evaluates.
+func (s *counters) ReadAt(t simtime.Time) ([]uint64, error) {
+	if s.closed {
+		return nil, errors.New("pcpcomp: counters closed")
+	}
+	_ = t
+	res, err := s.client.Fetch(s.pmids)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Values) != len(s.pmids) {
+		return nil, fmt.Errorf("pcpcomp: daemon returned %d values for %d metrics", len(res.Values), len(s.pmids))
+	}
+	out := make([]uint64, len(res.Values))
+	for i, v := range res.Values {
+		if v.Status != pcp.StatusOK {
+			return nil, fmt.Errorf("pcpcomp: metric pmid %d failed with status %d", v.PMID, v.Status)
+		}
+		out[i] = v.Value
+	}
+	return out, nil
+}
+
+func (s *counters) Close() error {
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,207 @@
+package pcpcomp
+
+import (
+	"errors"
+	"testing"
+
+	"papimc/internal/arch"
+	"papimc/internal/mem"
+	"papimc/internal/nest"
+	"papimc/internal/papi"
+	"papimc/internal/papi/components/perfuncore"
+	"papimc/internal/pcp"
+	"papimc/internal/simtime"
+)
+
+// rig builds a Summit socket with an ideal controller, a PMCD daemon
+// exporting its nest counters, and a connected component.
+func rig(t *testing.T) (*Component, *mem.Controller, *simtime.Clock, *nest.PMU) {
+	t.Helper()
+	clock := simtime.NewClock()
+	m := arch.Summit()
+	ctl := mem.NewController(mem.Config{Channels: m.Socket.MBAChannels, DisableNoise: true}, clock)
+	pmu := nest.NewPMU(m, 0, ctl)
+	d, err := pcp.NewDaemon(clock, simtime.Millisecond, pcp.NestMetrics([]*nest.PMU{pmu}, nest.RootCredential()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	comp, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, ctl, clock, pmu
+}
+
+func TestQualifierMapping(t *testing.T) {
+	if got := nativeToMetric("a.b.value:cpu87"); got != "a.b.value.cpu87" {
+		t.Errorf("nativeToMetric = %q", got)
+	}
+	if got := nativeToMetric("a.b.value"); got != "a.b.value" {
+		t.Errorf("nativeToMetric plain = %q", got)
+	}
+	if got := metricToNative("a.b.value.cpu87"); got != "a.b.value:cpu87" {
+		t.Errorf("metricToNative = %q", got)
+	}
+	if got := metricToNative("a.b.value"); got != "a.b.value" {
+		t.Errorf("metricToNative plain = %q", got)
+	}
+}
+
+func TestListAndDescribeTableINames(t *testing.T) {
+	comp, _, _, _ := rig(t)
+	events, err := comp.ListEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 16 {
+		t.Fatalf("ListEvents len = %d, want 16", len(events))
+	}
+	// Table I, Summit row: the user-facing spelling with :cpu87.
+	name := "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87"
+	found := false
+	for _, e := range events {
+		if e.Name == name {
+			found = true
+			if e.Units != "bytes" {
+				t.Errorf("units = %q", e.Units)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Table I name %q not listed", name)
+	}
+	if _, err := comp.Describe(name); err != nil {
+		t.Errorf("Describe(%q): %v", name, err)
+	}
+	if _, err := comp.Describe("perfevent.no.such:cpu87"); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("unknown event err = %v", err)
+	}
+}
+
+func TestCountersSeeTrafficThroughDaemon(t *testing.T) {
+	comp, ctl, clock, _ := rig(t)
+	ctrs, err := comp.NewCounters([]string{
+		"perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+		"perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrs.Close()
+	ctl.AddTraffic(true, 0, 64*8, 0, 0)   // one tx per channel
+	ctl.AddTraffic(false, 0, 64*16, 0, 0) // two tx per channel
+	clock.Advance(10 * simtime.Millisecond)
+	vals, err := ctrs.ReadAt(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 64 || vals[1] != 128 {
+		t.Errorf("values = %v, want [64 128]", vals)
+	}
+}
+
+// TestPCPAgreesWithDirect is the paper's central claim in miniature:
+// the same hardware activity measured through the PCP component and
+// through perf_uncore yields identical totals (on an ideal, noise-free
+// counter; with noise they agree statistically, which the benchmark
+// harness demonstrates).
+func TestPCPAgreesWithDirect(t *testing.T) {
+	comp, ctl, clock, pmu := rig(t)
+	lib := papi.NewLibrary(clock)
+	if err := lib.Register(comp); err != nil {
+		t.Fatal(err)
+	}
+	direct := perfuncore.New([]*nest.PMU{pmu}, nest.RootCredential())
+	if err := lib.Register(direct); err != nil {
+		t.Fatal(err)
+	}
+
+	mkSet := func(via string) *papi.EventSet {
+		es := lib.NewEventSet()
+		for ch := 0; ch < 8; ch++ {
+			ev := nest.Event{Channel: ch}
+			var name string
+			if via == "pcp" {
+				name = "pcp:::" + ev.PCPMetricName() + ":cpu87"
+			} else {
+				name = ev.PerfUncoreName(0)
+			}
+			if err := es.Add(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return es
+	}
+	pcpSet, directSet := mkSet("pcp"), mkSet("direct")
+	if err := pcpSet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := directSet.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "kernel": 1 MiB of reads spread over simulated time.
+	ctl.AddTraffic(true, 0, 1<<20, clock.Now(), clock.Now())
+	clock.Advance(50 * simtime.Millisecond) // beyond the PCP sampling interval
+
+	sum := func(vs []uint64) (s uint64) {
+		for _, v := range vs {
+			s += v
+		}
+		return
+	}
+	pv, err := pcpSet.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := directSet.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(pv) != 1<<20 || sum(dv) != 1<<20 {
+		t.Errorf("pcp = %d, direct = %d, want both %d", sum(pv), sum(dv), 1<<20)
+	}
+}
+
+// An unprivileged Summit user can measure via PCP even though direct
+// access is denied — the motivation for the component.
+func TestPCPWorksWhereDirectIsDenied(t *testing.T) {
+	comp, _, clock, pmu := rig(t)
+	lib := papi.NewLibrary(clock)
+	userCred := nest.CredentialFor(arch.Summit()) // unprivileged
+	if err := lib.Register(perfuncore.New([]*nest.PMU{pmu}, userCred)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Register(comp); err != nil {
+		t.Fatal(err)
+	}
+	direct := lib.NewEventSet()
+	if err := direct.Add("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Start(); !errors.Is(err, papi.ErrPermission) {
+		t.Fatalf("direct start err = %v, want ErrPermission", err)
+	}
+	viaPCP := lib.NewEventSet()
+	if err := viaPCP.Add("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87"); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaPCP.Start(); err != nil {
+		t.Fatalf("PCP route failed for unprivileged user: %v", err)
+	}
+	if _, err := viaPCP.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCountersUnknownMetric(t *testing.T) {
+	comp, _, _, _ := rig(t)
+	if _, err := comp.NewCounters([]string{"nope.nope:cpu87"}); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("err = %v, want ErrNoEvent", err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package perfuncore implements PAPI's direct nest-counter component:
+// the perf_uncore route used on Tellico, where users hold elevated
+// privileges. Event names follow Table I's spelling
+// (power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0); the cpu qualifier selects
+// the socket whose nest is read.
+package perfuncore
+
+import (
+	"errors"
+	"fmt"
+
+	"papimc/internal/arch"
+	"papimc/internal/nest"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+// Component reads nest PMUs directly. Instantiating counters fails with
+// papi.ErrPermission when the credential is unprivileged — exactly the
+// failure an ordinary Summit user encounters, which is why the PCP
+// component exists.
+type Component struct {
+	pmus []*nest.PMU // indexed by socket
+	cred nest.Credential
+}
+
+// New builds the component over the given per-socket PMUs.
+func New(pmus []*nest.PMU, cred nest.Credential) *Component {
+	return &Component{pmus: pmus, cred: cred}
+}
+
+// Name implements papi.Component.
+func (c *Component) Name() string { return "perf_uncore" }
+
+func (c *Component) machine() arch.Machine { return c.pmus[0].Machine() }
+
+// ListEvents implements papi.Component: one entry per (socket, channel,
+// direction).
+func (c *Component) ListEvents() ([]papi.EventInfo, error) {
+	var out []papi.EventInfo
+	m := c.machine()
+	for socket := range c.pmus {
+		cpu := socket * m.HWThreadsPerSocket()
+		for _, ev := range c.pmus[socket].Events() {
+			out = append(out, c.info(ev, cpu))
+		}
+	}
+	return out, nil
+}
+
+func (c *Component) info(ev nest.Event, cpu int) papi.EventInfo {
+	dir := "read"
+	if ev.Write {
+		dir = "written"
+	}
+	return papi.EventInfo{
+		Name:        ev.PerfUncoreName(cpu),
+		Description: fmt.Sprintf("bytes %s on MBA channel %d of the socket owning cpu %d", dir, ev.Channel, cpu),
+		Units:       "bytes",
+	}
+}
+
+// parse resolves a native name to an event and socket.
+func (c *Component) parse(native string) (nest.Event, int, error) {
+	ev, cpu, err := nest.ParsePerfUncoreName(native)
+	if err != nil {
+		return nest.Event{}, 0, fmt.Errorf("%w: %v", papi.ErrNoEvent, err)
+	}
+	m := c.machine()
+	socket := m.SocketForCPU(cpu)
+	if socket < 0 || socket >= len(c.pmus) {
+		return nest.Event{}, 0, fmt.Errorf("%w: cpu %d does not map to a monitored socket", papi.ErrNoEvent, cpu)
+	}
+	if ev.Channel >= m.Socket.MBAChannels {
+		return nest.Event{}, 0, fmt.Errorf("%w: channel %d out of range", papi.ErrNoEvent, ev.Channel)
+	}
+	return ev, socket, nil
+}
+
+// Describe implements papi.Component.
+func (c *Component) Describe(native string) (papi.EventInfo, error) {
+	ev, socket, err := c.parse(native)
+	if err != nil {
+		return papi.EventInfo{}, err
+	}
+	info := c.info(ev, socket*c.machine().HWThreadsPerSocket())
+	info.Name = native
+	return info, nil
+}
+
+// NewCounters implements papi.Component.
+func (c *Component) NewCounters(natives []string) (papi.Counters, error) {
+	if !c.cred.Privileged() {
+		return nil, fmt.Errorf("%w: direct nest access requires elevated privileges (use the pcp component)", papi.ErrPermission)
+	}
+	set := &counters{comp: c}
+	for _, n := range natives {
+		ev, socket, err := c.parse(n)
+		if err != nil {
+			return nil, err
+		}
+		set.events = append(set.events, ev)
+		set.sockets = append(set.sockets, socket)
+	}
+	return set, nil
+}
+
+type counters struct {
+	comp    *Component
+	events  []nest.Event
+	sockets []int
+	closed  bool
+}
+
+// ReadAt implements papi.Counters: it batches per socket so each socket
+// incurs one measurement-overhead injection per read, like one
+// perf_event syscall reading a counter group.
+func (s *counters) ReadAt(t simtime.Time) ([]uint64, error) {
+	if s.closed {
+		return nil, errors.New("perfuncore: counters closed")
+	}
+	out := make([]uint64, len(s.events))
+	type batch struct {
+		events  []nest.Event
+		indices []int
+	}
+	batches := map[int]*batch{}
+	var order []int
+	for i, ev := range s.events {
+		sk := s.sockets[i]
+		b, ok := batches[sk]
+		if !ok {
+			b = &batch{}
+			batches[sk] = b
+			order = append(order, sk)
+		}
+		b.events = append(b.events, ev)
+		b.indices = append(b.indices, i)
+	}
+	for _, sk := range order {
+		b := batches[sk]
+		vals, err := s.comp.pmus[sk].ReadAll(b.events, s.comp.cred, t)
+		if err != nil {
+			if errors.Is(err, nest.ErrPermission) {
+				return nil, fmt.Errorf("%w: %v", papi.ErrPermission, err)
+			}
+			return nil, err
+		}
+		for j, idx := range b.indices {
+			out[idx] = vals[j]
+		}
+	}
+	return out, nil
+}
+
+func (s *counters) Close() error {
+	s.closed = true
+	return nil
+}

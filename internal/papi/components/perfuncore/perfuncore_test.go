@@ -1,0 +1,116 @@
+package perfuncore
+
+import (
+	"errors"
+	"testing"
+
+	"papimc/internal/arch"
+	"papimc/internal/mem"
+	"papimc/internal/nest"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+// rig builds a two-socket Tellico with ideal controllers.
+func rig(cred nest.Credential) (*Component, []*mem.Controller, *simtime.Clock) {
+	clock := simtime.NewClock()
+	m := arch.Tellico()
+	var pmus []*nest.PMU
+	var ctls []*mem.Controller
+	for s := 0; s < m.SocketsPerNode; s++ {
+		ctl := mem.NewController(mem.Config{Channels: m.Socket.MBAChannels, DisableNoise: true}, clock)
+		ctls = append(ctls, ctl)
+		pmus = append(pmus, nest.NewPMU(m, s, ctl))
+	}
+	return New(pmus, cred), ctls, clock
+}
+
+func TestListEventsBothSockets(t *testing.T) {
+	c, _, _ := rig(nest.RootCredential())
+	events, err := c.ListEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 32 { // 2 sockets × 8 channels × 2 directions
+		t.Fatalf("ListEvents len = %d, want 32", len(events))
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		names[e.Name] = true
+		if e.Units != "bytes" {
+			t.Errorf("event %s units = %q", e.Name, e.Units)
+		}
+	}
+	if !names["power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"] {
+		t.Error("socket-0 event missing")
+	}
+	// Tellico: 16 cores × 4 SMT = 64 threads/socket, so socket 1 starts
+	// at cpu 64.
+	if !names["power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=64"] {
+		t.Error("socket-1 event missing")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c, _, _ := rig(nest.RootCredential())
+	info, err := c.Describe("power9_nest_mba3::PM_MBA3_WRITE_BYTES:cpu=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Instant {
+		t.Error("nest counters must not be instant events")
+	}
+	if _, err := c.Describe("power9_nest_mba9::PM_MBA9_READ_BYTES:cpu=0"); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("bad channel err = %v", err)
+	}
+	if _, err := c.Describe("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=999"); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("bad cpu err = %v", err)
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	c, _, _ := rig(nest.UserCredential())
+	_, err := c.NewCounters([]string{"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"})
+	if !errors.Is(err, papi.ErrPermission) {
+		t.Errorf("err = %v, want papi.ErrPermission", err)
+	}
+}
+
+func TestCountersReadPerSocket(t *testing.T) {
+	c, ctls, clock := rig(nest.RootCredential())
+	// Socket 0: 640 read bytes on channel 0; socket 1: 1280 on channel 0.
+	ctls[0].AddTraffic(true, 0, 640, 0, 0)
+	ctls[1].AddTraffic(true, 0, 1280, 0, 0)
+	ctrs, err := c.NewCounters([]string{
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0",
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrs.Close()
+	vals, err := ctrs.ReadAt(clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 640 bytes = 10 tx interleaved over 8 channels: channel 0 gets 2 tx.
+	if vals[0] != 128 {
+		t.Errorf("socket0 ch0 = %d, want 128", vals[0])
+	}
+	// 1280 bytes = 20 tx: channels 0-3 get 3 tx, rest 2; ch0 = 192.
+	if vals[1] != 192 {
+		t.Errorf("socket1 ch0 = %d, want 192", vals[1])
+	}
+}
+
+func TestReadAfterClose(t *testing.T) {
+	c, _, clock := rig(nest.RootCredential())
+	ctrs, err := c.NewCounters([]string{"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs.Close()
+	if _, err := ctrs.ReadAt(clock.Now()); err == nil {
+		t.Error("expected error reading closed counters")
+	}
+}

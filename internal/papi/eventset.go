@@ -1,0 +1,236 @@
+package papi
+
+import (
+	"fmt"
+
+	"papimc/internal/simtime"
+)
+
+// addedEvent records one event added to an EventSet.
+type addedEvent struct {
+	full     string
+	compName string
+	native   string
+	info     EventInfo
+}
+
+// compGroup is the instantiated counters of one component within a
+// running EventSet, plus the positions its values map back to.
+type compGroup struct {
+	counters Counters
+	indices  []int // position of each native value in the EventSet order
+	instant  []bool
+}
+
+// EventSet mirrors PAPI's event-set lifecycle: add events (possibly from
+// several components), Start, Read any number of times (values
+// accumulate since Start, except instant events which report levels),
+// Stop, optionally Reset and go again.
+type EventSet struct {
+	lib     *Library
+	events  []addedEvent
+	groups  []compGroup
+	running bool
+	closed  bool
+	base    []uint64
+	startT  simtime.Time
+}
+
+// NewEventSet creates an empty event set.
+func (l *Library) NewEventSet() *EventSet {
+	return &EventSet{lib: l}
+}
+
+// Add appends a fully qualified event. It fails while the set runs.
+func (es *EventSet) Add(full string) error {
+	if es.closed {
+		return ErrClosedEventSet
+	}
+	if es.running {
+		return ErrIsRunning
+	}
+	compName, native := SplitEventName(full)
+	_, info, err := es.lib.resolve(full)
+	if err != nil {
+		return err
+	}
+	es.events = append(es.events, addedEvent{full: full, compName: compName, native: native, info: info})
+	return nil
+}
+
+// AddAll adds several events, stopping at the first failure.
+func (es *EventSet) AddAll(fulls ...string) error {
+	for _, f := range fulls {
+		if err := es.Add(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EventNames returns the fully qualified names in value order.
+func (es *EventSet) EventNames() []string {
+	out := make([]string, len(es.events))
+	for i, e := range es.events {
+		out[i] = e.full
+	}
+	return out
+}
+
+// Len returns the number of events in the set.
+func (es *EventSet) Len() int { return len(es.events) }
+
+// Start instantiates the counters and snapshots the baseline.
+func (es *EventSet) Start() error {
+	if es.closed {
+		return ErrClosedEventSet
+	}
+	if es.running {
+		return ErrIsRunning
+	}
+	if len(es.events) == 0 {
+		return ErrEmptyEventSet
+	}
+	// Group natives by component, preserving per-component order.
+	type build struct {
+		natives []string
+		indices []int
+		instant []bool
+	}
+	builds := map[string]*build{}
+	var order []string
+	for i, e := range es.events {
+		b, ok := builds[e.compName]
+		if !ok {
+			b = &build{}
+			builds[e.compName] = b
+			order = append(order, e.compName)
+		}
+		b.natives = append(b.natives, e.native)
+		b.indices = append(b.indices, i)
+		b.instant = append(b.instant, e.info.Instant)
+	}
+	var groups []compGroup
+	for _, compName := range order {
+		b := builds[compName]
+		comp := es.lib.comps[compName]
+		ctrs, err := comp.NewCounters(b.natives)
+		if err != nil {
+			for _, g := range groups {
+				g.counters.Close()
+			}
+			return fmt.Errorf("papi: starting %s counters: %w", compName, err)
+		}
+		groups = append(groups, compGroup{counters: ctrs, indices: b.indices, instant: b.instant})
+	}
+	es.groups = groups
+	es.startT = es.lib.clock.Now()
+	base, err := es.rawRead(es.startT)
+	if err != nil {
+		es.teardown()
+		return err
+	}
+	es.base = base
+	es.running = true
+	return nil
+}
+
+// rawRead gathers raw values from every group into event order.
+func (es *EventSet) rawRead(t simtime.Time) ([]uint64, error) {
+	out := make([]uint64, len(es.events))
+	for _, g := range es.groups {
+		vals, err := g.counters.ReadAt(t)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(g.indices) {
+			return nil, fmt.Errorf("papi: component returned %d values for %d events", len(vals), len(g.indices))
+		}
+		for i, idx := range g.indices {
+			out[idx] = vals[i]
+		}
+	}
+	return out, nil
+}
+
+// Read returns the current values: deltas since Start for counter
+// events, current levels for instant events.
+func (es *EventSet) Read() ([]uint64, error) {
+	if es.closed {
+		return nil, ErrClosedEventSet
+	}
+	if !es.running {
+		return nil, ErrNotRunning
+	}
+	raw, err := es.rawRead(es.lib.clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(raw))
+	for i, v := range raw {
+		if es.events[i].info.Instant {
+			out[i] = v
+			continue
+		}
+		if v < es.base[i] {
+			// A counter moved backwards: treat as wrap/reset and
+			// report the raw value rather than a huge delta.
+			out[i] = v
+			continue
+		}
+		out[i] = v - es.base[i]
+	}
+	return out, nil
+}
+
+// Reset re-baselines the running set so subsequent Reads count from now.
+func (es *EventSet) Reset() error {
+	if es.closed {
+		return ErrClosedEventSet
+	}
+	if !es.running {
+		return ErrNotRunning
+	}
+	base, err := es.rawRead(es.lib.clock.Now())
+	if err != nil {
+		return err
+	}
+	es.base = base
+	return nil
+}
+
+// Stop reads final values and stops the set. The set can be started
+// again.
+func (es *EventSet) Stop() ([]uint64, error) {
+	if es.closed {
+		return nil, ErrClosedEventSet
+	}
+	if !es.running {
+		return nil, ErrNotRunning
+	}
+	vals, err := es.Read()
+	es.teardown()
+	es.running = false
+	return vals, err
+}
+
+func (es *EventSet) teardown() {
+	for _, g := range es.groups {
+		g.counters.Close()
+	}
+	es.groups = nil
+	es.base = nil
+}
+
+// Close releases the set permanently.
+func (es *EventSet) Close() error {
+	if es.closed {
+		return nil
+	}
+	if es.running {
+		es.teardown()
+		es.running = false
+	}
+	es.closed = true
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package papi is the heart of this reproduction: a PAPI-like
+// performance-measurement library with the multi-component architecture
+// the paper demonstrates. Components plug diverse counter sources —
+// direct nest (perf_uncore) access, the PCP daemon, GPU power (NVML),
+// InfiniBand port counters — behind one homogeneous EventSet API, so an
+// application can monitor all of them simultaneously with a single
+// instrumentation layer (Figs. 11 and 12).
+//
+// Event names follow PAPI's convention: "component:::native_event" for
+// non-CPU components (pcp:::…, nvml:::…, infiniband:::…) and bare native
+// names for the default CPU/uncore component (power9_nest_mba0::…).
+package papi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"papimc/internal/simtime"
+)
+
+// Errors returned by the library; they mirror PAPI's error codes.
+var (
+	ErrNoComponent    = errors.New("papi: no such component")
+	ErrNoEvent        = errors.New("papi: no such event")
+	ErrIsRunning      = errors.New("papi: event set is running")
+	ErrNotRunning     = errors.New("papi: event set is not running")
+	ErrEmptyEventSet  = errors.New("papi: event set is empty")
+	ErrPermission     = errors.New("papi: permission denied")
+	ErrDupeComponent  = errors.New("papi: component already registered")
+	ErrClosedEventSet = errors.New("papi: event set is closed")
+)
+
+// EventInfo describes one available native event.
+type EventInfo struct {
+	// Name is the fully qualified name as the user writes it.
+	Name        string
+	Description string
+	Units       string
+	// Instant marks level-style events (e.g. GPU power in mW) that are
+	// reported as-is rather than as a delta from Start.
+	Instant bool
+}
+
+// Component is a pluggable source of hardware counters.
+type Component interface {
+	// Name returns the component identifier used in event prefixes
+	// ("pcp", "nvml", "infiniband"); the default CPU/uncore component
+	// returns "perf_uncore".
+	Name() string
+	// ListEvents enumerates the available native events.
+	ListEvents() ([]EventInfo, error)
+	// Describe resolves one native event name.
+	Describe(native string) (EventInfo, error)
+	// NewCounters instantiates counters for the given native events.
+	NewCounters(natives []string) (Counters, error)
+}
+
+// Counters is an instantiated group of native counters.
+type Counters interface {
+	// ReadAt returns the raw (monotonic, for non-instant events) values
+	// at simulated time t, in the order the events were passed to
+	// NewCounters.
+	ReadAt(t simtime.Time) ([]uint64, error)
+	Close() error
+}
+
+// defaultComponent is the component used for event names without a
+// ":::" prefix, like PAPI's CPU component.
+const defaultComponent = "perf_uncore"
+
+// Library is the component registry plus the simulated clock that stands
+// in for real time.
+type Library struct {
+	clock *simtime.Clock
+	comps map[string]Component
+	order []string
+}
+
+// NewLibrary builds an empty library reading time from clock.
+func NewLibrary(clock *simtime.Clock) *Library {
+	return &Library{clock: clock, comps: make(map[string]Component)}
+}
+
+// Clock returns the library's simulated clock.
+func (l *Library) Clock() *simtime.Clock { return l.clock }
+
+// Register adds a component. Component names must be unique.
+func (l *Library) Register(c Component) error {
+	name := c.Name()
+	if _, dup := l.comps[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDupeComponent, name)
+	}
+	l.comps[name] = c
+	l.order = append(l.order, name)
+	return nil
+}
+
+// Components returns the registered components in registration order.
+func (l *Library) Components() []Component {
+	out := make([]Component, len(l.order))
+	for i, n := range l.order {
+		out[i] = l.comps[n]
+	}
+	return out
+}
+
+// Component looks up a component by name.
+func (l *Library) Component(name string) (Component, error) {
+	c, ok := l.comps[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoComponent, name)
+	}
+	return c, nil
+}
+
+// SplitEventName splits a fully qualified event name into component and
+// native parts. Names without ":::" belong to the default (CPU/uncore)
+// component.
+func SplitEventName(full string) (component, native string) {
+	if comp, nat, ok := strings.Cut(full, ":::"); ok {
+		return comp, nat
+	}
+	return defaultComponent, full
+}
+
+// resolve maps a fully qualified event name to its component and info.
+func (l *Library) resolve(full string) (Component, EventInfo, error) {
+	compName, native := SplitEventName(full)
+	c, ok := l.comps[compName]
+	if !ok {
+		return nil, EventInfo{}, fmt.Errorf("%w: %q (for event %q)", ErrNoComponent, compName, full)
+	}
+	info, err := c.Describe(native)
+	if err != nil {
+		return nil, EventInfo{}, fmt.Errorf("papi: event %q: %w", full, err)
+	}
+	return c, info, nil
+}
+
+// DescribeEvent resolves a fully qualified event name.
+func (l *Library) DescribeEvent(full string) (EventInfo, error) {
+	_, info, err := l.resolve(full)
+	return info, err
+}
+
+// AllEvents lists every event of every component, qualified with the
+// component prefix, sorted by name.
+func (l *Library) AllEvents() ([]EventInfo, error) {
+	var out []EventInfo
+	for _, name := range l.order {
+		events, err := l.comps[name].ListEvents()
+		if err != nil {
+			return nil, fmt.Errorf("papi: listing %s: %w", name, err)
+		}
+		for _, e := range events {
+			q := e
+			if name != defaultComponent {
+				q.Name = name + ":::" + e.Name
+			}
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

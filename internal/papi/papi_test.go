@@ -1,0 +1,334 @@
+package papi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"papimc/internal/simtime"
+)
+
+// mockComponent is a scriptable in-memory component.
+type mockComponent struct {
+	name    string
+	events  map[string]EventInfo
+	values  map[string]uint64
+	failNew error
+}
+
+func newMock(name string) *mockComponent {
+	return &mockComponent{
+		name:   name,
+		events: map[string]EventInfo{},
+		values: map[string]uint64{},
+	}
+}
+
+func (m *mockComponent) addEvent(native string, instant bool) {
+	m.events[native] = EventInfo{Name: native, Instant: instant}
+}
+
+func (m *mockComponent) Name() string { return m.name }
+
+func (m *mockComponent) ListEvents() ([]EventInfo, error) {
+	var out []EventInfo
+	for _, e := range m.events {
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func (m *mockComponent) Describe(native string) (EventInfo, error) {
+	e, ok := m.events[native]
+	if !ok {
+		return EventInfo{}, fmt.Errorf("%w: %q", ErrNoEvent, native)
+	}
+	return e, nil
+}
+
+func (m *mockComponent) NewCounters(natives []string) (Counters, error) {
+	if m.failNew != nil {
+		return nil, m.failNew
+	}
+	for _, n := range natives {
+		if _, ok := m.events[n]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoEvent, n)
+		}
+	}
+	return &mockCounters{comp: m, natives: natives}, nil
+}
+
+type mockCounters struct {
+	comp    *mockComponent
+	natives []string
+	closed  bool
+}
+
+func (c *mockCounters) ReadAt(t simtime.Time) ([]uint64, error) {
+	out := make([]uint64, len(c.natives))
+	for i, n := range c.natives {
+		out[i] = c.comp.values[n]
+	}
+	return out, nil
+}
+
+func (c *mockCounters) Close() error { c.closed = true; return nil }
+
+func newTestLib(t *testing.T) (*Library, *mockComponent, *mockComponent) {
+	t.Helper()
+	lib := NewLibrary(simtime.NewClock())
+	cpu := newMock("perf_uncore")
+	cpu.addEvent("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0", false)
+	cpu.addEvent("power9_nest_mba0::PM_MBA0_WRITE_BYTES:cpu=0", false)
+	aux := newMock("nvml")
+	aux.addEvent("Tesla_V100:device_0:power", true)
+	if err := lib.Register(cpu); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Register(aux); err != nil {
+		t.Fatal(err)
+	}
+	return lib, cpu, aux
+}
+
+func TestSplitEventName(t *testing.T) {
+	c, n := SplitEventName("pcp:::a.b.c:cpu87")
+	if c != "pcp" || n != "a.b.c:cpu87" {
+		t.Errorf("split = %q/%q", c, n)
+	}
+	c, n = SplitEventName("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0")
+	if c != "perf_uncore" || n != "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0" {
+		t.Errorf("default split = %q/%q", c, n)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	lib := NewLibrary(simtime.NewClock())
+	if err := lib.Register(newMock("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Register(newMock("x")); !errors.Is(err, ErrDupeComponent) {
+		t.Errorf("err = %v, want ErrDupeComponent", err)
+	}
+}
+
+func TestComponentLookup(t *testing.T) {
+	lib, _, _ := newTestLib(t)
+	if _, err := lib.Component("nvml"); err != nil {
+		t.Error(err)
+	}
+	if _, err := lib.Component("cuda"); !errors.Is(err, ErrNoComponent) {
+		t.Errorf("err = %v, want ErrNoComponent", err)
+	}
+	if got := len(lib.Components()); got != 2 {
+		t.Errorf("Components() len = %d, want 2", got)
+	}
+}
+
+func TestAllEventsQualified(t *testing.T) {
+	lib, _, _ := newTestLib(t)
+	events, err := lib.AllEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("AllEvents len = %d, want 3", len(events))
+	}
+	var sawQualified, sawBare bool
+	for _, e := range events {
+		if e.Name == "nvml:::Tesla_V100:device_0:power" {
+			sawQualified = true
+		}
+		if e.Name == "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0" {
+			sawBare = true
+		}
+	}
+	if !sawQualified || !sawBare {
+		t.Errorf("qualification wrong: %+v", events)
+	}
+}
+
+func TestEventSetLifecycle(t *testing.T) {
+	lib, cpu, aux := newTestLib(t)
+	es := lib.NewEventSet()
+	if err := es.AddAll(
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0",
+		"nvml:::Tesla_V100:device_0:power",
+	); err != nil {
+		t.Fatal(err)
+	}
+	cpu.values["power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"] = 1000
+	aux.values["Tesla_V100:device_0:power"] = 300_000 // 300 W in mW
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Counter grows by 500; power level changes.
+	cpu.values["power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"] = 1500
+	aux.values["Tesla_V100:device_0:power"] = 250_000
+	vals, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 500 {
+		t.Errorf("counter delta = %d, want 500", vals[0])
+	}
+	if vals[1] != 250_000 {
+		t.Errorf("instant value = %d, want 250000 (levels are not deltas)", vals[1])
+	}
+	final, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final[0] != 500 {
+		t.Errorf("final counter = %d, want 500", final[0])
+	}
+	// Restartable: baseline re-snapshots.
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err = es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0 {
+		t.Errorf("restarted counter = %d, want 0", vals[0])
+	}
+	es.Close()
+}
+
+func TestEventSetReset(t *testing.T) {
+	lib, cpu, _ := newTestLib(t)
+	es := lib.NewEventSet()
+	name := "power9_nest_mba0::PM_MBA0_WRITE_BYTES:cpu=0"
+	if err := es.Add(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cpu.values[name] = 100
+	if err := es.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	cpu.values[name] = 130
+	vals, _ := es.Read()
+	if vals[0] != 30 {
+		t.Errorf("post-reset delta = %d, want 30", vals[0])
+	}
+}
+
+func TestEventSetStateErrors(t *testing.T) {
+	lib, _, _ := newTestLib(t)
+	es := lib.NewEventSet()
+	if err := es.Start(); !errors.Is(err, ErrEmptyEventSet) {
+		t.Errorf("empty start err = %v", err)
+	}
+	if _, err := es.Read(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("read-before-start err = %v", err)
+	}
+	if _, err := es.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("stop-before-start err = %v", err)
+	}
+	if err := es.Add("nvml:::Tesla_V100:device_0:power"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Add("nvml:::Tesla_V100:device_0:power"); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("add-while-running err = %v", err)
+	}
+	if err := es.Start(); !errors.Is(err, ErrIsRunning) {
+		t.Errorf("double start err = %v", err)
+	}
+	es.Close()
+	if _, err := es.Read(); !errors.Is(err, ErrClosedEventSet) {
+		t.Errorf("read-after-close err = %v", err)
+	}
+	if err := es.Add("x"); !errors.Is(err, ErrClosedEventSet) {
+		t.Errorf("add-after-close err = %v", err)
+	}
+}
+
+func TestAddUnknownEvent(t *testing.T) {
+	lib, _, _ := newTestLib(t)
+	es := lib.NewEventSet()
+	if err := es.Add("nvml:::no_such_event"); !errors.Is(err, ErrNoEvent) {
+		t.Errorf("err = %v, want ErrNoEvent", err)
+	}
+	if err := es.Add("ghost:::event"); !errors.Is(err, ErrNoComponent) {
+		t.Errorf("err = %v, want ErrNoComponent", err)
+	}
+}
+
+func TestStartFailureClosesEarlierGroups(t *testing.T) {
+	lib, _, aux := newTestLib(t)
+	aux.failNew = errors.New("device lost")
+	es := lib.NewEventSet()
+	if err := es.AddAll(
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0",
+		"nvml:::Tesla_V100:device_0:power",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err == nil {
+		t.Fatal("expected start failure")
+	}
+	// The set must be restartable after the failure is fixed.
+	aux.failNew = nil
+	if err := es.Start(); err != nil {
+		t.Errorf("restart after failure: %v", err)
+	}
+}
+
+func TestValueOrderMatchesAddOrder(t *testing.T) {
+	lib, cpu, aux := newTestLib(t)
+	cpu.values["power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"] = 0
+	aux.values["Tesla_V100:device_0:power"] = 77
+	es := lib.NewEventSet()
+	// Interleave components to check index mapping.
+	if err := es.AddAll(
+		"nvml:::Tesla_V100:device_0:power",
+		"power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0",
+		"power9_nest_mba0::PM_MBA0_WRITE_BYTES:cpu=0",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cpu.values["power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"] = 5
+	cpu.values["power9_nest_mba0::PM_MBA0_WRITE_BYTES:cpu=0"] = 9
+	vals, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 77 || vals[1] != 5 || vals[2] != 9 {
+		t.Errorf("values = %v, want [77 5 9]", vals)
+	}
+	names := es.EventNames()
+	if names[0] != "nvml:::Tesla_V100:device_0:power" || es.Len() != 3 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestCounterWrapReportsRaw(t *testing.T) {
+	lib, cpu, _ := newTestLib(t)
+	name := "power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"
+	cpu.values[name] = 1000
+	es := lib.NewEventSet()
+	if err := es.Add(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cpu.values[name] = 10 // counter reset underneath us
+	vals, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 10 {
+		t.Errorf("wrapped counter = %d, want raw 10", vals[0])
+	}
+}

@@ -1,0 +1,143 @@
+package pcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is an unprivileged connection to a PMCD daemon. It is safe for
+// concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	names map[string]uint32 // lazily populated name table
+}
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string) (*Client, error) { return DialRaw(addr, Magic) }
+
+// DialRaw connects using the given handshake magic; it exists so tests
+// can exercise the daemon's rejection of unknown protocols.
+func DialRaw(addr, magic string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pcp: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if _, err := c.bw.WriteString(magic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	echo := make([]byte, len(Magic))
+	if _, err := ioReadFull(c.br, echo); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("pcp: handshake: %w", err)
+	}
+	if string(echo) != Magic {
+		conn.Close()
+		return nil, fmt.Errorf("%w: bad handshake %q", ErrProtocol, echo)
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request PDU and decodes the reply, surfacing
+// daemon-side error PDUs as Go errors.
+func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writePDU(c.bw, reqType, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, resp, err := readPDU(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if typ == pduError {
+		msg, derr := decodeError(resp)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("pcp: daemon error: %s", msg)
+	}
+	if typ != wantType {
+		return nil, fmt.Errorf("%w: expected PDU %d, got %d", ErrProtocol, wantType, typ)
+	}
+	return resp, nil
+}
+
+// Names fetches the daemon's metric table.
+func (c *Client) Names() ([]NameEntry, error) {
+	resp, err := c.roundTrip(pduNamesReq, nil, pduNamesResp)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := decodeNamesResp(resp)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.names = make(map[string]uint32, len(entries))
+	for _, e := range entries {
+		c.names[e.Name] = e.PMID
+	}
+	c.mu.Unlock()
+	return entries, nil
+}
+
+// Fetch retrieves values for the given PMIDs.
+func (c *Client) Fetch(pmids []uint32) (FetchResult, error) {
+	resp, err := c.roundTrip(pduFetchReq, encodeFetchReq(pmids), pduFetchResp)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	return decodeFetchResp(resp)
+}
+
+// Lookup resolves a metric name to its PMID, fetching the name table on
+// first use.
+func (c *Client) Lookup(name string) (uint32, error) {
+	c.mu.Lock()
+	cached := c.names
+	c.mu.Unlock()
+	if cached == nil {
+		if _, err := c.Names(); err != nil {
+			return 0, err
+		}
+		c.mu.Lock()
+		cached = c.names
+		c.mu.Unlock()
+	}
+	id, ok := cached[name]
+	if !ok {
+		return 0, fmt.Errorf("pcp: unknown metric %q", name)
+	}
+	return id, nil
+}
+
+// FetchByName resolves and fetches the named metrics in order.
+func (c *Client) FetchByName(names ...string) (FetchResult, error) {
+	pmids := make([]uint32, len(names))
+	for i, n := range names {
+		id, err := c.Lookup(n)
+		if err != nil {
+			return FetchResult{}, err
+		}
+		pmids[i] = id
+	}
+	return c.Fetch(pmids)
+}

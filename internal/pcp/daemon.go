@@ -1,0 +1,233 @@
+package pcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"papimc/internal/simtime"
+)
+
+// Metric is one exported metric: a name and a privileged read function.
+type Metric struct {
+	Name string
+	// Read returns the metric value as of simulated time t. The daemon
+	// holds whatever credential Read needs; clients never do.
+	Read func(t simtime.Time) (uint64, error)
+}
+
+// Daemon is the PMCD analogue: it samples its metrics at a fixed
+// interval of simulated time and serves the latest sample to clients.
+type Daemon struct {
+	clock    *simtime.Clock
+	interval simtime.Duration
+
+	mu         sync.Mutex
+	metrics    []Metric // sorted by name; PMID = index+1
+	byName     map[string]uint32
+	lastSample simtime.Time
+	sampled    bool
+	cache      []FetchValue
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// NewDaemon builds a daemon sampling the given metrics every interval.
+// Metric names must be unique; PMIDs are assigned in sorted-name order.
+func NewDaemon(clock *simtime.Clock, interval simtime.Duration, metrics []Metric) (*Daemon, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("pcp: non-positive sample interval %d", interval)
+	}
+	ms := append([]Metric(nil), metrics...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	byName := make(map[string]uint32, len(ms))
+	for i, m := range ms {
+		if m.Read == nil {
+			return nil, fmt.Errorf("pcp: metric %q has no reader", m.Name)
+		}
+		if _, dup := byName[m.Name]; dup {
+			return nil, fmt.Errorf("pcp: duplicate metric %q", m.Name)
+		}
+		byName[m.Name] = uint32(i + 1)
+	}
+	return &Daemon{
+		clock:    clock,
+		interval: interval,
+		metrics:  ms,
+		byName:   byName,
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Names returns the daemon's metric table.
+func (d *Daemon) Names() []NameEntry {
+	out := make([]NameEntry, len(d.metrics))
+	for i, m := range d.metrics {
+		out[i] = NameEntry{PMID: uint32(i + 1), Name: m.Name}
+	}
+	return out
+}
+
+// sample refreshes the cached values if the sampling interval has
+// elapsed (or nothing has been sampled yet), and returns the cache.
+func (d *Daemon) sample() (simtime.Time, []FetchValue) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	if !d.sampled || now.Sub(d.lastSample) >= d.interval {
+		vals := make([]FetchValue, len(d.metrics))
+		for i, m := range d.metrics {
+			v, err := m.Read(now)
+			if err != nil {
+				vals[i] = FetchValue{PMID: uint32(i + 1), Status: StatusValueError}
+				continue
+			}
+			vals[i] = FetchValue{PMID: uint32(i + 1), Status: StatusOK, Value: v}
+		}
+		d.cache = vals
+		d.lastSample = now
+		d.sampled = true
+	}
+	return d.lastSample, d.cache
+}
+
+// Fetch returns the daemon's current view of the requested PMIDs. It is
+// exported for in-process use and exercised by the network handler.
+func (d *Daemon) Fetch(pmids []uint32) FetchResult {
+	ts, cache := d.sample()
+	res := FetchResult{Timestamp: int64(ts)}
+	for _, id := range pmids {
+		if id == 0 || int(id) > len(cache) {
+			res.Values = append(res.Values, FetchValue{PMID: id, Status: StatusNoSuchPMID})
+			continue
+		}
+		res.Values = append(res.Values, cache[id-1])
+	}
+	return res
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves clients in the
+// background until Close. It returns the bound address.
+func (d *Daemon) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pcp: listen: %w", err)
+	}
+	d.ln = ln
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			select {
+			case <-d.closed:
+				return
+			default:
+				// Transient accept errors: keep serving.
+				continue
+			}
+		}
+		d.connMu.Lock()
+		d.conns[conn] = struct{}{}
+		d.connMu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer func() {
+				conn.Close()
+				d.connMu.Lock()
+				delete(d.conns, conn)
+				d.connMu.Unlock()
+			}()
+			d.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client connection: handshake, then a
+// request/response loop.
+func (d *Daemon) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	// Handshake: client sends Magic, daemon echoes it.
+	magic := make([]byte, len(Magic))
+	if _, err := ioReadFull(br, magic); err != nil || string(magic) != Magic {
+		return
+	}
+	if _, err := bw.WriteString(Magic); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	for {
+		typ, payload, err := readPDU(br)
+		if err != nil {
+			return
+		}
+		var respType uint8
+		var resp []byte
+		switch typ {
+		case pduNamesReq:
+			respType, resp = pduNamesResp, encodeNamesResp(d.Names())
+		case pduFetchReq:
+			pmids, err := decodeFetchReq(payload)
+			if err != nil {
+				respType, resp = pduError, encodeError(err.Error())
+				break
+			}
+			respType, resp = pduFetchResp, encodeFetchResp(d.Fetch(pmids))
+		default:
+			respType, resp = pduError, encodeError(fmt.Sprintf("unknown PDU type %d", typ))
+		}
+		if err := writePDU(bw, respType, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener, disconnects clients, and waits for
+// connection handlers to finish.
+func (d *Daemon) Close() error {
+	close(d.closed)
+	var err error
+	if d.ln != nil {
+		err = d.ln.Close()
+	}
+	d.connMu.Lock()
+	for conn := range d.conns {
+		conn.Close()
+	}
+	d.connMu.Unlock()
+	d.wg.Wait()
+	return err
+}
+
+// ioReadFull is io.ReadFull; indirected for readability alongside bufio.
+func ioReadFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

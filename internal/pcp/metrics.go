@@ -1,0 +1,42 @@
+package pcp
+
+import (
+	"fmt"
+
+	"papimc/internal/nest"
+	"papimc/internal/simtime"
+)
+
+// NestMetrics exports every counter of the given socket PMUs under the
+// perfevent namespace, with a per-socket ".cpuN" instance suffix naming
+// the last hardware thread of the socket — matching Table I's
+// ":cpu[87|175]" instance selectors on Summit.
+//
+// The daemon holds the privileged credential; this is exactly IBM's
+// arrangement for exporting nest counters to unprivileged users.
+func NestMetrics(pmus []*nest.PMU, cred nest.Credential) []Metric {
+	var out []Metric
+	for _, pmu := range pmus {
+		p := pmu
+		m := p.Machine()
+		lastCPU := (p.Socket()+1)*m.HWThreadsPerSocket() - 1
+		for _, ev := range p.Events() {
+			e := ev
+			name := fmt.Sprintf("%s.cpu%d", e.PCPMetricName(), lastCPU)
+			out = append(out, Metric{
+				Name: name,
+				Read: func(t simtime.Time) (uint64, error) {
+					return p.Read(e, cred, t)
+				},
+			})
+		}
+	}
+	return out
+}
+
+// NestMetricName builds the full per-socket metric name used by
+// NestMetrics for event ev on the given socket of machine-like PMU p.
+func NestMetricName(p *nest.PMU, ev nest.Event) string {
+	lastCPU := (p.Socket()+1)*p.Machine().HWThreadsPerSocket() - 1
+	return fmt.Sprintf("%s.cpu%d", ev.PCPMetricName(), lastCPU)
+}

@@ -1,0 +1,330 @@
+package pcp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"papimc/internal/arch"
+	"papimc/internal/mem"
+	"papimc/internal/nest"
+	"papimc/internal/simtime"
+)
+
+// --- PDU round trips ---------------------------------------------------
+
+func TestNamesRespRoundTrip(t *testing.T) {
+	in := []NameEntry{{1, "a.b.c"}, {2, ""}, {7, "perfevent.hwcounters.x.value"}}
+	out, err := decodeNamesResp(encodeNamesResp(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFetchRespRoundTrip(t *testing.T) {
+	in := FetchResult{
+		Timestamp: -42,
+		Values: []FetchValue{
+			{PMID: 1, Status: StatusOK, Value: 1 << 60},
+			{PMID: 9, Status: StatusNoSuchPMID, Value: 0},
+		},
+	}
+	out, err := decodeFetchResp(encodeFetchResp(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Timestamp != in.Timestamp || len(out.Values) != 2 ||
+		out.Values[0] != in.Values[0] || out.Values[1] != in.Values[1] {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full := encodeFetchResp(FetchResult{Timestamp: 1, Values: []FetchValue{{PMID: 1}}})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := decodeFetchResp(full[:cut]); !errors.Is(err, ErrProtocol) {
+			t.Errorf("truncation at %d not detected: %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	b := append(encodeFetchReq([]uint32{1, 2}), 0xFF)
+	if _, err := decodeFetchReq(b); !errors.Is(err, ErrProtocol) {
+		t.Errorf("trailing garbage not detected: %v", err)
+	}
+}
+
+func TestPDURoundTripProperty(t *testing.T) {
+	f := func(ts int64, pmids []uint32, statuses []int32, values []uint64) bool {
+		res := FetchResult{Timestamp: ts}
+		for i, id := range pmids {
+			v := FetchValue{PMID: id}
+			if i < len(statuses) {
+				v.Status = statuses[i]
+			}
+			if i < len(values) {
+				v.Value = values[i]
+			}
+			res.Values = append(res.Values, v)
+		}
+		out, err := decodeFetchResp(encodeFetchResp(res))
+		if err != nil || out.Timestamp != ts || len(out.Values) != len(res.Values) {
+			return false
+		}
+		for i := range res.Values {
+			if out.Values[i] != res.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamesRoundTripProperty(t *testing.T) {
+	f := func(names []string) bool {
+		in := make([]NameEntry, len(names))
+		for i, n := range names {
+			in[i] = NameEntry{PMID: uint32(i), Name: n}
+		}
+		out, err := decodeNamesResp(encodeNamesResp(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- daemon & client ---------------------------------------------------
+
+// testSetup builds a Summit-like socket PMU fed by an ideal controller,
+// a daemon exporting it, and a connected client.
+func testSetup(t *testing.T) (*mem.Controller, *simtime.Clock, *Daemon, *Client) {
+	t.Helper()
+	clock := simtime.NewClock()
+	m := arch.Summit()
+	ctl := mem.NewController(mem.Config{Channels: m.Socket.MBAChannels, DisableNoise: true}, clock)
+	pmu := nest.NewPMU(m, 0, ctl)
+	d, err := NewDaemon(clock, 10*simtime.Millisecond, NestMetrics([]*nest.PMU{pmu}, nest.RootCredential()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return ctl, clock, d, c
+}
+
+func TestDaemonNamesOverNetwork(t *testing.T) {
+	_, _, _, c := testSetup(t)
+	entries, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 16 {
+		t.Fatalf("got %d metrics, want 16", len(entries))
+	}
+	found := false
+	for _, e := range entries {
+		if e.Name == "perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value.cpu87" {
+			found = true
+		}
+		if e.PMID == 0 {
+			t.Errorf("metric %q has PMID 0", e.Name)
+		}
+	}
+	if !found {
+		t.Error("Table I Summit metric name missing from namespace")
+	}
+}
+
+func TestFetchSeesTraffic(t *testing.T) {
+	ctl, clock, _, c := testSetup(t)
+	ctl.AddTraffic(true, 0, 64*800, 0, 0)
+	clock.Advance(100 * simtime.Millisecond)
+	var names []string
+	for ch := 0; ch < 8; ch++ {
+		names = append(names, NestMetricName(nestPMU(ctl), nest.Event{Channel: ch}))
+	}
+	res, err := c.FetchByName(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, v := range res.Values {
+		if v.Status != StatusOK {
+			t.Fatalf("value status %d", v.Status)
+		}
+		sum += v.Value
+	}
+	if sum != 64*800 {
+		t.Errorf("read sum over PCP = %d, want %d", sum, 64*800)
+	}
+}
+
+// nestPMU rebuilds a PMU handle for naming purposes only.
+func nestPMU(ctl *mem.Controller) *nest.PMU {
+	return nest.NewPMU(arch.Summit(), 0, ctl)
+}
+
+func TestDaemonSamplingIntervalStaleness(t *testing.T) {
+	ctl, clock, _, c := testSetup(t)
+	name := NestMetricName(nestPMU(ctl), nest.Event{Channel: 0})
+	// First fetch samples at t=0.
+	res1, err := c.FetchByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New traffic, but within the same sampling interval: stale value.
+	ctl.AddTraffic(true, 0, 64*8000, 0, 0)
+	clock.Advance(simtime.Millisecond)
+	res2, err := c.FetchByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Values[0].Value != res1.Values[0].Value {
+		t.Errorf("value refreshed within sampling interval: %d -> %d",
+			res1.Values[0].Value, res2.Values[0].Value)
+	}
+	if res2.Timestamp != res1.Timestamp {
+		t.Errorf("timestamp advanced within interval")
+	}
+	// After the interval elapses the new traffic is visible.
+	clock.Advance(20 * simtime.Millisecond)
+	res3, err := c.FetchByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Values[0].Value <= res1.Values[0].Value {
+		t.Errorf("value did not refresh after interval: %d", res3.Values[0].Value)
+	}
+}
+
+func TestFetchUnknownPMID(t *testing.T) {
+	_, _, _, c := testSetup(t)
+	res, err := c.Fetch([]uint32{9999, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Values {
+		if v.Status != StatusNoSuchPMID {
+			t.Errorf("pmid %d status = %d, want StatusNoSuchPMID", v.PMID, v.Status)
+		}
+	}
+}
+
+func TestLookupUnknownName(t *testing.T) {
+	_, _, _, c := testSetup(t)
+	if _, err := c.Lookup("no.such.metric"); err == nil {
+		t.Error("expected error for unknown metric")
+	}
+}
+
+// TestConcurrentClients spins a daemon and hammers it from several
+// goroutines to exercise concurrent connection handling.
+func TestConcurrentClients(t *testing.T) {
+	clock := simtime.NewClock()
+	m := arch.Summit()
+	ctl := mem.NewController(mem.Config{Channels: 8, DisableNoise: true}, clock)
+	pmu := nest.NewPMU(m, 0, ctl)
+	d, err := NewDaemon(clock, simtime.Millisecond, NestMetrics([]*nest.PMU{pmu}, nest.RootCredential()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Fetch([]uint32{1, 2, 3}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Errorf("client goroutine: %v", err)
+		}
+	}
+}
+
+func TestNewDaemonValidation(t *testing.T) {
+	clock := simtime.NewClock()
+	if _, err := NewDaemon(clock, 0, nil); err == nil {
+		t.Error("expected error for zero interval")
+	}
+	dup := []Metric{
+		{Name: "a", Read: func(simtime.Time) (uint64, error) { return 0, nil }},
+		{Name: "a", Read: func(simtime.Time) (uint64, error) { return 0, nil }},
+	}
+	if _, err := NewDaemon(clock, 1, dup); err == nil {
+		t.Error("expected error for duplicate metric")
+	}
+	if _, err := NewDaemon(clock, 1, []Metric{{Name: "x"}}); err == nil {
+		t.Error("expected error for nil reader")
+	}
+}
+
+func TestBadHandshakeRejected(t *testing.T) {
+	clock := simtime.NewClock()
+	d, err := NewDaemon(clock, simtime.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// A client that speaks the wrong magic gets disconnected.
+	c, err := DialRaw(addr, "NOPE")
+	if err == nil {
+		c.Close()
+		t.Error("expected handshake failure")
+	}
+	if err != nil && !strings.Contains(err.Error(), "handshake") && !errors.Is(err, ErrProtocol) {
+		// Accept either: connection closed during handshake or explicit
+		// protocol error.
+		t.Logf("handshake failed as expected: %v", err)
+	}
+}

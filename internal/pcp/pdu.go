@@ -1,0 +1,276 @@
+// Package pcp implements a Performance Co-Pilot-style metrics service: a
+// PMCD daemon that holds the privileged credential needed to read nest
+// hardware counters and exports them to unprivileged clients over a
+// binary TCP protocol, and the client used by PAPI's PCP component.
+//
+// The wire protocol is a simplified PCP: length-prefixed, big-endian PDUs
+// with a handshake, a name/PMID table exchange, and fetch-by-PMID. The
+// daemon refreshes its view of the hardware counters at a fixed sampling
+// interval (like pmcd's collection), so clients observe slightly stale
+// values — one of the indirection costs the paper quantifies.
+package pcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic is exchanged at connection setup.
+const Magic = "PCP1"
+
+// PDU type codes.
+const (
+	pduNamesReq  uint8 = 1
+	pduNamesResp uint8 = 2
+	pduFetchReq  uint8 = 3
+	pduFetchResp uint8 = 4
+	pduError     uint8 = 255
+)
+
+// Per-value status codes in fetch responses.
+const (
+	StatusOK         int32 = 0
+	StatusNoSuchPMID int32 = -3 // mirrors PM_ERR_PMID
+	StatusValueError int32 = -5 // the underlying read failed
+)
+
+// maxPDUBytes bounds a PDU payload; anything larger is a protocol error.
+const maxPDUBytes = 1 << 20
+
+// ErrProtocol indicates a malformed or unexpected PDU.
+var ErrProtocol = errors.New("pcp: protocol error")
+
+// NameEntry maps a metric name to its PMID.
+type NameEntry struct {
+	PMID uint32
+	Name string
+}
+
+// FetchValue is one metric value in a fetch response.
+type FetchValue struct {
+	PMID   uint32
+	Status int32
+	Value  uint64
+}
+
+// FetchResult is a decoded fetch response.
+type FetchResult struct {
+	// Timestamp is the simulated time (ns) at which the daemon last
+	// sampled the hardware counters.
+	Timestamp int64
+	Values    []FetchValue
+}
+
+// writePDU frames and writes one PDU.
+func writePDU(w io.Writer, typ uint8, payload []byte) error {
+	if len(payload) > maxPDUBytes {
+		return fmt.Errorf("%w: payload %d bytes exceeds limit", ErrProtocol, len(payload))
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readPDU reads one framed PDU.
+func readPDU(r io.Reader) (typ uint8, payload []byte, err error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxPDUBytes {
+		return 0, nil, fmt.Errorf("%w: payload %d bytes exceeds limit", ErrProtocol, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// --- payload encoding -------------------------------------------------
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+func (e *encoder) u64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+func (e *encoder) i32(v int32) { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.err = fmt.Errorf("%w: truncated u32", ErrProtocol)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = fmt.Errorf("%w: truncated u64", ErrProtocol)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if uint32(len(d.buf)) < n {
+		d.err = fmt.Errorf("%w: truncated string", ErrProtocol)
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(d.buf))
+	}
+	return nil
+}
+
+// encodeNamesResp encodes the metric table.
+func encodeNamesResp(entries []NameEntry) []byte {
+	var e encoder
+	e.u32(uint32(len(entries)))
+	for _, n := range entries {
+		e.u32(n.PMID)
+		e.str(n.Name)
+	}
+	return e.buf
+}
+
+func decodeNamesResp(b []byte) ([]NameEntry, error) {
+	d := decoder{buf: b}
+	n := d.u32()
+	if n > maxPDUBytes/5 {
+		return nil, fmt.Errorf("%w: implausible name count %d", ErrProtocol, n)
+	}
+	out := make([]NameEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		pmid := d.u32()
+		name := d.str()
+		out = append(out, NameEntry{PMID: pmid, Name: name})
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func encodeFetchReq(pmids []uint32) []byte {
+	var e encoder
+	e.u32(uint32(len(pmids)))
+	for _, id := range pmids {
+		e.u32(id)
+	}
+	return e.buf
+}
+
+func decodeFetchReq(b []byte) ([]uint32, error) {
+	d := decoder{buf: b}
+	n := d.u32()
+	if n > maxPDUBytes/4 {
+		return nil, fmt.Errorf("%w: implausible pmid count %d", ErrProtocol, n)
+	}
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.u32())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func encodeFetchResp(res FetchResult) []byte {
+	var e encoder
+	e.i64(res.Timestamp)
+	e.u32(uint32(len(res.Values)))
+	for _, v := range res.Values {
+		e.u32(v.PMID)
+		e.i32(v.Status)
+		e.u64(v.Value)
+	}
+	return e.buf
+}
+
+func decodeFetchResp(b []byte) (FetchResult, error) {
+	d := decoder{buf: b}
+	var res FetchResult
+	res.Timestamp = d.i64()
+	n := d.u32()
+	if n > maxPDUBytes/16 {
+		return FetchResult{}, fmt.Errorf("%w: implausible value count %d", ErrProtocol, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		res.Values = append(res.Values, FetchValue{
+			PMID:   d.u32(),
+			Status: d.i32(),
+			Value:  d.u64(),
+		})
+	}
+	if err := d.done(); err != nil {
+		return FetchResult{}, err
+	}
+	return res, nil
+}
+
+func encodeError(msg string) []byte {
+	var e encoder
+	e.str(msg)
+	return e.buf
+}
+
+func decodeError(b []byte) (string, error) {
+	d := decoder{buf: b}
+	s := d.str()
+	if err := d.done(); err != nil {
+		return "", err
+	}
+	return s, nil
+}

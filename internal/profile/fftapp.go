@@ -1,0 +1,149 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"papimc/internal/expect"
+	"papimc/internal/gpu"
+	"papimc/internal/ib"
+	"papimc/internal/model"
+	"papimc/internal/node"
+	"papimc/internal/simtime"
+)
+
+// FFTAppConfig parameterizes the Fig. 11 workload: the GPU-enabled,
+// distributed 3D-FFT as seen from one rank (one socket of one node).
+// The paper's run uses 32 nodes and an 8×8 virtual processor grid.
+type FFTAppConfig struct {
+	N     int64
+	GridR int64
+	GridC int64
+}
+
+// Validate checks the configuration.
+func (c FFTAppConfig) Validate() error {
+	if c.N <= 0 || c.GridR <= 0 || c.GridC <= 0 {
+		return fmt.Errorf("profile: invalid FFT config %+v", c)
+	}
+	if c.N%c.GridR != 0 || c.N%c.GridC != 0 {
+		return fmt.Errorf("profile: N=%d not divisible by %dx%d grid", c.N, c.GridR, c.GridC)
+	}
+	return nil
+}
+
+// FFTPhases builds the Fig. 11 phase timeline for rank 0 (socket 0 of
+// node 0 of tb, using its first GPU): for each of the three dimensions,
+// host memory is read to the GPU (read burst), a batch of 1D FFTs runs
+// (power spike), results copy back (write burst); between dimensions the
+// data re-sorting phases run on the CPU (the odd ones strided, 2 reads
+// per write; the even ones layout-matched, 1:1 at higher bandwidth), and
+// the two all-to-alls drive the InfiniBand counters. tb must have at
+// least two nodes so the exchanges have a remote peer.
+func FFTPhases(tb *node.Testbed, cfg FFTAppConfig) ([]Phase, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tb.Nodes) < 2 {
+		return nil, fmt.Errorf("profile: FFT app needs >= 2 nodes, testbed has %d", len(tb.Nodes))
+	}
+	self := tb.Nodes[0]
+	peer := tb.Nodes[1]
+	if len(self.AllGPUs()) == 0 {
+		return nil, fmt.Errorf("profile: machine %s has no GPUs", tb.Machine.Name)
+	}
+	dev := self.GPUs[0][0]
+
+	slabBytes := expect.RankElems(cfg.N, cfg.GridR, cfg.GridC) * 16
+	flops := 5 * float64(slabBytes/16) * math.Log2(float64(cfg.N))
+
+	copyDur := simtime.FromSeconds(float64(slabBytes) / gpu.CopyBandwidth)
+	// Batched FFTs are memory-bound on the device: they achieve a small
+	// fraction of peak.
+	const fftEffectiveFlops = 500e9
+	execDur := simtime.FromSeconds(flops / fftEffectiveFlops)
+	if execDur < simtime.Millisecond {
+		execDur = simtime.Millisecond
+	}
+
+	ctx := model.Serial(tb.Machine)
+	strided := model.S1CFCombined(ctx, cfg.N, cfg.GridR, cfg.GridC)
+	matched := model.S2CF(ctx, cfg.N, cfg.GridR, cfg.GridC)
+
+	// All-to-all: this rank exchanges (ranks-1)/ranks of its slab.
+	ranks := cfg.GridR * cfg.GridC
+	wireBytes := slabBytes * (ranks - 1) / ranks
+	a2aDur := simtime.FromSeconds(float64(wireBytes) / ib.LinkBandwidth)
+
+	gpuPipeline := func(dim string) []Phase {
+		return []Phase{
+			{Name: "H2D-" + dim, Duration: copyDur, Emit: scheduleOnce(func(t0 simtime.Time) {
+				dev.CopyToDevice(slabBytes, t0)
+			})},
+			{Name: "FFT-" + dim + "(GPU)", Duration: execDur, Emit: scheduleOnce(func(t0 simtime.Time) {
+				dev.BusyFor(execDur, t0)
+			})},
+			{Name: "D2H-" + dim, Duration: copyDur, Emit: scheduleOnce(func(t0 simtime.Time) {
+				dev.CopyFromDevice(slabBytes, t0)
+			})},
+		}
+	}
+	resort := func(name string, tr model.Traffic) Phase {
+		return Phase{Name: name, Duration: tr.Duration, Emit: emitTraffic(self, 0, tr)}
+	}
+	alltoall := func(name string) Phase {
+		return Phase{Name: name, Duration: a2aDur, Emit: func(t0, t1 simtime.Time) {
+			frac := float64(t1.Sub(t0)) / float64(a2aDur)
+			bytes := int64(frac * float64(wireBytes))
+			tb.Fabric.Transfer(self.NIC, peer.NIC, bytes, t0)
+			tb.Fabric.Transfer(peer.NIC, self.NIC, bytes, t0)
+		}}
+	}
+
+	var phases []Phase
+	phases = append(phases, gpuPipeline("z")...)
+	phases = append(phases, resort("resort-1(S1CF)", strided))
+	phases = append(phases, alltoall("All2All-1"))
+	phases = append(phases, resort("resort-2", matched))
+	phases = append(phases, gpuPipeline("y")...)
+	phases = append(phases, resort("resort-3(S2CF)", strided))
+	phases = append(phases, alltoall("All2All-2"))
+	phases = append(phases, resort("resort-4", matched))
+	phases = append(phases, gpuPipeline("x")...)
+	return phases, nil
+}
+
+// scheduleOnce wraps a one-shot scheduler (GPU work posts its own
+// time-stamped traffic) as an Emit callback.
+func scheduleOnce(f func(start simtime.Time)) func(t0, t1 simtime.Time) {
+	done := false
+	return func(t0, t1 simtime.Time) {
+		if !done {
+			done = true
+			f(t0)
+		}
+	}
+}
+
+// emitTraffic spreads a model prediction proportionally over the
+// sub-windows the profiler visits.
+func emitTraffic(n *node.Node, socket int, tr model.Traffic) func(t0, t1 simtime.Time) {
+	return func(t0, t1 simtime.Time) {
+		frac := float64(t1.Sub(t0)) / float64(tr.Duration)
+		ctl := n.Mem[socket]
+		ctl.AddTraffic(true, int64(t0), int64(frac*float64(tr.ReadBytes)), t0, t1)
+		ctl.AddTraffic(false, 1<<30+int64(t0), int64(frac*float64(tr.WriteBytes)), t0, t1)
+	}
+}
+
+// FFTProfileEvents returns the Fig. 11 event selection: socket-0 memory
+// read+write bytes via PCP, the first GPU's power, and the first IB
+// port's receive counter (Tables I and II).
+func FFTProfileEvents(tb *node.Testbed) []string {
+	names := tb.NestEventNames(node.ViaPCP)[:2*tb.Machine.Socket.MBAChannels]
+	events := append([]string{}, names...)
+	dev := tb.Nodes[0].GPUs[0][0]
+	events = append(events, "nvml:::"+dev.EventName())
+	events = append(events, "infiniband:::"+tb.Nodes[0].NIC.Ports[0].Name()+":port_recv_data")
+	return events
+}

@@ -1,0 +1,132 @@
+// Package profile implements the time-series, multi-component profiling
+// of Section IV-C: it steps a phase-structured workload through simulated
+// time, sampling a PAPI EventSet at a fixed interval, and reports one row
+// per sample — memory traffic rates, GPU power levels and network
+// counters side by side, the raw material of Figs. 11 and 12.
+package profile
+
+import (
+	"fmt"
+
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+// Phase is one stage of a profiled workload.
+type Phase struct {
+	Name     string
+	Duration simtime.Duration
+	// Emit posts the phase's hardware activity for the sub-window
+	// [t0, t1); it is called once per sample step. May be nil for
+	// phases whose activity was scheduled up front (e.g. GPU work).
+	Emit func(t0, t1 simtime.Time)
+}
+
+// Sample is one profiler row.
+type Sample struct {
+	Time  simtime.Time
+	Phase string
+	// Values holds, per event, the delta over this sampling interval
+	// for counter events and the current level for instant events.
+	Values []uint64
+}
+
+// Result is a complete profile.
+type Result struct {
+	Events  []string
+	Instant []bool
+	Samples []Sample
+}
+
+// Run profiles the phases with the given events at the given sampling
+// interval. The library's clock is advanced through every phase.
+func Run(lib *papi.Library, events []string, interval simtime.Duration, phases []Phase) (*Result, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("profile: non-positive sampling interval %v", interval)
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("profile: no phases")
+	}
+	res := &Result{Events: events, Instant: make([]bool, len(events))}
+	for i, ev := range events {
+		info, err := lib.DescribeEvent(ev)
+		if err != nil {
+			return nil, err
+		}
+		res.Instant[i] = info.Instant
+	}
+	es := lib.NewEventSet()
+	if err := es.AddAll(events...); err != nil {
+		return nil, err
+	}
+	if err := es.Start(); err != nil {
+		return nil, err
+	}
+	defer es.Close()
+
+	clock := lib.Clock()
+	prev, err := es.Read()
+	if err != nil {
+		return nil, err
+	}
+	for _, ph := range phases {
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("profile: phase %q has non-positive duration", ph.Name)
+		}
+		end := clock.Now().Add(ph.Duration)
+		for clock.Now() < end {
+			t0 := clock.Now()
+			t1 := t0.Add(interval)
+			if t1 > end {
+				t1 = end
+			}
+			if ph.Emit != nil {
+				ph.Emit(t0, t1)
+			}
+			clock.AdvanceTo(t1)
+			cur, err := es.Read()
+			if err != nil {
+				return nil, err
+			}
+			row := Sample{Time: t1, Phase: ph.Name, Values: make([]uint64, len(cur))}
+			for i, v := range cur {
+				if res.Instant[i] {
+					row.Values[i] = v
+					continue
+				}
+				if v >= prev[i] {
+					row.Values[i] = v - prev[i]
+				}
+			}
+			prev = cur
+			res.Samples = append(res.Samples, row)
+		}
+	}
+	return res, nil
+}
+
+// PhaseTotals sums the counter columns per phase (instant events are
+// averaged); useful for asserting figure shapes.
+func (r *Result) PhaseTotals() map[string][]float64 {
+	out := map[string][]float64{}
+	counts := map[string]int{}
+	for _, s := range r.Samples {
+		tot, ok := out[s.Phase]
+		if !ok {
+			tot = make([]float64, len(r.Events))
+			out[s.Phase] = tot
+		}
+		counts[s.Phase]++
+		for i, v := range s.Values {
+			tot[i] += float64(v)
+		}
+	}
+	for phase, tot := range out {
+		for i := range tot {
+			if r.Instant[i] {
+				tot[i] /= float64(counts[phase])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"papimc/internal/arch"
+	"papimc/internal/gpu"
+	"papimc/internal/model"
+	"papimc/internal/node"
+	"papimc/internal/simtime"
+)
+
+func testbed(t *testing.T) *node.Testbed {
+	t.Helper()
+	tb, err := node.NewTestbed(arch.Summit(), 2, node.Options{Seed: 9, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+	return tb
+}
+
+func TestRunBasicSampling(t *testing.T) {
+	tb := testbed(t)
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tb.NestEventNames(node.ViaPCP)[:2]
+	tr := model.Traffic{ReadBytes: 1 << 20, WriteBytes: 1 << 19, Duration: 100 * simtime.Millisecond}
+	phases := []Phase{{
+		Name:     "work",
+		Duration: tr.Duration,
+		Emit:     emitTraffic(tb.Nodes[0], 0, tr),
+	}}
+	res, err := Run(lib, events, 10*simtime.Millisecond, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 10 {
+		t.Errorf("samples = %d, want 10", len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		if s.Phase != "work" {
+			t.Errorf("phase = %q", s.Phase)
+		}
+	}
+	// Ideal counters: total sampled deltas equal the emitted traffic on
+	// channel 0 (events[0] is channel 0 READ, events[1] channel 0 WRITE).
+	var reads uint64
+	for _, s := range res.Samples {
+		reads += s.Values[0]
+	}
+	// 8 channels, even split, modulo 64-byte rounding per emit call.
+	want := uint64((1 << 20) / 8)
+	if reads < want || reads > want+64*uint64(len(res.Samples)) {
+		t.Errorf("channel-0 reads = %d, want ~%d", reads, want)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tb := testbed(t)
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := tb.NestEventNames(node.ViaPCP)[:1]
+	if _, err := Run(lib, ev, 0, []Phase{{Name: "x", Duration: 1}}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := Run(lib, ev, 1, nil); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := Run(lib, ev, 1, []Phase{{Name: "x", Duration: 0}}); err == nil {
+		t.Error("zero-duration phase accepted")
+	}
+	if _, err := Run(lib, []string{"ghost:::ev"}, 1, []Phase{{Name: "x", Duration: 1}}); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+// The Fig. 11 profile must show its signature: read burst before the
+// GPU spike, write burst after, IB activity only in the All2All phases,
+// strided resorts reading ~2× what they write.
+func TestFFTProfileShape(t *testing.T) {
+	tb := testbed(t)
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper-scale N keeps every phase much longer than both the PMCD
+	// collection interval and the sampling interval.
+	phases, err := FFTPhases(tb, FFTAppConfig{N: 2016, GridR: 8, GridC: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := FFTProfileEvents(tb)
+	res, err := Run(lib, events, 10*simtime.Millisecond, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := res.PhaseTotals()
+
+	nCh := tb.Machine.Socket.MBAChannels
+	sumReads := func(vals []float64) (s float64) {
+		for i := 0; i < 2*nCh; i += 2 {
+			s += vals[i]
+		}
+		return
+	}
+	sumWrites := func(vals []float64) (s float64) {
+		for i := 1; i < 2*nCh; i += 2 {
+			s += vals[i]
+		}
+		return
+	}
+	powerIdx := 2 * nCh
+	ibIdx := 2*nCh + 1
+
+	h2d := totals["H2D-z"]
+	if sumReads(h2d) == 0 || sumWrites(h2d) > sumReads(h2d)/10 {
+		t.Errorf("H2D phase should be read-dominated: R=%v W=%v", sumReads(h2d), sumWrites(h2d))
+	}
+	d2h := totals["D2H-z"]
+	if sumWrites(d2h) == 0 || sumReads(d2h) > sumWrites(d2h)/10 {
+		t.Errorf("D2H phase should be write-dominated: R=%v W=%v", sumReads(d2h), sumWrites(d2h))
+	}
+	fftPhase := totals["FFT-z(GPU)"]
+	if fftPhase[powerIdx] < float64(gpu.BusyMilliwatts)*0.9 {
+		t.Errorf("GPU power during FFT = %v mW, want ~%d", fftPhase[powerIdx], gpu.BusyMilliwatts)
+	}
+	if h2d[powerIdx] >= float64(gpu.BusyMilliwatts) {
+		t.Errorf("GPU at full power during H2D: %v", h2d[powerIdx])
+	}
+	// Strided resort: ~2 reads per write (phase-boundary smearing from
+	// the PMCD collection interval loosens the band slightly).
+	r1 := totals["resort-1(S1CF)"]
+	ratio := sumReads(r1) / sumWrites(r1)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("resort-1 read:write = %.2f, want ~2", ratio)
+	}
+	// Layout-matched resort: ~1:1.
+	r2 := totals["resort-2"]
+	ratio2 := sumReads(r2) / sumWrites(r2)
+	if ratio2 < 0.75 || ratio2 > 1.3 {
+		t.Errorf("resort-2 read:write = %.2f, want ~1", ratio2)
+	}
+	// Network counters move only in the All2All phases.
+	if totals["All2All-1"][ibIdx] == 0 {
+		t.Error("no IB traffic during All2All-1")
+	}
+	for name, vals := range totals {
+		if strings.HasPrefix(name, "All2All") {
+			continue
+		}
+		if vals[ibIdx] != 0 {
+			t.Errorf("IB traffic during %q: %v", name, vals[ibIdx])
+		}
+	}
+}
+
+// The Fig. 12 profile: the three QMC stages must be distinguishable —
+// monotonically increasing memory traffic, increasing GPU duty, network
+// activity only in DMC.
+func TestQMCProfileShape(t *testing.T) {
+	tb := testbed(t)
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := QMCPhases(tb, QMCAppConfig{Walkers: 1024, PhaseDuration: 200 * simtime.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := FFTProfileEvents(tb) // same selection works for QMC
+	res, err := Run(lib, events, 10*simtime.Millisecond, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := res.PhaseTotals()
+	nCh := tb.Machine.Socket.MBAChannels
+	mem := func(phase string) (s float64) {
+		for i := 0; i < 2*nCh; i++ {
+			s += totals[phase][i]
+		}
+		return
+	}
+	v1, v2, d := mem("VMC-no-drift"), mem("VMC-drift"), mem("DMC")
+	if !(v1 < v2 && v2 < d) {
+		t.Errorf("memory traffic not increasing across stages: %v, %v, %v", v1, v2, d)
+	}
+	powerIdx := 2 * nCh
+	p1 := totals["VMC-no-drift"][powerIdx]
+	p3 := totals["DMC"][powerIdx]
+	if p3 <= p1 {
+		t.Errorf("DMC GPU duty %v not above VMC-no-drift %v", p3, p1)
+	}
+	ibIdx := 2*nCh + 1
+	if totals["DMC"][ibIdx] == 0 {
+		t.Error("no network activity in DMC")
+	}
+	if totals["VMC-no-drift"][ibIdx] != 0 {
+		t.Error("network activity in VMC-no-drift")
+	}
+}
+
+func TestAppBuilderValidation(t *testing.T) {
+	tb := testbed(t)
+	if _, err := FFTPhases(tb, FFTAppConfig{N: 7, GridR: 2, GridC: 2}); err == nil {
+		t.Error("indivisible N accepted")
+	}
+	if _, err := QMCPhases(tb, QMCAppConfig{Walkers: 0, PhaseDuration: 1}); err == nil {
+		t.Error("zero walkers accepted")
+	}
+	single, err := node.NewTestbed(arch.Summit(), 1, node.Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if _, err := FFTPhases(single, FFTAppConfig{N: 64, GridR: 8, GridC: 8}); err == nil {
+		t.Error("single-node testbed accepted for a distributed app")
+	}
+	tell, err := node.NewTestbed(arch.Tellico(), 2, node.Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tell.Close()
+	if _, err := FFTPhases(tell, FFTAppConfig{N: 64, GridR: 8, GridC: 8}); err == nil {
+		t.Error("GPU-less machine accepted for the GPU FFT app")
+	}
+}

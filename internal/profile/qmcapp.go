@@ -1,0 +1,123 @@
+package profile
+
+import (
+	"fmt"
+
+	"papimc/internal/model"
+	"papimc/internal/node"
+	"papimc/internal/qmc"
+	"papimc/internal/simtime"
+	"papimc/internal/units"
+)
+
+// QMCAppConfig parameterizes the Fig. 12 workload: one rank of the
+// QMCPACK example problem, which runs VMC without drift, VMC with
+// drift, then DMC.
+type QMCAppConfig struct {
+	// Walkers scales the per-step memory traffic.
+	Walkers int
+	// PhaseDuration is the simulated length of each of the three
+	// stages.
+	PhaseDuration simtime.Duration
+}
+
+// QMCPhases builds the Fig. 12 timeline on socket 0 / GPU 0 of node 0.
+// Each stage has a distinct hardware signature, which is exactly what
+// the figure demonstrates (stages "distinguishable by monitoring
+// separate hardware components simultaneously"):
+//
+//   - VMC-no-drift: steady walker sweeps — moderate memory traffic,
+//     periodic short wavefunction-evaluation kernels on the GPU;
+//   - VMC-drift: the drift adds gradient evaluations — more memory
+//     traffic and denser GPU activity;
+//   - DMC: branching doubles the traffic and adds walker-exchange
+//     bursts on the network.
+func QMCPhases(tb *node.Testbed, cfg QMCAppConfig) ([]Phase, error) {
+	if cfg.Walkers <= 0 {
+		return nil, fmt.Errorf("profile: need positive walker count, got %d", cfg.Walkers)
+	}
+	if cfg.PhaseDuration <= 0 {
+		return nil, fmt.Errorf("profile: need positive phase duration, got %v", cfg.PhaseDuration)
+	}
+	if len(tb.Nodes) < 2 {
+		return nil, fmt.Errorf("profile: QMC app needs >= 2 nodes for DMC walker exchange")
+	}
+	self, peer := tb.Nodes[0], tb.Nodes[1]
+	if len(self.AllGPUs()) == 0 {
+		return nil, fmt.Errorf("profile: machine %s has no GPUs", tb.Machine.Name)
+	}
+	dev := self.GPUs[0][0]
+
+	// Per-second walker-sweep traffic: each walker's configuration,
+	// wavefunction tables and accumulators are touched every step.
+	walkerBytes := int64(cfg.Walkers) * 2 * units.KiB
+	sweepsPerSec := 2000.0
+
+	mkTraffic := func(scale float64, readFrac float64) model.Traffic {
+		total := float64(walkerBytes) * sweepsPerSec * scale * cfg.PhaseDuration.Seconds()
+		return model.Traffic{
+			ReadBytes:  int64(total * readFrac),
+			WriteBytes: int64(total * (1 - readFrac)),
+			Duration:   cfg.PhaseDuration,
+		}
+	}
+	// gpuBurst duty-cycles the device at sampling-window granularity:
+	// busyWindows of every period windows run a full-window kernel, so
+	// the instantaneous NVML samples alternate between busy and idle
+	// with the phase's duty ratio — the spiky traces of Fig. 12.
+	gpuBurst := func(busyWindows, period int) func(t0, t1 simtime.Time) {
+		step := 0
+		return func(t0, t1 simtime.Time) {
+			if step%period < busyWindows {
+				dev.BusyFor(t1.Sub(t0), t0)
+			}
+			step++
+		}
+	}
+	combine := func(fs ...func(t0, t1 simtime.Time)) func(t0, t1 simtime.Time) {
+		return func(t0, t1 simtime.Time) {
+			for _, f := range fs {
+				f(t0, t1)
+			}
+		}
+	}
+
+	vmc1 := mkTraffic(1.0, 0.65)
+	vmc2 := mkTraffic(1.6, 0.6)
+	dmc := mkTraffic(2.4, 0.55)
+	exchangeBytes := int64(cfg.Walkers) * 256 // DMC load balancing
+
+	phases := []Phase{
+		{
+			Name:     string(qmc.PhaseVMCNoDrift),
+			Duration: cfg.PhaseDuration,
+			Emit: combine(
+				emitTraffic(self, 0, vmc1),
+				gpuBurst(1, 3), // 1/3 GPU duty
+			),
+		},
+		{
+			Name:     string(qmc.PhaseVMCDrift),
+			Duration: cfg.PhaseDuration,
+			Emit: combine(
+				emitTraffic(self, 0, vmc2),
+				gpuBurst(2, 3), // 2/3 GPU duty
+			),
+		},
+		{
+			Name:     string(qmc.PhaseDMC),
+			Duration: cfg.PhaseDuration,
+			Emit: combine(
+				emitTraffic(self, 0, dmc),
+				gpuBurst(1, 1), // continuous
+
+				func(t0, t1 simtime.Time) {
+					// Branching redistributes walkers across ranks.
+					tb.Fabric.Transfer(self.NIC, peer.NIC, exchangeBytes, t0)
+					tb.Fabric.Transfer(peer.NIC, self.NIC, exchangeBytes, t0)
+				},
+			),
+		},
+	}
+	return phases, nil
+}

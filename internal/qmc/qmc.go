@@ -1,0 +1,255 @@
+// Package qmc is the QMCPACK stand-in for Fig. 12: a real (toy-scale)
+// quantum Monte Carlo code with the example problem's exact phase
+// structure — Variational Monte Carlo without drift, VMC with drift,
+// then Diffusion Monte Carlo. The physics is the 3D isotropic harmonic
+// oscillator (ħ=m=ω=1) with the trial wavefunction
+// ψ_α(r) = exp(-α·r²/2), whose local energy
+//
+//	E_L(r) = 3α/2 + (1-α²)·r²/2
+//
+// is exact (1.5) at α=1, giving the tests an analytic ground truth:
+// ⟨E⟩_VMC(α) = (3/4)(α + 1/α), and DMC projects to E₀ = 1.5 from any
+// reasonable trial.
+package qmc
+
+import (
+	"fmt"
+	"math"
+
+	"papimc/internal/xrand"
+)
+
+// Config parameterizes a QMC run.
+type Config struct {
+	// Alpha is the trial wavefunction's variational parameter.
+	Alpha float64
+	// Walkers is the Monte Carlo population size.
+	Walkers int
+	// StepSize is the VMC proposal width / DMC time step.
+	StepSize float64
+	// Seed drives the deterministic PRNG.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Alpha <= 0 {
+		return fmt.Errorf("qmc: alpha %v must be positive", c.Alpha)
+	}
+	if c.Walkers <= 0 {
+		return fmt.Errorf("qmc: need at least one walker, got %d", c.Walkers)
+	}
+	if c.StepSize <= 0 {
+		return fmt.Errorf("qmc: step size %v must be positive", c.StepSize)
+	}
+	return nil
+}
+
+// Result summarizes a QMC phase.
+type Result struct {
+	Energy     float64 // mean local energy
+	Variance   float64 // variance of the local energy
+	Acceptance float64 // Metropolis acceptance ratio (1 for DMC)
+	Walkers    int     // final population (DMC branches)
+	Steps      int
+}
+
+// ExactVMCEnergy returns the analytic variational energy
+// (3/4)(α + 1/α) of the trial wavefunction.
+func ExactVMCEnergy(alpha float64) float64 {
+	return 0.75 * (alpha + 1/alpha)
+}
+
+// GroundStateEnergy is the exact result DMC converges to.
+const GroundStateEnergy = 1.5
+
+type walker struct {
+	r [3]float64
+}
+
+// localEnergy evaluates E_L at the walker's position.
+func localEnergy(alpha float64, r [3]float64) float64 {
+	r2 := r[0]*r[0] + r[1]*r[1] + r[2]*r[2]
+	return 1.5*alpha + 0.5*(1-alpha*alpha)*r2
+}
+
+// logPsi2 returns ln|ψ_α|² = -α·r².
+func logPsi2(alpha float64, r [3]float64) float64 {
+	return -alpha * (r[0]*r[0] + r[1]*r[1] + r[2]*r[2])
+}
+
+// initWalkers spreads the population around the origin.
+func initWalkers(cfg Config, rng *xrand.Source) []walker {
+	ws := make([]walker, cfg.Walkers)
+	sigma := 1 / math.Sqrt(2*cfg.Alpha)
+	for i := range ws {
+		for d := 0; d < 3; d++ {
+			ws[i].r[d] = sigma * rng.NormFloat64()
+		}
+	}
+	return ws
+}
+
+// VMCNoDrift runs Variational Monte Carlo with the plain symmetric
+// Metropolis move (the example problem's first stage).
+func VMCNoDrift(cfg Config, steps int) (Result, error) {
+	return vmc(cfg, steps, false)
+}
+
+// VMCDrift runs VMC with drifted (importance-sampled Langevin)
+// proposals, the second stage: higher acceptance for the same step.
+func VMCDrift(cfg Config, steps int) (Result, error) {
+	return vmc(cfg, steps, true)
+}
+
+func vmc(cfg Config, steps int, drift bool) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if steps <= 0 {
+		return Result{}, fmt.Errorf("qmc: non-positive step count %d", steps)
+	}
+	rng := xrand.New(cfg.Seed)
+	ws := initWalkers(cfg, rng)
+	tau := cfg.StepSize
+
+	var sumE, sumE2 float64
+	var accepted, proposed int64
+	warmup := steps / 5
+	for step := 0; step < steps; step++ {
+		for i := range ws {
+			old := ws[i].r
+			var next [3]float64
+			var logRatio float64
+			if drift {
+				// Langevin proposal r' = r + τ·F/2 + √τ·ξ with the
+				// quantum force F = ∇ln|ψ|² = -2αr, plus the
+				// Metropolis–Hastings Green-function correction.
+				for d := 0; d < 3; d++ {
+					next[d] = old[d] - tau*cfg.Alpha*old[d] + math.Sqrt(tau)*rng.NormFloat64()
+				}
+				// Metropolis–Hastings: π(r')·G(r ← r') over π(r)·G(r' ← r).
+				logRatio = logPsi2(cfg.Alpha, next) - logPsi2(cfg.Alpha, old) +
+					logGreen(cfg.Alpha, old, next, tau) - logGreen(cfg.Alpha, next, old, tau)
+			} else {
+				for d := 0; d < 3; d++ {
+					next[d] = old[d] + tau*(2*rng.Float64()-1)
+				}
+				logRatio = logPsi2(cfg.Alpha, next) - logPsi2(cfg.Alpha, old)
+			}
+			proposed++
+			if logRatio >= 0 || rng.Float64() < math.Exp(logRatio) {
+				ws[i].r = next
+				accepted++
+			}
+			if step >= warmup {
+				e := localEnergy(cfg.Alpha, ws[i].r)
+				sumE += e
+				sumE2 += e * e
+			}
+		}
+	}
+	n := float64(steps-warmup) * float64(len(ws))
+	mean := sumE / n
+	return Result{
+		Energy:     mean,
+		Variance:   sumE2/n - mean*mean,
+		Acceptance: float64(accepted) / float64(proposed),
+		Walkers:    len(ws),
+		Steps:      steps,
+	}, nil
+}
+
+// logGreen is ln G(to ← from): the drift-diffusion transition density.
+func logGreen(alpha float64, to, from [3]float64, tau float64) float64 {
+	var s float64
+	for d := 0; d < 3; d++ {
+		mu := from[d] - tau*alpha*from[d]
+		diff := to[d] - mu
+		s -= diff * diff / (2 * tau)
+	}
+	return s
+}
+
+// DMC runs Diffusion Monte Carlo with drifted walkers, branching, and
+// population control toward cfg.Walkers; the mixed estimator converges
+// to the true ground-state energy regardless of α (third stage).
+func DMC(cfg Config, steps int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if steps <= 0 {
+		return Result{}, fmt.Errorf("qmc: non-positive step count %d", steps)
+	}
+	rng := xrand.New(cfg.Seed + 1)
+	ws := initWalkers(cfg, rng)
+	tau := cfg.StepSize
+	eTrial := ExactVMCEnergy(cfg.Alpha)
+
+	var sumE float64
+	var sumE2 float64
+	var samples float64
+	warmup := steps / 5
+	for step := 0; step < steps; step++ {
+		next := make([]walker, 0, len(ws))
+		var stepE float64
+		for i := range ws {
+			old := ws[i].r
+			var moved [3]float64
+			for d := 0; d < 3; d++ {
+				moved[d] = old[d] - tau*cfg.Alpha*old[d] + math.Sqrt(tau)*rng.NormFloat64()
+			}
+			eOld := localEnergy(cfg.Alpha, old)
+			eNew := localEnergy(cfg.Alpha, moved)
+			weight := math.Exp(-tau * (0.5*(eOld+eNew) - eTrial))
+			copies := int(weight + rng.Float64())
+			if copies > 3 {
+				copies = 3 // branching cap for stability
+			}
+			for cpy := 0; cpy < copies; cpy++ {
+				next = append(next, walker{r: moved})
+				stepE += eNew
+			}
+		}
+		if len(next) == 0 {
+			// Population died out: restart from the trial distribution
+			// (a pathological step size; keep the run alive).
+			next = initWalkers(cfg, rng)
+			for i := range next {
+				stepE += localEnergy(cfg.Alpha, next[i].r)
+			}
+		}
+		ws = next
+		mean := stepE / float64(len(ws))
+		// Population control: steer E_T to keep the census near target.
+		eTrial = mean - 0.1/tau*math.Log(float64(len(ws))/float64(cfg.Walkers))
+		if step >= warmup {
+			sumE += mean
+			sumE2 += mean * mean
+			samples++
+		}
+	}
+	mean := sumE / samples
+	return Result{
+		Energy:     mean,
+		Variance:   sumE2/samples - mean*mean,
+		Acceptance: 1,
+		Walkers:    len(ws),
+		Steps:      steps,
+	}, nil
+}
+
+// PhaseName identifies the example problem's stages in profiles.
+type PhaseName string
+
+// The example problem of [17] runs these stages in order.
+const (
+	PhaseVMCNoDrift PhaseName = "VMC-no-drift"
+	PhaseVMCDrift   PhaseName = "VMC-drift"
+	PhaseDMC        PhaseName = "DMC"
+)
+
+// Phases returns the example problem's stage order.
+func Phases() []PhaseName {
+	return []PhaseName{PhaseVMCNoDrift, PhaseVMCDrift, PhaseDMC}
+}

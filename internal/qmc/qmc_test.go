@@ -1,0 +1,141 @@
+package qmc
+
+import (
+	"math"
+	"testing"
+)
+
+func cfg(alpha float64) Config {
+	return Config{Alpha: alpha, Walkers: 200, StepSize: 0.3, Seed: 42}
+}
+
+func TestExactVMCEnergy(t *testing.T) {
+	if e := ExactVMCEnergy(1); e != 1.5 {
+		t.Errorf("E(1) = %v, want 1.5", e)
+	}
+	if e := ExactVMCEnergy(0.8); math.Abs(e-1.5375) > 1e-12 {
+		t.Errorf("E(0.8) = %v, want 1.5375", e)
+	}
+	// The variational minimum is at α=1.
+	if ExactVMCEnergy(0.7) <= 1.5 || ExactVMCEnergy(1.4) <= 1.5 {
+		t.Error("variational bound violated analytically")
+	}
+}
+
+// At α=1 the trial is exact: E_L ≡ 1.5 with zero variance.
+func TestVMCExactTrial(t *testing.T) {
+	res, err := VMCNoDrift(cfg(1), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-1.5) > 1e-10 {
+		t.Errorf("energy = %v, want exactly 1.5", res.Energy)
+	}
+	if res.Variance > 1e-10 {
+		t.Errorf("variance = %v, want 0 (zero-variance principle)", res.Variance)
+	}
+}
+
+// For a non-optimal α the sampled energy must match the analytic
+// expectation and exceed the ground state (variational principle).
+func TestVMCVariationalEnergy(t *testing.T) {
+	for _, alpha := range []float64{0.7, 0.85, 1.25} {
+		res, err := VMCNoDrift(cfg(alpha), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ExactVMCEnergy(alpha)
+		if math.Abs(res.Energy-want) > 0.02*want {
+			t.Errorf("alpha=%v: VMC energy %v, analytic %v", alpha, res.Energy, want)
+		}
+		if res.Energy <= GroundStateEnergy {
+			t.Errorf("alpha=%v: VMC energy %v below the ground state", alpha, res.Energy)
+		}
+	}
+}
+
+// Drifted VMC samples the same distribution with higher acceptance.
+func TestVMCDriftSameEnergyHigherAcceptance(t *testing.T) {
+	c := cfg(0.8)
+	plain, err := VMCNoDrift(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift, err := VMCDrift(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExactVMCEnergy(0.8)
+	if math.Abs(drift.Energy-want) > 0.02*want {
+		t.Errorf("drift VMC energy %v, analytic %v", drift.Energy, want)
+	}
+	if drift.Acceptance <= plain.Acceptance {
+		t.Errorf("drift acceptance %v not above plain %v", drift.Acceptance, plain.Acceptance)
+	}
+	if drift.Acceptance < 0.9 {
+		t.Errorf("drift acceptance %v unexpectedly low", drift.Acceptance)
+	}
+}
+
+// DMC projects out the ground state from an imperfect trial.
+func TestDMCConvergesToGroundState(t *testing.T) {
+	c := Config{Alpha: 0.8, Walkers: 500, StepSize: 0.02, Seed: 7}
+	res, err := DMC(c, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-GroundStateEnergy) > 0.05 {
+		t.Errorf("DMC energy = %v, want %v ± 0.05", res.Energy, GroundStateEnergy)
+	}
+	// The trial's VMC energy is 1.5375: DMC must improve on it.
+	if res.Energy >= ExactVMCEnergy(0.8) {
+		t.Errorf("DMC energy %v did not improve on the VMC energy", res.Energy)
+	}
+	// Population control keeps the census near the target.
+	if res.Walkers < c.Walkers/2 || res.Walkers > c.Walkers*2 {
+		t.Errorf("final population %d strayed from target %d", res.Walkers, c.Walkers)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := VMCNoDrift(cfg(0.9), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := VMCNoDrift(cfg(0.9), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.Acceptance != b.Acceptance {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Alpha: 0, Walkers: 10, StepSize: 0.1},
+		{Alpha: 1, Walkers: 0, StepSize: 0.1},
+		{Alpha: 1, Walkers: 10, StepSize: 0},
+	}
+	for i, c := range bad {
+		if _, err := VMCNoDrift(c, 10); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+		if _, err := DMC(c, 10); err == nil {
+			t.Errorf("config %d accepted by DMC", i)
+		}
+	}
+	if _, err := VMCNoDrift(cfg(1), 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := DMC(cfg(1), -1); err == nil {
+		t.Error("negative steps accepted")
+	}
+}
+
+func TestPhaseOrder(t *testing.T) {
+	ph := Phases()
+	if len(ph) != 3 || ph[0] != PhaseVMCNoDrift || ph[1] != PhaseVMCDrift || ph[2] != PhaseDMC {
+		t.Errorf("phases = %v", ph)
+	}
+}

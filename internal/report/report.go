@@ -1,0 +1,227 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and simple ASCII log-log charts — the output formats of the cmd tools
+// and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Write renders the table, right-aligning numeric-looking cells.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s", widths[i]+2, h)
+	}
+	b.WriteByte('\n')
+	for i := range t.Headers {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (cells containing commas or quotes
+// are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders series as an ASCII scatter with optional log axes —
+// enough to eyeball the Figs. 2–9 shapes in a terminal.
+type Chart struct {
+	Title       string
+	XLabel      string
+	YLabel      string
+	LogX, LogY  bool
+	Width       int // plot columns (default 72)
+	Height      int // plot rows (default 20)
+	SeriesMarks string
+	SeriesList  []Series
+}
+
+// Add appends a series.
+func (c *Chart) Add(s Series) { c.SeriesList = append(c.SeriesList, s) }
+
+// Write renders the chart.
+func (c *Chart) Write(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	marks := c.SeriesMarks
+	if marks == "" {
+		marks = "*o+x#@%&"
+	}
+	tx := func(v float64) float64 {
+		if c.LogX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if c.LogY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.SeriesList {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintf(w, "%s: no data\n", c.Title)
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.SeriesList {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	fmt.Fprintf(&b, "  x: %s [%.3g .. %.3g]%s   y: %s [%.3g .. %.3g]%s\n",
+		c.XLabel, unTx(minX, c.LogX), unTx(maxX, c.LogX), logNote(c.LogX),
+		c.YLabel, unTx(minY, c.LogY), unTx(maxY, c.LogY), logNote(c.LogY))
+	for si, s := range c.SeriesList {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func unTx(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func logNote(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}

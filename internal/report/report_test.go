@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Headers: []string{"N", "reads", "err"}}
+	tb.AddRow(128, int64(393216), 0.031)
+	tb.AddRow(4096, int64(402653184), 1.5e-7)
+	var b strings.Builder
+	if err := tb.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "reads") || !strings.Contains(lines[2], "393216") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "1.500e-07") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "value"}}
+	tb.AddRow("plain", 1)
+	tb.AddRow("with,comma", 2)
+	tb.AddRow(`with"quote`, 3)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma",2`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"with""quote",3`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	c := &Chart{
+		Title: "test", XLabel: "N", YLabel: "bytes",
+		LogX: true, LogY: true, Width: 40, Height: 10,
+	}
+	c.Add(Series{Name: "measured", X: []float64{128, 256, 512}, Y: []float64{1e6, 4e6, 16e6}})
+	c.Add(Series{Name: "expected", X: []float64{128, 256, 512}, Y: []float64{1.1e6, 4.2e6, 15e6}})
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "measured") || !strings.Contains(out, "expected") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(log)") {
+		t.Errorf("log axis note missing:\n%s", out)
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Errorf("empty chart output: %q", b.String())
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	c := &Chart{Width: 10, Height: 5}
+	c.Add(Series{Name: "point", X: []float64{5}, Y: []float64{7}})
+	var b strings.Builder
+	if err := c.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Error("single point not rendered")
+	}
+}

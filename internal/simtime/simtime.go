@@ -1,0 +1,97 @@
+// Package simtime provides the simulated clock used by the hardware models.
+//
+// All timing in the simulator is virtual: workloads advance a Clock by the
+// duration their memory traffic and arithmetic would take on the modelled
+// machine, and counters, noise generators and profilers read that clock.
+// Nothing in the simulation depends on the wall clock, which keeps whole
+// experiments deterministic and allows "50 runs of a 16-node job" to finish
+// in milliseconds.
+package simtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t−u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String renders the duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// String renders the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// FromSeconds converts seconds to a Duration.
+func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Clock is a monotonically advancing simulated clock, safe for concurrent
+// use. The zero value is a clock at time 0.
+type Clock struct {
+	mu  sync.Mutex
+	now Time
+}
+
+// NewClock returns a clock starting at time 0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored (the clock is monotonic).
+func (c *Clock) Advance(d Duration) Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += Time(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is in the future; it never moves the
+// clock backwards. It returns the (possibly unchanged) current time.
+func (c *Clock) AdvanceTo(t Time) Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}

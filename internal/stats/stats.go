@@ -1,0 +1,135 @@
+// Package stats implements the statistical machinery the paper uses to turn
+// raw counter readings into reported measurements: aggregation across
+// repetitions (min / median / mean, per Barry et al. 2021 [9]) and the
+// adaptive repetition-count scheme of Equation 5.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Min returns the smallest value in xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value in xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Median returns the median of xs (average of the two central values for
+// even-length samples). The input is not modified.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// A single-element sample has standard deviation 0.
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	mean, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1)), nil
+}
+
+// Summary bundles the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	mean, _ := Mean(xs)
+	med, _ := Median(xs)
+	sd, _ := StdDev(xs)
+	return Summary{N: len(xs), Min: mn, Max: mx, Mean: mean, Median: med, StdDev: sd}, nil
+}
+
+// AdaptiveRepetitions implements Equation 5 of the paper:
+//
+//	Repetitions(N) = ⌊514 − 0.246·N⌋  for N < 2048
+//	Repetitions(N) = 10               for N ≥ 2048
+//
+// which yields ~500 repetitions for small problem sizes (whose
+// measurements are noise-dominated) dropping linearly to 10 for large
+// ones. The result is never smaller than 10.
+func AdaptiveRepetitions(n int) int {
+	if n >= 2048 {
+		return 10
+	}
+	r := int(math.Floor(514 - 0.246*float64(n)))
+	if r < 10 {
+		r = 10
+	}
+	return r
+}
+
+// RelativeError returns |measured−expected| / expected. It is the accuracy
+// metric used throughout EXPERIMENTS.md. expected must be non-zero.
+func RelativeError(measured, expected float64) float64 {
+	return math.Abs(measured-expected) / math.Abs(expected)
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySamples(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil) should return ErrEmpty")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil) should return ErrEmpty")
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Error("Mean(nil) should return ErrEmpty")
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Error("Median(nil) should return ErrEmpty")
+	}
+	if _, err := StdDev(nil); err != ErrEmpty {
+		t.Error("StdDev(nil) should return ErrEmpty")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Error("Summarize(nil) should return ErrEmpty")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if v, _ := Min(xs); v != 1 {
+		t.Errorf("Min = %v, want 1", v)
+	}
+	if v, _ := Max(xs); v != 4 {
+		t.Errorf("Max = %v, want 4", v)
+	}
+	if v, _ := Mean(xs); v != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", v)
+	}
+	if v, _ := Median(xs); v != 2.5 {
+		t.Errorf("Median = %v, want 2.5", v)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if v, _ := Median([]float64{9, 1, 5}); v != 5 {
+		t.Errorf("Median = %v, want 5", v)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Known sample: {2,4,4,4,5,5,7,9} has sample stddev ~2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, _ := StdDev(xs)
+	if math.Abs(v-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %v, want ~2.138", v)
+	}
+	if v, _ := StdDev([]float64{42}); v != 0 {
+		t.Errorf("StdDev of singleton = %v, want 0", v)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 || s.Median != 2 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+}
+
+func TestAdaptiveRepetitions(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 514},
+		{100, 489},  // 514 - 24.6 = 489.4 -> 489
+		{1000, 268}, // 514 - 246 = 268
+		{2047, 10},  // 514 - 503.562 = 10.438 -> 10
+		{2048, 10},
+		{100000, 10},
+	}
+	for _, c := range cases {
+		if got := AdaptiveRepetitions(c.n); got != c.want {
+			t.Errorf("AdaptiveRepetitions(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// Property: repetitions are monotonically non-increasing in N and >= 10.
+func TestAdaptiveRepetitionsProperties(t *testing.T) {
+	prev := AdaptiveRepetitions(0)
+	for n := 1; n < 4096; n++ {
+		r := AdaptiveRepetitions(n)
+		if r > prev {
+			t.Fatalf("repetitions increased from %d to %d at N=%d", prev, r, n)
+		}
+		if r < 10 {
+			t.Fatalf("repetitions %d < 10 at N=%d", r, n)
+		}
+		prev = r
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if v := RelativeError(110, 100); math.Abs(v-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v, want 0.1", v)
+	}
+	if v := RelativeError(90, 100); math.Abs(v-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v, want 0.1", v)
+	}
+}
+
+// Property: Min <= Median <= Max, Min <= Mean <= Max for any sample.
+func TestOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Bound magnitudes so the mean's running sum cannot overflow.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e300 {
+				clean = append(clean, x/1e10)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		mn, _ := Min(clean)
+		mx, _ := Max(clean)
+		med, _ := Median(clean)
+		mean, _ := Mean(clean)
+		// Tolerance is relative to the sample's magnitude: summation
+		// rounding can push the mean slightly outside [min,max].
+		tol := 1e-12 * math.Max(math.Abs(mn), math.Abs(mx)) * float64(len(clean))
+		return mn <= med && med <= mx && mn <= mean+tol && mean <= mx+tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Median equals the middle of the sorted sample.
+func TestMedianMatchesSort(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		got, _ := Median(clean)
+		cp := append([]float64(nil), clean...)
+		sort.Float64s(cp)
+		var want float64
+		if n := len(cp); n%2 == 1 {
+			want = cp[n/2]
+		} else {
+			want = (cp[n/2-1] + cp[n/2]) / 2
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

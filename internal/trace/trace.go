@@ -1,0 +1,107 @@
+// Package trace defines the memory-access event vocabulary shared by the
+// loop-nest executor and the cache simulator, plus a simple address-space
+// allocator that hands out disjoint, aligned array regions.
+package trace
+
+import "fmt"
+
+// Kind classifies a memory access.
+type Kind uint8
+
+const (
+	// Load is a demand read by the core.
+	Load Kind = iota
+	// Store is a write by the core.
+	Store
+	// PrefetchStore is a dcbtst-style software prefetch: it pulls the
+	// target line into the cache in anticipation of a store
+	// (the effect of GCC's -fprefetch-loop-arrays on POWER9).
+	PrefetchStore
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case PrefetchStore:
+		return "prefetch-store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Access is a single memory reference issued by a core.
+type Access struct {
+	Addr int64 // byte address
+	Size int64 // bytes, > 0
+	Kind Kind
+}
+
+// Sink consumes a stream of accesses (typically a cache hierarchy).
+type Sink interface {
+	Access(core int, a Access)
+}
+
+// Region is an allocated array in the simulated address space.
+type Region struct {
+	Name string
+	Base int64
+	Size int64
+}
+
+// Addr returns the address of byte offset off within the region.
+// It panics if off is out of bounds — a bug in a kernel descriptor.
+func (r Region) Addr(off int64) int64 {
+	if off < 0 || off >= r.Size {
+		panic(fmt.Sprintf("trace: offset %d out of bounds for region %s (size %d)", off, r.Name, r.Size))
+	}
+	return r.Base + off
+}
+
+// End returns the first address past the region.
+func (r Region) End() int64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr int64) bool {
+	return addr >= r.Base && addr < r.End()
+}
+
+// regionAlign keeps every array page-aligned so no two arrays share a
+// cache line and per-array traffic is attributable.
+const regionAlign = 4096
+
+// AddressSpace is a bump allocator for simulated arrays. The zero value
+// allocates starting at one page to keep address 0 invalid.
+type AddressSpace struct {
+	next int64
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{next: regionAlign}
+}
+
+// Alloc reserves size bytes (rounded up to the alignment) and returns the
+// region. It panics on non-positive sizes.
+func (s *AddressSpace) Alloc(name string, size int64) Region {
+	if size <= 0 {
+		panic(fmt.Sprintf("trace: Alloc(%q, %d): non-positive size", name, size))
+	}
+	if s.next == 0 {
+		s.next = regionAlign
+	}
+	r := Region{Name: name, Base: s.next, Size: size}
+	s.next += (size + regionAlign - 1) / regionAlign * regionAlign
+	return r
+}
+
+// Used returns the total reserved bytes (including alignment padding).
+func (s *AddressSpace) Used() int64 {
+	if s.next == 0 {
+		return 0
+	}
+	return s.next - regionAlign
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" || PrefetchStore.String() != "prefetch-store" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestAllocDisjointAligned(t *testing.T) {
+	s := NewAddressSpace()
+	a := s.Alloc("a", 100)
+	b := s.Alloc("b", 5000)
+	c := s.Alloc("c", 1)
+	regions := []Region{a, b, c}
+	for i, r := range regions {
+		if r.Base%regionAlign != 0 {
+			t.Errorf("region %d base %d not aligned", i, r.Base)
+		}
+		if r.Base == 0 {
+			t.Errorf("region %d allocated at address 0", i)
+		}
+		for j, o := range regions {
+			if i == j {
+				continue
+			}
+			if r.Base < o.End() && o.Base < r.End() {
+				t.Errorf("regions %s and %s overlap", r.Name, o.Name)
+			}
+		}
+	}
+}
+
+func TestZeroValueAddressSpace(t *testing.T) {
+	var s AddressSpace
+	r := s.Alloc("x", 10)
+	if r.Base == 0 {
+		t.Error("zero-value address space allocated at 0")
+	}
+}
+
+func TestRegionAddr(t *testing.T) {
+	s := NewAddressSpace()
+	r := s.Alloc("a", 64)
+	if got := r.Addr(0); got != r.Base {
+		t.Errorf("Addr(0) = %d, want %d", got, r.Base)
+	}
+	if got := r.Addr(63); got != r.Base+63 {
+		t.Errorf("Addr(63) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-bounds offset")
+		}
+	}()
+	r.Addr(64)
+}
+
+func TestRegionContains(t *testing.T) {
+	s := NewAddressSpace()
+	r := s.Alloc("a", 64)
+	if !r.Contains(r.Base) || !r.Contains(r.Base+63) {
+		t.Error("Contains misses in-bounds addresses")
+	}
+	if r.Contains(r.Base-1) || r.Contains(r.Base+64) {
+		t.Error("Contains accepts out-of-bounds addresses")
+	}
+}
+
+func TestAllocPanicsOnNonPositive(t *testing.T) {
+	s := NewAddressSpace()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size 0")
+		}
+	}()
+	s.Alloc("bad", 0)
+}
+
+func TestUsed(t *testing.T) {
+	s := NewAddressSpace()
+	if s.Used() != 0 {
+		t.Errorf("fresh space Used = %d", s.Used())
+	}
+	s.Alloc("a", 1)
+	if s.Used() != regionAlign {
+		t.Errorf("Used = %d, want %d", s.Used(), regionAlign)
+	}
+}
+
+// Property: any sequence of allocations yields pairwise-disjoint regions.
+func TestAllocDisjointProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewAddressSpace()
+		var regions []Region
+		for i, sz := range sizes {
+			if sz == 0 {
+				continue
+			}
+			regions = append(regions, s.Alloc(string(rune('a'+i%26)), int64(sz)))
+		}
+		for i, r := range regions {
+			for _, o := range regions[i+1:] {
+				if r.Base < o.End() && o.Base < r.End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

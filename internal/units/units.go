@@ -1,0 +1,74 @@
+// Package units provides byte-size and rate constants and formatting
+// helpers shared across the simulator and the measurement library.
+package units
+
+import "fmt"
+
+// Byte-size constants. The paper consistently uses binary units
+// (e.g. the 5 MB L3 slice in Eq. 3 is 5×1024² bytes).
+const (
+	B   int64 = 1
+	KiB int64 = 1024
+	MiB int64 = 1024 * KiB
+	GiB int64 = 1024 * MiB
+)
+
+// Hardware granularities of the modelled IBM POWER9 systems.
+const (
+	// CacheLineBytes is the full cache-line size.
+	CacheLineBytes int64 = 128
+	// MemTxBytes is the memory transaction granularity: POWER9 can
+	// fetch half cache lines (64 bytes) from memory.
+	MemTxBytes int64 = 64
+	// DoubleBytes is the size of a double-precision element.
+	DoubleBytes int64 = 8
+	// ComplexBytes is the size of a double-complex element.
+	ComplexBytes int64 = 16
+)
+
+// FormatBytes renders n as a human-readable base-2 byte count.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(n)/float64(GiB))
+	case n >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(n)/float64(MiB))
+	case n >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(n)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// FormatRate renders a bytes-per-second rate.
+func FormatRate(bytesPerSec float64) string {
+	switch {
+	case bytesPerSec >= 1e9:
+		return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9)
+	case bytesPerSec >= 1e6:
+		return fmt.Sprintf("%.2f MB/s", bytesPerSec/1e6)
+	case bytesPerSec >= 1e3:
+		return fmt.Sprintf("%.2f kB/s", bytesPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", bytesPerSec)
+	}
+}
+
+// RoundUpTx rounds n up to a whole number of memory transactions.
+func RoundUpTx(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + MemTxBytes - 1) / MemTxBytes * MemTxBytes
+}
+
+// TxCount reports how many 64-byte memory transactions cover n bytes.
+func TxCount(n int64) int64 { return RoundUpTx(n) / MemTxBytes }
+
+// LinesCovering reports how many full cache lines cover n bytes.
+func LinesCovering(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + CacheLineBytes - 1) / CacheLineBytes
+}

@@ -1,0 +1,91 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{1, "1 B"},
+		{1023, "1023 B"},
+		{1024, "1.00 KiB"},
+		{5 * MiB, "5.00 MiB"},
+		{3 * GiB, "3.00 GiB"},
+		{1536, "1.50 KiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 B/s"},
+		{999, "999 B/s"},
+		{1e3, "1.00 kB/s"},
+		{2.5e6, "2.50 MB/s"},
+		{120e9, "120.00 GB/s"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.in); got != c.want {
+			t.Errorf("FormatRate(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundUpTx(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 0},
+		{-5, 0},
+		{1, 64},
+		{64, 64},
+		{65, 128},
+		{128, 128},
+	}
+	for _, c := range cases {
+		if got := RoundUpTx(c.in); got != c.want {
+			t.Errorf("RoundUpTx(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTxCount(t *testing.T) {
+	if got := TxCount(129); got != 3 {
+		t.Errorf("TxCount(129) = %d, want 3", got)
+	}
+	if got := TxCount(0); got != 0 {
+		t.Errorf("TxCount(0) = %d, want 0", got)
+	}
+}
+
+func TestLinesCovering(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{0, 0}, {1, 1}, {128, 1}, {129, 2}, {256, 2},
+	}
+	for _, c := range cases {
+		if got := LinesCovering(c.in); got != c.want {
+			t.Errorf("LinesCovering(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: RoundUpTx is idempotent, monotone and a multiple of MemTxBytes.
+func TestRoundUpTxProperties(t *testing.T) {
+	f := func(n int64) bool {
+		r := RoundUpTx(n)
+		return r%MemTxBytes == 0 && RoundUpTx(r) == r && r >= 0 && (n <= 0 || r >= n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

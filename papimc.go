@@ -1,0 +1,108 @@
+// Package papimc is a from-scratch reproduction of "Memory Traffic and
+// Complete Application Profiling with PAPI Multi-Component Measurements"
+// (Barry, Jagode, Danalis, Dongarra — IPDPS 2023) as a self-contained Go
+// system: a PAPI-like multi-component measurement library, a Performance
+// Co-Pilot daemon and client, and a simulated IBM POWER9 testbed (nest
+// counters, caches with store bypass and slice borrowing, V100 GPUs,
+// InfiniBand) that the library measures.
+//
+// This top-level package re-exports the pieces a downstream user needs:
+//
+//	tb, _ := papimc.NewTestbed(papimc.Summit(), 1, papimc.Options{})
+//	lib, _, _ := tb.NewLibrary()
+//	es := lib.NewEventSet()
+//	es.Add("pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87")
+//	es.Start()
+//	// ... run work on tb ...
+//	values, _ := es.Stop()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package papimc
+
+import (
+	"papimc/internal/arch"
+	"papimc/internal/figures"
+	"papimc/internal/harness"
+	"papimc/internal/model"
+	"papimc/internal/node"
+	"papimc/internal/papi"
+	"papimc/internal/profile"
+	"papimc/internal/simtime"
+)
+
+// Machine descriptions (Section I).
+type Machine = arch.Machine
+
+// Summit is the 2×22-core POWER9 + 6×V100 node; nest counters are only
+// reachable via PCP.
+func Summit() Machine { return arch.Summit() }
+
+// Tellico is the 2×16-core POWER9 testbed with privileged nest access.
+func Tellico() Machine { return arch.Tellico() }
+
+// Skylake is the Intel system of Section III's cross-check.
+func Skylake() Machine { return arch.Skylake() }
+
+// Measurement library (the paper's primary artifact).
+type (
+	// Library is the PAPI-like component registry.
+	Library = papi.Library
+	// EventSet is the start/read/stop counter-group lifecycle.
+	EventSet = papi.EventSet
+	// EventInfo describes one available event.
+	EventInfo = papi.EventInfo
+	// Component is the interface counter sources implement.
+	Component = papi.Component
+)
+
+// Testbed construction.
+type (
+	// Testbed is a set of simulated nodes with the measurement plane
+	// (PMCD daemon, PAPI components) wired up.
+	Testbed = node.Testbed
+	// Node is one compute node of a testbed.
+	Node = node.Node
+	// Options tunes testbed construction (seed, ideal counters).
+	Options = node.Options
+	// Route selects the counter-access path (ViaPCP or Direct).
+	Route = node.Route
+)
+
+// Counter-access routes.
+const (
+	ViaPCP = node.ViaPCP
+	Direct = node.Direct
+)
+
+// NewTestbed builds nodes of machine m with a running PMCD daemon.
+func NewTestbed(m Machine, numNodes int, opts Options) (*Testbed, error) {
+	return node.NewTestbed(m, numNodes, opts)
+}
+
+// Traffic modelling and experiments.
+type (
+	// Context describes a kernel's execution environment for the
+	// analytic traffic engine.
+	Context = model.Context
+	// Traffic is a predicted (read, write, duration) volume.
+	Traffic = model.Traffic
+	// Point is one measured problem size of an accuracy sweep.
+	Point = harness.Point
+	// Duration is simulated time.
+	Duration = simtime.Duration
+	// Time is a simulated instant.
+	Time = simtime.Time
+)
+
+// Experiment entry points (see internal/figures for every table/figure).
+var (
+	// GEMMSweep runs the Figs. 2–4 experiment.
+	GEMMSweep = harness.GEMMSweep
+	// CappedGEMVSweep runs the Fig. 5 experiment.
+	CappedGEMVSweep = harness.CappedGEMVSweep
+	// ProfileRun samples an EventSet across workload phases (Figs. 11–12).
+	ProfileRun = profile.Run
+	// AllFigures lists every table/figure generator.
+	AllFigures = figures.All
+)

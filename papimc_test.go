@@ -1,0 +1,101 @@
+package papimc_test
+
+// End-to-end exercise of the public façade: everything a downstream user
+// touches, through the root package only.
+
+import (
+	"errors"
+	"testing"
+
+	"papimc"
+	"papimc/internal/harness"
+	"papimc/internal/model"
+	"papimc/internal/papi"
+	"papimc/internal/simtime"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	tb, err := papimc.NewTestbed(papimc.Summit(), 1, papimc.Options{Seed: 1, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := lib.NewEventSet()
+	if err := es.AddAll(
+		"pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+		"pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_WRITE_BYTES.value:cpu87",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tb.Nodes[0].Play(0, papimc.Traffic{
+		ReadBytes:  8 << 20,
+		WriteBytes: 4 << 20,
+		Duration:   20 * simtime.Millisecond,
+	}, 8)
+	tb.Clock.Advance(50 * simtime.Millisecond)
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0 of 8 on ideal counters.
+	if vals[0] != (8<<20)/8 || vals[1] != (4<<20)/8 {
+		t.Errorf("values = %v, want [%d %d]", vals, (8<<20)/8, (4<<20)/8)
+	}
+}
+
+func TestPublicPermissionStory(t *testing.T) {
+	tb, err := papimc.NewTestbed(papimc.Summit(), 1, papimc.Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := lib.NewEventSet()
+	if err := es.Add("power9_nest_mba0::PM_MBA0_READ_BYTES:cpu=0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); !errors.Is(err, papi.ErrPermission) {
+		t.Errorf("Summit direct start err = %v, want ErrPermission", err)
+	}
+}
+
+func TestPublicMachines(t *testing.T) {
+	for _, m := range []papimc.Machine{papimc.Summit(), papimc.Tellico(), papimc.Skylake()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestPublicSweepAndFigures(t *testing.T) {
+	pts, err := papimc.GEMMSweep(harness.GEMMConfig{
+		Machine: papimc.Tellico(),
+		Batched: true,
+		Route:   papimc.Direct,
+		Reps:    harness.FixedReps(2),
+		Sizes:   []int64{256},
+		Options: papimc.Options{DisableNoise: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ReadError() != 0 {
+		t.Errorf("ideal sweep error = %v", pts[0].ReadError())
+	}
+	if got := len(papimc.AllFigures()); got != 20 {
+		t.Errorf("AllFigures = %d, want 20", got)
+	}
+	// Type aliases line up with the internal packages.
+	var _ papimc.Context = model.Serial(papimc.Summit())
+	var _ papimc.Point = pts[0]
+}
