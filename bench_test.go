@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"papimc/internal/arch"
+	"papimc/internal/archive"
 	"papimc/internal/cache"
 	"papimc/internal/fft"
 	"papimc/internal/figures"
@@ -29,6 +30,8 @@ import (
 	"papimc/internal/model"
 	"papimc/internal/mpi"
 	"papimc/internal/node"
+	"papimc/internal/pcp"
+	"papimc/internal/pmproxy"
 	"papimc/internal/trace"
 	"papimc/internal/xrand"
 )
@@ -343,5 +346,112 @@ func BenchmarkDistributedFFT(b *testing.B) {
 			local := append([]complex128(nil), slabs[r.ID()]...)
 			fft.Distributed3D(g, r, local)
 		})
+	}
+}
+
+// --- serving-tier micro-benchmarks ------------------------------------------
+
+// BenchmarkPDUFetchRespEncodeDecode: one 16-value fetch response through
+// the wire codec — the per-request CPU cost of the serving path.
+func BenchmarkPDUFetchRespEncodeDecode(b *testing.B) {
+	res := pcp.FetchResult{Timestamp: 123456789}
+	for i := 0; i < 16; i++ {
+		res.Values = append(res.Values, pcp.FetchValue{PMID: uint32(i + 1), Status: pcp.StatusOK, Value: uint64(i) << 32})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := pcp.EncodeFetchResp(res)
+		if _, err := pcp.DecodeFetchResp(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPDUNamesEncodeDecode: the name-table exchange (once per
+// client, amortized away by the proxy's cache).
+func BenchmarkPDUNamesEncodeDecode(b *testing.B) {
+	var entries []pcp.NameEntry
+	for i := 0; i < 32; i++ {
+		entries = append(entries, pcp.NameEntry{PMID: uint32(i + 1),
+			Name: fmt.Sprintf("perfevent.hwcounters.nest_mba%d_imc.PM_MBA%d_READ_BYTES.value.cpu87", i%8, i%8)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := pcp.EncodeNamesResp(entries)
+		if _, err := pcp.DecodeNamesResp(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyFetchCoalesced: steady-state fan-out serving — a client
+// fetch answered from the pmproxy coalescing cache, no upstream round
+// trip. Compare with BenchmarkEventSetReadPCP (every read hits the
+// daemon) for the multiplexing win; the coalescing ratio is reported.
+func BenchmarkProxyFetchCoalesced(b *testing.B) {
+	tb, err := node.NewTestbed(arch.Tellico(), 1, node.Options{DisableNoise: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	p := pmproxy.New(pmproxy.Config{
+		Upstream: tb.PMCDAddr,
+		Clock:    tb.Clock,
+		Interval: tb.Machine.Noise.PMCDSampleInterval,
+	})
+	addr, err := p.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	c, err := pcp.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	pmids := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := c.Fetch(pmids); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fetch(pmids); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(p.Stats().CoalescingRatio(), "coalescing-ratio")
+}
+
+// BenchmarkArchiveAppend: pmlogger's recording hot path — one fetch
+// result delta-encoded into the archive ring.
+func BenchmarkArchiveAppend(b *testing.B) {
+	var names []pcp.NameEntry
+	for i := 0; i < 16; i++ {
+		names = append(names, pcp.NameEntry{PMID: uint32(i + 1), Name: fmt.Sprintf("m%d", i)})
+	}
+	a, err := archive.New(names, archive.Options{MaxBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := pcp.FetchResult{}
+	for i := 0; i < 16; i++ {
+		res.Values = append(res.Values, pcp.FetchValue{PMID: uint32(i + 1), Status: pcp.StatusOK})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Timestamp = int64(i+1) * 10_000_000
+		for j := range res.Values {
+			res.Values[j].Value += uint64(64 * (j + 1))
+		}
+		if err := a.Append(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := a.Stats()
+	if st.Samples > 0 {
+		b.ReportMetric(float64(st.EncodedBytes)/float64(st.Samples), "B/sample")
 	}
 }

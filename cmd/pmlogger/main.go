@@ -1,0 +1,124 @@
+// Command pmlogger records a PMCD daemon's metrics into an archive file,
+// like PCP's pmlogger: it polls the daemon at a fixed interval, appends
+// each new sample (duplicate daemon samples are deduplicated by
+// timestamp), and writes a varint-delta-encoded archive that cmd tools
+// and the archive replay source can consume offline.
+//
+// Usage:
+//
+//	pmlogger -addr 127.0.0.1:44321 -o run.pmlog [-interval 100ms] [-duration 10s]
+//	pmlogger -dump run.pmlog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"papimc/internal/archive"
+	"papimc/internal/pcp"
+	"papimc/internal/units"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:44321", "PMCD daemon address")
+	out := flag.String("o", "pmlogger.pmlog", "archive output file")
+	interval := flag.Duration("interval", 100*time.Millisecond, "polling interval")
+	duration := flag.Duration("duration", 0, "stop after this long (0 = until Ctrl-C)")
+	maxBytes := flag.Int("max-bytes", archive.DefaultMaxBytes, "ring retention budget for encoded samples")
+	dump := flag.String("dump", "", "print the given archive file and exit")
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpArchive(*dump); err != nil {
+			fmt.Fprintln(os.Stderr, "pmlogger:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := record(*addr, *out, *interval, *duration, *maxBytes); err != nil {
+		fmt.Fprintln(os.Stderr, "pmlogger:", err)
+		os.Exit(1)
+	}
+}
+
+func record(addr, out string, interval, duration time.Duration, maxBytes int) error {
+	client, err := pcp.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	rec, err := archive.NewRecorderFromUpstream(client, archive.Options{MaxBytes: maxBytes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pmlogger: recording %d metrics from %s every %v\n",
+		len(rec.Archive().Names()), addr, interval)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-deadline:
+			break loop
+		case <-tick.C:
+			if err := rec.Record(); err != nil {
+				fmt.Fprintln(os.Stderr, "pmlogger: sample failed:", err)
+			}
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := rec.Archive().WriteTo(f); err != nil {
+		return err
+	}
+	st := rec.Archive().Stats()
+	fmt.Printf("pmlogger: wrote %s: %d samples (%d evicted), %s encoded vs %s raw\n",
+		out, st.Samples, st.Evicted, units.FormatBytes(int64(st.EncodedBytes)), units.FormatBytes(int64(st.RawBytes)))
+	return nil
+}
+
+func dumpArchive(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := archive.Read(f, archive.Options{})
+	if err != nil {
+		return err
+	}
+	st := a.Stats()
+	first, last, ok := a.Span()
+	fmt.Printf("%s: %d metrics, %d samples, %s encoded\n",
+		path, len(a.Names()), st.Samples, units.FormatBytes(int64(st.EncodedBytes)))
+	if !ok {
+		return nil
+	}
+	fmt.Printf("span: %d ns .. %d ns (%.3f s)\n", first, last, float64(last-first)/1e9)
+	for _, e := range a.Names() {
+		fmt.Printf("  pmid %3d  %s", e.PMID, e.Name)
+		if last > first {
+			if rate, err := a.Rate(e.PMID, first, last); err == nil {
+				fmt.Printf("  avg %.3g/s", rate)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

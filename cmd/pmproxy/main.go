@@ -1,0 +1,54 @@
+// Command pmproxy runs the proxy daemon: it listens for PCP clients and
+// multiplexes them onto one upstream PMCD connection, coalescing
+// identical fetches that land within one daemon sampling interval into a
+// single upstream round trip and serving stale-but-timestamped answers
+// while the upstream is unreachable.
+//
+// Usage:
+//
+//	pmproxy -addr 127.0.0.1:44322 -upstream 127.0.0.1:44321 [-interval 10ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"papimc/internal/pmproxy"
+	"papimc/internal/simtime"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:44322", "listen address")
+	upstream := flag.String("upstream", "127.0.0.1:44321", "PMCD daemon address")
+	interval := flag.Duration("interval", 10*time.Millisecond, "coalescing window (the daemon's sampling interval)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-upstream-round-trip deadline")
+	retries := flag.Int("retries", 2, "upstream retry attempts")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff")
+	flag.Parse()
+
+	p := pmproxy.New(pmproxy.Config{
+		Upstream:   *upstream,
+		Interval:   simtime.Duration(interval.Nanoseconds()),
+		Timeout:    *timeout,
+		MaxRetries: *retries,
+		Backoff:    *backoff,
+	})
+	bound, err := p.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmproxy:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pmproxy: serving on %s, upstream %s, coalescing window %v\n", bound, *upstream, *interval)
+	fmt.Println("pmproxy: connect with pcp.Dial or the papi pcp component; Ctrl-C to stop")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	p.Close()
+	st := p.Stats()
+	fmt.Printf("\npmproxy: %d client fetches, %d upstream fetches (%.1fx coalescing), %d coalesced hits, %d stale serves, %d upstream errors\n",
+		st.ClientFetches, st.UpstreamFetches, st.CoalescingRatio(), st.CoalescedHits, st.StaleServes, st.UpstreamErrors)
+}

@@ -1,0 +1,577 @@
+// Package archive implements the pmlogger analogue: an append-only
+// time-series archive of PCP fetch results, so profiles and figures can
+// be replayed from a recording instead of a live daemon.
+//
+// Samples are stored varint-delta encoded — each row is the zigzag
+// varint of the timestamp delta followed by one zigzag varint per
+// counter delta — in fixed-size blocks whose first row is absolute, so
+// any block decodes independently. Retention is a bounded-memory ring:
+// when the encoded size exceeds the budget, whole blocks are evicted
+// oldest-first. Counters compress extremely well under this scheme
+// because consecutive daemon samples differ by small per-channel byte
+// counts.
+//
+// The schema (the PMID set and the name table) is fixed when the
+// archive is created, exactly like a real pmlogger archive's metadata
+// volume.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"papimc/internal/pcp"
+)
+
+// Errors returned by the archive.
+var (
+	// ErrOutOfOrder rejects a sample older than the newest recorded one.
+	ErrOutOfOrder = errors.New("archive: sample out of order")
+	// ErrEmpty indicates a query against an archive with no samples.
+	ErrEmpty = errors.New("archive: no samples")
+	// ErrNoPMID indicates a query for a PMID outside the schema.
+	ErrNoPMID = errors.New("archive: pmid not in schema")
+	// ErrSchema rejects a fetch result that does not cover the schema.
+	ErrSchema = errors.New("archive: fetch result does not match schema")
+	// ErrFormat indicates a corrupt serialized archive.
+	ErrFormat = errors.New("archive: bad archive format")
+)
+
+// Sample is one decoded row: the daemon's sample timestamp and one value
+// per schema PMID, in schema order.
+type Sample struct {
+	Timestamp int64
+	Values    []uint64
+}
+
+// Options tune archive construction.
+type Options struct {
+	// MaxBytes bounds the encoded sample storage; oldest blocks are
+	// evicted once it is exceeded. 0 means DefaultMaxBytes.
+	MaxBytes int
+	// BlockSamples is the number of rows per block. 0 means
+	// DefaultBlockSamples.
+	BlockSamples int
+}
+
+// Defaults for Options.
+const (
+	DefaultMaxBytes     = 4 << 20
+	DefaultBlockSamples = 64
+)
+
+// block is one independently decodable run of delta-encoded rows.
+type block struct {
+	buf     []byte
+	count   int
+	firstTS int64
+	lastTS  int64
+}
+
+// Archive is an append-only recording. It is safe for concurrent use.
+type Archive struct {
+	mu       sync.Mutex
+	names    []pcp.NameEntry
+	byName   map[string]uint32
+	col      map[uint32]int // PMID -> column index
+	blocks   []*block
+	last     Sample // newest row, for delta encoding
+	total    int    // encoded bytes across blocks
+	appended int    // rows accepted (including later-evicted ones)
+	evicted  int    // rows dropped by ring retention
+	opts     Options
+}
+
+// New builds an empty archive over the given name table. The entries
+// define the schema: one column per PMID, in the given order.
+func New(names []pcp.NameEntry, opts Options) (*Archive, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("archive: empty schema")
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.BlockSamples <= 0 {
+		opts.BlockSamples = DefaultBlockSamples
+	}
+	a := &Archive{
+		names:  append([]pcp.NameEntry(nil), names...),
+		byName: make(map[string]uint32, len(names)),
+		col:    make(map[uint32]int, len(names)),
+		opts:   opts,
+	}
+	for i, e := range names {
+		if e.PMID == 0 {
+			return nil, fmt.Errorf("archive: schema entry %q has PMID 0", e.Name)
+		}
+		if _, dup := a.col[e.PMID]; dup {
+			return nil, fmt.Errorf("archive: duplicate PMID %d in schema", e.PMID)
+		}
+		a.byName[e.Name] = e.PMID
+		a.col[e.PMID] = i
+	}
+	return a, nil
+}
+
+// Names returns the schema's name table.
+func (a *Archive) Names() []pcp.NameEntry {
+	return append([]pcp.NameEntry(nil), a.names...)
+}
+
+// Lookup resolves a schema metric name to its PMID.
+func (a *Archive) Lookup(name string) (uint32, error) {
+	if id, ok := a.byName[name]; ok {
+		return id, nil
+	}
+	return 0, fmt.Errorf("archive: unknown metric %q", name)
+}
+
+// PMIDs returns the schema PMIDs in column order.
+func (a *Archive) PMIDs() []uint32 {
+	out := make([]uint32, len(a.names))
+	for i, e := range a.names {
+		out[i] = e.PMID
+	}
+	return out
+}
+
+// Append records one fetch result. The result must contain an OK value
+// for every schema PMID (extra values are ignored). A result with the
+// same timestamp as the newest row is a daemon cache hit and is silently
+// skipped; an older timestamp is ErrOutOfOrder.
+func (a *Archive) Append(res pcp.FetchResult) error {
+	row := Sample{Timestamp: res.Timestamp, Values: make([]uint64, len(a.names))}
+	seen := 0
+	for _, v := range res.Values {
+		c, ok := a.col[v.PMID]
+		if !ok {
+			continue
+		}
+		if v.Status != pcp.StatusOK {
+			return fmt.Errorf("%w: pmid %d has status %d", ErrSchema, v.PMID, v.Status)
+		}
+		row.Values[c] = v.Value
+		seen++
+	}
+	if seen < len(a.names) {
+		return fmt.Errorf("%w: %d of %d schema pmids present", ErrSchema, seen, len(a.names))
+	}
+	return a.AppendSample(row)
+}
+
+// AppendSample records one pre-built row (len(Values) must equal the
+// schema width). Same ordering rules as Append.
+func (a *Archive) AppendSample(row Sample) error {
+	if len(row.Values) != len(a.names) {
+		return fmt.Errorf("%w: row has %d values, schema has %d", ErrSchema, len(row.Values), len(a.names))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.appended > 0 {
+		if row.Timestamp == a.last.Timestamp {
+			return nil // same daemon sample, nothing new
+		}
+		if row.Timestamp < a.last.Timestamp {
+			return fmt.Errorf("%w: %d after %d", ErrOutOfOrder, row.Timestamp, a.last.Timestamp)
+		}
+	}
+
+	cur := a.tail()
+	if cur == nil || cur.count >= a.opts.BlockSamples {
+		cur = &block{firstTS: row.Timestamp}
+		a.blocks = append(a.blocks, cur)
+	}
+	before := len(cur.buf)
+	if cur.count == 0 {
+		// Keyframe: absolute timestamp and values.
+		cur.buf = binary.AppendVarint(cur.buf, row.Timestamp)
+		for _, v := range row.Values {
+			cur.buf = binary.AppendUvarint(cur.buf, v)
+		}
+		cur.firstTS = row.Timestamp
+	} else {
+		cur.buf = binary.AppendVarint(cur.buf, row.Timestamp-a.last.Timestamp)
+		for i, v := range row.Values {
+			cur.buf = binary.AppendVarint(cur.buf, int64(v-a.last.Values[i]))
+		}
+	}
+	cur.count++
+	cur.lastTS = row.Timestamp
+	a.total += len(cur.buf) - before
+	a.last = Sample{Timestamp: row.Timestamp, Values: append([]uint64(nil), row.Values...)}
+	a.appended++
+
+	// Ring retention: evict oldest whole blocks past the byte budget,
+	// always keeping the block being written.
+	for a.total > a.opts.MaxBytes && len(a.blocks) > 1 {
+		old := a.blocks[0]
+		a.blocks = a.blocks[1:]
+		a.total -= len(old.buf)
+		a.evicted += old.count
+	}
+	return nil
+}
+
+// tail returns the block currently being appended to, or nil.
+func (a *Archive) tail() *block {
+	if len(a.blocks) == 0 {
+		return nil
+	}
+	return a.blocks[len(a.blocks)-1]
+}
+
+// decodeBlock appends the block's rows to dst.
+func (a *Archive) decodeBlock(b *block, dst []Sample) ([]Sample, error) {
+	buf := b.buf
+	var prev Sample
+	for i := 0; i < b.count; i++ {
+		row := Sample{Values: make([]uint64, len(a.names))}
+		if i == 0 {
+			ts, n := binary.Varint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: keyframe timestamp", ErrFormat)
+			}
+			buf = buf[n:]
+			row.Timestamp = ts
+			for c := range row.Values {
+				v, n := binary.Uvarint(buf)
+				if n <= 0 {
+					return nil, fmt.Errorf("%w: keyframe value", ErrFormat)
+				}
+				buf = buf[n:]
+				row.Values[c] = v
+			}
+		} else {
+			dt, n := binary.Varint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: delta timestamp", ErrFormat)
+			}
+			buf = buf[n:]
+			row.Timestamp = prev.Timestamp + dt
+			for c := range row.Values {
+				dv, n := binary.Varint(buf)
+				if n <= 0 {
+					return nil, fmt.Errorf("%w: delta value", ErrFormat)
+				}
+				buf = buf[n:]
+				row.Values[c] = prev.Values[c] + uint64(dv)
+			}
+		}
+		dst = append(dst, row)
+		prev = row
+	}
+	return dst, nil
+}
+
+// Len returns the number of retained samples.
+func (a *Archive) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, b := range a.blocks {
+		n += b.count
+	}
+	return n
+}
+
+// Stats describes the archive's storage state.
+type Stats struct {
+	Samples      int // retained rows
+	Appended     int // rows ever accepted
+	Evicted      int // rows dropped by ring retention
+	EncodedBytes int // current encoded size
+	RawBytes     int // what the retained rows would cost un-encoded
+}
+
+// Stats returns storage counters, including the raw-vs-encoded size so
+// tests can assert the compression win.
+func (a *Archive) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := Stats{Appended: a.appended, Evicted: a.evicted, EncodedBytes: a.total}
+	for _, b := range a.blocks {
+		s.Samples += b.count
+	}
+	s.RawBytes = s.Samples * (8 + 8*len(a.names))
+	return s
+}
+
+// Span returns the timestamps of the oldest and newest retained samples.
+func (a *Archive) Span() (first, last int64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.blocks) == 0 || a.blocks[0].count == 0 {
+		return 0, 0, false
+	}
+	return a.blocks[0].firstTS, a.tail().lastTS, true
+}
+
+// Samples returns every retained row with t0 <= Timestamp <= t1, oldest
+// first.
+func (a *Archive) Samples(t0, t1 int64) ([]Sample, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Sample
+	for _, b := range a.blocks {
+		if b.count == 0 || b.lastTS < t0 || b.firstTS > t1 {
+			continue
+		}
+		rows, err := a.decodeBlock(b, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if r.Timestamp >= t0 && r.Timestamp <= t1 {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// All returns every retained row, oldest first.
+func (a *Archive) All() ([]Sample, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allLocked()
+}
+
+func (a *Archive) allLocked() ([]Sample, error) {
+	var out []Sample
+	var err error
+	for _, b := range a.blocks {
+		if out, err = a.decodeBlock(b, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Floor returns the newest sample with Timestamp <= t — the value a live
+// daemon would have served at time t. ok is false if every retained
+// sample is newer than t (or the archive is empty).
+func (a *Archive) Floor(t int64) (Sample, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var cand *block
+	for _, b := range a.blocks {
+		if b.count == 0 || b.firstTS > t {
+			break
+		}
+		cand = b
+	}
+	if cand == nil {
+		return Sample{}, false
+	}
+	rows, err := a.decodeBlock(cand, nil)
+	if err != nil {
+		return Sample{}, false
+	}
+	best := Sample{}
+	found := false
+	for _, r := range rows {
+		if r.Timestamp <= t {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// Nearest returns the retained sample whose timestamp is closest to t
+// (ties go to the older sample).
+func (a *Archive) Nearest(t int64) (Sample, bool) {
+	a.mu.Lock()
+	rows, err := a.allLocked()
+	a.mu.Unlock()
+	if err != nil || len(rows) == 0 {
+		return Sample{}, false
+	}
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if absDelta(r.Timestamp, t) < absDelta(best.Timestamp, t) {
+			best = r
+		}
+	}
+	return best, true
+}
+
+func absDelta(a, b int64) uint64 {
+	if a < b {
+		return uint64(b - a)
+	}
+	return uint64(a - b)
+}
+
+// ValueAt returns the metric's value at time t, linearly interpolated
+// between the surrounding samples and clamped to the recording's span.
+func (a *Archive) ValueAt(pmid uint32, t int64) (float64, error) {
+	c, ok := a.col[pmid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoPMID, pmid)
+	}
+	rows, err := a.All()
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return 0, ErrEmpty
+	}
+	if t <= rows[0].Timestamp {
+		return float64(rows[0].Values[c]), nil
+	}
+	for i := 1; i < len(rows); i++ {
+		if t > rows[i].Timestamp {
+			continue
+		}
+		lo, hi := rows[i-1], rows[i]
+		f := float64(t-lo.Timestamp) / float64(hi.Timestamp-lo.Timestamp)
+		v0, v1 := float64(lo.Values[c]), float64(hi.Values[c])
+		return v0 + f*(v1-v0), nil
+	}
+	return float64(rows[len(rows)-1].Values[c]), nil
+}
+
+// Rate returns the metric's average rate over [t0, t1] in units per
+// second of simulated time, using interpolated endpoint values — the
+// quantity the paper's bandwidth figures plot.
+func (a *Archive) Rate(pmid uint32, t0, t1 int64) (float64, error) {
+	if t1 <= t0 {
+		return 0, fmt.Errorf("archive: bad rate interval [%d, %d]", t0, t1)
+	}
+	v0, err := a.ValueAt(pmid, t0)
+	if err != nil {
+		return 0, err
+	}
+	v1, err := a.ValueAt(pmid, t1)
+	if err != nil {
+		return 0, err
+	}
+	return (v1 - v0) / (float64(t1-t0) / 1e9), nil
+}
+
+// --- serialization -----------------------------------------------------
+
+// fileMagic starts a serialized archive.
+const fileMagic = "PMLG1\n"
+
+// WriteTo serializes the archive: magic, schema, then every retained row
+// re-encoded as one delta stream.
+func (a *Archive) WriteTo(w io.Writer) (int64, error) {
+	a.mu.Lock()
+	rows, err := a.allLocked()
+	names := a.names
+	a.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	var buf []byte
+	buf = append(buf, fileMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, e := range names {
+		buf = binary.AppendUvarint(buf, uint64(e.PMID))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Name)))
+		buf = append(buf, e.Name...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	var prev Sample
+	for i, r := range rows {
+		if i == 0 {
+			buf = binary.AppendVarint(buf, r.Timestamp)
+			for _, v := range r.Values {
+				buf = binary.AppendUvarint(buf, v)
+			}
+		} else {
+			buf = binary.AppendVarint(buf, r.Timestamp-prev.Timestamp)
+			for c, v := range r.Values {
+				buf = binary.AppendVarint(buf, int64(v-prev.Values[c]))
+			}
+		}
+		prev = r
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// Read deserializes an archive written by WriteTo.
+func Read(r io.Reader, opts Options) (*Archive, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrFormat)
+	}
+	buf := data[len(fileMagic):]
+	uv := func() uint64 {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			err = fmt.Errorf("%w: truncated uvarint", ErrFormat)
+			return 0
+		}
+		buf = buf[n:]
+		return v
+	}
+	sv := func() int64 {
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			err = fmt.Errorf("%w: truncated varint", ErrFormat)
+			return 0
+		}
+		buf = buf[n:]
+		return v
+	}
+	nNames := uv()
+	if err != nil {
+		return nil, err
+	}
+	if nNames == 0 || nNames > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible name count %d", ErrFormat, nNames)
+	}
+	names := make([]pcp.NameEntry, 0, nNames)
+	for i := uint64(0); i < nNames; i++ {
+		pmid := uv()
+		ln := uv()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(buf)) < ln {
+			return nil, fmt.Errorf("%w: truncated name", ErrFormat)
+		}
+		names = append(names, pcp.NameEntry{PMID: uint32(pmid), Name: string(buf[:ln])})
+		buf = buf[ln:]
+	}
+	a, aerr := New(names, opts)
+	if aerr != nil {
+		return nil, aerr
+	}
+	nRows := uv()
+	if err != nil {
+		return nil, err
+	}
+	prev := Sample{Values: make([]uint64, len(names))}
+	for i := uint64(0); i < nRows; i++ {
+		row := Sample{Values: make([]uint64, len(names))}
+		if i == 0 {
+			row.Timestamp = sv()
+			for c := range row.Values {
+				row.Values[c] = uv()
+			}
+		} else {
+			row.Timestamp = prev.Timestamp + sv()
+			for c := range row.Values {
+				row.Values[c] = prev.Values[c] + uint64(sv())
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if aerr := a.AppendSample(row); aerr != nil {
+			return nil, aerr
+		}
+		prev = row
+	}
+	return a, nil
+}

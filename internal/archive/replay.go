@@ -1,0 +1,58 @@
+package archive
+
+import (
+	"fmt"
+
+	"papimc/internal/pcp"
+	"papimc/internal/simtime"
+)
+
+// Replay serves an archive as if it were a live PMCD daemon: Fetch
+// answers with the newest recorded sample at or before the replay
+// clock's current time, exactly the row the daemon's sampling cache
+// would have held then. It implements the pcpcomp Source interface, so
+// a profile can be recomputed offline from a recording.
+type Replay struct {
+	arch  *Archive
+	clock *simtime.Clock
+}
+
+// NewReplay builds a replay source reading time from clock.
+func NewReplay(a *Archive, clock *simtime.Clock) *Replay {
+	return &Replay{arch: a, clock: clock}
+}
+
+// Names returns the recording's name table.
+func (r *Replay) Names() ([]pcp.NameEntry, error) { return r.arch.Names(), nil }
+
+// Lookup resolves a name against the recording's name table.
+func (r *Replay) Lookup(name string) (uint32, error) { return r.arch.Lookup(name) }
+
+// Fetch projects the requested PMIDs out of the sample a live daemon
+// would have served at the clock's current time. Before the first
+// recorded sample it serves that first sample (the daemon would have
+// sampled on first contact); PMIDs outside the schema get
+// StatusNoSuchPMID, matching daemon behaviour for unknown PMIDs.
+func (r *Replay) Fetch(pmids []uint32) (pcp.FetchResult, error) {
+	now := int64(r.clock.Now())
+	s, ok := r.arch.Floor(now)
+	if !ok {
+		first, _, spanOK := r.arch.Span()
+		if !spanOK {
+			return pcp.FetchResult{}, fmt.Errorf("archive: replay fetch at %d: %w", now, ErrEmpty)
+		}
+		if s, ok = r.arch.Floor(first); !ok {
+			return pcp.FetchResult{}, fmt.Errorf("archive: replay fetch at %d: %w", now, ErrEmpty)
+		}
+	}
+	out := pcp.FetchResult{Timestamp: s.Timestamp, Values: make([]pcp.FetchValue, len(pmids))}
+	for i, id := range pmids {
+		c, inSchema := r.arch.col[id]
+		if !inSchema {
+			out.Values[i] = pcp.FetchValue{PMID: id, Status: pcp.StatusNoSuchPMID}
+			continue
+		}
+		out.Values[i] = pcp.FetchValue{PMID: id, Status: pcp.StatusOK, Value: s.Values[c]}
+	}
+	return out, nil
+}

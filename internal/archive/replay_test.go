@@ -1,0 +1,168 @@
+package archive_test
+
+import (
+	"testing"
+
+	"papimc/internal/arch"
+	"papimc/internal/archive"
+	"papimc/internal/node"
+	"papimc/internal/papi"
+	"papimc/internal/papi/components/pcpcomp"
+	"papimc/internal/pcp"
+	"papimc/internal/profile"
+	"papimc/internal/simtime"
+)
+
+// phases builds the workload used by the cross-validation tests. Emit
+// hooks are bound to the given testbed; passing nil yields the same
+// phase structure with no live traffic (for replay runs).
+func phases(tb *node.Testbed) []profile.Phase {
+	emit := func(read bool, bytes int64) func(t0, t1 simtime.Time) {
+		if tb == nil {
+			return nil
+		}
+		return func(t0, t1 simtime.Time) {
+			tb.Nodes[0].Mem[0].AddTraffic(read, 0, bytes, t0, t1)
+		}
+	}
+	return []profile.Phase{
+		{Name: "read-burst", Duration: 100 * simtime.Millisecond, Emit: emit(true, 1<<20)},
+		{Name: "idle", Duration: 50 * simtime.Millisecond},
+		{Name: "write-burst", Duration: 100 * simtime.Millisecond, Emit: emit(false, 1<<19)},
+	}
+}
+
+// TestReplayProfileMatchesLive is the acceptance test for the archive
+// tier: a profile computed offline from a recording must match the
+// profile computed against the live daemon sample-for-sample. The live
+// run goes through a Recorder (pmlogger's tee), then the identical
+// phase schedule is replayed against the archive on a fresh clock.
+func TestReplayProfileMatchesLive(t *testing.T) {
+	tb, err := node.NewTestbed(arch.Summit(), 1, node.Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	client, err := pcp.Dial(tb.PMCDAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rec, err := archive.NewRecorderFromUpstream(client, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lib := papi.NewLibrary(tb.Clock)
+	if err := lib.Register(pcpcomp.New(rec)); err != nil {
+		t.Fatal(err)
+	}
+	events := tb.NestEventNames(node.ViaPCP)
+	interval := 10 * simtime.Millisecond
+	live, err := profile.Run(lib, events, interval, phases(tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Skipped() != 0 {
+		t.Fatalf("recorder skipped %d rows", rec.Skipped())
+	}
+	if rec.Archive().Len() == 0 {
+		t.Fatal("recording is empty")
+	}
+
+	// Replay: same events, same phase schedule, fresh clock, no live
+	// hardware — every value comes out of the recording.
+	clock2 := simtime.NewClock()
+	lib2 := papi.NewLibrary(clock2)
+	if err := lib2.Register(pcpcomp.New(archive.NewReplay(rec.Archive(), clock2))); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := profile.Run(lib2, events, interval, phases(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(replayed.Samples) != len(live.Samples) {
+		t.Fatalf("replay has %d samples, live has %d", len(replayed.Samples), len(live.Samples))
+	}
+	var total uint64
+	for i, ls := range live.Samples {
+		rs := replayed.Samples[i]
+		if rs.Time != ls.Time || rs.Phase != ls.Phase {
+			t.Fatalf("sample %d: replay (%v, %s) vs live (%v, %s)", i, rs.Time, rs.Phase, ls.Time, ls.Phase)
+		}
+		for c := range ls.Values {
+			total += ls.Values[c]
+			if rs.Values[c] != ls.Values[c] {
+				t.Errorf("sample %d event %s: replay %d, live %d", i, live.Events[c], rs.Values[c], ls.Values[c])
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("live profile saw no traffic; the comparison is vacuous")
+	}
+}
+
+// TestRecorderServesLikeClient checks the tee is transparent: the values
+// a profiler reads through the Recorder are the same values a direct
+// client fetch sees, and off-schema PMIDs degrade exactly like the
+// daemon (StatusNoSuchPMID).
+func TestRecorderServesLikeClient(t *testing.T) {
+	tb, err := node.NewTestbed(arch.Summit(), 1, node.Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	client, err := pcp.Dial(tb.PMCDAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rec, err := archive.NewRecorderFromUpstream(client, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Nodes[0].Mem[0].AddTraffic(true, 0, 64*100, 0, 0)
+	tb.Clock.Advance(50 * simtime.Millisecond)
+
+	res, err := rec.Fetch([]uint32{1, 2, 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := client.Fetch([]uint32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != direct.Values[0] || res.Values[1] != direct.Values[1] {
+		t.Errorf("recorder values %v != direct %v", res.Values[:2], direct.Values)
+	}
+	if res.Values[2].Status != pcp.StatusNoSuchPMID {
+		t.Errorf("off-schema pmid status = %d", res.Values[2].Status)
+	}
+	if rec.Archive().Len() == 0 {
+		t.Error("fetch did not record")
+	}
+}
+
+// TestReplayBeforeFirstSample: a replay fetch before the recording
+// starts serves the first sample (the daemon would have sampled on
+// first contact), not an error.
+func TestReplayBeforeFirstSample(t *testing.T) {
+	a, err := archive.New([]pcp.NameEntry{{PMID: 1, Name: "m"}}, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(pcp.FetchResult{Timestamp: 1000,
+		Values: []pcp.FetchValue{{PMID: 1, Status: pcp.StatusOK, Value: 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	clock := simtime.NewClock() // at t=0, before the first sample at t=1000
+	r := archive.NewReplay(a, clock)
+	res, err := r.Fetch([]uint32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timestamp != 1000 || res.Values[0].Value != 7 {
+		t.Errorf("pre-span fetch = %+v", res)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"papimc/internal/papi/components/pcpcomp"
 	"papimc/internal/papi/components/perfuncore"
 	"papimc/internal/pcp"
+	"papimc/internal/pmproxy"
 	"papimc/internal/simtime"
 )
 
@@ -113,6 +114,7 @@ type Testbed struct {
 	Fabric  *ib.Fabric
 
 	daemon *pcp.Daemon
+	proxy  *pmproxy.Proxy
 	// PMCDAddr is the TCP address of node 0's PMCD daemon.
 	PMCDAddr string
 }
@@ -143,12 +145,41 @@ func NewTestbed(m arch.Machine, numNodes int, opts Options) (*Testbed, error) {
 	return tb, nil
 }
 
+// StartProxy starts a pmproxy daemon in front of the testbed's PMCD —
+// the high-fan-out serving tier: many clients multiplexed onto one
+// upstream connection, with identical fetches inside one daemon
+// sampling interval coalesced into a single round trip. It returns the
+// proxy (for its Stats) and its bound address; clients dial it exactly
+// as they would the daemon. The proxy is stopped by Close.
+func (tb *Testbed) StartProxy() (*pmproxy.Proxy, string, error) {
+	if tb.proxy != nil {
+		return nil, "", fmt.Errorf("node: proxy already started")
+	}
+	p := pmproxy.New(pmproxy.Config{
+		Upstream: tb.PMCDAddr,
+		Clock:    tb.Clock,
+		Interval: tb.Machine.Noise.PMCDSampleInterval,
+	})
+	addr, err := p.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	tb.proxy = p
+	return p, addr, nil
+}
+
 // Close stops the measurement plane.
 func (tb *Testbed) Close() error {
-	if tb.daemon != nil {
-		return tb.daemon.Close()
+	var err error
+	if tb.proxy != nil {
+		err = tb.proxy.Close()
 	}
-	return nil
+	if tb.daemon != nil {
+		if derr := tb.daemon.Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // NewLibrary builds a PAPI library for node 0 with every component the

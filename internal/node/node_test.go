@@ -7,6 +7,7 @@ import (
 	"papimc/internal/arch"
 	"papimc/internal/model"
 	"papimc/internal/papi"
+	"papimc/internal/pcp"
 	"papimc/internal/simtime"
 )
 
@@ -176,5 +177,55 @@ func TestPlayAdvancesClock(t *testing.T) {
 func TestNewTestbedValidation(t *testing.T) {
 	if _, err := NewTestbed(arch.Summit(), 0, Options{}); err == nil {
 		t.Error("expected error for zero nodes")
+	}
+}
+
+// TestProxyTierServesSameValues: a PAPI measurement taken through the
+// pmproxy tier matches one taken straight from the daemon, and the
+// proxy's coalescing counters show the fan-out win.
+func TestProxyTierServesSameValues(t *testing.T) {
+	tb := summitTestbed(t, false)
+	proxy, addr, err := tb.StartProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb.StartProxy(); err == nil {
+		t.Error("second StartProxy should fail")
+	}
+	tb.Nodes[0].Play(0, model.Traffic{ReadBytes: 1 << 20, Duration: 50 * simtime.Millisecond}, 4)
+
+	direct, err := pcp.Dial(tb.PMCDAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	viaProxy, err := pcp.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaProxy.Close()
+
+	pmids := []uint32{1, 2, 3, 4}
+	want, err := direct.Fetch(pmids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		got, err := viaProxy.Fetch(pmids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Timestamp != want.Timestamp {
+			t.Fatalf("timestamp %d != direct %d", got.Timestamp, want.Timestamp)
+		}
+		for j := range pmids {
+			if got.Values[j] != want.Values[j] {
+				t.Fatalf("value %d: %+v != %+v", j, got.Values[j], want.Values[j])
+			}
+		}
+	}
+	st := proxy.Stats()
+	if st.ClientFetches != 20 || st.UpstreamFetches != 1 {
+		t.Errorf("stats = %+v: want 20 client fetches coalesced onto 1 upstream", st)
 	}
 }

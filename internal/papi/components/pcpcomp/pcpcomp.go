@@ -22,15 +22,28 @@ import (
 	"papimc/internal/simtime"
 )
 
-// Component reads metrics from a PMCD daemon over its client connection.
-type Component struct {
-	client *pcp.Client
+// Source is what the component needs from its metric provider: the
+// pcp.Client satisfies it (live daemon or pmproxy), and so do
+// archive.Recorder (live + recording tee) and archive.Replay (offline
+// playback of a recording), letting the same profiling code run against
+// any of them.
+type Source interface {
+	Names() ([]pcp.NameEntry, error)
+	Lookup(name string) (uint32, error)
+	Fetch(pmids []uint32) (pcp.FetchResult, error)
 }
 
-// New wraps an existing client connection.
-func New(client *pcp.Client) *Component { return &Component{client: client} }
+// Component reads metrics from a PCP metric source — typically a PMCD
+// daemon over a client connection, but any Source works.
+type Component struct {
+	client Source
+}
 
-// Dial connects to a PMCD daemon and wraps the connection.
+// New wraps an existing metric source (a client connection, a recorder,
+// or an archive replay).
+func New(client Source) *Component { return &Component{client: client} }
+
+// Dial connects to a PMCD daemon (or a pmproxy) and wraps the connection.
 func Dial(addr string) (*Component, error) {
 	c, err := pcp.Dial(addr)
 	if err != nil {
@@ -119,7 +132,7 @@ func (c *Component) NewCounters(natives []string) (papi.Counters, error) {
 }
 
 type counters struct {
-	client *pcp.Client
+	client Source
 	pmids  []uint32
 	closed bool
 }

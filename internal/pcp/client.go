@@ -5,15 +5,17 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Client is an unprivileged connection to a PMCD daemon. It is safe for
 // concurrent use; requests are serialized on the connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration // per-round-trip wall deadline; 0 = none
 
 	names map[string]uint32 // lazily populated name table
 }
@@ -52,23 +54,37 @@ func DialRaw(addr, magic string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetTimeout bounds every subsequent round trip by a wall-clock deadline.
+// A round trip that exceeds it fails with a net timeout error; the
+// connection is then in an undefined protocol state and should be
+// discarded. Zero disables the deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
 // roundTrip sends one request PDU and decodes the reply, surfacing
 // daemon-side error PDUs as Go errors.
 func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writePDU(c.bw, reqType, payload); err != nil {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := WritePDU(c.bw, reqType, payload); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	typ, resp, err := readPDU(c.br)
+	typ, resp, err := ReadPDU(c.br)
 	if err != nil {
 		return nil, err
 	}
-	if typ == pduError {
-		msg, derr := decodeError(resp)
+	if typ == PDUError {
+		msg, derr := DecodeError(resp)
 		if derr != nil {
 			return nil, derr
 		}
@@ -82,11 +98,11 @@ func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byt
 
 // Names fetches the daemon's metric table.
 func (c *Client) Names() ([]NameEntry, error) {
-	resp, err := c.roundTrip(pduNamesReq, nil, pduNamesResp)
+	resp, err := c.roundTrip(PDUNamesReq, nil, PDUNamesResp)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := decodeNamesResp(resp)
+	entries, err := DecodeNamesResp(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -101,28 +117,32 @@ func (c *Client) Names() ([]NameEntry, error) {
 
 // Fetch retrieves values for the given PMIDs.
 func (c *Client) Fetch(pmids []uint32) (FetchResult, error) {
-	resp, err := c.roundTrip(pduFetchReq, encodeFetchReq(pmids), pduFetchResp)
+	resp, err := c.roundTrip(PDUFetchReq, EncodeFetchReq(pmids), PDUFetchResp)
 	if err != nil {
 		return FetchResult{}, err
 	}
-	return decodeFetchResp(resp)
+	return DecodeFetchResp(resp)
 }
 
 // Lookup resolves a metric name to its PMID, fetching the name table on
-// first use.
+// first use. A miss against the cached table refreshes it once before
+// failing, so metrics registered after the cache was populated (the
+// daemon's namespace can grow) still resolve.
 func (c *Client) Lookup(name string) (uint32, error) {
 	c.mu.Lock()
 	cached := c.names
 	c.mu.Unlock()
-	if cached == nil {
-		if _, err := c.Names(); err != nil {
-			return 0, err
+	if cached != nil {
+		if id, ok := cached[name]; ok {
+			return id, nil
 		}
-		c.mu.Lock()
-		cached = c.names
-		c.mu.Unlock()
 	}
-	id, ok := cached[name]
+	if _, err := c.Names(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	id, ok := c.names[name]
+	c.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("pcp: unknown metric %q", name)
 	}

@@ -31,9 +31,10 @@ type Daemon struct {
 	sampled    bool
 	cache      []FetchValue
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -69,11 +70,32 @@ func NewDaemon(clock *simtime.Clock, interval simtime.Duration, metrics []Metric
 
 // Names returns the daemon's metric table.
 func (d *Daemon) Names() []NameEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]NameEntry, len(d.metrics))
 	for i, m := range d.metrics {
 		out[i] = NameEntry{PMID: uint32(i + 1), Name: m.Name}
 	}
 	return out
+}
+
+// Register adds a metric to a running daemon's namespace — the analogue
+// of a PCP agent (PMDA) coming online after pmcd has started. The new
+// metric gets the next free PMID (registration order, not sorted-name
+// order) and becomes fetchable at the next sampling tick.
+func (d *Daemon) Register(m Metric) error {
+	if m.Read == nil {
+		return fmt.Errorf("pcp: metric %q has no reader", m.Name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.byName[m.Name]; dup {
+		return fmt.Errorf("pcp: duplicate metric %q", m.Name)
+	}
+	d.metrics = append(d.metrics, m)
+	d.byName[m.Name] = uint32(len(d.metrics))
+	d.sampled = false // force a resample so the new metric is fetchable now
+	return nil
 }
 
 // sample refreshes the cached values if the sampling interval has
@@ -162,38 +184,30 @@ func (d *Daemon) acceptLoop() {
 func (d *Daemon) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
-	// Handshake: client sends Magic, daemon echoes it.
-	magic := make([]byte, len(Magic))
-	if _, err := ioReadFull(br, magic); err != nil || string(magic) != Magic {
-		return
-	}
-	if _, err := bw.WriteString(Magic); err != nil {
-		return
-	}
-	if err := bw.Flush(); err != nil {
+	if err := ServerHandshake(br, bw); err != nil {
 		return
 	}
 	for {
-		typ, payload, err := readPDU(br)
+		typ, payload, err := ReadPDU(br)
 		if err != nil {
 			return
 		}
 		var respType uint8
 		var resp []byte
 		switch typ {
-		case pduNamesReq:
-			respType, resp = pduNamesResp, encodeNamesResp(d.Names())
-		case pduFetchReq:
-			pmids, err := decodeFetchReq(payload)
+		case PDUNamesReq:
+			respType, resp = PDUNamesResp, EncodeNamesResp(d.Names())
+		case PDUFetchReq:
+			pmids, err := DecodeFetchReq(payload)
 			if err != nil {
-				respType, resp = pduError, encodeError(err.Error())
+				respType, resp = PDUError, EncodeError(err.Error())
 				break
 			}
-			respType, resp = pduFetchResp, encodeFetchResp(d.Fetch(pmids))
+			respType, resp = PDUFetchResp, EncodeFetchResp(d.Fetch(pmids))
 		default:
-			respType, resp = pduError, encodeError(fmt.Sprintf("unknown PDU type %d", typ))
+			respType, resp = PDUError, EncodeError(fmt.Sprintf("unknown PDU type %d", typ))
 		}
-		if err := writePDU(bw, respType, resp); err != nil {
+		if err := WritePDU(bw, respType, resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
@@ -203,20 +217,39 @@ func (d *Daemon) serveConn(conn net.Conn) {
 }
 
 // Close stops the listener, disconnects clients, and waits for
-// connection handlers to finish.
+// connection handlers to finish. It is idempotent.
 func (d *Daemon) Close() error {
-	close(d.closed)
 	var err error
-	if d.ln != nil {
-		err = d.ln.Close()
-	}
-	d.connMu.Lock()
-	for conn := range d.conns {
-		conn.Close()
-	}
-	d.connMu.Unlock()
-	d.wg.Wait()
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		if d.ln != nil {
+			err = d.ln.Close()
+		}
+		d.connMu.Lock()
+		for conn := range d.conns {
+			conn.Close()
+		}
+		d.connMu.Unlock()
+		d.wg.Wait()
+	})
 	return err
+}
+
+// ServerHandshake performs the daemon side of connection setup: the
+// client sends Magic, the server echoes it. Exported so other servers
+// speaking the protocol (pmproxy) share the exact semantics.
+func ServerHandshake(br *bufio.Reader, bw *bufio.Writer) error {
+	magic := make([]byte, len(Magic))
+	if _, err := ioReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != Magic {
+		return fmt.Errorf("%w: bad handshake %q", ErrProtocol, magic)
+	}
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // ioReadFull is io.ReadFull; indirected for readability alongside bufio.

@@ -1,8 +1,12 @@
 package pcp
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -16,7 +20,7 @@ import (
 
 func TestNamesRespRoundTrip(t *testing.T) {
 	in := []NameEntry{{1, "a.b.c"}, {2, ""}, {7, "perfevent.hwcounters.x.value"}}
-	out, err := decodeNamesResp(encodeNamesResp(in))
+	out, err := DecodeNamesResp(EncodeNamesResp(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +42,7 @@ func TestFetchRespRoundTrip(t *testing.T) {
 			{PMID: 9, Status: StatusNoSuchPMID, Value: 0},
 		},
 	}
-	out, err := decodeFetchResp(encodeFetchResp(in))
+	out, err := DecodeFetchResp(EncodeFetchResp(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,17 +53,17 @@ func TestFetchRespRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsTruncation(t *testing.T) {
-	full := encodeFetchResp(FetchResult{Timestamp: 1, Values: []FetchValue{{PMID: 1}}})
+	full := EncodeFetchResp(FetchResult{Timestamp: 1, Values: []FetchValue{{PMID: 1}}})
 	for cut := 1; cut < len(full); cut++ {
-		if _, err := decodeFetchResp(full[:cut]); !errors.Is(err, ErrProtocol) {
+		if _, err := DecodeFetchResp(full[:cut]); !errors.Is(err, ErrProtocol) {
 			t.Errorf("truncation at %d not detected: %v", cut, err)
 		}
 	}
 }
 
 func TestDecodeRejectsTrailingGarbage(t *testing.T) {
-	b := append(encodeFetchReq([]uint32{1, 2}), 0xFF)
-	if _, err := decodeFetchReq(b); !errors.Is(err, ErrProtocol) {
+	b := append(EncodeFetchReq([]uint32{1, 2}), 0xFF)
+	if _, err := DecodeFetchReq(b); !errors.Is(err, ErrProtocol) {
 		t.Errorf("trailing garbage not detected: %v", err)
 	}
 }
@@ -77,7 +81,7 @@ func TestPDURoundTripProperty(t *testing.T) {
 			}
 			res.Values = append(res.Values, v)
 		}
-		out, err := decodeFetchResp(encodeFetchResp(res))
+		out, err := DecodeFetchResp(EncodeFetchResp(res))
 		if err != nil || out.Timestamp != ts || len(out.Values) != len(res.Values) {
 			return false
 		}
@@ -99,7 +103,7 @@ func TestNamesRoundTripProperty(t *testing.T) {
 		for i, n := range names {
 			in[i] = NameEntry{PMID: uint32(i), Name: n}
 		}
-		out, err := decodeNamesResp(encodeNamesResp(in))
+		out, err := DecodeNamesResp(EncodeNamesResp(in))
 		if err != nil || len(out) != len(in) {
 			return false
 		}
@@ -326,5 +330,179 @@ func TestBadHandshakeRejected(t *testing.T) {
 		// Accept either: connection closed during handshake or explicit
 		// protocol error.
 		t.Logf("handshake failed as expected: %v", err)
+	}
+}
+
+// --- satellite coverage: hostile PDUs, namespace growth, fan-out -------
+
+// TestReadPDURejectsHostileLength: a corrupt/hostile length prefix must
+// fail with the typed error before any allocation is attempted.
+func TestReadPDURejectsHostileLength(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, PDUFetchReq} // claims a 4 GiB payload
+	_, _, err := ReadPDU(bytes.NewReader(hdr))
+	if !errors.Is(err, ErrPDUTooLarge) {
+		t.Errorf("err = %v, want ErrPDUTooLarge", err)
+	}
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("ErrPDUTooLarge should wrap ErrProtocol; got %v", err)
+	}
+	// One past the limit is rejected; the limit itself is not.
+	hdr = make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, MaxPDUBytes+1)
+	if _, _, err := ReadPDU(bytes.NewReader(hdr)); !errors.Is(err, ErrPDUTooLarge) {
+		t.Errorf("limit+1 err = %v", err)
+	}
+	binary.BigEndian.PutUint32(hdr, 3)
+	body := append(append([]byte(nil), hdr...), 1, 2, 3)
+	if typ, payload, err := ReadPDU(bytes.NewReader(body)); err != nil || typ != 0 || len(payload) != 3 {
+		t.Errorf("valid frame rejected: %v", err)
+	}
+}
+
+func TestWritePDURejectsOversizePayload(t *testing.T) {
+	var sink bytes.Buffer
+	err := WritePDU(&sink, PDUFetchReq, make([]byte, MaxPDUBytes+1))
+	if !errors.Is(err, ErrPDUTooLarge) {
+		t.Errorf("err = %v, want ErrPDUTooLarge", err)
+	}
+	if sink.Len() != 0 {
+		t.Error("oversize write emitted bytes")
+	}
+}
+
+// TestLookupRefreshesOnMiss: a metric registered after the client cached
+// the name table still resolves — the client refreshes once on a miss
+// instead of returning a permanent "unknown metric" error.
+func TestLookupRefreshesOnMiss(t *testing.T) {
+	_, _, d, c := testSetup(t)
+	if _, err := c.Names(); err != nil { // populate the cache
+		t.Fatal(err)
+	}
+	const late = "perfevent.hwcounters.late_agent.value.cpu87"
+	if err := d.Register(Metric{Name: late, Read: func(simtime.Time) (uint64, error) { return 1234, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Lookup(late)
+	if err != nil {
+		t.Fatalf("Lookup after namespace growth: %v", err)
+	}
+	if id == 0 {
+		t.Error("resolved PMID 0")
+	}
+	res, err := c.FetchByName(late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0].Status != StatusOK || res.Values[0].Value != 1234 {
+		t.Errorf("late metric fetch = %+v", res.Values[0])
+	}
+	// A genuinely unknown metric still errors (after one refresh).
+	if _, err := c.Lookup("still.not.there"); err == nil {
+		t.Error("expected error for unknown metric")
+	}
+}
+
+func TestDaemonRegisterValidation(t *testing.T) {
+	_, _, d, _ := testSetup(t)
+	if err := d.Register(Metric{Name: "no.reader"}); err == nil {
+		t.Error("expected error for nil reader")
+	}
+	existing := d.Names()[0].Name
+	if err := d.Register(Metric{Name: existing,
+		Read: func(simtime.Time) (uint64, error) { return 0, nil }}); err == nil {
+		t.Error("expected error for duplicate metric")
+	}
+}
+
+// TestDaemonFanOutRace hammers one daemon from many goroutines mixing
+// FetchByName and Names while the clock advances concurrently, asserting
+// no lost responses and per-connection monotonic timestamps. Run with
+// -race, this is the serving tier's concurrency gate.
+func TestDaemonFanOutRace(t *testing.T) {
+	ctl, clock, _, _ := testSetup(t)
+	addr := func() string {
+		// testSetup's client is unused here; each goroutine dials its own.
+		d, err := NewDaemon(clock, simtime.Millisecond, NestMetrics([]*nest.PMU{nestPMU(ctl)}, nest.RootCredential()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := d.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return a
+	}()
+	name := NestMetricName(nestPMU(ctl), nest.Event{Channel: 0})
+
+	const goroutines = 16
+	const iters = 40
+	stopTick := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() { // concurrent time + traffic source
+		defer tickWG.Done()
+		for {
+			select {
+			case <-stopTick:
+				return
+			default:
+				ctl.AddTraffic(true, 0, 64, clock.Now(), clock.Now())
+				clock.Advance(100 * simtime.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			var lastTS int64 = -1
+			for i := 0; i < iters; i++ {
+				if i%8 == 0 {
+					entries, err := c.Names()
+					if err != nil {
+						errs <- fmt.Errorf("names: %w", err)
+						return
+					}
+					if len(entries) == 0 {
+						errs <- fmt.Errorf("lost names response")
+						return
+					}
+				}
+				res, err := c.FetchByName(name)
+				if err != nil {
+					errs <- fmt.Errorf("fetch %d: %w", i, err)
+					return
+				}
+				if len(res.Values) != 1 {
+					errs <- fmt.Errorf("fetch %d: %d values", i, len(res.Values))
+					return
+				}
+				if res.Timestamp < lastTS {
+					errs <- fmt.Errorf("timestamp went backwards: %d -> %d", lastTS, res.Timestamp)
+					return
+				}
+				lastTS = res.Timestamp
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(stopTick)
+	tickWG.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
 	}
 }

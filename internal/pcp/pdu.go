@@ -20,13 +20,14 @@ import (
 // Magic is exchanged at connection setup.
 const Magic = "PCP1"
 
-// PDU type codes.
+// PDU type codes. They are exported so protocol middleboxes (the
+// pmproxy daemon) can speak the wire format without reimplementing it.
 const (
-	pduNamesReq  uint8 = 1
-	pduNamesResp uint8 = 2
-	pduFetchReq  uint8 = 3
-	pduFetchResp uint8 = 4
-	pduError     uint8 = 255
+	PDUNamesReq  uint8 = 1
+	PDUNamesResp uint8 = 2
+	PDUFetchReq  uint8 = 3
+	PDUFetchResp uint8 = 4
+	PDUError     uint8 = 255
 )
 
 // Per-value status codes in fetch responses.
@@ -36,11 +37,17 @@ const (
 	StatusValueError int32 = -5 // the underlying read failed
 )
 
-// maxPDUBytes bounds a PDU payload; anything larger is a protocol error.
-const maxPDUBytes = 1 << 20
+// MaxPDUBytes bounds a PDU payload; anything larger is a protocol error.
+// The limit exists so a hostile or corrupt length prefix cannot force an
+// unbounded allocation in ReadPDU.
+const MaxPDUBytes = 1 << 20
 
 // ErrProtocol indicates a malformed or unexpected PDU.
 var ErrProtocol = errors.New("pcp: protocol error")
+
+// ErrPDUTooLarge indicates a PDU whose length prefix exceeds MaxPDUBytes.
+// It wraps ErrProtocol, so errors.Is works against either.
+var ErrPDUTooLarge = fmt.Errorf("%w: PDU exceeds %d-byte limit", ErrProtocol, MaxPDUBytes)
 
 // NameEntry maps a metric name to its PMID.
 type NameEntry struct {
@@ -63,10 +70,10 @@ type FetchResult struct {
 	Values    []FetchValue
 }
 
-// writePDU frames and writes one PDU.
-func writePDU(w io.Writer, typ uint8, payload []byte) error {
-	if len(payload) > maxPDUBytes {
-		return fmt.Errorf("%w: payload %d bytes exceeds limit", ErrProtocol, len(payload))
+// WritePDU frames and writes one PDU.
+func WritePDU(w io.Writer, typ uint8, payload []byte) error {
+	if len(payload) > MaxPDUBytes {
+		return fmt.Errorf("%w (writing %d bytes)", ErrPDUTooLarge, len(payload))
 	}
 	hdr := make([]byte, 5)
 	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
@@ -78,15 +85,17 @@ func writePDU(w io.Writer, typ uint8, payload []byte) error {
 	return err
 }
 
-// readPDU reads one framed PDU.
-func readPDU(r io.Reader) (typ uint8, payload []byte, err error) {
+// ReadPDU reads one framed PDU. The length prefix is validated against
+// MaxPDUBytes before any allocation, so a hostile peer cannot trigger an
+// arbitrarily large make(); oversize frames fail with ErrPDUTooLarge.
+func ReadPDU(r io.Reader) (typ uint8, payload []byte, err error) {
 	hdr := make([]byte, 5)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr)
-	if n > maxPDUBytes {
-		return 0, nil, fmt.Errorf("%w: payload %d bytes exceeds limit", ErrProtocol, n)
+	if n > MaxPDUBytes {
+		return 0, nil, fmt.Errorf("%w (length prefix %d)", ErrPDUTooLarge, n)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -173,8 +182,8 @@ func (d *decoder) done() error {
 	return nil
 }
 
-// encodeNamesResp encodes the metric table.
-func encodeNamesResp(entries []NameEntry) []byte {
+// EncodeNamesResp encodes the metric table.
+func EncodeNamesResp(entries []NameEntry) []byte {
 	var e encoder
 	e.u32(uint32(len(entries)))
 	for _, n := range entries {
@@ -184,10 +193,10 @@ func encodeNamesResp(entries []NameEntry) []byte {
 	return e.buf
 }
 
-func decodeNamesResp(b []byte) ([]NameEntry, error) {
+func DecodeNamesResp(b []byte) ([]NameEntry, error) {
 	d := decoder{buf: b}
 	n := d.u32()
-	if n > maxPDUBytes/5 {
+	if n > MaxPDUBytes/5 {
 		return nil, fmt.Errorf("%w: implausible name count %d", ErrProtocol, n)
 	}
 	out := make([]NameEntry, 0, n)
@@ -202,7 +211,7 @@ func decodeNamesResp(b []byte) ([]NameEntry, error) {
 	return out, nil
 }
 
-func encodeFetchReq(pmids []uint32) []byte {
+func EncodeFetchReq(pmids []uint32) []byte {
 	var e encoder
 	e.u32(uint32(len(pmids)))
 	for _, id := range pmids {
@@ -211,10 +220,10 @@ func encodeFetchReq(pmids []uint32) []byte {
 	return e.buf
 }
 
-func decodeFetchReq(b []byte) ([]uint32, error) {
+func DecodeFetchReq(b []byte) ([]uint32, error) {
 	d := decoder{buf: b}
 	n := d.u32()
-	if n > maxPDUBytes/4 {
+	if n > MaxPDUBytes/4 {
 		return nil, fmt.Errorf("%w: implausible pmid count %d", ErrProtocol, n)
 	}
 	out := make([]uint32, 0, n)
@@ -227,7 +236,7 @@ func decodeFetchReq(b []byte) ([]uint32, error) {
 	return out, nil
 }
 
-func encodeFetchResp(res FetchResult) []byte {
+func EncodeFetchResp(res FetchResult) []byte {
 	var e encoder
 	e.i64(res.Timestamp)
 	e.u32(uint32(len(res.Values)))
@@ -239,12 +248,12 @@ func encodeFetchResp(res FetchResult) []byte {
 	return e.buf
 }
 
-func decodeFetchResp(b []byte) (FetchResult, error) {
+func DecodeFetchResp(b []byte) (FetchResult, error) {
 	d := decoder{buf: b}
 	var res FetchResult
 	res.Timestamp = d.i64()
 	n := d.u32()
-	if n > maxPDUBytes/16 {
+	if n > MaxPDUBytes/16 {
 		return FetchResult{}, fmt.Errorf("%w: implausible value count %d", ErrProtocol, n)
 	}
 	for i := uint32(0); i < n; i++ {
@@ -260,13 +269,13 @@ func decodeFetchResp(b []byte) (FetchResult, error) {
 	return res, nil
 }
 
-func encodeError(msg string) []byte {
+func EncodeError(msg string) []byte {
 	var e encoder
 	e.str(msg)
 	return e.buf
 }
 
-func decodeError(b []byte) (string, error) {
+func DecodeError(b []byte) (string, error) {
 	d := decoder{buf: b}
 	s := d.str()
 	if err := d.done(); err != nil {

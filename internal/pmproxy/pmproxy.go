@@ -1,0 +1,396 @@
+// Package pmproxy implements the pmproxy analogue: a daemon that speaks
+// the PCP PDU protocol on both sides and multiplexes many unprivileged
+// clients onto one upstream PMCD connection.
+//
+// The fan-out win comes from coalescing: the upstream daemon only
+// refreshes its counter view once per sampling interval, so identical
+// fetch requests landing within one interval are served from a single
+// upstream round trip — M clients cost O(1) upstream fetches per
+// interval instead of M. Concurrent identical requests additionally
+// share one in-flight round trip (single-flight), the name table is
+// cached, upstream round trips carry a wall-clock deadline with bounded
+// retry/backoff, and when the upstream is down the proxy degrades
+// gracefully by serving the last good answer with its original (stale)
+// timestamp rather than failing the client.
+package pmproxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"papimc/internal/pcp"
+	"papimc/internal/simtime"
+)
+
+// ErrUpstreamDown is returned when the upstream is unreachable after
+// retries and no cached answer is available (or stale serving is off).
+var ErrUpstreamDown = errors.New("pmproxy: upstream unavailable")
+
+// Config tunes a Proxy.
+type Config struct {
+	// Upstream is the PMCD daemon address. Ignored when Dial is set.
+	Upstream string
+	// Dial overrides how the upstream connection is (re)established.
+	Dial func() (*pcp.Client, error)
+	// Clock, when set, provides the coalescing timebase (the simulated
+	// deployments share the daemon's clock). When nil, wall time is used
+	// with Interval read as nanoseconds.
+	Clock *simtime.Clock
+	// Interval is the upstream daemon's sampling interval: answers
+	// younger than this are served from cache without an upstream round
+	// trip. Zero disables interval coalescing (single-flight still
+	// applies).
+	Interval simtime.Duration
+	// Timeout bounds each upstream round trip; on expiry the connection
+	// is dropped and redialled. Zero means no deadline.
+	Timeout time.Duration
+	// MaxRetries is how many times a failed upstream operation is
+	// retried (with doubling backoff) before giving up.
+	MaxRetries int
+	// Backoff is the initial delay between retries.
+	Backoff time.Duration
+	// DisableStale makes the proxy fail requests when the upstream is
+	// down instead of serving the last good (timestamped) answer.
+	DisableStale bool
+}
+
+// Stats is a snapshot of the proxy's counters.
+type Stats struct {
+	ClientFetches   int64 // fetch PDUs received from clients
+	UpstreamFetches int64 // fetch round trips that reached the daemon
+	CoalescedHits   int64 // client fetches answered from the interval cache
+	StaleServes     int64 // answers served from cache because upstream was down
+	UpstreamErrors  int64 // failed upstream operations (before retry)
+	Redials         int64 // upstream connections established
+}
+
+// CoalescingRatio is client fetches per upstream fetch — the fan-out
+// win. With no traffic it reports 1.
+func (s Stats) CoalescingRatio() float64 {
+	if s.UpstreamFetches == 0 {
+		return 1
+	}
+	return float64(s.ClientFetches) / float64(s.UpstreamFetches)
+}
+
+// entry is one coalescing-cache slot. Its mutex doubles as the
+// single-flight gate: the holder performs the upstream round trip while
+// identical requests queue behind it and then hit the freshened cache.
+type entry struct {
+	mu        sync.Mutex
+	res       pcp.FetchResult
+	fetchedAt int64 // proxy timebase, not the daemon timestamp
+	valid     bool
+}
+
+// maxCacheEntries bounds the coalescing cache; on overflow the whole
+// cache is reset (distinct pmid-sets are rare in practice).
+const maxCacheEntries = 1024
+
+// Proxy is the daemon. Create with New, then Start.
+type Proxy struct {
+	cfg Config
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	connMu    sync.Mutex
+	conns     map[net.Conn]struct{}
+
+	upMu sync.Mutex
+	up   *pcp.Client
+
+	nameMu  sync.Mutex
+	names   []pcp.NameEntry
+	namesAt int64
+	hasName bool
+
+	cacheMu sync.Mutex
+	cache   map[string]*entry
+
+	clientFetches   atomic.Int64
+	upstreamFetches atomic.Int64
+	coalescedHits   atomic.Int64
+	staleServes     atomic.Int64
+	upstreamErrors  atomic.Int64
+	redials         atomic.Int64
+}
+
+// New builds a proxy; it does not touch the network until Start (or the
+// first request forces an upstream dial).
+func New(cfg Config) *Proxy {
+	return &Proxy{
+		cfg:    cfg,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+		cache:  make(map[string]*entry),
+	}
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		ClientFetches:   p.clientFetches.Load(),
+		UpstreamFetches: p.upstreamFetches.Load(),
+		CoalescedHits:   p.coalescedHits.Load(),
+		StaleServes:     p.staleServes.Load(),
+		UpstreamErrors:  p.upstreamErrors.Load(),
+		Redials:         p.redials.Load(),
+	}
+}
+
+// now reads the proxy's coalescing timebase.
+func (p *Proxy) now() int64 {
+	if p.cfg.Clock != nil {
+		return int64(p.cfg.Clock.Now())
+	}
+	return time.Now().UnixNano()
+}
+
+// fresh reports whether a cache write at t0 is still within the
+// upstream's sampling interval at time t1.
+func (p *Proxy) fresh(t0, t1 int64) bool {
+	return p.cfg.Interval > 0 && t1-t0 < int64(p.cfg.Interval)
+}
+
+// upstream returns the live upstream connection, dialling if needed.
+func (p *Proxy) upstream() (*pcp.Client, error) {
+	p.upMu.Lock()
+	defer p.upMu.Unlock()
+	if p.up != nil {
+		return p.up, nil
+	}
+	dial := p.cfg.Dial
+	if dial == nil {
+		dial = func() (*pcp.Client, error) { return pcp.Dial(p.cfg.Upstream) }
+	}
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(p.cfg.Timeout)
+	p.redials.Add(1)
+	p.up = c
+	return c, nil
+}
+
+// dropUpstream discards a connection after a failure; a timed-out round
+// trip leaves the stream mid-PDU, so the connection cannot be reused.
+func (p *Proxy) dropUpstream(c *pcp.Client) {
+	p.upMu.Lock()
+	if p.up == c {
+		p.up = nil
+	}
+	p.upMu.Unlock()
+	c.Close()
+}
+
+// withUpstream runs op against the upstream connection with bounded
+// retry and doubling backoff, redialling after each failure.
+func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
+	var lastErr error
+	backoff := p.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		c, err := p.upstream()
+		if err == nil {
+			if err = op(c); err == nil {
+				return nil
+			}
+			p.dropUpstream(c)
+		}
+		lastErr = err
+		p.upstreamErrors.Add(1)
+		if attempt >= p.cfg.MaxRetries {
+			return fmt.Errorf("%w: %v", ErrUpstreamDown, lastErr)
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}
+
+// Fetch serves one client fetch through the coalescing cache. Exported
+// for in-process use; the network handler goes through it too.
+func (p *Proxy) Fetch(pmids []uint32) (pcp.FetchResult, error) {
+	p.clientFetches.Add(1)
+	key := string(pcp.EncodeFetchReq(pmids))
+	p.cacheMu.Lock()
+	e, ok := p.cache[key]
+	if !ok {
+		if len(p.cache) >= maxCacheEntries {
+			p.cache = make(map[string]*entry)
+		}
+		e = &entry{}
+		p.cache[key] = e
+	}
+	p.cacheMu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.valid && p.fresh(e.fetchedAt, p.now()) {
+		p.coalescedHits.Add(1)
+		return e.res, nil
+	}
+	var res pcp.FetchResult
+	err := p.withUpstream(func(c *pcp.Client) error {
+		var ferr error
+		res, ferr = c.Fetch(pmids)
+		return ferr
+	})
+	if err != nil {
+		if e.valid && !p.cfg.DisableStale {
+			// Graceful degradation: the answer is stale but carries its
+			// original daemon timestamp, so the client can tell.
+			p.staleServes.Add(1)
+			return e.res, nil
+		}
+		return pcp.FetchResult{}, err
+	}
+	p.upstreamFetches.Add(1)
+	e.res, e.fetchedAt, e.valid = res, p.now(), true
+	return res, nil
+}
+
+// Names serves the upstream name table through the proxy's cache.
+func (p *Proxy) Names() ([]pcp.NameEntry, error) {
+	p.nameMu.Lock()
+	defer p.nameMu.Unlock()
+	if p.hasName && p.fresh(p.namesAt, p.now()) {
+		return p.names, nil
+	}
+	var entries []pcp.NameEntry
+	err := p.withUpstream(func(c *pcp.Client) error {
+		var nerr error
+		entries, nerr = c.Names()
+		return nerr
+	})
+	if err != nil {
+		if p.hasName && !p.cfg.DisableStale {
+			p.staleServes.Add(1)
+			return p.names, nil
+		}
+		return nil, err
+	}
+	p.names, p.namesAt, p.hasName = entries, p.now(), true
+	return entries, nil
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves clients in the
+// background until Close. It returns the bound address.
+func (p *Proxy) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pmproxy: listen: %w", err)
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return
+			default:
+				continue
+			}
+		}
+		p.connMu.Lock()
+		p.conns[conn] = struct{}{}
+		p.connMu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer func() {
+				conn.Close()
+				p.connMu.Lock()
+				delete(p.conns, conn)
+				p.connMu.Unlock()
+			}()
+			p.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn speaks the daemon side of the PDU protocol to one client.
+func (p *Proxy) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	if err := pcp.ServerHandshake(br, bw); err != nil {
+		return
+	}
+	for {
+		typ, payload, err := pcp.ReadPDU(br)
+		if err != nil {
+			return
+		}
+		var respType uint8
+		var resp []byte
+		switch typ {
+		case pcp.PDUNamesReq:
+			entries, err := p.Names()
+			if err != nil {
+				respType, resp = pcp.PDUError, pcp.EncodeError(err.Error())
+				break
+			}
+			respType, resp = pcp.PDUNamesResp, pcp.EncodeNamesResp(entries)
+		case pcp.PDUFetchReq:
+			pmids, err := pcp.DecodeFetchReq(payload)
+			if err != nil {
+				respType, resp = pcp.PDUError, pcp.EncodeError(err.Error())
+				break
+			}
+			res, err := p.Fetch(pmids)
+			if err != nil {
+				respType, resp = pcp.PDUError, pcp.EncodeError(err.Error())
+				break
+			}
+			respType, resp = pcp.PDUFetchResp, pcp.EncodeFetchResp(res)
+		default:
+			respType, resp = pcp.PDUError, pcp.EncodeError(fmt.Sprintf("unknown PDU type %d", typ))
+		}
+		if err := pcp.WritePDU(bw, respType, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener, disconnects clients, drops the upstream
+// connection, and waits for handlers to finish. It is idempotent.
+func (p *Proxy) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		if p.ln != nil {
+			err = p.ln.Close()
+		}
+		p.connMu.Lock()
+		for conn := range p.conns {
+			conn.Close()
+		}
+		p.connMu.Unlock()
+		p.upMu.Lock()
+		if p.up != nil {
+			p.up.Close()
+			p.up = nil
+		}
+		p.upMu.Unlock()
+		p.wg.Wait()
+	})
+	return err
+}
