@@ -27,6 +27,7 @@ import (
 	"papimc/internal/figures"
 	"papimc/internal/harness"
 	"papimc/internal/kernels"
+	"papimc/internal/metricql"
 	"papimc/internal/model"
 	"papimc/internal/mpi"
 	"papimc/internal/node"
@@ -453,5 +454,53 @@ func BenchmarkArchiveAppend(b *testing.B) {
 	st := a.Stats()
 	if st.Samples > 0 {
 		b.ReportMetric(float64(st.EncodedBytes)/float64(st.Samples), "B/sample")
+	}
+}
+
+// BenchmarkMetricQLParse: the derived-metrics expression front end —
+// lexing and parsing the standard total-bandwidth expression.
+func BenchmarkMetricQLParse(b *testing.B) {
+	const src = "sum(rate(nest.mba*.read_bytes)) + sum(rate(nest.mba*.write_bytes))"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := metricql.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetricQLEval: one fresh-interval evaluation of the total-
+// bandwidth query over a live daemon connection — the per-sample cost a
+// derived event adds to a profile loop (fetch + counter-state advance +
+// memoized rate/sum evaluation).
+func BenchmarkMetricQLEval(b *testing.B) {
+	tb, err := node.NewTestbed(arch.Summit(), 1, node.Options{Seed: 1, DisableNoise: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	client, err := pcp.Dial(tb.PMCDAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	names, err := client.Names()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := metricql.NewEngine(client)
+	eng.AliasAll(metricql.NestAliases(names))
+	q, err := eng.Query("sum(rate(nest.mba*.read_bytes)) + sum(rate(nest.mba*.write_bytes))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	step := tb.Machine.Noise.PMCDSampleInterval
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Clock.Advance(step) // next daemon sample: every eval is a fresh interval
+		if _, err := eng.EvalAll(q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,258 @@
+// Command pmquery evaluates metricql expressions against a live PMCD
+// daemon (or pmproxy) or against a recorded archive, like PCP's pmrep:
+// it prints one CSV row per sample with a column per metric instance,
+// and can carry pmie-style alert rules that fire to stderr.
+//
+// Usage:
+//
+//	pmquery -addr 127.0.0.1:44321 'sum(rate(nest.mba*.read_bytes))'
+//	pmquery -addr 127.0.0.1:44321 -watch -interval 250ms mem.read_bw ...
+//	pmquery -archive run.pmlog -interval 100ms 'rate(nest.mba0.read_bytes)'
+//	pmquery -addr ... -watch -rule 'sum(rate(nest.mba*.read_bytes)) > 1e9'
+//
+// Expressions follow the metricql grammar (see DESIGN.md): metric names
+// with globs (`nest.mba*.read_bytes`), arithmetic, and the functions
+// rate, delta, sum, avg, min, max, avg_over, max_over. Note that an
+// unspaced `*` between name characters is a glob; to multiply two
+// metrics write `a * b` with spaces.
+//
+// The first fetch primes the counter baselines and is not printed, so
+// every printed rate spans a real interval. In live mode ticks shorter
+// than the daemon's sampling interval repeat its held sample, exactly
+// as a raw fetch would. Archive mode steps a replay clock across the
+// recording's span at -interval, yielding the same values a live run
+// of this tool would have seen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"papimc/internal/archive"
+	"papimc/internal/metricql"
+	"papimc/internal/pcp"
+	"papimc/internal/simtime"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:44321", "PMCD daemon or pmproxy address")
+	arch := flag.String("archive", "", "evaluate over this archive file instead of a live daemon")
+	interval := flag.Duration("interval", 100*time.Millisecond, "sampling (live) or replay stepping (archive) interval")
+	count := flag.Int("n", 1, "number of samples to print in live mode")
+	watch := flag.Bool("watch", false, "sample until Ctrl-C instead of stopping after -n")
+	hold := flag.Int("hold", 1, "consecutive breaching samples before a rule fires")
+	holdoff := flag.Duration("holdoff", 0, "suppress rule re-firing for this long after a firing")
+	var ruleSpecs []string
+	flag.Func("rule", "alert rule 'expr > threshold' (repeatable; ops > >= < <=)", func(s string) error {
+		ruleSpecs = append(ruleSpecs, s)
+		return nil
+	})
+	flag.Parse()
+
+	exprs := flag.Args()
+	if len(exprs) == 0 && len(ruleSpecs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pmquery [flags] expr ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var err error
+	if *arch != "" {
+		err = runArchive(*arch, *interval, exprs, ruleSpecs, *hold, *holdoff)
+	} else {
+		err = runLive(*addr, *interval, *count, *watch, exprs, ruleSpecs, *hold, *holdoff)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmquery:", err)
+		os.Exit(1)
+	}
+}
+
+// session binds the expressions and rules over one metric source and
+// owns the CSV state (the header is derived from the first evaluation,
+// which names every expanded instance of a vector expression).
+type session struct {
+	eng    *metricql.Engine
+	qs     []*metricql.Query
+	exprs  []string
+	rs     *metricql.Ruleset
+	header bool
+}
+
+func newSession(src metricql.Source, exprs, ruleSpecs []string, hold int, holdoff time.Duration) (*session, error) {
+	names, err := src.Names()
+	if err != nil {
+		return nil, err
+	}
+	eng := metricql.NewEngine(src)
+	eng.AliasAll(metricql.NestAliases(names))
+	s := &session{eng: eng, exprs: exprs}
+	for _, e := range exprs {
+		q, err := eng.Query(e)
+		if err != nil {
+			return nil, err
+		}
+		s.qs = append(s.qs, q)
+	}
+	if len(ruleSpecs) > 0 {
+		s.rs = metricql.NewRuleset(eng, func(f metricql.Firing) {
+			fmt.Fprintf(os.Stderr, "# ALERT %s: value %.6g at %.3fs\n",
+				f.Rule.Name, f.Value, float64(f.Timestamp)/1e9)
+		})
+		for _, spec := range ruleSpecs {
+			r, err := parseRule(spec, hold, holdoff)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.rs.Add(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseRule splits 'expr OP threshold' at the comparison operator
+// (two-character operators first, so '>=' is not read as '>').
+func parseRule(spec string, hold int, holdoff time.Duration) (metricql.Rule, error) {
+	for _, op := range []string{">=", "<=", ">", "<"} {
+		i := strings.Index(spec, op)
+		if i < 0 {
+			continue
+		}
+		thr, err := strconv.ParseFloat(strings.TrimSpace(spec[i+len(op):]), 64)
+		if err != nil {
+			return metricql.Rule{}, fmt.Errorf("rule %q: bad threshold: %v", spec, err)
+		}
+		return metricql.Rule{
+			Name:      spec,
+			Expr:      strings.TrimSpace(spec[:i]),
+			Op:        op,
+			Threshold: thr,
+			Hold:      hold,
+			Holdoff:   simtime.Duration(holdoff),
+		}, nil
+	}
+	return metricql.Rule{}, fmt.Errorf("rule %q: want 'expr > threshold'", spec)
+}
+
+// prime performs the baseline evaluation: counter states get their
+// first sample so the next evaluation yields true rates. Nothing is
+// printed; rules do step (a level rule may legitimately fire on the
+// very first sample).
+func (s *session) prime() error {
+	if len(s.qs) > 0 {
+		if _, err := s.eng.EvalAll(s.qs...); err != nil {
+			return err
+		}
+	}
+	if s.rs != nil {
+		return s.rs.Step()
+	}
+	return nil
+}
+
+// sample evaluates every expression in one coalesced fetch, prints the
+// CSV row (and the header first), then steps the rules.
+func (s *session) sample() error {
+	if len(s.qs) > 0 {
+		vals, err := s.eng.EvalAll(s.qs...)
+		if err != nil {
+			return err
+		}
+		if !s.header {
+			cols := []string{"time"}
+			for i, v := range vals {
+				if len(v.Names) > 0 {
+					cols = append(cols, v.Names...)
+				} else {
+					cols = append(cols, s.exprs[i])
+				}
+			}
+			fmt.Println(strings.Join(cols, ","))
+			s.header = true
+		}
+		ts, _ := s.eng.LastTimestamp()
+		row := []string{strconv.FormatFloat(float64(ts)/1e9, 'f', 3, 64)}
+		for _, v := range vals {
+			for _, x := range v.Vals {
+				row = append(row, strconv.FormatFloat(x, 'g', 6, 64))
+			}
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+	if s.rs != nil {
+		return s.rs.Step()
+	}
+	return nil
+}
+
+func runLive(addr string, interval time.Duration, count int, watch bool, exprs, ruleSpecs []string, hold int, holdoff time.Duration) error {
+	client, err := pcp.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	s, err := newSession(client, exprs, ruleSpecs, hold, holdoff)
+	if err != nil {
+		return err
+	}
+	if err := s.prime(); err != nil {
+		return err
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for n := 0; watch || n < count; n++ {
+		select {
+		case <-stop:
+			return nil
+		case <-tick.C:
+		}
+		if err := s.sample(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runArchive(path string, interval time.Duration, exprs, ruleSpecs []string, hold int, holdoff time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("interval must be positive")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	a, err := archive.Read(f, archive.Options{})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	first, last, ok := a.Span()
+	if !ok {
+		return fmt.Errorf("%s: empty archive", path)
+	}
+	clock := simtime.NewClock()
+	replay := archive.NewReplay(a, clock)
+	s, err := newSession(replay, exprs, ruleSpecs, hold, holdoff)
+	if err != nil {
+		return err
+	}
+	clock.AdvanceTo(simtime.Time(first))
+	if err := s.prime(); err != nil {
+		return err
+	}
+	for ts := first + interval.Nanoseconds(); ts <= last; ts += interval.Nanoseconds() {
+		clock.AdvanceTo(simtime.Time(ts))
+		if err := s.sample(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

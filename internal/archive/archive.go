@@ -405,8 +405,22 @@ func absDelta(a, b int64) uint64 {
 	return uint64(a - b)
 }
 
-// ValueAt returns the metric's value at time t, linearly interpolated
-// between the surrounding samples and clamped to the recording's span.
+// sampleStep is the wrap-corrected change of column c between two
+// consecutive rows, as a signed float: the mod-2^64 delta from
+// pcp.CounterDelta reinterpreted as int64, so a counter that wrapped
+// between samples yields its true small positive increment (not a huge
+// negative one, the bug this replaced) while an instant metric that
+// genuinely decreased still yields a negative step.
+func sampleStep(lo, hi Sample, c int) float64 {
+	return float64(int64(pcp.CounterDelta(lo.Values[c], hi.Values[c])))
+}
+
+// ValueAt returns the metric's value at time t on the unwrapped
+// ("extended") series: linear interpolation between the surrounding
+// samples with uint64 wraparound corrected per step, clamped to the
+// recording's span. After a wrap the extended value keeps growing past
+// 2^64 — the series stays monotone for counters, which is what
+// interpolation is for.
 func (a *Archive) ValueAt(pmid uint32, t int64) (float64, error) {
 	c, ok := a.col[pmid]
 	if !ok {
@@ -422,34 +436,55 @@ func (a *Archive) ValueAt(pmid uint32, t int64) (float64, error) {
 	if t <= rows[0].Timestamp {
 		return float64(rows[0].Values[c]), nil
 	}
+	ext := float64(rows[0].Values[c])
 	for i := 1; i < len(rows); i++ {
-		if t > rows[i].Timestamp {
-			continue
+		step := sampleStep(rows[i-1], rows[i], c)
+		if t <= rows[i].Timestamp {
+			lo, hi := rows[i-1], rows[i]
+			f := float64(t-lo.Timestamp) / float64(hi.Timestamp-lo.Timestamp)
+			return ext + f*step, nil
 		}
-		lo, hi := rows[i-1], rows[i]
-		f := float64(t-lo.Timestamp) / float64(hi.Timestamp-lo.Timestamp)
-		v0, v1 := float64(lo.Values[c]), float64(hi.Values[c])
-		return v0 + f*(v1-v0), nil
+		ext += step
 	}
-	return float64(rows[len(rows)-1].Values[c]), nil
+	return ext, nil
 }
 
 // Rate returns the metric's average rate over [t0, t1] in units per
-// second of simulated time, using interpolated endpoint values — the
-// quantity the paper's bandwidth figures plot.
+// second of simulated time — the quantity the paper's bandwidth figures
+// plot. It is deliberately not the difference of two ValueAt endpoints:
+// near 2^64 adjacent float64 values are 2048 apart, so differencing two
+// extended values would swallow exactly the small per-interval deltas a
+// rate is made of. Instead each segment's wrap-corrected uint64 delta is
+// summed directly, weighted by its fractional overlap with [t0, t1].
 func (a *Archive) Rate(pmid uint32, t0, t1 int64) (float64, error) {
 	if t1 <= t0 {
 		return 0, fmt.Errorf("archive: bad rate interval [%d, %d]", t0, t1)
 	}
-	v0, err := a.ValueAt(pmid, t0)
+	c, ok := a.col[pmid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoPMID, pmid)
+	}
+	rows, err := a.All()
 	if err != nil {
 		return 0, err
 	}
-	v1, err := a.ValueAt(pmid, t1)
-	if err != nil {
-		return 0, err
+	if len(rows) == 0 {
+		return 0, ErrEmpty
 	}
-	return (v1 - v0) / (float64(t1-t0) / 1e9), nil
+	var sum float64
+	for i := 1; i < len(rows); i++ {
+		lo, hi := rows[i-1].Timestamp, rows[i].Timestamp
+		if hi <= lo {
+			continue
+		}
+		s, e := max(t0, lo), min(t1, hi)
+		if e <= s {
+			continue
+		}
+		frac := float64(e-s) / float64(hi-lo)
+		sum += frac * sampleStep(rows[i-1], rows[i], c)
+	}
+	return sum / (float64(t1-t0) / 1e9), nil
 }
 
 // --- serialization -----------------------------------------------------

@@ -238,3 +238,52 @@ func TestReadRejectsGarbage(t *testing.T) {
 		t.Error("truncated archive accepted")
 	}
 }
+
+// TestRateCounterWrap is the regression test for the wraparound bug:
+// Rate and ValueAt used to difference raw float64 values, so a uint64
+// counter wrapping between samples produced a huge negative rate. The
+// wrap-corrected delta (pcp.CounterDelta) must yield the true small
+// positive rate, exactly.
+func TestRateCounterWrap(t *testing.T) {
+	a, _ := New(schema(2), Options{})
+	// Column a: counter wrapping past 2^64 between the 2nd and 3rd
+	// samples (true increment 800/s throughout). Column b: an instant
+	// level genuinely decreasing — must NOT be wrap-"corrected".
+	v0 := ^uint64(0) - 1000
+	rows := []struct {
+		ts   int64
+		a, b uint64
+	}{
+		{0, v0, 5000},
+		{1_000_000_000, v0 + 800, 4000},
+		{2_000_000_000, v0 + 1600, 3000}, // a wraps: stored value 599
+	}
+	if rows[2].a >= v0 {
+		t.Fatal("test setup: counter did not wrap")
+	}
+	for _, r := range rows {
+		if err := a.Append(row(r.ts, r.a, r.b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if rate, err := a.Rate(1, 0, 2_000_000_000); err != nil || rate != 800 {
+		t.Errorf("Rate across wrap = %v, %v; want exactly 800", rate, err)
+	}
+	if rate, err := a.Rate(1, 1_000_000_000, 2_000_000_000); err != nil || rate != 800 {
+		t.Errorf("Rate of wrapping segment = %v, %v; want exactly 800", rate, err)
+	}
+	// Partial overlap: half of each segment, still 800/s.
+	if rate, err := a.Rate(1, 500_000_000, 1_500_000_000); err != nil || rate != 800 {
+		t.Errorf("Rate over partial window = %v, %v; want exactly 800", rate, err)
+	}
+	// The extended series keeps growing past 2^64 instead of collapsing
+	// to the small post-wrap stored value.
+	if v, err := a.ValueAt(1, 2_000_000_000); err != nil || v < float64(^uint64(0)) {
+		t.Errorf("ValueAt after wrap = %v, %v; want beyond 2^64", v, err)
+	}
+	// A decreasing instant metric is a real decrease, not a wrap.
+	if rate, err := a.Rate(2, 0, 2_000_000_000); err != nil || rate != -1000 {
+		t.Errorf("Rate of decreasing level = %v, %v; want exactly -1000", rate, err)
+	}
+}

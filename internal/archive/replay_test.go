@@ -36,7 +36,9 @@ func phases(tb *node.Testbed) []profile.Phase {
 // tier: a profile computed offline from a recording must match the
 // profile computed against the live daemon sample-for-sample. The live
 // run goes through a Recorder (pmlogger's tee), then the identical
-// phase schedule is replayed against the archive on a fresh clock.
+// phase schedule is replayed against the archive on a fresh clock. The
+// event list mixes raw PCP counters with a derived bandwidth expression
+// so the replay guarantee covers the metricql path too.
 func TestReplayProfileMatchesLive(t *testing.T) {
 	tb, err := node.NewTestbed(arch.Summit(), 1, node.Options{DisableNoise: true})
 	if err != nil {
@@ -57,7 +59,18 @@ func TestReplayProfileMatchesLive(t *testing.T) {
 	if err := lib.Register(pcpcomp.New(rec)); err != nil {
 		t.Fatal(err)
 	}
+	dcomp, err := node.DerivedComponentOver(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Register(dcomp); err != nil {
+		t.Fatal(err)
+	}
 	events := tb.NestEventNames(node.ViaPCP)
+	events = append(events,
+		"derived:::mem.read_bw",
+		"derived:::sum(rate(nest.mba*.write_bytes))",
+	)
 	interval := 10 * simtime.Millisecond
 	live, err := profile.Run(lib, events, interval, phases(tb))
 	if err != nil {
@@ -71,10 +84,19 @@ func TestReplayProfileMatchesLive(t *testing.T) {
 	}
 
 	// Replay: same events, same phase schedule, fresh clock, no live
-	// hardware — every value comes out of the recording.
+	// hardware — every value (raw and derived) comes out of the
+	// recording.
 	clock2 := simtime.NewClock()
 	lib2 := papi.NewLibrary(clock2)
-	if err := lib2.Register(pcpcomp.New(archive.NewReplay(rec.Archive(), clock2))); err != nil {
+	replay := archive.NewReplay(rec.Archive(), clock2)
+	if err := lib2.Register(pcpcomp.New(replay)); err != nil {
+		t.Fatal(err)
+	}
+	dcomp2, err := node.DerivedComponentOver(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib2.Register(dcomp2); err != nil {
 		t.Fatal(err)
 	}
 	replayed, err := profile.Run(lib2, events, interval, phases(nil))
@@ -165,4 +187,154 @@ func TestReplayBeforeFirstSample(t *testing.T) {
 	if res.Timestamp != 1000 || res.Values[0].Value != 7 {
 		t.Errorf("pre-span fetch = %+v", res)
 	}
+}
+
+// TestDerivedEquivalenceAcrossTiers is the acceptance test for the
+// derived-metrics subsystem: the same expression —
+// sum(rate(nest.mba*.read_bytes)) — evaluated against the live daemon,
+// through the pmproxy tier, and against a recorded archive agrees
+// sample-for-sample, and within the live run the derived bandwidth
+// equals the bandwidth computed from the raw counters the profiler
+// reads next to it.
+func TestDerivedEquivalenceAcrossTiers(t *testing.T) {
+	const interval = 10 * simtime.Millisecond
+	opts := node.Options{Seed: 7, DisableNoise: true}
+	newLib := func(tb *node.Testbed, src interface {
+		pcpcomp.Source
+		archive.Fetcher
+	}) *papi.Library {
+		t.Helper()
+		lib := papi.NewLibrary(tb.Clock)
+		if err := lib.Register(pcpcomp.New(src)); err != nil {
+			t.Fatal(err)
+		}
+		dcomp, err := node.DerivedComponentOver(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lib.Register(dcomp); err != nil {
+			t.Fatal(err)
+		}
+		return lib
+	}
+
+	// --- Leg 1: live daemon, teed through a Recorder. -------------------
+	tb1, err := node.NewTestbed(arch.Summit(), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb1.Close()
+	client1, err := pcp.Dial(tb1.PMCDAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client1.Close()
+	rec, err := archive.NewRecorderFromUpstream(client1, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tb1.NestEventNames(node.ViaPCP)
+	nraw := len(events)
+	events = append(events, "derived:::sum(rate(nest.mba*.read_bytes))")
+	live, err := profile.Run(newLib(tb1, rec), events, interval, phases(tb1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the live run: the derived bandwidth must equal the rate
+	// computed from the raw read counters sampled beside it. The daemon
+	// sampling interval equals the profile interval, so the rate's
+	// denominator is exactly one interval.
+	var sawTraffic bool
+	for i, s := range live.Samples {
+		var rawRead uint64
+		for c := 0; c < nraw; c += 2 { // events alternate read, write
+			rawRead += s.Values[c]
+		}
+		if rawRead > 0 {
+			sawTraffic = true
+		}
+		want := float64(rawRead) / (float64(interval) / 1e9)
+		got := float64(s.Values[nraw])
+		if diff := got - want; diff < -2 || diff > 2 {
+			t.Errorf("sample %d: derived read bw %v, raw-counter bw %v", i, got, want)
+		}
+	}
+	if !sawTraffic {
+		t.Fatal("live profile saw no read traffic; the comparison is vacuous")
+	}
+
+	// --- Leg 2: through pmproxy, on an identical twin testbed. ----------
+	// Same seed, same phases, noise disabled: the twin's daemon serves
+	// bit-identical samples, so the proxied profile must match the live
+	// one exactly — derived column included.
+	tb2, err := node.NewTestbed(arch.Summit(), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb2.Close()
+	_, proxyAddr, err := tb2.StartProxy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client2, err := pcp.Dial(proxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	rec2 := archive.NewRecorder(client2, mustArchive(t, client2))
+	proxied, err := profile.Run(newLib(tb2, rec2), events, interval, phases(tb2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Leg 3: replayed from the leg-1 recording. ----------------------
+	clock3 := simtime.NewClock()
+	replay := archive.NewReplay(rec.Archive(), clock3)
+	lib3 := papi.NewLibrary(clock3)
+	if err := lib3.Register(pcpcomp.New(replay)); err != nil {
+		t.Fatal(err)
+	}
+	dcomp3, err := node.DerivedComponentOver(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib3.Register(dcomp3); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := profile.Run(lib3, events, interval, phases(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, other := range map[string]*profile.Result{"proxied": proxied, "replayed": replayed} {
+		if len(other.Samples) != len(live.Samples) {
+			t.Fatalf("%s has %d samples, live has %d", name, len(other.Samples), len(live.Samples))
+		}
+		for i, ls := range live.Samples {
+			os := other.Samples[i]
+			if os.Time != ls.Time || os.Phase != ls.Phase {
+				t.Fatalf("%s sample %d: (%v, %s) vs live (%v, %s)", name, i, os.Time, os.Phase, ls.Time, ls.Phase)
+			}
+			for c := range ls.Values {
+				if os.Values[c] != ls.Values[c] {
+					t.Errorf("%s sample %d event %s: %d, live %d", name, i, events[c], os.Values[c], ls.Values[c])
+				}
+			}
+		}
+	}
+}
+
+// mustArchive builds an archive with the upstream's full schema.
+func mustArchive(t *testing.T, src archive.Fetcher) *archive.Archive {
+	t.Helper()
+	names, err := src.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.New(names, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
 }

@@ -1,0 +1,714 @@
+package metricql
+
+import (
+	"fmt"
+	"math"
+	"path"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"papimc/internal/pcp"
+)
+
+// Source is what the engine needs from a metric provider. It is a
+// structural subset of pcpcomp.Source (Lookup is not needed: the engine
+// resolves names from the full namespace listing so globs can expand).
+// pcp.Client, archive.Recorder, and archive.Replay all satisfy it.
+type Source interface {
+	Names() ([]pcp.NameEntry, error)
+	Fetch(pmids []uint32) (pcp.FetchResult, error)
+}
+
+// Value is an evaluation result: a scalar (Names == nil, Vals[0]) or a
+// vector with one element per expanded metric instance.
+type Value struct {
+	Names []string // nil for a scalar
+	Vals  []float64
+}
+
+// Scalar returns the value as a single float64. Vectors of width one
+// collapse; wider vectors are an error.
+func (v Value) Scalar() (float64, error) {
+	if len(v.Vals) == 1 {
+		return v.Vals[0], nil
+	}
+	return 0, fmt.Errorf("metricql: expected scalar, got vector of %d", len(v.Vals))
+}
+
+// selection is one expanded metric instance of a pattern.
+type selection struct {
+	name string // display name (alias if matched through one)
+	pmid uint32
+}
+
+// counterState tracks the last two observed samples of one PMID, the
+// substrate for rate() and delta().
+type counterState struct {
+	prev, cur     uint64
+	prevTS, curTS int64
+	seen          int // distinct timestamps observed
+}
+
+// history is a per-node ring of (timestamp, vector) samples for the
+// windowed functions.
+type history struct {
+	ts   []int64
+	vals [][]float64
+}
+
+// Engine evaluates parsed expressions against one Source. It owns the
+// counter state (previous samples per PMID), an alias table, and a
+// per-timestamp memoization cache keyed by canonical subexpression so
+// shared subtrees across queries cost one computation per fetch.
+type Engine struct {
+	mu      sync.Mutex
+	src     Source
+	aliases map[string]string // alias -> raw metric name
+	byName  map[string]uint32 // raw metric name -> pmid (namespace cache)
+	state   map[uint32]*counterState
+	hists   map[string]*history // canonical key -> shared window ring
+	memo    map[string]Value
+	lastTS  int64
+	hasTS   bool
+}
+
+// NewEngine creates an engine over src. The namespace is listed lazily
+// on first Query and refreshed once on a lookup miss.
+func NewEngine(src Source) *Engine {
+	return &Engine{
+		src:     src,
+		aliases: make(map[string]string),
+		state:   make(map[uint32]*counterState),
+		hists:   make(map[string]*history),
+		memo:    make(map[string]Value),
+	}
+}
+
+// Alias registers name as an alias for the raw metric rawName. Aliases
+// participate in glob expansion alongside raw names.
+func (e *Engine) Alias(name, rawName string) {
+	e.mu.Lock()
+	e.aliases[name] = rawName
+	e.mu.Unlock()
+}
+
+// AliasAll registers a batch of aliases.
+func (e *Engine) AliasAll(m map[string]string) {
+	e.mu.Lock()
+	for k, v := range m {
+		e.aliases[k] = v
+	}
+	e.mu.Unlock()
+}
+
+// nestAliasRE matches the daemon's nest counter metric names, e.g.
+// perfevent.hwcounters.nest_mba3_imc.PM_MBA3_READ_BYTES.value.cpu87.
+var nestAliasRE = regexp.MustCompile(`^perfevent\.hwcounters\.nest_mba(\d+)_imc\.PM_MBA(\d+)_(READ|WRITE)_BYTES\.value\.cpu(\d+)$`)
+
+// NestAliases builds the conventional short names for the POWER9 nest
+// counters from a namespace listing:
+//
+//	nest.mba<ch>.read_bytes.cpu<N>   — every instance, qualified
+//	nest.mba<ch>.read_bytes          — the lowest-numbered CPU (socket 0)
+//
+// so `nest.mba*.read_bytes` expands to the eight socket-0 read counters,
+// matching the per-socket selection the paper's Table I uses.
+func NestAliases(names []pcp.NameEntry) map[string]string {
+	type bare struct {
+		cpu int
+		raw string
+	}
+	out := make(map[string]string)
+	lowest := make(map[string]bare)
+	for _, e := range names {
+		m := nestAliasRE.FindStringSubmatch(e.Name)
+		if m == nil {
+			continue
+		}
+		ch, dir, cpuStr := m[1], m[3], m[4]
+		short := "nest.mba" + ch + "." + map[string]string{"READ": "read", "WRITE": "write"}[dir] + "_bytes"
+		out[short+".cpu"+cpuStr] = e.Name
+		cpu, _ := strconv.Atoi(cpuStr)
+		if b, ok := lowest[short]; !ok || cpu < b.cpu {
+			lowest[short] = bare{cpu: cpu, raw: e.Name}
+		}
+	}
+	for short, b := range lowest {
+		out[short] = b.raw
+	}
+	return out
+}
+
+// Query is an expression bound to an engine: patterns expanded to PMIDs,
+// canonical memo keys computed, window histories allocated.
+type Query struct {
+	eng  *Engine
+	root *node
+	src  string
+}
+
+// Query parses and binds src. Binding expands metric patterns against
+// the source namespace and the alias table, verifies vector widths are
+// consistent, and prepares per-node state. The returned Query is only
+// valid on this engine.
+func (e *Engine) Query(src string) (*Query, error) {
+	ex, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Bind(ex)
+}
+
+// Bind binds a parsed expression to this engine (see Query). The Expr
+// itself is not modified; the Query holds a bound copy.
+func (e *Engine) Bind(ex *Expr) (*Query, error) {
+	root := cloneNode(ex.root)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.bindNode(root); err != nil {
+		return nil, err
+	}
+	if _, err := staticWidth(root); err != nil {
+		return nil, err
+	}
+	return &Query{eng: e, root: root, src: ex.src}, nil
+}
+
+func cloneNode(n *node) *node {
+	c := &node{kind: n.kind, num: n.num, pattern: n.pattern, op: n.op, fn: n.fn, window: n.window}
+	c.args = make([]*node, len(n.args))
+	for i, a := range n.args {
+		c.args[i] = cloneNode(a)
+	}
+	return c
+}
+
+// bindNode resolves metric patterns and computes memo keys bottom-up.
+// Keys incorporate the bound PMIDs (not just the pattern text) so two
+// bindings of the same pattern against a namespace that grew in between
+// never share a memo entry. Windowed nodes share their sample history
+// engine-wide by key, so the ring stays complete no matter which query
+// containing the subexpression is evaluated on a given tick. Callers
+// hold e.mu.
+func (e *Engine) bindNode(n *node) error {
+	for _, a := range n.args {
+		if err := e.bindNode(a); err != nil {
+			return err
+		}
+	}
+	if n.kind == nodeMetric {
+		sel, err := e.expandPattern(n.pattern)
+		if err != nil {
+			return err
+		}
+		n.sel = sel
+	}
+	n.key = boundKey(n)
+	if n.window != 0 {
+		h, ok := e.hists[n.key]
+		if !ok {
+			h = &history{}
+			e.hists[n.key] = h
+		}
+		n.hist = h
+	}
+	return nil
+}
+
+// boundKey builds the memoization key from bound children: like the
+// canonical String() form, but metric nodes carry their expanded PMIDs.
+func boundKey(n *node) string {
+	switch n.kind {
+	case nodeNum:
+		return strconv.FormatFloat(n.num, 'g', -1, 64)
+	case nodeMetric:
+		var b strings.Builder
+		b.WriteString(n.pattern)
+		b.WriteByte('@')
+		for i, s := range n.sel {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(uint64(s.pmid), 10))
+		}
+		return b.String()
+	case nodeUnary:
+		return "(-" + n.args[0].key + ")"
+	case nodeBinary:
+		return "(" + n.args[0].key + " " + string(n.op) + " " + n.args[1].key + ")"
+	case nodeCall:
+		k := n.fn + "(" + n.args[0].key
+		if n.window != 0 {
+			k += ", " + strconv.FormatInt(n.window, 10) + "ns"
+		}
+		return k + ")"
+	}
+	return ""
+}
+
+// refreshNames (re)lists the namespace into byName. Callers hold e.mu.
+func (e *Engine) refreshNames() error {
+	entries, err := e.src.Names()
+	if err != nil {
+		return fmt.Errorf("metricql: listing namespace: %w", err)
+	}
+	e.byName = make(map[string]uint32, len(entries))
+	for _, en := range entries {
+		e.byName[en.Name] = en.PMID
+	}
+	return nil
+}
+
+func hasGlob(p string) bool {
+	for i := 0; i < len(p); i++ {
+		switch p[i] {
+		case '*', '?', '[':
+			return true
+		}
+	}
+	return false
+}
+
+// expandPattern resolves a metric name or glob into concrete PMIDs.
+// Exact names resolve through aliases first, then raw names; globs
+// match against the union of alias keys and raw names (alias matches
+// deduplicate their raw counterpart by PMID). Callers hold e.mu.
+func (e *Engine) expandPattern(pattern string) ([]selection, error) {
+	if e.byName == nil {
+		if err := e.refreshNames(); err != nil {
+			return nil, err
+		}
+	}
+	lookup := func(name string) (uint32, bool) {
+		target := name
+		if raw, ok := e.aliases[name]; ok {
+			target = raw
+		}
+		id, ok := e.byName[target]
+		return id, ok
+	}
+	if !hasGlob(pattern) {
+		id, ok := lookup(pattern)
+		if !ok {
+			// The namespace may have grown (late Register): refresh once.
+			if err := e.refreshNames(); err != nil {
+				return nil, err
+			}
+			if id, ok = lookup(pattern); !ok {
+				return nil, fmt.Errorf("metricql: unknown metric %q", pattern)
+			}
+		}
+		return []selection{{name: pattern, pmid: id}}, nil
+	}
+	candidates := make([]string, 0, len(e.aliases)+len(e.byName))
+	for a := range e.aliases {
+		candidates = append(candidates, a)
+	}
+	for n := range e.byName {
+		candidates = append(candidates, n)
+	}
+	sort.Strings(candidates)
+	var sel []selection
+	seen := make(map[uint32]bool)
+	for _, c := range candidates {
+		ok, err := path.Match(pattern, c)
+		if err != nil {
+			return nil, errAt(0, "bad pattern %q: %v", pattern, err)
+		}
+		if !ok {
+			continue
+		}
+		id, found := lookup(c)
+		if !found || seen[id] {
+			continue
+		}
+		seen[id] = true
+		sel = append(sel, selection{name: c, pmid: id})
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("metricql: pattern %q matches no metrics", pattern)
+	}
+	return sel, nil
+}
+
+// staticWidth checks vector-width consistency at bind time and returns
+// the node's width (0 = scalar).
+func staticWidth(n *node) (int, error) {
+	switch n.kind {
+	case nodeNum:
+		return 0, nil
+	case nodeMetric:
+		return len(n.sel), nil
+	case nodeUnary:
+		return staticWidth(n.args[0])
+	case nodeBinary:
+		lw, err := staticWidth(n.args[0])
+		if err != nil {
+			return 0, err
+		}
+		rw, err := staticWidth(n.args[1])
+		if err != nil {
+			return 0, err
+		}
+		if lw != 0 && rw != 0 && lw != rw {
+			return 0, fmt.Errorf("metricql: operand widths differ (%d vs %d) in %s", lw, rw, n.key)
+		}
+		if lw != 0 {
+			return lw, nil
+		}
+		return rw, nil
+	case nodeCall:
+		aw, err := staticWidth(n.args[0])
+		if err != nil {
+			return 0, err
+		}
+		switch n.fn {
+		case "sum", "avg", "min", "max":
+			return 0, nil
+		default: // rate, delta, avg_over, max_over preserve width
+			return aw, nil
+		}
+	}
+	return 0, fmt.Errorf("metricql: internal: unknown node kind")
+}
+
+// Width returns the query's vector width: 0 for a scalar expression,
+// otherwise the number of expanded metric instances. Widths 0 and 1
+// both satisfy Scalar().
+func (q *Query) Width() (int, error) { return staticWidth(q.root) }
+
+// pmids appends every PMID referenced by the query to dst.
+func (q *Query) pmids(dst map[uint32]bool) {
+	collectPMIDs(q.root, dst)
+}
+
+func collectPMIDs(n *node, dst map[uint32]bool) {
+	if n.kind == nodeMetric {
+		for _, s := range n.sel {
+			dst[s.pmid] = true
+		}
+	}
+	for _, a := range n.args {
+		collectPMIDs(a, dst)
+	}
+}
+
+// Eval evaluates a single query; see EvalAll.
+func (q *Query) Eval() (Value, error) {
+	vs, err := q.eng.EvalAll(q)
+	if err != nil {
+		return Value{}, err
+	}
+	return vs[0], nil
+}
+
+// EvalAll fetches every metric referenced by the given queries in one
+// round trip, advances counter state if the fetch carries a new
+// timestamp, and evaluates each query. Queries sharing subexpressions
+// (by canonical form) share the memoized result. Re-evaluating within
+// the same daemon sampling interval (same fetch timestamp) advances no
+// state and serves memoized values — the engine's cadence is the
+// daemon's, like every other PCP consumer.
+func (e *Engine) EvalAll(qs ...*Query) ([]Value, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idset := make(map[uint32]bool)
+	for _, q := range qs {
+		if q.eng != e {
+			return nil, fmt.Errorf("metricql: query bound to a different engine")
+		}
+		q.pmids(idset)
+	}
+	ids := make([]uint32, 0, len(idset))
+	for id := range idset {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	res, err := e.src.Fetch(ids)
+	if err != nil {
+		return nil, fmt.Errorf("metricql: fetch: %w", err)
+	}
+	if len(res.Values) != len(ids) {
+		return nil, fmt.Errorf("metricql: fetch returned %d values for %d pmids", len(res.Values), len(ids))
+	}
+	byID := make(map[uint32]uint64, len(res.Values))
+	for _, v := range res.Values {
+		if v.Status != pcp.StatusOK {
+			return nil, fmt.Errorf("metricql: pmid %d failed with status %d", v.PMID, v.Status)
+		}
+		byID[v.PMID] = v.Value
+	}
+	ts := res.Timestamp
+	if e.hasTS && ts < e.lastTS {
+		return nil, fmt.Errorf("metricql: fetch timestamp went backwards (%d < %d)", ts, e.lastTS)
+	}
+	fresh := !e.hasTS || ts > e.lastTS
+	if fresh {
+		for id, v := range byID {
+			st := e.state[id]
+			if st == nil {
+				st = &counterState{}
+				e.state[id] = st
+			}
+			if st.seen == 0 {
+				st.cur, st.curTS = v, ts
+				st.seen = 1
+			} else {
+				st.prev, st.prevTS = st.cur, st.curTS
+				st.cur, st.curTS = v, ts
+				st.seen++
+			}
+		}
+		e.lastTS, e.hasTS = ts, true
+		e.memo = make(map[string]Value)
+	} else {
+		// Same daemon sample as last time: top up state for PMIDs this
+		// fetch saw for the first time, keep existing memo entries.
+		for id, v := range byID {
+			if e.state[id] == nil {
+				e.state[id] = &counterState{cur: v, curTS: ts, seen: 1}
+			}
+		}
+	}
+	out := make([]Value, len(qs))
+	for i, q := range qs {
+		v, err := e.evalNode(q.root, byID, ts, fresh)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// LastTimestamp returns the daemon timestamp of the most recent fetch.
+func (e *Engine) LastTimestamp() (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastTS, e.hasTS
+}
+
+// evalNode evaluates one bound node, memoizing by canonical key.
+// Callers hold e.mu.
+func (e *Engine) evalNode(n *node, byID map[uint32]uint64, ts int64, fresh bool) (Value, error) {
+	if v, ok := e.memo[n.key]; ok {
+		return v, nil
+	}
+	v, err := e.evalNodeUncached(n, byID, ts, fresh)
+	if err != nil {
+		return Value{}, err
+	}
+	e.memo[n.key] = v
+	return v, nil
+}
+
+func (e *Engine) evalNodeUncached(n *node, byID map[uint32]uint64, ts int64, fresh bool) (Value, error) {
+	switch n.kind {
+	case nodeNum:
+		return Value{Vals: []float64{n.num}}, nil
+
+	case nodeMetric:
+		names := make([]string, len(n.sel))
+		vals := make([]float64, len(n.sel))
+		for i, s := range n.sel {
+			v, ok := byID[s.pmid]
+			if !ok {
+				// PMID referenced by another query binding but not
+				// fetched this round — serve the last observed sample.
+				if st := e.state[s.pmid]; st != nil && st.seen > 0 {
+					v = st.cur
+				} else {
+					return Value{}, fmt.Errorf("metricql: no sample yet for %s", s.name)
+				}
+			}
+			names[i] = s.name
+			vals[i] = float64(v)
+		}
+		return Value{Names: names, Vals: vals}, nil
+
+	case nodeUnary:
+		v, err := e.evalNode(n.args[0], byID, ts, fresh)
+		if err != nil {
+			return Value{}, err
+		}
+		out := Value{Names: v.Names, Vals: make([]float64, len(v.Vals))}
+		for i, x := range v.Vals {
+			out.Vals[i] = -x
+		}
+		return out, nil
+
+	case nodeBinary:
+		l, err := e.evalNode(n.args[0], byID, ts, fresh)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := e.evalNode(n.args[1], byID, ts, fresh)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyBinary(n.op, l, r)
+
+	case nodeCall:
+		switch n.fn {
+		case "rate", "delta":
+			return e.evalCounterFn(n, ts)
+		case "sum", "avg", "min", "max":
+			v, err := e.evalNode(n.args[0], byID, ts, fresh)
+			if err != nil {
+				return Value{}, err
+			}
+			return aggregate(n.fn, v)
+		case "avg_over", "max_over":
+			v, err := e.evalNode(n.args[0], byID, ts, fresh)
+			if err != nil {
+				return Value{}, err
+			}
+			return e.evalWindow(n, v, ts, fresh)
+		}
+	}
+	return Value{}, fmt.Errorf("metricql: internal: cannot evaluate node %q", n.key)
+}
+
+// evalCounterFn computes rate() or delta() from the per-PMID counter
+// state: the difference of the last two daemon samples with
+// monotonic-wrap correction via pcp.CounterDelta. Until two distinct
+// samples exist the result is 0 (matching a counter that has not yet
+// moved). Callers hold e.mu.
+func (e *Engine) evalCounterFn(n *node, ts int64) (Value, error) {
+	arg := n.args[0]
+	names := make([]string, len(arg.sel))
+	vals := make([]float64, len(arg.sel))
+	for i, s := range arg.sel {
+		names[i] = s.name
+		st := e.state[s.pmid]
+		if st == nil || st.seen < 2 {
+			vals[i] = 0
+			continue
+		}
+		d := float64(pcp.CounterDelta(st.prev, st.cur))
+		if n.fn == "delta" {
+			vals[i] = d
+			continue
+		}
+		dt := float64(st.curTS-st.prevTS) / 1e9
+		if dt <= 0 {
+			vals[i] = 0
+			continue
+		}
+		vals[i] = d / dt
+	}
+	return Value{Names: names, Vals: vals}, nil
+}
+
+// evalWindow appends the current value of the windowed node's argument
+// to its history ring (once per distinct timestamp), prunes samples
+// outside the half-open window (ts-window, ts] — so a 2s window on a
+// 1s cadence aggregates exactly two samples — and reduces elementwise
+// over the retained samples including the current one. Callers hold
+// e.mu.
+func (e *Engine) evalWindow(n *node, cur Value, ts int64, fresh bool) (Value, error) {
+	h := n.hist
+	if len(h.ts) == 0 || h.ts[len(h.ts)-1] != ts {
+		vcopy := make([]float64, len(cur.Vals))
+		copy(vcopy, cur.Vals)
+		h.ts = append(h.ts, ts)
+		h.vals = append(h.vals, vcopy)
+	}
+	cut := ts - n.window
+	drop := 0
+	for drop < len(h.ts)-1 && h.ts[drop] <= cut {
+		drop++
+	}
+	h.ts = h.ts[drop:]
+	h.vals = h.vals[drop:]
+	out := Value{Names: cur.Names, Vals: make([]float64, len(cur.Vals))}
+	for i := range out.Vals {
+		acc := h.vals[0][i]
+		for _, row := range h.vals[1:] {
+			if n.fn == "max_over" {
+				acc = math.Max(acc, row[i])
+			} else {
+				acc += row[i]
+			}
+		}
+		if n.fn == "avg_over" {
+			acc /= float64(len(h.vals))
+		}
+		out.Vals[i] = acc
+	}
+	return out, nil
+}
+
+// aggregate collapses a vector to a scalar.
+func aggregate(fn string, v Value) (Value, error) {
+	if len(v.Vals) == 0 {
+		return Value{}, fmt.Errorf("metricql: %s() of empty vector", fn)
+	}
+	acc := v.Vals[0]
+	for _, x := range v.Vals[1:] {
+		switch fn {
+		case "sum", "avg":
+			acc += x
+		case "min":
+			acc = math.Min(acc, x)
+		case "max":
+			acc = math.Max(acc, x)
+		}
+	}
+	if fn == "avg" {
+		acc /= float64(len(v.Vals))
+	}
+	return Value{Vals: []float64{acc}}, nil
+}
+
+// applyBinary combines two values, broadcasting a scalar against a
+// vector. Vector-vector requires equal widths (checked at bind time;
+// re-checked here for safety) and keeps the left operand's names.
+func applyBinary(op byte, l, r Value) (Value, error) {
+	apply := func(a, b float64) float64 {
+		switch op {
+		case '+':
+			return a + b
+		case '-':
+			return a - b
+		case '*':
+			return a * b
+		case '/':
+			if b == 0 {
+				return math.NaN()
+			}
+			return a / b
+		}
+		return math.NaN()
+	}
+	lscalar := l.Names == nil && len(l.Vals) == 1
+	rscalar := r.Names == nil && len(r.Vals) == 1
+	switch {
+	case lscalar && rscalar:
+		return Value{Vals: []float64{apply(l.Vals[0], r.Vals[0])}}, nil
+	case lscalar:
+		out := Value{Names: r.Names, Vals: make([]float64, len(r.Vals))}
+		for i, x := range r.Vals {
+			out.Vals[i] = apply(l.Vals[0], x)
+		}
+		return out, nil
+	case rscalar:
+		out := Value{Names: l.Names, Vals: make([]float64, len(l.Vals))}
+		for i, x := range l.Vals {
+			out.Vals[i] = apply(x, r.Vals[0])
+		}
+		return out, nil
+	default:
+		if len(l.Vals) != len(r.Vals) {
+			return Value{}, fmt.Errorf("metricql: operand widths differ (%d vs %d)", len(l.Vals), len(r.Vals))
+		}
+		out := Value{Names: l.Names, Vals: make([]float64, len(l.Vals))}
+		for i := range l.Vals {
+			out.Vals[i] = apply(l.Vals[i], r.Vals[i])
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,55 @@
+package metricql
+
+import (
+	"testing"
+)
+
+// FuzzParseExpr asserts the parser is total: any input yields either an
+// error or a valid AST, never a panic — and a successful parse's
+// canonical String() form reparses to the same canonical form (the
+// property the memoizer depends on).
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"sum(rate(nest.mba*.read_bytes))",
+		"sum(rate(nest.mba*.read_bytes)) + sum(rate(nest.mba*.write_bytes))",
+		"rate(nest.mba[0-7].read_bytes.cpu87)",
+		"avg_over(rate(kernel.load), 500ms)",
+		"max_over(a, 1.5s)",
+		"(a + b) * -c / 2e3",
+		"a*b - 2*3",
+		"delta(perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value.cpu87)",
+		"min(x) + max(y) - avg(z)",
+		"-(-(-x))",
+		"((((((((((a))))))))))",
+		"1.",
+		"1e",
+		"1e+",
+		"[",
+		"a[",
+		"a[]b",
+		"\x00",
+		"rate(rate(x))",
+		"sum(,)",
+		"100ms + 1",
+		"a $ b",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ex, err := Parse(src)
+		if err != nil {
+			if ex != nil {
+				t.Fatalf("Parse(%q) returned both AST and error %v", src, err)
+			}
+			return
+		}
+		canon := ex.String()
+		ex2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, src, err)
+		}
+		if got := ex2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", src, canon, got)
+		}
+	})
+}

@@ -14,9 +14,11 @@ import (
 	"papimc/internal/gpu"
 	"papimc/internal/ib"
 	"papimc/internal/mem"
+	"papimc/internal/metricql"
 	"papimc/internal/model"
 	"papimc/internal/nest"
 	"papimc/internal/papi"
+	"papimc/internal/papi/components/derived"
 	"papimc/internal/papi/components/ibcomp"
 	"papimc/internal/papi/components/nvmlcomp"
 	"papimc/internal/papi/components/pcpcomp"
@@ -188,6 +190,8 @@ func (tb *Testbed) Close() error {
 //   - perf_uncore with the credential an ordinary user holds on this
 //     machine (privileged on Tellico, denied on Summit),
 //   - pcp connected to the node's PMCD daemon,
+//   - derived evaluating metricql expressions over a second daemon
+//     connection, with the standard nest bandwidth metrics registered,
 //   - nvml and infiniband when the node has GPUs / a NIC.
 //
 // The caller owns the returned cleanup function.
@@ -206,17 +210,62 @@ func (tb *Testbed) NewLibrary() (*papi.Library, func(), error) {
 	if err := lib.Register(comp); err != nil {
 		return nil, nil, err
 	}
+	dcomp, dclose, err := NewDerivedComponent(tb.PMCDAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := lib.Register(dcomp); err != nil {
+		dclose()
+		return nil, nil, err
+	}
+	cleanup = dclose
 	if gpus := n.AllGPUs(); len(gpus) > 0 {
 		if err := lib.Register(nvmlcomp.New(gpus)); err != nil {
+			cleanup()
 			return nil, nil, err
 		}
 	}
 	if n.NIC != nil {
 		if err := lib.Register(ibcomp.New(n.NIC.Ports)); err != nil {
+			cleanup()
 			return nil, nil, err
 		}
 	}
 	return lib, cleanup, nil
+}
+
+// NewDerivedComponent builds the derived-metrics component over its own
+// connection to the given PMCD (or pmproxy) address: a metricql engine
+// with the nest bandwidth aliases and the standard mem.* registrations.
+// The returned func closes the connection.
+func NewDerivedComponent(addr string) (*derived.Component, func(), error) {
+	client, err := pcp.Dial(addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("node: connecting derived engine: %w", err)
+	}
+	comp, err := DerivedComponentOver(client)
+	if err != nil {
+		client.Close()
+		return nil, nil, err
+	}
+	return comp, func() { client.Close() }, nil
+}
+
+// DerivedComponentOver builds the derived component over an existing
+// metric source (a client, an archive recorder, or a replay): nest
+// aliases from the source's namespace plus the standard registrations.
+func DerivedComponentOver(src metricql.Source) (*derived.Component, error) {
+	names, err := src.Names()
+	if err != nil {
+		return nil, fmt.Errorf("node: listing namespace for derived metrics: %w", err)
+	}
+	eng := metricql.NewEngine(src)
+	eng.AliasAll(metricql.NestAliases(names))
+	comp := derived.New(eng)
+	if err := derived.RegisterNestStandards(comp); err != nil {
+		return nil, err
+	}
+	return comp, nil
 }
 
 // Route selects how nest counters are read in an experiment.

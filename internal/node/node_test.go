@@ -53,7 +53,7 @@ func TestLibraryComponentsOnSummit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cleanup()
-	for _, name := range []string{"perf_uncore", "pcp", "nvml", "infiniband"} {
+	for _, name := range []string{"perf_uncore", "pcp", "derived", "nvml", "infiniband"} {
 		if _, err := lib.Component(name); err != nil {
 			t.Errorf("component %s missing: %v", name, err)
 		}
@@ -63,9 +63,77 @@ func TestLibraryComponentsOnSummit(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 32 perf_uncore (2 sockets) + 32 pcp (both sockets exported by
-	// PMCD) + 6 nvml + 4 infiniband.
-	if len(events) != 74 {
-		t.Errorf("AllEvents = %d, want 74", len(events))
+	// PMCD) + 4 derived mem.* + 6 nvml + 4 infiniband.
+	if len(events) != 78 {
+		t.Errorf("AllEvents = %d, want 78", len(events))
+	}
+	// The derived component's curated metrics appear in the listing with
+	// instant (rate) semantics.
+	var readBW *papi.EventInfo
+	for i := range events {
+		if events[i].Name == "derived:::mem.read_bw" {
+			readBW = &events[i]
+		}
+	}
+	if readBW == nil {
+		t.Fatal("derived:::mem.read_bw not listed")
+	}
+	if !readBW.Instant {
+		t.Error("mem.read_bw should have Instant (rate) semantics")
+	}
+	if readBW.Units != "bytes/s" {
+		t.Errorf("mem.read_bw units = %q, want bytes/s", readBW.Units)
+	}
+	if info, err := lib.DescribeEvent("derived:::mem.total_bw"); err != nil || !info.Instant {
+		t.Errorf("DescribeEvent(mem.total_bw) = %+v, %v", info, err)
+	}
+}
+
+// TestDerivedEventsMixWithRaw: an EventSet carrying a raw PCP counter,
+// a curated derived metric, and an ad-hoc derived expression reads all
+// three through one profile-style lifecycle, and the derived bandwidth
+// is visibly nonzero while traffic plays.
+func TestDerivedEventsMixWithRaw(t *testing.T) {
+	tb := summitTestbed(t, false)
+	lib, cleanup, err := tb.NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	es := lib.NewEventSet()
+	if err := es.AddAll(
+		"pcp:::perfevent.hwcounters.nest_mba0_imc.PM_MBA0_READ_BYTES.value:cpu87",
+		"derived:::mem.read_bw",
+		"derived:::sum(delta(nest.mba*.read_bytes))",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	tr := model.Traffic{ReadBytes: 1 << 22, Duration: 40 * simtime.Millisecond}
+	tb.Nodes[0].Play(0, tr, 8)
+	tb.Clock.Advance(20 * simtime.Millisecond)
+	mid, err := es.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid[1] == 0 {
+		t.Error("mem.read_bw = 0 during a read burst")
+	}
+	if mid[2] == 0 {
+		t.Error("delta of read counters = 0 during a read burst")
+	}
+	if _, err := es.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown derived expressions fail at Add time with ErrNoEvent.
+	bad := lib.NewEventSet()
+	if err := bad.Add("derived:::sum(rate(nest.mba*.bogus))"); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("bad derived event err = %v, want ErrNoEvent", err)
+	}
+	if err := bad.Add("derived:::nest.mba*.read_bytes"); !errors.Is(err, papi.ErrNoEvent) {
+		t.Errorf("vector derived event err = %v, want ErrNoEvent", err)
 	}
 }
 

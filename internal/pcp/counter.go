@@ -1,0 +1,13 @@
+package pcp
+
+// CounterDelta returns the increase of a monotonic uint64 counter from
+// prev to cur, correcting for wraparound. Unsigned subtraction computes
+// the delta modulo 2^64, which is exactly the wrapped distance: a
+// counter that advanced past the top (cur < prev) yields
+// (2^64 - prev) + cur, not a huge negative number as float64
+// subtraction would. Every consumer that differences counter samples —
+// archive interpolation, metricql's rate()/delta(), report bandwidth —
+// must go through this helper rather than subtracting floats.
+func CounterDelta(prev, cur uint64) uint64 {
+	return cur - prev
+}
