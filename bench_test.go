@@ -353,16 +353,20 @@ func BenchmarkDistributedFFT(b *testing.B) {
 // --- serving-tier micro-benchmarks ------------------------------------------
 
 // BenchmarkPDUFetchRespEncodeDecode: one 16-value fetch response through
-// the wire codec — the per-request CPU cost of the serving path.
+// the wire codec — the per-request CPU cost of the serving path. Uses
+// the buffer-reusing Append/Into spellings the serving loops run on;
+// steady state is allocation-free.
 func BenchmarkPDUFetchRespEncodeDecode(b *testing.B) {
 	res := pcp.FetchResult{Timestamp: 123456789}
 	for i := 0; i < 16; i++ {
 		res.Values = append(res.Values, pcp.FetchValue{PMID: uint32(i + 1), Status: pcp.StatusOK, Value: uint64(i) << 32})
 	}
+	var buf []byte
+	var dec pcp.FetchResult
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf := pcp.EncodeFetchResp(res)
-		if _, err := pcp.DecodeFetchResp(buf); err != nil {
+		buf = pcp.AppendFetchResp(buf[:0], res)
+		if err := pcp.DecodeFetchRespInto(buf, &dec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,277 @@
+// Command benchrec measures the headline hot-path benchmarks in-process
+// (via testing.Benchmark) and records the optimization trajectory as
+// JSON: the seed-tree baseline next to the current tree's numbers, with
+// the speedup and allocation-reduction factors computed. CI runs it so
+// every build leaves a machine-readable performance record.
+//
+// Usage:
+//
+//	benchrec [-out BENCH_3.json] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"papimc/internal/arch"
+	"papimc/internal/cache"
+	"papimc/internal/mem"
+	"papimc/internal/node"
+	"papimc/internal/pcp"
+	"papimc/internal/pmproxy"
+	"papimc/internal/simtime"
+	"papimc/internal/trace"
+)
+
+// Metric is one benchmark measurement.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry pairs a benchmark's recorded baseline with a fresh measurement.
+type Entry struct {
+	Name       string  `json:"name"`
+	Before     *Metric `json:"before,omitempty"` // seed tree (commit b757ce5), absent for new benchmarks
+	After      Metric  `json:"after"`
+	Speedup    float64 `json:"speedup,omitempty"`           // before.ns / after.ns
+	AllocsX    float64 `json:"alloc_reduction,omitempty"`   // before.allocs / after.allocs, when after still allocates
+	Eliminated bool    `json:"allocs_eliminated,omitempty"` // allocations dropped to zero
+}
+
+// baselines are the seed tree's numbers for the same benchmark bodies,
+// measured on the pre-optimization code (single-CPU container, Go
+// defaults). They are recorded constants, not re-measured, so the
+// trajectory survives the code they measured being gone.
+var baselines = map[string]Metric{
+	"mem/Read":                {NsPerOp: 665, BytesPerOp: 128, AllocsPerOp: 1},
+	"mem/ReadInto":            {NsPerOp: 665, BytesPerOp: 128, AllocsPerOp: 1}, // seed tree had only the allocating Read
+	"mem/Totals":              {NsPerOp: 650, BytesPerOp: 128, AllocsPerOp: 1},
+	"mem/AddTraffic":          {NsPerOp: 757, BytesPerOp: 1308, AllocsPerOp: 2},
+	"cache/SimAccess":         {NsPerOp: 63.4, BytesPerOp: 0, AllocsPerOp: 0},
+	"papi/EventSetReadDirect": {NsPerOp: 904, BytesPerOp: 1312, AllocsPerOp: 16},
+	"papi/EventSetReadPCP":    {NsPerOp: 14042, BytesPerOp: 3104, AllocsPerOp: 32},
+	"pcp/FetchRespRoundTrip":  {NsPerOp: 1162, BytesPerOp: 1512, AllocsPerOp: 12},
+	"pmproxy/FetchCoalesced":  {NsPerOp: 10923, BytesPerOp: 1288, AllocsPerOp: 26},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "output file")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
+	flag.Parse()
+	// testing.Benchmark consults the test.benchtime flag, which only
+	// exists after testing.Init registers it.
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	benchmarks := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"mem/Read", benchMemRead},
+		{"mem/ReadInto", benchMemReadInto},
+		{"mem/Totals", benchMemTotals},
+		{"mem/AddTraffic", benchMemAddTraffic},
+		{"cache/SimAccess", benchCacheAccess},
+		{"papi/EventSetReadDirect", func(b *testing.B) { benchEventSetRead(b, node.Direct) }},
+		{"papi/EventSetReadPCP", func(b *testing.B) { benchEventSetRead(b, node.ViaPCP) }},
+		{"pcp/FetchRespRoundTrip", benchFetchRespRoundTrip},
+		{"pmproxy/FetchCoalesced", benchProxyFetch},
+	}
+
+	report := struct {
+		Note    string  `json:"note"`
+		Entries []Entry `json:"entries"`
+	}{
+		Note: "hot-path benchmark trajectory; 'before' is the pre-optimization tree (commit b757ce5)",
+	}
+	for _, bm := range benchmarks {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bm.fn(b)
+		})
+		e := Entry{Name: bm.name, After: Metric{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}}
+		if base, ok := baselines[bm.name]; ok {
+			b := base
+			e.Before = &b
+			if e.After.NsPerOp > 0 {
+				e.Speedup = round2(b.NsPerOp / e.After.NsPerOp)
+			}
+			if e.After.AllocsPerOp > 0 {
+				e.AllocsX = round2(float64(b.AllocsPerOp) / float64(e.After.AllocsPerOp))
+			} else if b.AllocsPerOp > 0 {
+				e.Eliminated = true
+			}
+		}
+		report.Entries = append(report.Entries, e)
+		fmt.Printf("%-26s %10.1f ns/op %8d B/op %4d allocs/op", bm.name, e.After.NsPerOp, e.After.BytesPerOp, e.After.AllocsPerOp)
+		if e.Before != nil {
+			fmt.Printf("   (was %.1f ns, %d allocs)", e.Before.NsPerOp, e.Before.AllocsPerOp)
+		}
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+func noisyController(seed uint64) *mem.Controller {
+	return mem.NewController(mem.Config{Channels: 8, Noise: arch.Summit().Noise, Seed: seed}, simtime.NewClock())
+}
+
+func benchMemRead(b *testing.B) {
+	c := noisyController(1)
+	t := simtime.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = t.Add(100 * simtime.Microsecond)
+		c.AddTraffic(true, int64(i)*64, 1<<16, t, t)
+		c.Read(t)
+	}
+}
+
+// benchMemReadInto is the steady-state counter-snapshot path the nest
+// PMU actually runs: the snapshot buffer is reused across reads.
+func benchMemReadInto(b *testing.B) {
+	c := noisyController(1)
+	t := simtime.Time(0)
+	var dst []mem.ChannelCounts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = t.Add(100 * simtime.Microsecond)
+		c.AddTraffic(true, int64(i)*64, 1<<16, t, t)
+		dst = c.ReadInto(t, dst)
+	}
+}
+
+func benchMemTotals(b *testing.B) {
+	c := noisyController(2)
+	t := simtime.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = t.Add(100 * simtime.Microsecond)
+		c.AddTraffic(false, int64(i)*64, 1<<16, t, t)
+		c.Totals(t)
+	}
+}
+
+func benchMemAddTraffic(b *testing.B) {
+	c := mem.NewController(mem.Config{Channels: 8, DisableNoise: true}, simtime.NewClock())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddTraffic(true, int64(i)*64, 1<<16, 0, 0)
+	}
+	b.StopTimer()
+	c.Totals(0)
+}
+
+type nullMem struct{}
+
+func (nullMem) MemRead(addr, bytes int64)  {}
+func (nullMem) MemWrite(addr, bytes int64) {}
+
+func benchCacheAccess(b *testing.B) {
+	h := cache.New(cache.Config{Socket: arch.Summit().Socket, ActiveCores: []int{0}}, nullMem{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, trace.Access{Addr: int64(i%1000000) * 8, Size: 8, Kind: trace.Load})
+	}
+}
+
+func benchEventSetRead(b *testing.B, route node.Route) {
+	tb, err := node.NewTestbed(arch.Tellico(), 1, node.Options{DisableNoise: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	lib, _, err := tb.NewLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	es := lib.NewEventSet()
+	if err := es.AddAll(tb.NestEventNames(route)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := es.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer es.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := es.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFetchRespRoundTrip(b *testing.B) {
+	res := pcp.FetchResult{Timestamp: 123456789}
+	for i := 0; i < 16; i++ {
+		res.Values = append(res.Values, pcp.FetchValue{PMID: uint32(i + 1), Status: pcp.StatusOK, Value: uint64(i) << 32})
+	}
+	var buf []byte
+	var dec pcp.FetchResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = pcp.AppendFetchResp(buf[:0], res)
+		if err := pcp.DecodeFetchRespInto(buf, &dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchProxyFetch(b *testing.B) {
+	tb, err := node.NewTestbed(arch.Tellico(), 1, node.Options{DisableNoise: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	p := pmproxy.New(pmproxy.Config{
+		Upstream: tb.PMCDAddr,
+		Clock:    tb.Clock,
+		Interval: tb.Machine.Noise.PMCDSampleInterval,
+	})
+	addr, err := p.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	c, err := pcp.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	pmids := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := c.Fetch(pmids); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fetch(pmids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

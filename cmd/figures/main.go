@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	figures [-out DIR] [-quick] [-only id1,id2,...] [-seed N]
+//	figures [-out DIR] [-quick] [-only id1,id2,...] [-seed N] [-j N]
+//
+// -j parallelizes the sweeps inside each figure; output is byte-identical
+// for every worker count.
 package main
 
 import (
@@ -22,9 +25,10 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	only := flag.String("only", "", "comma-separated figure ids (default: all)")
 	seed := flag.Uint64("seed", 0, "noise seed (0 = default)")
+	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
-	opts := figures.Options{Quick: *quick, Seed: *seed}
+	opts := figures.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	gens := figures.All()
 	if *only != "" {
 		gens = nil

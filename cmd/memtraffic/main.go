@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	memtraffic -fig 2a|2b|3a|3b|4a|4b|5a|5b [-quick] [-csv FILE]
+//	memtraffic -fig 2a|2b|3a|3b|4a|4b|5a|5b [-quick] [-csv FILE] [-j N]
+//
+// -j parallelizes the size sweep; output is byte-identical for every
+// worker count.
 package main
 
 import (
@@ -20,6 +23,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the size sweep")
 	csv := flag.String("csv", "", "also write the table as CSV to this file")
 	seed := flag.Uint64("seed", 0, "noise seed (0 = default)")
+	workers := flag.Int("j", 0, "parallel sweep workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	g, err := figures.ByID("fig" + *fig)
@@ -27,7 +31,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	res, err := g.Gen(figures.Options{Quick: *quick, Seed: *seed})
+	res, err := g.Gen(figures.Options{Quick: *quick, Seed: *seed, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

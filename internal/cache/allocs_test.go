@@ -1,0 +1,24 @@
+package cache
+
+import (
+	"testing"
+
+	"papimc/internal/trace"
+)
+
+// Access is the simulator's innermost loop — every simulated load and
+// store passes through it — so it must never allocate.
+func TestAccessDoesNotAllocate(t *testing.T) {
+	h, _ := singleCore(t)
+	// Footprint larger than L2 so the loop exercises every level,
+	// including L3 and memory fills, not just L1 hits.
+	const footprint = 2 << 20
+	var off int64
+	if got := testing.AllocsPerRun(1000, func() {
+		h.Access(0, trace.Access{Addr: off % footprint, Size: 8, Kind: trace.Load})
+		h.Access(0, trace.Access{Addr: off % footprint, Size: 8, Kind: trace.Store})
+		off += 64
+	}); got != 0 {
+		t.Errorf("Access allocates %.1f objects per run, want 0", got)
+	}
+}

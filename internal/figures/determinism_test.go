@@ -1,0 +1,53 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// render writes a result exactly the way cmd/figures does: title, table,
+// and chart when present.
+func render(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\n\n", res.Title)
+	if err := res.Table.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if res.Chart != nil {
+		fmt.Fprintln(&b)
+		if err := res.Chart.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Bytes()
+}
+
+// TestWorkerCountInvariance is the sweep executor's headline guarantee:
+// regenerating the full figure set with four workers produces output
+// byte-identical to the serial run, because every sweep task runs on its
+// own testbed seeded from sweep.Seed(base, index).
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every figure twice")
+	}
+	serialOpts := Options{Quick: true, Workers: 1}
+	parallelOpts := Options{Quick: true, Workers: 4}
+	for _, g := range All() {
+		serialRes, err := g.Gen(serialOpts)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", g.ID, err)
+		}
+		parallelRes, err := g.Gen(parallelOpts)
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", g.ID, err)
+		}
+		serial := render(t, serialRes)
+		parallel := render(t, parallelRes)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: workers=4 output differs from workers=1\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+				g.ID, serial, parallel)
+		}
+	}
+}

@@ -34,6 +34,11 @@ type Options struct {
 	Quick bool
 	// Seed drives all noise; fixed for reproducibility.
 	Seed uint64
+	// Workers bounds each sweep's parallel executor; <1 means one worker
+	// per CPU. Figure output is byte-identical for every worker count
+	// because each sweep task runs on its own deterministically seeded
+	// testbed.
+	Workers int
 }
 
 func (o Options) seed() uint64 {
@@ -175,6 +180,7 @@ func gemmFig(o Options, id, title string, m arch.Machine, batched bool, route no
 		Reps:    reps,
 		Sizes:   o.gemmSizes(),
 		Options: node.Options{Seed: o.seed()},
+		Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -227,6 +233,7 @@ func gemvFig(o Options, id, title string, m arch.Machine, route node.Route) (*Re
 		Reps:    harness.AdaptiveReps,
 		Sizes:   o.gemvSizes(),
 		Options: node.Options{Seed: o.seed()},
+		Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -256,6 +263,7 @@ func resortFig(o Options, id, title string, routine harness.ResortRoutine, prefe
 		Sizes:   o.resortSizes(),
 		Runs:    o.resortRuns(),
 		Options: node.Options{Seed: o.seed()},
+		Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, err

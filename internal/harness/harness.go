@@ -14,6 +14,7 @@ import (
 	"papimc/internal/node"
 	"papimc/internal/simtime"
 	"papimc/internal/stats"
+	"papimc/internal/sweep"
 )
 
 // Point is one problem size of a traffic-accuracy sweep.
@@ -104,6 +105,16 @@ func MeasureAveraged(tb *node.Testbed, route node.Route, reps int, run func(rep 
 	return float64(reads) / float64(reps), float64(writes) / float64(reps), nil
 }
 
+// pointTestbed builds the testbed for sweep task index i: its own node
+// stack on a substream of the sweep's base seed, so tasks are mutually
+// independent and the sweep's output does not depend on how many workers
+// ran it. Adjacent plain seeds (the old shared-testbed scheme) would
+// correlate noise across points; the SplitMix64 jump decorrelates them.
+func pointTestbed(m arch.Machine, opts node.Options, i int) (*node.Testbed, error) {
+	opts.Seed = sweep.Seed(opts.Seed, i)
+	return node.NewTestbed(m, 1, opts)
+}
+
 // GEMMConfig parameterizes the GEMM accuracy experiment.
 type GEMMConfig struct {
 	Machine arch.Machine
@@ -112,40 +123,46 @@ type GEMMConfig struct {
 	Reps    RepsPolicy
 	Sizes   []int64
 	Options node.Options
+	// Workers bounds the parallel sweep executor; <1 means one worker
+	// per CPU. Results are byte-identical for every worker count: each
+	// size runs on its own deterministically seeded testbed.
+	Workers int
 }
 
 // GEMMSweep reproduces Figs. 2–4: for each N it plays the model-predicted
-// traffic of the (serial or batched) reference GEMM and measures it.
+// traffic of the (serial or batched) reference GEMM and measures it. The
+// adaptive-repetition batch of one size is never split — one counter
+// window over all repetitions IS the paper's amortization technique —
+// so parallelism fans out across sizes instead.
 func GEMMSweep(cfg GEMMConfig) ([]Point, error) {
-	tb, err := node.NewTestbed(cfg.Machine, 1, cfg.Options)
-	if err != nil {
-		return nil, err
-	}
-	defer tb.Close()
 	ctx := model.Serial(cfg.Machine)
 	threads := int64(1)
 	if cfg.Batched {
 		ctx = model.Batched(cfg.Machine)
 		threads = int64(ctx.ActiveCores)
 	}
-	var out []Point
-	for _, n := range cfg.Sizes {
+	return sweep.Map(len(cfg.Sizes), cfg.Workers, func(i int) (Point, error) {
+		n := cfg.Sizes[i]
+		tb, err := pointTestbed(cfg.Machine, cfg.Options, i)
+		if err != nil {
+			return Point{}, err
+		}
+		defer tb.Close()
 		tr := model.GEMM(ctx, n)
 		reps := cfg.Reps(n)
 		r, w, err := MeasureAveraged(tb, cfg.Route, reps, func(int) {
 			tb.Nodes[0].Play(0, tr, 4)
 		})
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		want := expect.GEMM(n).Scale(threads)
-		out = append(out, Point{
+		return Point{
 			Size: n, Reps: reps,
 			MeasuredReadBytes: r, MeasuredWriteBytes: w,
 			ExpectedReadBytes: want.ReadBytes, ExpectedWriteBytes: want.WriteBytes,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // GEMVConfig parameterizes the capped-GEMV experiment (Fig. 5).
@@ -158,6 +175,9 @@ type GEMVConfig struct {
 	Sizes   []int64
 	Cap     int64
 	Options node.Options
+	// Workers bounds the parallel sweep executor; <1 means one worker
+	// per CPU. Output is identical for every worker count.
+	Workers int
 }
 
 // DefaultGEMVCap is the paper's transition point: the size at which the
@@ -170,15 +190,15 @@ func CappedGEMVSweep(cfg GEMVConfig) ([]Point, error) {
 	if cfg.Cap == 0 {
 		cfg.Cap = DefaultGEMVCap
 	}
-	tb, err := node.NewTestbed(cfg.Machine, 1, cfg.Options)
-	if err != nil {
-		return nil, err
-	}
-	defer tb.Close()
 	ctx := model.Batched(cfg.Machine)
 	threads := int64(ctx.ActiveCores)
-	var out []Point
-	for _, m := range cfg.Sizes {
+	return sweep.Map(len(cfg.Sizes), cfg.Workers, func(i int) (Point, error) {
+		m := cfg.Sizes[i]
+		tb, err := pointTestbed(cfg.Machine, cfg.Options, i)
+		if err != nil {
+			return Point{}, err
+		}
+		defer tb.Close()
 		n, p := m, m
 		var want expect.Traffic
 		if m > cfg.Cap {
@@ -193,14 +213,13 @@ func CappedGEMVSweep(cfg GEMVConfig) ([]Point, error) {
 			tb.Nodes[0].Play(0, tr, 4)
 		})
 		if err != nil {
-			return nil, err
+			return Point{}, err
 		}
 		scaled := want.Scale(threads)
-		out = append(out, Point{
+		return Point{
 			Size: m, Reps: reps,
 			MeasuredReadBytes: r, MeasuredWriteBytes: w,
 			ExpectedReadBytes: scaled.ReadBytes, ExpectedWriteBytes: scaled.WriteBytes,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

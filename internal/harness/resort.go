@@ -7,6 +7,7 @@ import (
 	"papimc/internal/expect"
 	"papimc/internal/model"
 	"papimc/internal/node"
+	"papimc/internal/sweep"
 )
 
 // ResortRoutine selects one of Section IV's measured loop nests.
@@ -92,52 +93,66 @@ type ResortConfig struct {
 	Sizes    []int64
 	Runs     int // the paper uses 50
 	Options  node.Options
+	// Workers bounds the parallel sweep executor; <1 means one worker
+	// per CPU. Output is identical for every worker count.
+	Workers int
 }
 
 // ResortSweep measures the per-rank memory traffic of one re-sort
 // routine across problem sizes, each size run cfg.Runs times with the
 // min–max range recorded ("pursuant to organically measuring a
 // production application job, we do not use the average of multiple
-// repetitions").
+// repetitions"). Every (size, run) pair is an independent sweep task on
+// its own seeded testbed, so runs of one size execute concurrently and
+// the min–max fold happens after reassembly, in task order.
 func ResortSweep(cfg ResortConfig) ([]ResortPoint, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 50
 	}
-	tb, err := node.NewTestbed(cfg.Machine, 1, cfg.Options)
-	if err != nil {
-		return nil, err
-	}
-	defer tb.Close()
 	// The re-sort loops are OpenMP-parallel across every usable core
 	// (Listings 5–9), so no L3 slices are borrowable and the effective
 	// per-core capacity is the ~5 MB share Eq. 7 uses.
 	ctx := model.Batched(cfg.Machine)
 	ctx.SoftwarePrefetch = cfg.Prefetch
-	var out []ResortPoint
-	for _, n := range cfg.Sizes {
+	type sample struct{ r, w float64 }
+	samples, err := sweep.Map(len(cfg.Sizes)*cfg.Runs, cfg.Workers, func(ti int) (sample, error) {
+		n := cfg.Sizes[ti/cfg.Runs]
+		tb, err := pointTestbed(cfg.Machine, cfg.Options, ti)
+		if err != nil {
+			return sample{}, err
+		}
+		defer tb.Close()
 		tr := cfg.Routine.Traffic(ctx, n, cfg.GridR, cfg.GridC)
+		r, w, err := MeasureAveraged(tb, cfg.Route, 1, func(int) {
+			tb.Nodes[0].Play(0, tr, 4)
+		})
+		if err != nil {
+			return sample{}, err
+		}
+		return sample{r, w}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ResortPoint, 0, len(cfg.Sizes))
+	for i, n := range cfg.Sizes {
 		pt := ResortPoint{N: n, Runs: cfg.Runs}
 		want := cfg.Routine.Expected(n, cfg.GridR, cfg.GridC, cfg.Prefetch)
 		pt.ExpectedReadBytes = want.ReadBytes
 		pt.ExpectedWriteBytes = want.WriteBytes
 		for run := 0; run < cfg.Runs; run++ {
-			r, w, err := MeasureAveraged(tb, cfg.Route, 1, func(int) {
-				tb.Nodes[0].Play(0, tr, 4)
-			})
-			if err != nil {
-				return nil, err
+			s := samples[i*cfg.Runs+run]
+			if run == 0 || s.r < pt.MinReadBytes {
+				pt.MinReadBytes = s.r
 			}
-			if run == 0 || r < pt.MinReadBytes {
-				pt.MinReadBytes = r
+			if run == 0 || s.r > pt.MaxReadBytes {
+				pt.MaxReadBytes = s.r
 			}
-			if r > pt.MaxReadBytes {
-				pt.MaxReadBytes = r
+			if run == 0 || s.w < pt.MinWriteBytes {
+				pt.MinWriteBytes = s.w
 			}
-			if run == 0 || w < pt.MinWriteBytes {
-				pt.MinWriteBytes = w
-			}
-			if w > pt.MaxWriteBytes {
-				pt.MaxWriteBytes = w
+			if run == 0 || s.w > pt.MaxWriteBytes {
+				pt.MaxWriteBytes = s.w
 			}
 		}
 		out = append(out, pt)

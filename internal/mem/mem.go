@@ -16,6 +16,15 @@
 //
 // Together these reproduce the noise floor of Figs. 2–3 that motivates
 // the paper's adaptive-repetition scheme.
+//
+// Not-yet-visible traffic is held in a time-bucketed posting queue: a
+// min-heap of per-post-time buckets, each aggregating bytes per
+// (channel, direction). Traffic sharing a post time — every slice of an
+// ideal transfer, all misses of a cache-simulated kernel at one simulated
+// instant — collapses into a single bucket, and a counter read folds only
+// the buckets that have become visible instead of scanning every pending
+// event. Buckets are recycled on a free list, so the steady state
+// allocates nothing; ReadInto and Totals are allocation-free.
 package mem
 
 import (
@@ -37,12 +46,24 @@ type ChannelCounts struct {
 	WriteBytes uint64
 }
 
-// event is traffic waiting to become visible in a channel counter.
+// postBucket aggregates all traffic becoming visible at one post time:
+// read and write bytes per channel.
+type postBucket struct {
+	post  simtime.Time
+	read  []int64
+	write []int64
+	chs   []int32 // channels with nonzero bytes, bounding the reset cost
+}
+
+// event is one stochastically lagged posting. Lag draws are almost never
+// equal, so lagged traffic skips the bucket machinery and sits in a
+// compact unsorted slice instead, partitioned on demand when a read
+// crosses the earliest pending post time.
 type event struct {
 	post  simtime.Time
-	ch    int
-	read  bool
 	bytes int64
+	ch    int32
+	read  bool
 }
 
 // Config configures a Controller.
@@ -63,9 +84,24 @@ type Controller struct {
 	cfg       Config
 	clock     *simtime.Clock
 	rng       *xrand.Source
-	pending   []event
 	counters  []ChannelCounts
 	lastNoise simtime.Time
+
+	// Posting queue: a min-heap of buckets ordered by post time, with a
+	// free list for reuse. lastBucket coalesces runs of same-post
+	// traffic (every slice of an ideal transfer, every miss of a
+	// cache-simulated kernel at one instant) into a single bucket;
+	// stochastically lagged events get one bucket each. Duplicate post
+	// times in the heap are harmless — folding visits every bucket whose
+	// post time has passed.
+	heap       []*postBucket
+	free       []*postBucket
+	lastBucket *postBucket // most recently posted-to bucket (fast path)
+	// Lagged postings sit unsorted; laggedMin lets a read skip the
+	// partition pass entirely while nothing has become visible.
+	lagged    []event
+	laggedMin simtime.Time
+	folded    simtime.Time
 }
 
 // NewController builds a controller with the given channel count and
@@ -102,6 +138,56 @@ func (c *Controller) AddTraffic(read bool, addr, bytes int64, start, end simtime
 	_ = start // start is kept in the signature for future DRAM-timing models
 }
 
+// bucketFor returns the (possibly new) bucket aggregating traffic that
+// posts at the given time.
+func (c *Controller) bucketFor(post simtime.Time) *postBucket {
+	if b := c.lastBucket; b != nil && b.post == post {
+		return b
+	}
+	var b *postBucket
+	if n := len(c.free); n > 0 {
+		b = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		b = &postBucket{
+			read:  make([]int64, c.cfg.Channels),
+			write: make([]int64, c.cfg.Channels),
+			chs:   make([]int32, 0, c.cfg.Channels),
+		}
+	}
+	b.post = post
+	c.heapPush(b)
+	c.lastBucket = b
+	return b
+}
+
+// postLocked queues bytes on channel ch to become visible at post. If the
+// post time is already folded into the counters, it posts directly — the
+// allocation-free fast path taken whenever lag is disabled and the
+// counters are read at (or past) the traffic's own instant.
+func (c *Controller) postLocked(read bool, ch int, bytes int64, post simtime.Time) {
+	if post <= c.folded {
+		if read {
+			c.counters[ch].ReadBytes += uint64(bytes)
+		} else {
+			c.counters[ch].WriteBytes += uint64(bytes)
+		}
+		return
+	}
+	b := c.bucketFor(post)
+	if read {
+		if b.read[ch] == 0 && b.write[ch] == 0 {
+			b.chs = append(b.chs, int32(ch))
+		}
+		b.read[ch] += bytes
+	} else {
+		if b.read[ch] == 0 && b.write[ch] == 0 {
+			b.chs = append(b.chs, int32(ch))
+		}
+		b.write[ch] += bytes
+	}
+}
+
 func (c *Controller) addLocked(read bool, addr, bytes int64, at simtime.Time) {
 	tx := units.TxCount(bytes)
 	n := int64(c.cfg.Channels)
@@ -111,6 +197,7 @@ func (c *Controller) addLocked(read bool, addr, bytes int64, at simtime.Time) {
 	if first < 0 {
 		first = -first
 	}
+	lagged := !c.cfg.DisableNoise && c.cfg.Noise.CounterPostLatency > 0
 	for i := int64(0); i < n; i++ {
 		chTx := base
 		// The remainder lands on the channels immediately following the
@@ -121,12 +208,12 @@ func (c *Controller) addLocked(read bool, addr, bytes int64, at simtime.Time) {
 		if chTx == 0 {
 			continue
 		}
-		post := at
-		if !c.cfg.DisableNoise && c.cfg.Noise.CounterPostLatency > 0 {
+		if lagged {
 			lag := simtime.Duration(float64(c.cfg.Noise.CounterPostLatency) * c.rng.ExpFloat64())
-			post = at.Add(lag)
+			c.pushEvent(event{post: at.Add(lag), ch: int32(i), read: read, bytes: chTx * TxBytes})
+			continue
 		}
-		c.pending = append(c.pending, event{post: post, ch: int(i), read: read, bytes: chTx * TxBytes})
+		c.postLocked(read, int(i), chTx*TxBytes, at)
 	}
 }
 
@@ -201,39 +288,147 @@ func (c *Controller) advanceNoiseLocked(t simtime.Time) {
 	}
 }
 
+// foldLocked advances noise to t and folds everything posted at or
+// before t — queued buckets and lagged events — into the cumulative
+// counters.
+func (c *Controller) foldLocked(t simtime.Time) {
+	c.advanceNoiseLocked(t)
+	for len(c.heap) > 0 && c.heap[0].post <= t {
+		b := c.heapPop()
+		for _, ch := range b.chs {
+			c.counters[ch].ReadBytes += uint64(b.read[ch])
+			c.counters[ch].WriteBytes += uint64(b.write[ch])
+			b.read[ch] = 0
+			b.write[ch] = 0
+		}
+		if c.lastBucket == b {
+			c.lastBucket = nil
+		}
+		b.chs = b.chs[:0]
+		c.free = append(c.free, b)
+	}
+	if len(c.lagged) > 0 && c.laggedMin <= t {
+		// Single partition pass: fold everything visible, keep the rest
+		// in place and recompute the watermark. Reads that precede the
+		// earliest pending post skip this entirely.
+		kept := c.lagged[:0]
+		min := simtime.Time(1<<63 - 1)
+		for _, e := range c.lagged {
+			if e.post <= t {
+				if e.read {
+					c.counters[e.ch].ReadBytes += uint64(e.bytes)
+				} else {
+					c.counters[e.ch].WriteBytes += uint64(e.bytes)
+				}
+				continue
+			}
+			if e.post < min {
+				min = e.post
+			}
+			kept = append(kept, e)
+		}
+		c.lagged = kept
+		c.laggedMin = min
+	}
+	if t > c.folded {
+		c.folded = t
+	}
+}
+
 // Read returns a snapshot of every channel's counters as visible at
 // simulated time t: all traffic posted at or before t, plus background
 // noise up to t.
 func (c *Controller) Read(t simtime.Time) []ChannelCounts {
+	return c.ReadInto(t, nil)
+}
+
+// ReadInto is Read into a caller-provided buffer, growing it if needed;
+// with a buffer of sufficient capacity it does not allocate.
+func (c *Controller) ReadInto(t simtime.Time, dst []ChannelCounts) []ChannelCounts {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.advanceNoiseLocked(t)
-	// Fold posted events into the cumulative counters.
-	keep := c.pending[:0]
-	for _, e := range c.pending {
-		if e.post <= t {
-			if e.read {
-				c.counters[e.ch].ReadBytes += uint64(e.bytes)
-			} else {
-				c.counters[e.ch].WriteBytes += uint64(e.bytes)
-			}
-		} else {
-			keep = append(keep, e)
-		}
-	}
-	c.pending = keep
-	out := make([]ChannelCounts, len(c.counters))
-	copy(out, c.counters)
-	return out
+	c.foldLocked(t)
+	dst = dst[:0]
+	dst = append(dst, c.counters...)
+	return dst
 }
 
 // Totals returns the summed read and write bytes across channels at t.
+// It sums in place under the lock and does not allocate.
 func (c *Controller) Totals(t simtime.Time) (readBytes, writeBytes uint64) {
-	for _, ch := range c.Read(t) {
-		readBytes += ch.ReadBytes
-		writeBytes += ch.WriteBytes
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.foldLocked(t)
+	for i := range c.counters {
+		readBytes += c.counters[i].ReadBytes
+		writeBytes += c.counters[i].WriteBytes
 	}
 	return readBytes, writeBytes
+}
+
+// PendingBuckets returns the number of unfolded posting-queue entries:
+// coalesced buckets plus lagged events (test instrumentation).
+func (c *Controller) PendingBuckets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.heap) + len(c.lagged)
+}
+
+// --- posting-queue min-heap (ordered by post time) ---------------------
+
+func (c *Controller) heapPush(b *postBucket) {
+	c.heap = append(c.heap, b)
+	i := len(c.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.heap[parent].post <= c.heap[i].post {
+			break
+		}
+		c.heap[parent], c.heap[i] = c.heap[i], c.heap[parent]
+		i = parent
+	}
+}
+
+func (c *Controller) heapPop() *postBucket {
+	top := c.heap[0]
+	n := len(c.heap) - 1
+	c.heap[0] = c.heap[n]
+	c.heap[n] = nil
+	c.heap = c.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && c.heap[l].post < c.heap[min].post {
+			min = l
+		}
+		if r < n && c.heap[r].post < c.heap[min].post {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
+		i = min
+	}
+	return top
+}
+
+// pushEvent queues one lagged posting, folding it directly when its post
+// time is already inside the folded window.
+func (c *Controller) pushEvent(e event) {
+	if e.post <= c.folded {
+		if e.read {
+			c.counters[e.ch].ReadBytes += uint64(e.bytes)
+		} else {
+			c.counters[e.ch].WriteBytes += uint64(e.bytes)
+		}
+		return
+	}
+	if len(c.lagged) == 0 || e.post < c.laggedMin {
+		c.laggedMin = e.post
+	}
+	c.lagged = append(c.lagged, e)
 }
 
 // Port adapts the controller to the cache simulator's MemPort: each

@@ -160,6 +160,7 @@ type PMU struct {
 	mu           sync.Mutex
 	overheadDone bool
 	overheadAt   simtime.Time
+	scratch      []mem.ChannelCounts // counter snapshot buffer, under mu
 }
 
 // NewPMU wraps the given socket's memory controller. It panics if the
@@ -193,6 +194,12 @@ func (p *PMU) Events() []Event {
 // injection covers the whole batch (one syscall round trip reads all
 // programmed counters).
 func (p *PMU) ReadAll(events []Event, cred Credential, t simtime.Time) ([]uint64, error) {
+	return p.ReadAllInto(events, cred, t, nil)
+}
+
+// ReadAllInto is ReadAll into a reusable buffer, growing it if needed;
+// with a buffer of sufficient capacity it does not allocate.
+func (p *PMU) ReadAllInto(events []Event, cred Credential, t simtime.Time, dst []uint64) ([]uint64, error) {
 	if !cred.privileged {
 		return nil, ErrPermission
 	}
@@ -211,9 +218,13 @@ func (p *PMU) ReadAll(events []Event, cred Credential, t simtime.Time) ([]uint64
 		p.overheadDone = true
 		p.overheadAt = t
 	}
-	p.mu.Unlock()
-	counts := p.ctl.Read(t)
-	out := make([]uint64, len(events))
+	p.scratch = p.ctl.ReadInto(t, p.scratch)
+	counts := p.scratch
+	out := dst
+	if cap(out) < len(events) {
+		out = make([]uint64, len(events))
+	}
+	out = out[:len(events)]
 	for i, ev := range events {
 		if ev.Write {
 			out[i] = counts[ev.Channel].WriteBytes
@@ -221,6 +232,7 @@ func (p *PMU) ReadAll(events []Event, cred Credential, t simtime.Time) ([]uint64
 			out[i] = counts[ev.Channel].ReadBytes
 		}
 	}
+	p.mu.Unlock()
 	return out, nil
 }
 

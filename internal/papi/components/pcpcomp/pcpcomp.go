@@ -131,9 +131,18 @@ func (c *Component) NewCounters(natives []string) (papi.Counters, error) {
 	return &counters{client: c.client, pmids: pmids}, nil
 }
 
+// fetchIntoSource is the allocation-free fetch the pcp.Client offers;
+// sources that implement it let ReadAt reuse one decoded result across
+// reads instead of allocating values every sample.
+type fetchIntoSource interface {
+	FetchInto(pmids []uint32, res *pcp.FetchResult) error
+}
+
 type counters struct {
 	client Source
 	pmids  []uint32
+	res    pcp.FetchResult // reused across reads when the source allows
+	out    []uint64        // reused result buffer
 	closed bool
 }
 
@@ -145,21 +154,33 @@ func (s *counters) ReadAt(t simtime.Time) ([]uint64, error) {
 		return nil, errors.New("pcpcomp: counters closed")
 	}
 	_ = t
-	res, err := s.client.Fetch(s.pmids)
-	if err != nil {
-		return nil, err
+	res := s.res
+	if fi, ok := s.client.(fetchIntoSource); ok {
+		if err := fi.FetchInto(s.pmids, &s.res); err != nil {
+			return nil, err
+		}
+		res = s.res
+	} else {
+		var err error
+		res, err = s.client.Fetch(s.pmids)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(res.Values) != len(s.pmids) {
 		return nil, fmt.Errorf("pcpcomp: daemon returned %d values for %d metrics", len(res.Values), len(s.pmids))
 	}
-	out := make([]uint64, len(res.Values))
+	if cap(s.out) < len(res.Values) {
+		s.out = make([]uint64, len(res.Values))
+	}
+	s.out = s.out[:len(res.Values)]
 	for i, v := range res.Values {
 		if v.Status != pcp.StatusOK {
 			return nil, fmt.Errorf("pcpcomp: metric pmid %d failed with status %d", v.PMID, v.Status)
 		}
-		out[i] = v.Value
+		s.out[i] = v.Value
 	}
-	return out, nil
+	return s.out, nil
 }
 
 func (s *counters) Close() error {

@@ -102,55 +102,62 @@ func (c *Component) NewCounters(natives []string) (papi.Counters, error) {
 		set.events = append(set.events, ev)
 		set.sockets = append(set.sockets, socket)
 	}
+	// Batch per socket once at instantiation: each socket incurs one
+	// measurement-overhead injection per read, like one perf_event
+	// syscall reading a counter group.
+	batches := map[int]*socketBatch{}
+	for i, ev := range set.events {
+		sk := set.sockets[i]
+		b, ok := batches[sk]
+		if !ok {
+			b = &socketBatch{socket: sk}
+			batches[sk] = b
+			set.batches = append(set.batches, b)
+		}
+		b.events = append(b.events, ev)
+		b.indices = append(b.indices, i)
+	}
+	set.out = make([]uint64, len(set.events))
 	return set, nil
+}
+
+// socketBatch groups a counter set's events on one socket.
+type socketBatch struct {
+	socket  int
+	events  []nest.Event
+	indices []int
+	vals    []uint64 // per-read scratch
 }
 
 type counters struct {
 	comp    *Component
 	events  []nest.Event
 	sockets []int
+	batches []*socketBatch // per-socket groups, in first-appearance order
+	out     []uint64       // reused result buffer
 	closed  bool
 }
 
-// ReadAt implements papi.Counters: it batches per socket so each socket
-// incurs one measurement-overhead injection per read, like one
-// perf_event syscall reading a counter group.
+// ReadAt implements papi.Counters. The per-socket batches and the result
+// buffer are precomputed, so a read allocates nothing.
 func (s *counters) ReadAt(t simtime.Time) ([]uint64, error) {
 	if s.closed {
 		return nil, errors.New("perfuncore: counters closed")
 	}
-	out := make([]uint64, len(s.events))
-	type batch struct {
-		events  []nest.Event
-		indices []int
-	}
-	batches := map[int]*batch{}
-	var order []int
-	for i, ev := range s.events {
-		sk := s.sockets[i]
-		b, ok := batches[sk]
-		if !ok {
-			b = &batch{}
-			batches[sk] = b
-			order = append(order, sk)
-		}
-		b.events = append(b.events, ev)
-		b.indices = append(b.indices, i)
-	}
-	for _, sk := range order {
-		b := batches[sk]
-		vals, err := s.comp.pmus[sk].ReadAll(b.events, s.comp.cred, t)
+	for _, b := range s.batches {
+		vals, err := s.comp.pmus[b.socket].ReadAllInto(b.events, s.comp.cred, t, b.vals)
 		if err != nil {
 			if errors.Is(err, nest.ErrPermission) {
 				return nil, fmt.Errorf("%w: %v", papi.ErrPermission, err)
 			}
 			return nil, err
 		}
+		b.vals = vals
 		for j, idx := range b.indices {
-			out[idx] = vals[j]
+			s.out[idx] = vals[j]
 		}
 	}
-	return out, nil
+	return s.out, nil
 }
 
 func (s *counters) Close() error {

@@ -33,6 +33,7 @@ type EventSet struct {
 	running bool
 	closed  bool
 	base    []uint64
+	rawBuf  []uint64 // scratch reused by Read's raw gather
 	startT  simtime.Time
 }
 
@@ -135,9 +136,20 @@ func (es *EventSet) Start() error {
 	return nil
 }
 
-// rawRead gathers raw values from every group into event order.
+// rawRead gathers raw values from every group into event order,
+// allocating a fresh slice (used where the result is retained).
 func (es *EventSet) rawRead(t simtime.Time) ([]uint64, error) {
-	out := make([]uint64, len(es.events))
+	return es.rawReadInto(t, nil)
+}
+
+// rawReadInto is rawRead into a reusable buffer. Every event position is
+// written by exactly one group, so no clearing is needed.
+func (es *EventSet) rawReadInto(t simtime.Time, dst []uint64) ([]uint64, error) {
+	out := dst
+	if cap(out) < len(es.events) {
+		out = make([]uint64, len(es.events))
+	}
+	out = out[:len(es.events)]
 	for _, g := range es.groups {
 		vals, err := g.counters.ReadAt(t)
 		if err != nil {
@@ -162,10 +174,11 @@ func (es *EventSet) Read() ([]uint64, error) {
 	if !es.running {
 		return nil, ErrNotRunning
 	}
-	raw, err := es.rawRead(es.lib.clock.Now())
+	raw, err := es.rawReadInto(es.lib.clock.Now(), es.rawBuf)
 	if err != nil {
 		return nil, err
 	}
+	es.rawBuf = raw
 	out := make([]uint64, len(raw))
 	for i, v := range raw {
 		if es.events[i].info.Instant {

@@ -61,7 +61,9 @@ type Component interface {
 type Counters interface {
 	// ReadAt returns the raw (monotonic, for non-instant events) values
 	// at simulated time t, in the order the events were passed to
-	// NewCounters.
+	// NewCounters. The returned slice is only valid until the next
+	// ReadAt: implementations may reuse its backing array, and callers
+	// copy out what they retain.
 	ReadAt(t simtime.Time) ([]uint64, error)
 	Close() error
 }

@@ -17,6 +17,12 @@ type Client struct {
 	bw      *bufio.Writer
 	timeout time.Duration // per-round-trip wall deadline; 0 = none
 
+	// Scratch buffers reused across round trips (guarded by mu): the
+	// encoded request and the received payload. A round trip's response
+	// is decoded before mu is released, so aliasing is safe.
+	reqBuf  []byte
+	recvBuf []byte
+
 	names map[string]uint32 // lazily populated name table
 }
 
@@ -64,11 +70,11 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// roundTrip sends one request PDU and decodes the reply, surfacing
-// daemon-side error PDUs as Go errors.
-func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// roundTripLocked sends one request PDU and decodes the reply, surfacing
+// daemon-side error PDUs as Go errors. The caller must hold c.mu. The
+// returned payload aliases the client's receive buffer and is only valid
+// until the next round trip; callers decode it before releasing the lock.
+func (c *Client) roundTripLocked(reqType uint8, payload []byte, wantType uint8) ([]byte, error) {
 	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 		defer c.conn.SetDeadline(time.Time{})
@@ -79,10 +85,11 @@ func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byt
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	typ, resp, err := ReadPDU(c.br)
+	typ, resp, err := ReadPDUInto(c.br, c.recvBuf)
 	if err != nil {
 		return nil, err
 	}
+	c.recvBuf = resp
 	if typ == PDUError {
 		msg, derr := DecodeError(resp)
 		if derr != nil {
@@ -98,7 +105,9 @@ func (c *Client) roundTrip(reqType uint8, payload []byte, wantType uint8) ([]byt
 
 // Names fetches the daemon's metric table.
 func (c *Client) Names() ([]NameEntry, error) {
-	resp, err := c.roundTrip(PDUNamesReq, nil, PDUNamesResp)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTripLocked(PDUNamesReq, nil, PDUNamesResp)
 	if err != nil {
 		return nil, err
 	}
@@ -106,22 +115,35 @@ func (c *Client) Names() ([]NameEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
 	c.names = make(map[string]uint32, len(entries))
 	for _, e := range entries {
 		c.names[e.Name] = e.PMID
 	}
-	c.mu.Unlock()
 	return entries, nil
 }
 
 // Fetch retrieves values for the given PMIDs.
 func (c *Client) Fetch(pmids []uint32) (FetchResult, error) {
-	resp, err := c.roundTrip(PDUFetchReq, EncodeFetchReq(pmids), PDUFetchResp)
-	if err != nil {
+	var res FetchResult
+	if err := c.FetchInto(pmids, &res); err != nil {
 		return FetchResult{}, err
 	}
-	return DecodeFetchResp(resp)
+	return res, nil
+}
+
+// FetchInto is Fetch decoding into res, reusing res.Values' backing
+// array. With a warm result it performs the whole round trip without
+// allocating: the request is encoded into and the response received
+// into client-owned scratch buffers.
+func (c *Client) FetchInto(pmids []uint32, res *FetchResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqBuf = AppendFetchReq(c.reqBuf[:0], pmids)
+	resp, err := c.roundTripLocked(PDUFetchReq, c.reqBuf, PDUFetchResp)
+	if err != nil {
+		return err
+	}
+	return DecodeFetchRespInto(resp, res)
 }
 
 // Lookup resolves a metric name to its PMID, fetching the name table on

@@ -98,42 +98,48 @@ func (d *Daemon) Register(m Metric) error {
 	return nil
 }
 
-// sample refreshes the cached values if the sampling interval has
-// elapsed (or nothing has been sampled yet), and returns the cache.
-func (d *Daemon) sample() (simtime.Time, []FetchValue) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// sampleLocked refreshes the cached values if the sampling interval has
+// elapsed (or nothing has been sampled yet). It reuses the cache's
+// backing array; callers copy values out before releasing d.mu.
+func (d *Daemon) sampleLocked() {
 	now := d.clock.Now()
-	if !d.sampled || now.Sub(d.lastSample) >= d.interval {
-		vals := make([]FetchValue, len(d.metrics))
-		for i, m := range d.metrics {
-			v, err := m.Read(now)
-			if err != nil {
-				vals[i] = FetchValue{PMID: uint32(i + 1), Status: StatusValueError}
-				continue
-			}
-			vals[i] = FetchValue{PMID: uint32(i + 1), Status: StatusOK, Value: v}
-		}
-		d.cache = vals
-		d.lastSample = now
-		d.sampled = true
+	if d.sampled && now.Sub(d.lastSample) < d.interval {
+		return
 	}
-	return d.lastSample, d.cache
+	vals := d.cache[:0]
+	for i, m := range d.metrics {
+		v, err := m.Read(now)
+		if err != nil {
+			vals = append(vals, FetchValue{PMID: uint32(i + 1), Status: StatusValueError})
+			continue
+		}
+		vals = append(vals, FetchValue{PMID: uint32(i + 1), Status: StatusOK, Value: v})
+	}
+	d.cache = vals
+	d.lastSample = now
+	d.sampled = true
 }
 
 // Fetch returns the daemon's current view of the requested PMIDs. It is
 // exported for in-process use and exercised by the network handler.
 func (d *Daemon) Fetch(pmids []uint32) FetchResult {
-	ts, cache := d.sample()
-	res := FetchResult{Timestamp: int64(ts)}
+	return d.FetchInto(pmids, nil)
+}
+
+// FetchInto is Fetch appending the values to vals (pass a previous
+// result's Values[:0] to serve from a reused buffer without allocating).
+func (d *Daemon) FetchInto(pmids []uint32, vals []FetchValue) FetchResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sampleLocked()
 	for _, id := range pmids {
-		if id == 0 || int(id) > len(cache) {
-			res.Values = append(res.Values, FetchValue{PMID: id, Status: StatusNoSuchPMID})
+		if id == 0 || int(id) > len(d.cache) {
+			vals = append(vals, FetchValue{PMID: id, Status: StatusNoSuchPMID})
 			continue
 		}
-		res.Values = append(res.Values, cache[id-1])
+		vals = append(vals, d.cache[id-1])
 	}
-	return res
+	return FetchResult{Timestamp: int64(d.lastSample), Values: vals}
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves clients in the
@@ -180,33 +186,45 @@ func (d *Daemon) acceptLoop() {
 }
 
 // serveConn handles one client connection: handshake, then a
-// request/response loop.
+// request/response loop. The loop reuses per-connection scratch buffers
+// for the request payload, decoded PMIDs, fetched values and encoded
+// response, so steady-state fetch serving does not allocate.
 func (d *Daemon) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	if err := ServerHandshake(br, bw); err != nil {
 		return
 	}
+	var (
+		payloadBuf []byte
+		respBuf    []byte
+		pmids      []uint32
+		vals       []FetchValue
+	)
 	for {
-		typ, payload, err := ReadPDU(br)
+		typ, payload, err := ReadPDUInto(br, payloadBuf)
 		if err != nil {
 			return
 		}
+		payloadBuf = payload
 		var respType uint8
 		var resp []byte
 		switch typ {
 		case PDUNamesReq:
-			respType, resp = PDUNamesResp, EncodeNamesResp(d.Names())
+			respType, resp = PDUNamesResp, AppendNamesResp(respBuf[:0], d.Names())
 		case PDUFetchReq:
-			pmids, err := DecodeFetchReq(payload)
+			pmids, err = DecodeFetchReqInto(payload, pmids[:0])
 			if err != nil {
-				respType, resp = PDUError, EncodeError(err.Error())
+				respType, resp = PDUError, AppendError(respBuf[:0], err.Error())
 				break
 			}
-			respType, resp = PDUFetchResp, EncodeFetchResp(d.Fetch(pmids))
+			res := d.FetchInto(pmids, vals[:0])
+			vals = res.Values
+			respType, resp = PDUFetchResp, AppendFetchResp(respBuf[:0], res)
 		default:
-			respType, resp = PDUError, EncodeError(fmt.Sprintf("unknown PDU type %d", typ))
+			respType, resp = PDUError, AppendError(respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
 		}
+		respBuf = resp
 		if err := WritePDU(bw, respType, resp); err != nil {
 			return
 		}

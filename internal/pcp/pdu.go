@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Magic is exchanged at connection setup.
@@ -70,18 +71,29 @@ type FetchResult struct {
 	Values    []FetchValue
 }
 
-// WritePDU frames and writes one PDU.
+// hdrPool recycles 5-byte frame headers. A stack array would do, but
+// passing it through the io.Writer/io.Reader interface forces it to the
+// heap; pooling keeps the framing layer allocation-free.
+var hdrPool = sync.Pool{
+	New: func() any { b := make([]byte, 5); return &b },
+}
+
+// WritePDU frames and writes one PDU. It does not allocate in the
+// steady state: the frame header comes from a pool.
 func WritePDU(w io.Writer, typ uint8, payload []byte) error {
 	if len(payload) > MaxPDUBytes {
 		return fmt.Errorf("%w (writing %d bytes)", ErrPDUTooLarge, len(payload))
 	}
-	hdr := make([]byte, 5)
+	hp := hdrPool.Get().(*[]byte)
+	hdr := *hp
 	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
 	hdr[4] = typ
-	if _, err := w.Write(hdr); err != nil {
+	_, err := w.Write(hdr)
+	hdrPool.Put(hp)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	_, err = w.Write(payload)
 	return err
 }
 
@@ -89,19 +101,35 @@ func WritePDU(w io.Writer, typ uint8, payload []byte) error {
 // MaxPDUBytes before any allocation, so a hostile peer cannot trigger an
 // arbitrarily large make(); oversize frames fail with ErrPDUTooLarge.
 func ReadPDU(r io.Reader) (typ uint8, payload []byte, err error) {
-	hdr := make([]byte, 5)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	return ReadPDUInto(r, nil)
+}
+
+// ReadPDUInto is ReadPDU reading the payload into buf, growing it if
+// needed. The returned payload aliases buf's backing array (when large
+// enough), so it is only valid until the next ReadPDUInto with the same
+// buffer; serving loops pass the previous payload back in to run
+// allocation-free in the steady state.
+func ReadPDUInto(r io.Reader, buf []byte) (typ uint8, payload []byte, err error) {
+	hp := hdrPool.Get().(*[]byte)
+	hdr := *hp
+	_, err = io.ReadFull(r, hdr)
+	n := binary.BigEndian.Uint32(hdr[:4])
+	typ = hdr[4]
+	hdrPool.Put(hp)
+	if err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxPDUBytes {
 		return 0, nil, fmt.Errorf("%w (length prefix %d)", ErrPDUTooLarge, n)
 	}
-	payload = make([]byte, n)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
-	return hdr[4], payload, nil
+	return typ, payload, nil
 }
 
 // --- payload encoding -------------------------------------------------
@@ -182,9 +210,17 @@ func (d *decoder) done() error {
 	return nil
 }
 
+// The codec comes in two spellings per PDU: Encode* allocates a fresh
+// buffer, Append* extends a caller-provided one (append-style, like
+// strconv.AppendInt), letting serving loops reuse a scratch buffer and
+// encode without allocating.
+
 // EncodeNamesResp encodes the metric table.
-func EncodeNamesResp(entries []NameEntry) []byte {
-	var e encoder
+func EncodeNamesResp(entries []NameEntry) []byte { return AppendNamesResp(nil, entries) }
+
+// AppendNamesResp appends the encoded metric table to dst.
+func AppendNamesResp(dst []byte, entries []NameEntry) []byte {
+	e := encoder{buf: dst}
 	e.u32(uint32(len(entries)))
 	for _, n := range entries {
 		e.u32(n.PMID)
@@ -211,8 +247,11 @@ func DecodeNamesResp(b []byte) ([]NameEntry, error) {
 	return out, nil
 }
 
-func EncodeFetchReq(pmids []uint32) []byte {
-	var e encoder
+func EncodeFetchReq(pmids []uint32) []byte { return AppendFetchReq(nil, pmids) }
+
+// AppendFetchReq appends the encoded fetch request to dst.
+func AppendFetchReq(dst []byte, pmids []uint32) []byte {
+	e := encoder{buf: dst}
 	e.u32(uint32(len(pmids)))
 	for _, id := range pmids {
 		e.u32(id)
@@ -220,24 +259,30 @@ func EncodeFetchReq(pmids []uint32) []byte {
 	return e.buf
 }
 
-func DecodeFetchReq(b []byte) ([]uint32, error) {
+func DecodeFetchReq(b []byte) ([]uint32, error) { return DecodeFetchReqInto(b, nil) }
+
+// DecodeFetchReqInto decodes a fetch request, appending the PMIDs to dst
+// (pass dst[:0] to reuse its backing array).
+func DecodeFetchReqInto(b []byte, dst []uint32) ([]uint32, error) {
 	d := decoder{buf: b}
 	n := d.u32()
 	if n > MaxPDUBytes/4 {
 		return nil, fmt.Errorf("%w: implausible pmid count %d", ErrProtocol, n)
 	}
-	out := make([]uint32, 0, n)
 	for i := uint32(0); i < n; i++ {
-		out = append(out, d.u32())
+		dst = append(dst, d.u32())
 	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return dst, nil
 }
 
-func EncodeFetchResp(res FetchResult) []byte {
-	var e encoder
+func EncodeFetchResp(res FetchResult) []byte { return AppendFetchResp(nil, res) }
+
+// AppendFetchResp appends the encoded fetch response to dst.
+func AppendFetchResp(dst []byte, res FetchResult) []byte {
+	e := encoder{buf: dst}
 	e.i64(res.Timestamp)
 	e.u32(uint32(len(res.Values)))
 	for _, v := range res.Values {
@@ -249,28 +294,45 @@ func EncodeFetchResp(res FetchResult) []byte {
 }
 
 func DecodeFetchResp(b []byte) (FetchResult, error) {
-	d := decoder{buf: b}
 	var res FetchResult
-	res.Timestamp = d.i64()
+	if err := DecodeFetchRespInto(b, &res); err != nil {
+		return FetchResult{}, err
+	}
+	return res, nil
+}
+
+// DecodeFetchRespInto decodes a fetch response into res, reusing
+// res.Values' backing array. res is left zeroed on error.
+func DecodeFetchRespInto(b []byte, res *FetchResult) error {
+	d := decoder{buf: b}
+	ts := d.i64()
 	n := d.u32()
 	if n > MaxPDUBytes/16 {
-		return FetchResult{}, fmt.Errorf("%w: implausible value count %d", ErrProtocol, n)
+		*res = FetchResult{}
+		return fmt.Errorf("%w: implausible value count %d", ErrProtocol, n)
 	}
+	vals := res.Values[:0]
 	for i := uint32(0); i < n; i++ {
-		res.Values = append(res.Values, FetchValue{
+		vals = append(vals, FetchValue{
 			PMID:   d.u32(),
 			Status: d.i32(),
 			Value:  d.u64(),
 		})
 	}
 	if err := d.done(); err != nil {
-		return FetchResult{}, err
+		*res = FetchResult{}
+		return err
 	}
-	return res, nil
+	res.Timestamp = ts
+	res.Values = vals
+	return nil
 }
 
-func EncodeError(msg string) []byte {
-	var e encoder
+func EncodeError(msg string) []byte { return AppendError(nil, msg) }
+
+// AppendError appends an encoded error PDU payload to dst.
+func AppendError(dst []byte, msg string) []byte {
+	e := encoder{buf: dst}
 	e.str(msg)
 	return e.buf
 }

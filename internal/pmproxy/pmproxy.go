@@ -216,21 +216,29 @@ func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
 	}
 }
 
+// keyBufPool holds scratch buffers for encoding cache keys: the encoded
+// request is looked up via the map[string(bytes)] fast path, so the
+// common hit case allocates neither the buffer nor the key string.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Fetch serves one client fetch through the coalescing cache. Exported
 // for in-process use; the network handler goes through it too.
 func (p *Proxy) Fetch(pmids []uint32) (pcp.FetchResult, error) {
 	p.clientFetches.Add(1)
-	key := string(pcp.EncodeFetchReq(pmids))
+	bp := keyBufPool.Get().(*[]byte)
+	key := pcp.AppendFetchReq((*bp)[:0], pmids)
 	p.cacheMu.Lock()
-	e, ok := p.cache[key]
+	e, ok := p.cache[string(key)]
 	if !ok {
 		if len(p.cache) >= maxCacheEntries {
 			p.cache = make(map[string]*entry)
 		}
 		e = &entry{}
-		p.cache[key] = e
+		p.cache[string(key)] = e
 	}
 	p.cacheMu.Unlock()
+	*bp = key
+	keyBufPool.Put(bp)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -331,36 +339,45 @@ func (p *Proxy) serveConn(conn net.Conn) {
 	if err := pcp.ServerHandshake(br, bw); err != nil {
 		return
 	}
+	// Per-connection scratch reused across requests so steady-state
+	// coalesced serving does not allocate.
+	var (
+		payloadBuf []byte
+		respBuf    []byte
+		pmids      []uint32
+	)
 	for {
-		typ, payload, err := pcp.ReadPDU(br)
+		typ, payload, err := pcp.ReadPDUInto(br, payloadBuf)
 		if err != nil {
 			return
 		}
+		payloadBuf = payload
 		var respType uint8
 		var resp []byte
 		switch typ {
 		case pcp.PDUNamesReq:
 			entries, err := p.Names()
 			if err != nil {
-				respType, resp = pcp.PDUError, pcp.EncodeError(err.Error())
+				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
 				break
 			}
-			respType, resp = pcp.PDUNamesResp, pcp.EncodeNamesResp(entries)
+			respType, resp = pcp.PDUNamesResp, pcp.AppendNamesResp(respBuf[:0], entries)
 		case pcp.PDUFetchReq:
-			pmids, err := pcp.DecodeFetchReq(payload)
+			pmids, err = pcp.DecodeFetchReqInto(payload, pmids[:0])
 			if err != nil {
-				respType, resp = pcp.PDUError, pcp.EncodeError(err.Error())
+				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
 				break
 			}
 			res, err := p.Fetch(pmids)
 			if err != nil {
-				respType, resp = pcp.PDUError, pcp.EncodeError(err.Error())
+				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
 				break
 			}
-			respType, resp = pcp.PDUFetchResp, pcp.EncodeFetchResp(res)
+			respType, resp = pcp.PDUFetchResp, pcp.AppendFetchResp(respBuf[:0], res)
 		default:
-			respType, resp = pcp.PDUError, pcp.EncodeError(fmt.Sprintf("unknown PDU type %d", typ))
+			respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
 		}
+		respBuf = resp
 		if err := pcp.WritePDU(bw, respType, resp); err != nil {
 			return
 		}
