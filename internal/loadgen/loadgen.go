@@ -1,0 +1,351 @@
+// Package loadgen drives fetch load against a PCP serving tier (a live
+// PMCD daemon or a pmproxy) and reports throughput and latency
+// percentiles from log-bucketed histograms.
+//
+// Two generation disciplines are supported:
+//
+//   - Closed loop: W workers issue requests back-to-back. Throughput is
+//     what the tier sustains at that concurrency; latency excludes
+//     queueing the generator itself created.
+//   - Open loop: requests arrive at a fixed rate regardless of how fast
+//     responses come back. Latency is measured from the scheduled
+//     arrival, so a tier that can't keep up shows coordinated-omission-
+//     free queueing delay in its tail percentiles.
+//
+// Each worker records into its own histogram; histograms are merged
+// after the run, so percentile counts are exact with no recording
+// contention.
+//
+// In simulated-time mode (Options.Sim) the generator still issues every
+// request against the real target, but latencies are drawn from a
+// seeded deterministic service-time model and time is virtual: the
+// whole report — ops, throughput, every percentile — is bit-identical
+// across runs, which makes sweeps diffable and testable. Live mode
+// measures wall-clock round trips.
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"papimc/internal/pcp"
+	"papimc/internal/stats"
+	"papimc/internal/xrand"
+)
+
+// Mode selects the load-generation discipline.
+type Mode int
+
+const (
+	// Closed loop: each worker issues the next request as soon as the
+	// previous one completes.
+	Closed Mode = iota
+	// Open loop: requests are scheduled at a fixed arrival rate and
+	// latency is measured from the scheduled arrival time.
+	Open
+)
+
+func (m Mode) String() string {
+	if m == Open {
+		return "open"
+	}
+	return "closed"
+}
+
+// Fetcher is one load-generation connection to the target tier.
+type Fetcher interface {
+	Fetch(pmids []uint32) (pcp.FetchResult, error)
+}
+
+// FetchFunc adapts a function to the Fetcher interface (for in-process
+// targets like *pcp.Daemon or *pmproxy.Proxy).
+type FetchFunc func(pmids []uint32) (pcp.FetchResult, error)
+
+// Fetch implements Fetcher.
+func (f FetchFunc) Fetch(pmids []uint32) (pcp.FetchResult, error) { return f(pmids) }
+
+// Factory builds one Fetcher per worker, plus its cleanup. Workers get
+// independent connections so the generator exercises real fan-out.
+type Factory func() (Fetcher, func() error, error)
+
+// DialFactory dials a PCP-protocol address (daemon or proxy) once per
+// worker.
+func DialFactory(addr string) Factory {
+	return func() (Fetcher, func() error, error) {
+		c, err := pcp.Dial(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, c.Close, nil
+	}
+}
+
+// SharedFactory serves every worker from one in-process Fetcher (the
+// target must be safe for concurrent use, as Daemon and Proxy are).
+func SharedFactory(f Fetcher) Factory {
+	return func() (Fetcher, func() error, error) {
+		return f, func() error { return nil }, nil
+	}
+}
+
+// SimModel is the deterministic service-time model used in
+// simulated-time mode: a base latency with bounded uniform jitter and a
+// rare heavy tail (the stand-in for resamples, GC pauses and scheduler
+// hiccups that make real tails interesting).
+type SimModel struct {
+	Seed   uint64
+	Base   time.Duration // mean service time; 0 means 10µs
+	Jitter float64       // relative uniform jitter; 0 means 0.25
+}
+
+// service draws the next deterministic service time in nanoseconds.
+func (s *SimModel) service(rng *xrand.Source) int64 {
+	base := float64(s.Base.Nanoseconds())
+	if base <= 0 {
+		base = 10_000
+	}
+	jitter := s.Jitter
+	if jitter <= 0 {
+		jitter = 0.25
+	}
+	u := float64(rng.Uint64()>>11) / (1 << 53)
+	svc := base * (1 + jitter*(2*u-1))
+	// ~1/128 of requests pay an 8–16x tail.
+	if rng.Uint64()%128 == 0 {
+		svc *= 8 + 8*float64(rng.Uint64()>>11)/(1<<53)
+	}
+	if svc < 1 {
+		svc = 1
+	}
+	return int64(svc)
+}
+
+// Options configures one load-generation run.
+type Options struct {
+	Mode    Mode
+	Workers int      // concurrent workers; 0 means 1
+	PMIDs   []uint32 // pmid set each request fetches; nil means {1}
+	// Ops is the per-worker request count. Required in simulated-time
+	// mode (virtual time has no wall deadline); in live mode it may be 0,
+	// in which case workers run until Duration elapses.
+	Ops int
+	// Duration bounds a live-mode run when Ops is 0. Ignored in
+	// simulated-time mode.
+	Duration time.Duration
+	// Rate is the total open-loop arrival rate in requests/second,
+	// split evenly across workers. Required when Mode is Open.
+	Rate float64
+	// Sim switches to deterministic simulated-time latencies.
+	Sim *SimModel
+}
+
+// Result is one run's report.
+type Result struct {
+	Mode       Mode
+	Workers    int
+	Ops        int64
+	Errors     int64
+	Elapsed    time.Duration // virtual in simulated-time mode
+	Throughput float64       // ops per (virtual) second
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Max        time.Duration
+}
+
+// workerOut is one worker's private accumulation, merged after the run.
+type workerOut struct {
+	hist       stats.Histogram
+	ops, errs  int64
+	virtualEnd int64 // last virtual completion, simulated-time mode
+	err        error
+}
+
+// Run executes one load-generation run at o.Workers concurrency.
+func Run(f Factory, o Options) (Result, error) {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if len(o.PMIDs) == 0 {
+		o.PMIDs = []uint32{1}
+	}
+	if o.Mode == Open && o.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: open loop requires a positive Rate")
+	}
+	if o.Sim != nil && o.Ops <= 0 {
+		return Result{}, fmt.Errorf("loadgen: simulated-time mode requires a per-worker Ops count")
+	}
+	if o.Sim == nil && o.Ops <= 0 && o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+
+	outs := make([]workerOut, o.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			fet, cleanup, err := f()
+			if err != nil {
+				out.err = err
+				return
+			}
+			defer cleanup()
+			if o.Sim != nil {
+				runSimWorker(fet, o, w, out)
+			} else {
+				runLiveWorker(fet, o, w, start, out)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := Result{Mode: o.Mode, Workers: o.Workers}
+	var hist stats.Histogram
+	var virtualEnd int64
+	for i := range outs {
+		if outs[i].err != nil {
+			return Result{}, fmt.Errorf("loadgen: worker %d: %w", i, outs[i].err)
+		}
+		res.Ops += outs[i].ops
+		res.Errors += outs[i].errs
+		hist.Merge(&outs[i].hist)
+		if outs[i].virtualEnd > virtualEnd {
+			virtualEnd = outs[i].virtualEnd
+		}
+	}
+	if o.Sim != nil {
+		res.Elapsed = time.Duration(virtualEnd)
+	} else {
+		res.Elapsed = time.Since(start)
+	}
+	if s := res.Elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(res.Ops) / s
+	}
+	res.P50 = time.Duration(hist.Quantile(0.50))
+	res.P95 = time.Duration(hist.Quantile(0.95))
+	res.P99 = time.Duration(hist.Quantile(0.99))
+	res.P999 = time.Duration(hist.Quantile(0.999))
+	res.Max = time.Duration(hist.Max())
+	return res, nil
+}
+
+// runSimWorker issues o.Ops real requests and advances a virtual clock
+// by deterministic service times. In the open loop, arrivals are spaced
+// at the per-worker inter-arrival interval and latency includes the
+// virtual queueing delay behind earlier requests on this connection.
+func runSimWorker(fet Fetcher, o Options, w int, out *workerOut) {
+	rng := xrand.New(o.Sim.Seed ^ (uint64(w+1) * 0x9E3779B97F4A7C15))
+	var interArrival float64
+	if o.Mode == Open {
+		interArrival = float64(o.Workers) / o.Rate * 1e9
+	}
+	var busy int64
+	for i := 0; i < o.Ops; i++ {
+		if _, err := fet.Fetch(o.PMIDs); err != nil {
+			out.errs++
+			continue
+		}
+		svc := o.Sim.service(rng)
+		var lat int64
+		if o.Mode == Open {
+			sched := int64(float64(i) * interArrival)
+			begin := sched
+			if busy > begin {
+				begin = busy
+			}
+			done := begin + svc
+			lat = done - sched
+			busy = done
+		} else {
+			busy += svc
+			lat = svc
+		}
+		out.hist.Record(lat)
+		out.ops++
+	}
+	out.virtualEnd = busy
+}
+
+// runLiveWorker measures wall-clock round trips until the op count or
+// deadline is reached.
+func runLiveWorker(fet Fetcher, o Options, w int, start time.Time, out *workerOut) {
+	var interArrival time.Duration
+	if o.Mode == Open {
+		interArrival = time.Duration(float64(o.Workers) / o.Rate * 1e9)
+	}
+	deadline := start.Add(o.Duration)
+	for i := 0; ; i++ {
+		if o.Ops > 0 && i >= o.Ops {
+			return
+		}
+		if o.Ops <= 0 && !time.Now().Before(deadline) {
+			return
+		}
+		var ref time.Time
+		if o.Mode == Open {
+			// Latency is measured from the scheduled arrival, so falling
+			// behind shows up as queueing delay (no coordinated omission).
+			ref = start.Add(time.Duration(i) * interArrival)
+			if d := time.Until(ref); d > 0 {
+				time.Sleep(d)
+			}
+		} else {
+			ref = time.Now()
+		}
+		if _, err := fet.Fetch(o.PMIDs); err != nil {
+			out.errs++
+			continue
+		}
+		out.hist.Record(time.Since(ref).Nanoseconds())
+		out.ops++
+	}
+}
+
+// Sweep runs Run once per concurrency level.
+func Sweep(f Factory, workers []int, o Options) ([]Result, error) {
+	results := make([]Result, 0, len(workers))
+	for _, w := range workers {
+		o.Workers = w
+		r, err := Run(f, o)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: workers=%d: %w", w, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Report renders a sweep as an aligned text table.
+func Report(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s %5s %9s %6s %12s %9s %9s %9s %9s %9s\n",
+		"workers", "mode", "ops", "errs", "throughput", "p50", "p95", "p99", "p99.9", "max")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%7d %5s %9d %6d %9.0f/s %9s %9s %9s %9s %9s\n",
+			r.Workers, r.Mode, r.Ops, r.Errors, r.Throughput,
+			fmtDur(r.P50), fmtDur(r.P95), fmtDur(r.P99), fmtDur(r.P999), fmtDur(r.Max))
+	}
+	return b.String()
+}
+
+// fmtDur renders a latency with three significant figures, stable across
+// magnitudes (time.Duration.String is too chatty for table cells).
+func fmtDur(d time.Duration) string {
+	ns := float64(d.Nanoseconds())
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"papimc/internal/pcp"
+	"papimc/internal/simtime"
+)
+
+// testDaemon builds a daemon with synthetic metrics and returns it plus
+// its TCP address.
+func testDaemon(t *testing.T) (*pcp.Daemon, string) {
+	t.Helper()
+	ms := make([]pcp.Metric, 8)
+	for i := range ms {
+		v := uint64(i) * 10
+		ms[i] = pcp.Metric{
+			Name: fmt.Sprintf("load.metric.%d", i),
+			Read: func(simtime.Time) (uint64, error) { return v, nil },
+		}
+	}
+	d, err := pcp.NewDaemon(simtime.NewClock(), 10*simtime.Millisecond, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, addr
+}
+
+// TestSimSweepDeterministic: the whole simulated-time report — ops,
+// throughput, every percentile — is identical across runs, including
+// over a real TCP connection to a live daemon.
+func TestSimSweepDeterministic(t *testing.T) {
+	_, addr := testDaemon(t)
+	opts := Options{
+		Mode:  Closed,
+		Ops:   300,
+		PMIDs: []uint32{1, 2, 3},
+		Sim:   &SimModel{Seed: 42, Base: 10 * time.Microsecond},
+	}
+	sweep := []int{1, 2, 4}
+	a, err := Sweep(DialFactory(addr), sweep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(DialFactory(addr), sweep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("simulated-time sweep not deterministic:\n%s\nvs\n%s", Report(a), Report(b))
+	}
+	for i, r := range a {
+		if r.Ops != int64(sweep[i]*opts.Ops) || r.Errors != 0 {
+			t.Errorf("workers=%d: ops=%d errs=%d, want %d/0", r.Workers, r.Ops, r.Errors, sweep[i]*opts.Ops)
+		}
+		if r.P50 <= 0 || r.P999 < r.P99 || r.P99 < r.P95 || r.P95 < r.P50 || r.Max < r.P999 {
+			t.Errorf("workers=%d: non-monotone percentiles %+v", r.Workers, r)
+		}
+	}
+}
+
+// TestSimOpenLoopQueueing: an open-loop arrival rate well above the
+// service rate must surface queueing delay in the tail — p99 latency
+// far beyond the pure service time — while a low rate must not.
+func TestSimOpenLoopQueueing(t *testing.T) {
+	_, addr := testDaemon(t)
+	base := 10 * time.Microsecond // service rate ≈ 100k/s per worker
+	run := func(rate float64) Result {
+		r, err := Run(DialFactory(addr), Options{
+			Mode:  Open,
+			Rate:  rate,
+			Ops:   400,
+			PMIDs: []uint32{1},
+			Sim:   &SimModel{Seed: 7, Base: base},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	relaxed := run(20_000)     // 20% utilisation: no queueing
+	overloaded := run(500_000) // 5x over capacity: queue grows without bound
+	if relaxed.P99 > 20*base {
+		t.Errorf("relaxed open loop shows queueing: p99 = %v", relaxed.P99)
+	}
+	if overloaded.P99 < 10*relaxed.P99 {
+		t.Errorf("overload not visible in tail: p99 %v (relaxed %v)", overloaded.P99, relaxed.P99)
+	}
+}
+
+// TestLiveClosedLoop drives real wall-clock load against the daemon over
+// TCP — the smoke path CI exercises via cmd/pcploadgen.
+func TestLiveClosedLoop(t *testing.T) {
+	_, addr := testDaemon(t)
+	r, err := Run(DialFactory(addr), Options{
+		Mode:    Closed,
+		Workers: 4,
+		Ops:     50,
+		PMIDs:   []uint32{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 200 || r.Errors != 0 {
+		t.Errorf("ops=%d errs=%d, want 200/0", r.Ops, r.Errors)
+	}
+	if r.Throughput <= 0 || r.P50 <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+}
+
+// TestSharedFactoryInProcess runs the generator against the daemon's
+// in-process Fetch, no sockets involved.
+func TestSharedFactoryInProcess(t *testing.T) {
+	d, _ := testDaemon(t)
+	f := SharedFactory(FetchFunc(func(pmids []uint32) (pcp.FetchResult, error) {
+		return d.Fetch(pmids), nil
+	}))
+	r, err := Run(f, Options{Workers: 2, Ops: 100, Sim: &SimModel{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 200 {
+		t.Errorf("ops = %d, want 200", r.Ops)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	f := SharedFactory(FetchFunc(func([]uint32) (pcp.FetchResult, error) {
+		return pcp.FetchResult{}, nil
+	}))
+	if _, err := Run(f, Options{Mode: Open}); err == nil {
+		t.Error("open loop without a rate should fail")
+	}
+	if _, err := Run(f, Options{Sim: &SimModel{}}); err == nil {
+		t.Error("sim mode without Ops should fail")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	_, addr := testDaemon(t)
+	rs, err := Sweep(DialFactory(addr), []int{1, 2}, Options{
+		Ops: 50, Sim: &SimModel{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report(rs)
+	for _, want := range []string{"workers", "p99.9", "closed"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package pcp
+
+import (
+	"fmt"
+	"testing"
+
+	"papimc/internal/simtime"
+)
+
+// benchMetrics builds n synthetic metrics so the benchmarks measure the
+// serving path itself, not the cost of the underlying counter model.
+func benchMetrics(n int) []Metric {
+	ms := make([]Metric, n)
+	for i := range ms {
+		v := uint64(i) * 64
+		ms[i] = Metric{
+			Name: fmt.Sprintf("bench.metric.%02d", i),
+			Read: func(simtime.Time) (uint64, error) { return v, nil },
+		}
+	}
+	return ms
+}
+
+func benchDaemon(b *testing.B) *Daemon {
+	b.Helper()
+	d, err := NewDaemon(simtime.NewClock(), 10*simtime.Millisecond, benchMetrics(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+var benchPMIDs = []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+
+// BenchmarkFetchInto is the in-process fetch hot path on one goroutine:
+// the cost of serving eight values from the current sample.
+func BenchmarkFetchInto(b *testing.B) {
+	d := benchDaemon(b)
+	var vals []FetchValue
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := d.FetchInto(benchPMIDs, vals[:0])
+		vals = res.Values
+	}
+}
+
+// BenchmarkParallelFetchInto hammers one daemon from GOMAXPROCS
+// goroutines. Run with -cpu 1,2,4,8: under the seed tree's global mutex
+// throughput was flat; with snapshot publication it scales with cores.
+func BenchmarkParallelFetchInto(b *testing.B) {
+	d := benchDaemon(b)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var vals []FetchValue
+		for pb.Next() {
+			res := d.FetchInto(benchPMIDs, vals[:0])
+			vals = res.Values
+		}
+	})
+}
+
+// BenchmarkFetchRoundTripTCP is the single-connection round trip over a
+// real socket — the PR 3 allocation-free baseline that must not regress.
+func BenchmarkFetchRoundTripTCP(b *testing.B) {
+	d := benchDaemon(b)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var res FetchResult
+	if err := c.FetchInto(benchPMIDs, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.FetchInto(benchPMIDs, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelDaemonTCP measures concurrent serving over real
+// sockets: one connection per worker, all hitting the same daemon.
+func BenchmarkParallelDaemonTCP(b *testing.B) {
+	d := benchDaemon(b)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := Dial(addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		var res FetchResult
+		for pb.Next() {
+			if err := c.FetchInto(benchPMIDs, &res); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

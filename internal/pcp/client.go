@@ -3,6 +3,7 @@ package pcp
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -46,7 +47,7 @@ func DialRaw(addr, magic string) (*Client, error) {
 		return nil, err
 	}
 	echo := make([]byte, len(Magic))
-	if _, err := ioReadFull(c.br, echo); err != nil {
+	if _, err := io.ReadFull(c.br, echo); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("pcp: handshake: %w", err)
 	}

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"papimc/internal/simtime"
 )
@@ -18,18 +21,43 @@ type Metric struct {
 	Read func(t simtime.Time) (uint64, error)
 }
 
+// metricTable is the daemon's immutable metric namespace. Register
+// publishes a new table (copy-on-write) instead of mutating this one, so
+// readers navigate it without locks.
+type metricTable struct {
+	metrics []Metric          // PMID = index+1
+	byName  map[string]uint32 // never written after publication
+	names   []NameEntry       // precomputed Names() answer
+}
+
+// snapshot is one immutable published sample: every metric's value as of
+// one read of the clock, bound to the table it was sampled against.
+// Fetches serve from the current snapshot with zero locking; a snapshot
+// is never modified after publication.
+type snapshot struct {
+	table  *metricTable
+	at     simtime.Time
+	values []FetchValue // values[i] is table.metrics[i], PMID i+1
+}
+
 // Daemon is the PMCD analogue: it samples its metrics at a fixed
 // interval of simulated time and serves the latest sample to clients.
+//
+// Serving is lock-free in the steady state: the current sample is an
+// immutable snapshot published through an atomic pointer, so concurrent
+// fetches scale with cores instead of serializing on a daemon mutex.
+// When the snapshot is older than the sampling interval (or the
+// namespace grew), exactly one fetching goroutine wins a CAS and
+// resamples — the single-flight resample — while the rest keep serving
+// the previous snapshot.
 type Daemon struct {
 	clock    *simtime.Clock
 	interval simtime.Duration
 
-	mu         sync.Mutex
-	metrics    []Metric // sorted by name; PMID = index+1
-	byName     map[string]uint32
-	lastSample simtime.Time
-	sampled    bool
-	cache      []FetchValue
+	table    atomic.Pointer[metricTable]
+	snap     atomic.Pointer[snapshot]
+	sampling atomic.Bool // CAS single-flight gate for resampling
+	regMu    sync.Mutex  // serializes Register's copy-on-write
 
 	ln        net.Listener
 	wg        sync.WaitGroup
@@ -58,66 +86,106 @@ func NewDaemon(clock *simtime.Clock, interval simtime.Duration, metrics []Metric
 		}
 		byName[m.Name] = uint32(i + 1)
 	}
-	return &Daemon{
+	d := &Daemon{
 		clock:    clock,
 		interval: interval,
-		metrics:  ms,
-		byName:   byName,
 		closed:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
-	}, nil
+	}
+	d.table.Store(newTable(ms, byName))
+	return d, nil
+}
+
+func newTable(ms []Metric, byName map[string]uint32) *metricTable {
+	names := make([]NameEntry, len(ms))
+	for i, m := range ms {
+		names[i] = NameEntry{PMID: uint32(i + 1), Name: m.Name}
+	}
+	return &metricTable{metrics: ms, byName: byName, names: names}
 }
 
 // Names returns the daemon's metric table.
 func (d *Daemon) Names() []NameEntry {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]NameEntry, len(d.metrics))
-	for i, m := range d.metrics {
-		out[i] = NameEntry{PMID: uint32(i + 1), Name: m.Name}
-	}
-	return out
+	return append([]NameEntry(nil), d.table.Load().names...)
 }
 
 // Register adds a metric to a running daemon's namespace — the analogue
 // of a PCP agent (PMDA) coming online after pmcd has started. The new
 // metric gets the next free PMID (registration order, not sorted-name
-// order) and becomes fetchable at the next sampling tick.
+// order) and becomes fetchable immediately: publishing the new table
+// invalidates the current snapshot, so the next fetch resamples.
 func (d *Daemon) Register(m Metric) error {
 	if m.Read == nil {
 		return fmt.Errorf("pcp: metric %q has no reader", m.Name)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, dup := d.byName[m.Name]; dup {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	old := d.table.Load()
+	if _, dup := old.byName[m.Name]; dup {
 		return fmt.Errorf("pcp: duplicate metric %q", m.Name)
 	}
-	d.metrics = append(d.metrics, m)
-	d.byName[m.Name] = uint32(len(d.metrics))
-	d.sampled = false // force a resample so the new metric is fetchable now
+	ms := make([]Metric, len(old.metrics), len(old.metrics)+1)
+	copy(ms, old.metrics)
+	ms = append(ms, m)
+	byName := make(map[string]uint32, len(ms))
+	for k, v := range old.byName {
+		byName[k] = v
+	}
+	byName[m.Name] = uint32(len(ms))
+	d.table.Store(newTable(ms, byName))
 	return nil
 }
 
-// sampleLocked refreshes the cached values if the sampling interval has
-// elapsed (or nothing has been sampled yet). It reuses the cache's
-// backing array; callers copy values out before releasing d.mu.
-func (d *Daemon) sampleLocked() {
+// current returns a snapshot that is fresh (younger than the sampling
+// interval) and consistent with the current metric table, resampling if
+// needed. Only one goroutine resamples at a time; losers of that race
+// serve the previous snapshot, which is exactly the interval-staleness
+// contract the daemon already has.
+func (d *Daemon) current() *snapshot {
 	now := d.clock.Now()
-	if d.sampled && now.Sub(d.lastSample) < d.interval {
-		return
+	tab := d.table.Load()
+	s := d.snap.Load()
+	if s != nil && s.table == tab && now.Sub(s.at) < d.interval {
+		return s
 	}
-	vals := d.cache[:0]
-	for i, m := range d.metrics {
+	if d.sampling.CompareAndSwap(false, true) {
+		// Re-check under the gate: another goroutine may have published
+		// a fresh snapshot between our load and the CAS.
+		tab = d.table.Load()
+		s = d.snap.Load()
+		now = d.clock.Now()
+		if s == nil || s.table != tab || now.Sub(s.at) >= d.interval {
+			s = d.resample(tab, now)
+			d.snap.Store(s)
+		}
+		d.sampling.Store(false)
+		return s
+	}
+	// Lost the single-flight race. Serve whatever is published; before
+	// the very first sample exists, wait for the winner.
+	for {
+		if s = d.snap.Load(); s != nil {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+// resample reads every metric in the table as of now and builds a new
+// immutable snapshot. It runs on exactly one goroutine at a time (the
+// single-flight winner), so metric Read callbacks are never invoked
+// concurrently by the same daemon.
+func (d *Daemon) resample(tab *metricTable, now simtime.Time) *snapshot {
+	vals := make([]FetchValue, len(tab.metrics))
+	for i, m := range tab.metrics {
 		v, err := m.Read(now)
 		if err != nil {
-			vals = append(vals, FetchValue{PMID: uint32(i + 1), Status: StatusValueError})
+			vals[i] = FetchValue{PMID: uint32(i + 1), Status: StatusValueError}
 			continue
 		}
-		vals = append(vals, FetchValue{PMID: uint32(i + 1), Status: StatusOK, Value: v})
+		vals[i] = FetchValue{PMID: uint32(i + 1), Status: StatusOK, Value: v}
 	}
-	d.cache = vals
-	d.lastSample = now
-	d.sampled = true
+	return &snapshot{table: tab, at: now, values: vals}
 }
 
 // Fetch returns the daemon's current view of the requested PMIDs. It is
@@ -128,18 +196,18 @@ func (d *Daemon) Fetch(pmids []uint32) FetchResult {
 
 // FetchInto is Fetch appending the values to vals (pass a previous
 // result's Values[:0] to serve from a reused buffer without allocating).
+// It takes no locks: values, PMIDs and timestamp all come from one
+// published snapshot, so a result is never torn across samples.
 func (d *Daemon) FetchInto(pmids []uint32, vals []FetchValue) FetchResult {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.sampleLocked()
+	s := d.current()
 	for _, id := range pmids {
-		if id == 0 || int(id) > len(d.cache) {
+		if id == 0 || int(id) > len(s.values) {
 			vals = append(vals, FetchValue{PMID: id, Status: StatusNoSuchPMID})
 			continue
 		}
-		vals = append(vals, d.cache[id-1])
+		vals = append(vals, s.values[id-1])
 	}
-	return FetchResult{Timestamp: int64(d.lastSample), Values: vals}
+	return FetchResult{Timestamp: int64(s.at), Values: vals}
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves clients in the
@@ -155,8 +223,12 @@ func (d *Daemon) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// acceptBackoffMax caps the sleep between retries of a failing Accept.
+const acceptBackoffMax = time.Second
+
 func (d *Daemon) acceptLoop() {
 	defer d.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := d.ln.Accept()
 		if err != nil {
@@ -164,10 +236,22 @@ func (d *Daemon) acceptLoop() {
 			case <-d.closed:
 				return
 			default:
-				// Transient accept errors: keep serving.
-				continue
 			}
+			// Transient accept errors (EMFILE, ECONNABORTED): back off
+			// with a capped doubling sleep instead of spinning hot.
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-d.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		d.connMu.Lock()
 		d.conns[conn] = struct{}{}
 		d.connMu.Unlock()
@@ -211,7 +295,7 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		var resp []byte
 		switch typ {
 		case PDUNamesReq:
-			respType, resp = PDUNamesResp, AppendNamesResp(respBuf[:0], d.Names())
+			respType, resp = PDUNamesResp, AppendNamesResp(respBuf[:0], d.table.Load().names)
 		case PDUFetchReq:
 			pmids, err = DecodeFetchReqInto(payload, pmids[:0])
 			if err != nil {
@@ -255,30 +339,22 @@ func (d *Daemon) Close() error {
 
 // ServerHandshake performs the daemon side of connection setup: the
 // client sends Magic, the server echoes it. Exported so other servers
-// speaking the protocol (pmproxy) share the exact semantics.
+// speaking the protocol (pmproxy) share the exact semantics. The magic
+// is compared in place inside the bufio.Reader's buffer (Peek/Discard),
+// so the handshake allocates nothing per connection.
 func ServerHandshake(br *bufio.Reader, bw *bufio.Writer) error {
-	magic := make([]byte, len(Magic))
-	if _, err := ioReadFull(br, magic); err != nil {
+	magic, err := br.Peek(len(Magic))
+	if err != nil {
 		return err
 	}
 	if string(magic) != Magic {
 		return fmt.Errorf("%w: bad handshake %q", ErrProtocol, magic)
 	}
+	if _, err := br.Discard(len(Magic)); err != nil {
+		return err
+	}
 	if _, err := bw.WriteString(Magic); err != nil {
 		return err
 	}
 	return bw.Flush()
-}
-
-// ioReadFull is io.ReadFull; indirected for readability alongside bufio.
-func ioReadFull(r *bufio.Reader, buf []byte) (int, error) {
-	n := 0
-	for n < len(buf) {
-		m, err := r.Read(buf[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, nil
 }

@@ -1,17 +1,31 @@
 // Package pmproxy implements the pmproxy analogue: a daemon that speaks
 // the PCP PDU protocol on both sides and multiplexes many unprivileged
-// clients onto one upstream PMCD connection.
+// clients onto a small pool of upstream PMCD connections.
 //
 // The fan-out win comes from coalescing: the upstream daemon only
 // refreshes its counter view once per sampling interval, so identical
 // fetch requests landing within one interval are served from a single
 // upstream round trip — M clients cost O(1) upstream fetches per
-// interval instead of M. Concurrent identical requests additionally
-// share one in-flight round trip (single-flight), the name table is
-// cached, upstream round trips carry a wall-clock deadline with bounded
-// retry/backoff, and when the upstream is down the proxy degrades
-// gracefully by serving the last good answer with its original (stale)
-// timestamp rather than failing the client.
+// interval instead of M. The serving path is built to scale with cores:
+//
+//   - The coalescing cache is sharded by request hash, so distinct
+//     pmid-sets never contend on one lock.
+//   - A cache hit is lock-free: each entry publishes its current answer
+//     through an atomic pointer, so the common case (every dashboard
+//     fetching the same metrics within one interval) is a pointer load,
+//     not a mutex acquisition.
+//   - Only refreshes serialize, per entry (single-flight): one goroutine
+//     performs the upstream round trip while identical concurrent
+//     requests queue behind it and then hit the freshened cache.
+//   - Cache-miss round trips for different entries pipeline through a
+//     small upstream connection pool instead of queueing on a single
+//     connection.
+//
+// The name table is cached behind an atomic pointer, upstream round
+// trips carry a wall-clock deadline with bounded retry/backoff, and when
+// the upstream is down the proxy degrades gracefully by serving the last
+// good answer with its original (stale) timestamp rather than failing
+// the client.
 package pmproxy
 
 import (
@@ -35,7 +49,7 @@ var ErrUpstreamDown = errors.New("pmproxy: upstream unavailable")
 type Config struct {
 	// Upstream is the PMCD daemon address. Ignored when Dial is set.
 	Upstream string
-	// Dial overrides how the upstream connection is (re)established.
+	// Dial overrides how upstream connections are (re)established.
 	Dial func() (*pcp.Client, error)
 	// Clock, when set, provides the coalescing timebase (the simulated
 	// deployments share the daemon's clock). When nil, wall time is used
@@ -57,7 +71,16 @@ type Config struct {
 	// DisableStale makes the proxy fail requests when the upstream is
 	// down instead of serving the last good (timestamped) answer.
 	DisableStale bool
+	// PoolSize caps the number of concurrent upstream connections.
+	// Cache misses for distinct pmid-sets pipeline across the pool
+	// instead of queueing on one connection. Zero means 4.
+	PoolSize int
 }
+
+// defaultPoolSize is the upstream connection cap when Config.PoolSize is
+// zero: enough to pipeline the handful of distinct pmid-sets live
+// dashboards ask for, small enough not to crowd the daemon.
+const defaultPoolSize = 4
 
 // Stats is a snapshot of the proxy's counters.
 type Stats struct {
@@ -78,19 +101,45 @@ func (s Stats) CoalescingRatio() float64 {
 	return float64(s.ClientFetches) / float64(s.UpstreamFetches)
 }
 
-// entry is one coalescing-cache slot. Its mutex doubles as the
-// single-flight gate: the holder performs the upstream round trip while
-// identical requests queue behind it and then hit the freshened cache.
-type entry struct {
-	mu        sync.Mutex
+// cached is one immutable published answer. Readers reach it through an
+// atomic pointer and never lock; a new answer is a new cached value.
+type cached struct {
 	res       pcp.FetchResult
 	fetchedAt int64 // proxy timebase, not the daemon timestamp
-	valid     bool
 }
 
-// maxCacheEntries bounds the coalescing cache; on overflow the whole
-// cache is reset (distinct pmid-sets are rare in practice).
-const maxCacheEntries = 1024
+// entry is one coalescing-cache slot. The current answer is published
+// through cur (lock-free hits); mu is only the single-flight gate for
+// refreshes: the holder performs the upstream round trip while identical
+// requests queue behind it and then hit the freshened cache.
+type entry struct {
+	cur atomic.Pointer[cached]
+	mu  sync.Mutex
+}
+
+// numShards splits the coalescing cache so distinct pmid-sets land on
+// distinct locks. 16 shards keeps the worst-case map mutex hold times
+// negligible at far more cores than the daemon tier ever sees, at the
+// cost of a few hundred bytes.
+const numShards = 16
+
+// maxShardEntries bounds each shard; on overflow the shard is reset
+// (distinct pmid-sets are rare in practice).
+const maxShardEntries = 64
+
+// shard is one slice of the coalescing cache: a mutex-guarded map from
+// encoded fetch request to its entry. The lock covers only map access —
+// never upstream round trips.
+type shard struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// nameTable is the cached upstream name table, published atomically.
+type nameTable struct {
+	entries []pcp.NameEntry
+	at      int64
+}
 
 // Proxy is the daemon. Create with New, then Start.
 type Proxy struct {
@@ -103,16 +152,16 @@ type Proxy struct {
 	connMu    sync.Mutex
 	conns     map[net.Conn]struct{}
 
-	upMu sync.Mutex
-	up   *pcp.Client
+	// Upstream connection pool: sem bounds concurrent upstream round
+	// trips; idle connections are kept on the free list for reuse.
+	sem    chan struct{}
+	freeMu sync.Mutex
+	free   []*pcp.Client
 
-	nameMu  sync.Mutex
-	names   []pcp.NameEntry
-	namesAt int64
-	hasName bool
+	names  atomic.Pointer[nameTable]
+	nameMu sync.Mutex // single-flight gate for name-table refresh
 
-	cacheMu sync.Mutex
-	cache   map[string]*entry
+	shards [numShards]shard
 
 	clientFetches   atomic.Int64
 	upstreamFetches atomic.Int64
@@ -125,12 +174,19 @@ type Proxy struct {
 // New builds a proxy; it does not touch the network until Start (or the
 // first request forces an upstream dial).
 func New(cfg Config) *Proxy {
-	return &Proxy{
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = defaultPoolSize
+	}
+	p := &Proxy{
 		cfg:    cfg,
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
-		cache:  make(map[string]*entry),
+		sem:    make(chan struct{}, cfg.PoolSize),
 	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]*entry)
+	}
+	return p
 }
 
 // Stats returns a snapshot of the proxy's counters.
@@ -159,50 +215,60 @@ func (p *Proxy) fresh(t0, t1 int64) bool {
 	return p.cfg.Interval > 0 && t1-t0 < int64(p.cfg.Interval)
 }
 
-// upstream returns the live upstream connection, dialling if needed.
-func (p *Proxy) upstream() (*pcp.Client, error) {
-	p.upMu.Lock()
-	defer p.upMu.Unlock()
-	if p.up != nil {
-		return p.up, nil
+// acquire takes a pool slot and returns a live upstream connection,
+// reusing an idle one or dialling. On error the slot is released.
+func (p *Proxy) acquire() (*pcp.Client, error) {
+	p.sem <- struct{}{}
+	p.freeMu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.freeMu.Unlock()
+		return c, nil
 	}
+	p.freeMu.Unlock()
 	dial := p.cfg.Dial
 	if dial == nil {
 		dial = func() (*pcp.Client, error) { return pcp.Dial(p.cfg.Upstream) }
 	}
 	c, err := dial()
 	if err != nil {
+		<-p.sem
 		return nil, err
 	}
 	c.SetTimeout(p.cfg.Timeout)
 	p.redials.Add(1)
-	p.up = c
 	return c, nil
 }
 
-// dropUpstream discards a connection after a failure; a timed-out round
-// trip leaves the stream mid-PDU, so the connection cannot be reused.
-func (p *Proxy) dropUpstream(c *pcp.Client) {
-	p.upMu.Lock()
-	if p.up == c {
-		p.up = nil
-	}
-	p.upMu.Unlock()
-	c.Close()
+// release returns a healthy connection to the pool.
+func (p *Proxy) release(c *pcp.Client) {
+	p.freeMu.Lock()
+	p.free = append(p.free, c)
+	p.freeMu.Unlock()
+	<-p.sem
 }
 
-// withUpstream runs op against the upstream connection with bounded
+// discard drops a connection after a failure; a timed-out round trip
+// leaves the stream mid-PDU, so the connection cannot be reused.
+func (p *Proxy) discard(c *pcp.Client) {
+	c.Close()
+	<-p.sem
+}
+
+// withUpstream runs op against a pooled upstream connection with bounded
 // retry and doubling backoff, redialling after each failure.
 func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
 	var lastErr error
 	backoff := p.cfg.Backoff
 	for attempt := 0; ; attempt++ {
-		c, err := p.upstream()
+		c, err := p.acquire()
 		if err == nil {
 			if err = op(c); err == nil {
+				p.release(c)
 				return nil
 			}
-			p.dropUpstream(c)
+			p.discard(c)
 		}
 		lastErr = err
 		p.upstreamErrors.Add(1)
@@ -221,30 +287,68 @@ func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
 // common hit case allocates neither the buffer nor the key string.
 var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// shardFor hashes an encoded fetch request (FNV-1a) onto a shard.
+func (p *Proxy) shardFor(key []byte) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// Xor-fold before reducing: FNV-1a's low bits alone cluster when keys
+	// differ in only a few bytes, and the shard index is a small power of
+	// two.
+	h ^= h >> 32
+	h ^= h >> 16
+	return &p.shards[h%numShards]
+}
+
+// lookup finds or creates the cache entry for an encoded request.
+func (p *Proxy) lookup(key []byte) *entry {
+	sh := p.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.m[string(key)]
+	if !ok {
+		if len(sh.m) >= maxShardEntries {
+			sh.m = make(map[string]*entry)
+		}
+		e = &entry{}
+		sh.m[string(key)] = e
+	}
+	sh.mu.Unlock()
+	return e
+}
+
 // Fetch serves one client fetch through the coalescing cache. Exported
-// for in-process use; the network handler goes through it too.
+// for in-process use; the network handler goes through it too. The
+// returned result is shared with other readers of the same cache entry
+// and must be treated as read-only.
 func (p *Proxy) Fetch(pmids []uint32) (pcp.FetchResult, error) {
 	p.clientFetches.Add(1)
 	bp := keyBufPool.Get().(*[]byte)
 	key := pcp.AppendFetchReq((*bp)[:0], pmids)
-	p.cacheMu.Lock()
-	e, ok := p.cache[string(key)]
-	if !ok {
-		if len(p.cache) >= maxCacheEntries {
-			p.cache = make(map[string]*entry)
-		}
-		e = &entry{}
-		p.cache[string(key)] = e
-	}
-	p.cacheMu.Unlock()
+	e := p.lookup(key)
 	*bp = key
 	keyBufPool.Put(bp)
 
+	// Lock-free fast path: a published answer younger than the sampling
+	// interval is the coalesced hit.
+	if c := e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
+		p.coalescedHits.Add(1)
+		return c.res, nil
+	}
+
+	// Refresh path: single-flight per entry. Concurrent identical
+	// requests queue here while one goroutine does the round trip, then
+	// re-check and count as coalesced hits.
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.valid && p.fresh(e.fetchedAt, p.now()) {
+	if c := e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
 		p.coalescedHits.Add(1)
-		return e.res, nil
+		return c.res, nil
 	}
 	var res pcp.FetchResult
 	err := p.withUpstream(func(c *pcp.Client) error {
@@ -253,25 +357,29 @@ func (p *Proxy) Fetch(pmids []uint32) (pcp.FetchResult, error) {
 		return ferr
 	})
 	if err != nil {
-		if e.valid && !p.cfg.DisableStale {
+		if c := e.cur.Load(); c != nil && !p.cfg.DisableStale {
 			// Graceful degradation: the answer is stale but carries its
 			// original daemon timestamp, so the client can tell.
 			p.staleServes.Add(1)
-			return e.res, nil
+			return c.res, nil
 		}
 		return pcp.FetchResult{}, err
 	}
 	p.upstreamFetches.Add(1)
-	e.res, e.fetchedAt, e.valid = res, p.now(), true
+	e.cur.Store(&cached{res: res, fetchedAt: p.now()})
 	return res, nil
 }
 
-// Names serves the upstream name table through the proxy's cache.
+// Names serves the upstream name table through the proxy's cache. Reads
+// of a fresh table are lock-free; refreshes are single-flight.
 func (p *Proxy) Names() ([]pcp.NameEntry, error) {
+	if t := p.names.Load(); t != nil && p.fresh(t.at, p.now()) {
+		return t.entries, nil
+	}
 	p.nameMu.Lock()
 	defer p.nameMu.Unlock()
-	if p.hasName && p.fresh(p.namesAt, p.now()) {
-		return p.names, nil
+	if t := p.names.Load(); t != nil && p.fresh(t.at, p.now()) {
+		return t.entries, nil
 	}
 	var entries []pcp.NameEntry
 	err := p.withUpstream(func(c *pcp.Client) error {
@@ -280,13 +388,13 @@ func (p *Proxy) Names() ([]pcp.NameEntry, error) {
 		return nerr
 	})
 	if err != nil {
-		if p.hasName && !p.cfg.DisableStale {
+		if t := p.names.Load(); t != nil && !p.cfg.DisableStale {
 			p.staleServes.Add(1)
-			return p.names, nil
+			return t.entries, nil
 		}
 		return nil, err
 	}
-	p.names, p.namesAt, p.hasName = entries, p.now(), true
+	p.names.Store(&nameTable{entries: entries, at: p.now()})
 	return entries, nil
 }
 
@@ -303,8 +411,12 @@ func (p *Proxy) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// acceptBackoffMax caps the sleep between retries of a failing Accept.
+const acceptBackoffMax = time.Second
+
 func (p *Proxy) acceptLoop() {
 	defer p.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := p.ln.Accept()
 		if err != nil {
@@ -312,9 +424,22 @@ func (p *Proxy) acceptLoop() {
 			case <-p.closed:
 				return
 			default:
-				continue
 			}
+			// Transient accept errors: back off with a capped doubling
+			// sleep instead of spinning hot.
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-p.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		p.connMu.Lock()
 		p.conns[conn] = struct{}{}
 		p.connMu.Unlock()
@@ -387,8 +512,9 @@ func (p *Proxy) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener, disconnects clients, drops the upstream
-// connection, and waits for handlers to finish. It is idempotent.
+// Close stops the listener, disconnects clients, drops the pooled
+// upstream connections, and waits for handlers to finish. It is
+// idempotent.
 func (p *Proxy) Close() error {
 	var err error
 	p.closeOnce.Do(func() {
@@ -401,12 +527,12 @@ func (p *Proxy) Close() error {
 			conn.Close()
 		}
 		p.connMu.Unlock()
-		p.upMu.Lock()
-		if p.up != nil {
-			p.up.Close()
-			p.up = nil
+		p.freeMu.Lock()
+		for _, c := range p.free {
+			c.Close()
 		}
-		p.upMu.Unlock()
+		p.free = nil
+		p.freeMu.Unlock()
 		p.wg.Wait()
 	})
 	return err

@@ -10,7 +10,7 @@ package simtime
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of the
@@ -59,9 +59,12 @@ func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
 
 // Clock is a monotonically advancing simulated clock, safe for concurrent
 // use. The zero value is a clock at time 0.
+//
+// The clock is lock-free: Now is a single atomic load, so hot read paths
+// (the PMCD daemon consults the clock on every fetch) never contend with
+// each other or with writers advancing simulated time.
 type Clock struct {
-	mu  sync.Mutex
-	now Time
+	now atomic.Int64
 }
 
 // NewClock returns a clock starting at time 0.
@@ -69,29 +72,28 @@ func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current simulated time.
 func (c *Clock) Now() Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return Time(c.now.Load())
 }
 
 // Advance moves the clock forward by d and returns the new time.
 // Negative durations are ignored (the clock is monotonic).
 func (c *Clock) Advance(d Duration) Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if d > 0 {
-		c.now += Time(d)
+	if d <= 0 {
+		return Time(c.now.Load())
 	}
-	return c.now
+	return Time(c.now.Add(int64(d)))
 }
 
 // AdvanceTo moves the clock to t if t is in the future; it never moves the
 // clock backwards. It returns the (possibly unchanged) current time.
 func (c *Clock) AdvanceTo(t Time) Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return Time(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
 	}
-	return c.now
 }

@@ -1,0 +1,154 @@
+package stats
+
+import "math/bits"
+
+// Histogram is an HDR-style log-bucketed latency histogram: values are
+// binned into power-of-two ranges, each split into histSub linear
+// sub-buckets, so any recorded value is represented with at most
+// 1/histSub (≈3%) relative error while the whole structure is a fixed
+// flat array — recording is O(1), allocation-free, and quantile queries
+// are a single pass.
+//
+// Values are int64 (nanoseconds, in the load-generator's use), clamped
+// at zero. The zero value is an empty histogram ready to use. A
+// Histogram is not safe for concurrent use; concurrent recorders keep
+// one each and Merge them at the end, which keeps counts exact.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	min    int64
+	max    int64
+}
+
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // linear sub-buckets per power of two
+	// Values up to 2^62 map below this; the last bucket absorbs the rest.
+	histBuckets = histSub * (64 - histSubBits)
+)
+
+// bucketIndex maps v to its bucket. Values below histSub are exact; a
+// larger value with highest set bit b lands in major bucket b-histSubBits,
+// sub-indexed by its top histSubBits+1 bits.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - histSubBits - 1
+	idx := int(exp)*histSub + int(v>>uint(exp))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns the midpoint of bucket idx's value range, the value
+// reported for quantiles landing in that bucket.
+func bucketMid(idx int) float64 {
+	if idx < histSub {
+		return float64(idx)
+	}
+	exp := uint(idx/histSub - 1)
+	lo := int64(idx%histSub+histSub) << exp
+	return float64(lo) + float64(int64(1)<<exp)/2
+}
+
+// Record adds one observation. Negative values are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Min returns the smallest recorded value (0 if empty).
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value (0 if empty).
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the value at quantile q in [0, 1] — Quantile(0.99) is
+// the p99. The answer carries the histogram's ≈3% relative bucketing
+// error, except at the extremes where the exact observed min/max are
+// returned. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			m := bucketMid(i)
+			// Never report outside the observed range: the first and
+			// last occupied buckets may straddle min/max.
+			if m < float64(h.min) {
+				m = float64(h.min)
+			}
+			if m > float64(h.max) {
+				m = float64(h.max)
+			}
+			return m
+		}
+	}
+	return float64(h.max)
+}
+
+// Merge adds o's observations into h. Counts stay exact: merging
+// per-worker histograms equals having recorded every value into one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Reset empties the histogram for reuse.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"papimc/internal/xrand"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 32 || h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	// Below histSub the buckets are unit-width: quantiles are exact.
+	// The p50 rank of 32 values is the 16th smallest, i.e. value 15.
+	if q := h.Quantile(0.5); q != 15 {
+		t.Errorf("p50 = %v, want 15", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("p0 = %v, want 0", q)
+	}
+	if q := h.Quantile(1); q != 31 {
+		t.Errorf("p100 = %v, want 31", q)
+	}
+}
+
+// TestHistogramRelativeError: every reported quantile of a wide-range
+// sample is within the documented 1/32 relative bucketing error of the
+// exact order statistic.
+func TestHistogramRelativeError(t *testing.T) {
+	rng := xrand.New(7)
+	var h Histogram
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Latencies spanning 100ns .. ~100ms.
+		v := int64(100 + rng.Int63n(100_000_000))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	exact := func(q float64) int64 {
+		cp := append([]int64(nil), vals...)
+		slices.Sort(cp)
+		rank := int(q*float64(len(cp)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(cp) {
+			rank = len(cp)
+		}
+		return cp[rank-1]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := float64(exact(q))
+		if rel := math.Abs(got-want) / want; rel > 1.0/32+0.01 {
+			t.Errorf("q%.3f = %v, exact %v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+// TestHistogramMerge: merging per-worker histograms is exactly the
+// histogram of the union — the property the load generator relies on.
+func TestHistogramMerge(t *testing.T) {
+	rng := xrand.New(42)
+	var all, a, b Histogram
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1_000_000)
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged count/min/max mismatch")
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q%v: merged %v != direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.counts != all.counts {
+		t.Error("merged bucket counts differ from direct recording")
+	}
+}
+
+func TestHistogramRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	if got := testing.AllocsPerRun(1000, func() {
+		h.Record(123456)
+	}); got != 0 {
+		t.Errorf("Record allocates %.1f objects per run, want 0", got)
+	}
+}
+
+func TestHistogramNegativeAndEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative value not clamped: min %d max %d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(99)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("Reset did not empty the histogram")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)*7919 + 100)
+	}
+}
