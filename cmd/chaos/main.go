@@ -1,0 +1,94 @@
+// Command chaos runs the seeded fault-injection sweep against the full
+// serving stack (daemon → pmproxy → client → archive recorder) and
+// checks the chaos package's safety contract on every operation.
+//
+// A run is a pure function of its flags: the same seed reproduces the
+// byte-identical report at any -j. On a violation the driver prints the
+// offending trials and one repro command line per failure, then exits 1.
+//
+//	go run ./cmd/chaos -profile mixed -trials 16
+//	go run ./cmd/chaos -seed 0xc4a05 -trials 4 -trial 1 -ops 30 -corrupt 3000 -chunk 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"papimc/internal/chaos"
+	"papimc/internal/faultconn"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 0xC4A05, "base seed (trial i derives its own substream)")
+		trials     = flag.Int("trials", 8, "number of independent trials")
+		ops        = flag.Int("ops", 40, "operations per trial")
+		workers    = flag.Int("j", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		profile    = flag.String("profile", "", "named fault profile: "+strings.Join(chaos.ProfileNames(), ", "))
+		trial      = flag.Int("trial", -1, "replay only this trial index (-1 = all)")
+		breakStale = flag.Bool("break-stale", false, "simulate the stale re-stamping bug (the suite must fail)")
+		timeout    = flag.Duration("timeout", 0, "per round-trip deadline (0 = 2s)")
+
+		refuse  = flag.Float64("refuse", 0, "connection refusal probability")
+		reset   = flag.Int64("reset", 0, "mean bytes between injected resets (0 = off)")
+		stall   = flag.Int64("stall", 0, "mean bytes between silent stalls (0 = off)")
+		corrupt = flag.Int64("corrupt", 0, "mean bytes between single-bit flips (0 = off)")
+		latency = flag.Int64("latency", 0, "mean bytes between inserted delays (0 = off)")
+		chunk   = flag.Int("chunk", 0, "max bytes per read/write (0 = unlimited)")
+	)
+	flag.Parse()
+
+	sched := faultconn.Schedule{
+		RefuseProb:   *refuse,
+		ResetEvery:   *reset,
+		StallEvery:   *stall,
+		CorruptEvery: *corrupt,
+		LatencyEvery: *latency,
+		MaxChunk:     *chunk,
+	}
+	if *profile != "" {
+		p, ok := chaos.Profiles[*profile]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chaos: unknown profile %q (have: %s)\n",
+				*profile, strings.Join(chaos.ProfileNames(), ", "))
+			os.Exit(2)
+		}
+		sched = p
+	}
+
+	o := chaos.Options{
+		Seed:       *seed,
+		Trials:     *trials,
+		Ops:        *ops,
+		Workers:    *workers,
+		Schedule:   sched,
+		Timeout:    *timeout,
+		BreakStale: *breakStale,
+		Trial:      *trial,
+	}
+	start := time.Now()
+	rep, err := chaos.Run(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(2)
+	}
+	// stdout carries only the deterministic report (byte-identical for a
+	// fixed seed at any -j); timing goes to stderr.
+	fmt.Print(rep)
+	fmt.Fprintf(os.Stderr, "elapsed %.2fs\n", time.Since(start).Seconds())
+	if rep.Failed() {
+		bad := 0
+		for _, tr := range rep.Trials {
+			if len(tr.Violations) > 0 {
+				bad++
+				fmt.Printf("repro: %s\n", chaos.ReproLine(o, tr.Index))
+			}
+		}
+		fmt.Printf("FAIL: %d of %d trials violated the serving contract\n", bad, len(rep.Trials))
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d trials, seed %#x\n", len(rep.Trials), o.Seed)
+}

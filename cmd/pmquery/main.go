@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -62,9 +63,9 @@ func main() {
 	}
 	var err error
 	if *arch != "" {
-		err = runArchive(*arch, *interval, exprs, ruleSpecs, *hold, *holdoff)
+		err = runArchive(*arch, *interval, exprs, ruleSpecs, *hold, *holdoff, os.Stdout, os.Stderr)
 	} else {
-		err = runLive(*addr, *interval, *count, *watch, exprs, ruleSpecs, *hold, *holdoff)
+		err = runLive(*addr, *interval, *count, *watch, exprs, ruleSpecs, *hold, *holdoff, os.Stdout, os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmquery:", err)
@@ -81,16 +82,18 @@ type session struct {
 	exprs  []string
 	rs     *metricql.Ruleset
 	header bool
+	out    io.Writer // CSV rows
+	alerts io.Writer // rule firings
 }
 
-func newSession(src metricql.Source, exprs, ruleSpecs []string, hold int, holdoff time.Duration) (*session, error) {
+func newSession(src metricql.Source, exprs, ruleSpecs []string, hold int, holdoff time.Duration, out, alerts io.Writer) (*session, error) {
 	names, err := src.Names()
 	if err != nil {
 		return nil, err
 	}
 	eng := metricql.NewEngine(src)
 	eng.AliasAll(metricql.NestAliases(names))
-	s := &session{eng: eng, exprs: exprs}
+	s := &session{eng: eng, exprs: exprs, out: out, alerts: alerts}
 	for _, e := range exprs {
 		q, err := eng.Query(e)
 		if err != nil {
@@ -100,7 +103,7 @@ func newSession(src metricql.Source, exprs, ruleSpecs []string, hold int, holdof
 	}
 	if len(ruleSpecs) > 0 {
 		s.rs = metricql.NewRuleset(eng, func(f metricql.Firing) {
-			fmt.Fprintf(os.Stderr, "# ALERT %s: value %.6g at %.3fs\n",
+			fmt.Fprintf(s.alerts, "# ALERT %s: value %.6g at %.3fs\n",
 				f.Rule.Name, f.Value, float64(f.Timestamp)/1e9)
 		})
 		for _, spec := range ruleSpecs {
@@ -173,7 +176,7 @@ func (s *session) sample() error {
 					cols = append(cols, s.exprs[i])
 				}
 			}
-			fmt.Println(strings.Join(cols, ","))
+			fmt.Fprintln(s.out, strings.Join(cols, ","))
 			s.header = true
 		}
 		ts, _ := s.eng.LastTimestamp()
@@ -183,7 +186,7 @@ func (s *session) sample() error {
 				row = append(row, strconv.FormatFloat(x, 'g', 6, 64))
 			}
 		}
-		fmt.Println(strings.Join(row, ","))
+		fmt.Fprintln(s.out, strings.Join(row, ","))
 	}
 	if s.rs != nil {
 		return s.rs.Step()
@@ -191,13 +194,13 @@ func (s *session) sample() error {
 	return nil
 }
 
-func runLive(addr string, interval time.Duration, count int, watch bool, exprs, ruleSpecs []string, hold int, holdoff time.Duration) error {
+func runLive(addr string, interval time.Duration, count int, watch bool, exprs, ruleSpecs []string, hold int, holdoff time.Duration, out, alerts io.Writer) error {
 	client, err := pcp.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	s, err := newSession(client, exprs, ruleSpecs, hold, holdoff)
+	s, err := newSession(client, exprs, ruleSpecs, hold, holdoff, out, alerts)
 	if err != nil {
 		return err
 	}
@@ -221,7 +224,7 @@ func runLive(addr string, interval time.Duration, count int, watch bool, exprs, 
 	return nil
 }
 
-func runArchive(path string, interval time.Duration, exprs, ruleSpecs []string, hold int, holdoff time.Duration) error {
+func runArchive(path string, interval time.Duration, exprs, ruleSpecs []string, hold int, holdoff time.Duration, out, alerts io.Writer) error {
 	if interval <= 0 {
 		return fmt.Errorf("interval must be positive")
 	}
@@ -240,7 +243,7 @@ func runArchive(path string, interval time.Duration, exprs, ruleSpecs []string, 
 	}
 	clock := simtime.NewClock()
 	replay := archive.NewReplay(a, clock)
-	s, err := newSession(replay, exprs, ruleSpecs, hold, holdoff)
+	s, err := newSession(replay, exprs, ruleSpecs, hold, holdoff, out, alerts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"papimc/internal/archive"
+	"papimc/internal/pcp"
+	"papimc/internal/testutil"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name> (rewriting it under
+// -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./cmd/pmquery -update' to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got\n%s--- want\n%s", path, got, want)
+	}
+}
+
+// writeTestArchive records a deterministic archive: three counters
+// advancing linearly at different slopes every 100ms, so rate() is
+// constant and every CSV row is predictable.
+func writeTestArchive(t *testing.T) string {
+	t.Helper()
+	a, err := archive.New([]pcp.NameEntry{
+		{PMID: 1, Name: "arch.metric.a"},
+		{PMID: 2, Name: "arch.metric.b"},
+		{PMID: 3, Name: "arch.metric.c"},
+	}, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step = int64(100 * time.Millisecond)
+	for i := int64(0); i < 8; i++ {
+		row := archive.Sample{
+			Timestamp: i * step,
+			Values:    []uint64{uint64(i) * 1000, uint64(i) * 500, 7},
+		}
+		if err := a.AppendSample(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "run.pmlog")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestArchiveModeGolden replays a recorded archive through the full CSV
+// path: header derivation, glob expansion, rate over counters.
+func TestArchiveModeGolden(t *testing.T) {
+	path := writeTestArchive(t)
+	var out bytes.Buffer
+	err := runArchive(path, 100*time.Millisecond,
+		[]string{"rate(arch.metric.a)", "sum(rate(arch.metric.*))", "arch.metric.c"},
+		nil, 1, 0, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "archive.csv", out.Bytes())
+}
+
+// TestLiveModeGolden samples a live daemon serving fixed synthetic
+// values; with the simulated clock parked at zero every row is
+// deterministic.
+func TestLiveModeGolden(t *testing.T) {
+	_, addr := testutil.StartSyntheticDaemon(t, 4)
+	var out bytes.Buffer
+	err := runLive(addr, time.Millisecond, 3, false,
+		[]string{"load.metric.2", "sum(load.metric.*)"},
+		nil, 1, 0, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "live.csv", out.Bytes())
+}
+
+// TestArchiveRuleFires drives a pmie-style rule over the replay and
+// asserts the firing reaches the alert stream, not the CSV.
+func TestArchiveRuleFires(t *testing.T) {
+	path := writeTestArchive(t)
+	var out, alerts bytes.Buffer
+	err := runArchive(path, 100*time.Millisecond,
+		[]string{"rate(arch.metric.a)"},
+		[]string{"rate(arch.metric.a) > 5000"}, 1, 0, &out, &alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(alerts.Bytes(), []byte("# ALERT")) {
+		t.Errorf("rule never fired; alert stream: %q", alerts.String())
+	}
+	if bytes.Contains(out.Bytes(), []byte("# ALERT")) {
+		t.Error("alert leaked into the CSV stream")
+	}
+}

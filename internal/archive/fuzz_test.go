@@ -1,0 +1,104 @@
+package archive
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"papimc/internal/pcp"
+)
+
+// fuzzArchiveBytes serializes a small valid archive to seed the corpus.
+func fuzzArchiveBytes(tb testing.TB, rows int) []byte {
+	tb.Helper()
+	a, err := New([]pcp.NameEntry{
+		{PMID: 1, Name: "fuzz.metric.a"},
+		{PMID: 2, Name: "fuzz.metric.b"},
+		{PMID: 7, Name: "fuzz.metric.c"},
+	}, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		row := Sample{
+			Timestamp: int64(i) * 10,
+			Values:    []uint64{uint64(i) * 100, 1 << (uint(i) % 60), ^uint64(0) - uint64(i)},
+		}
+		if err := a.AppendSample(row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadArchive hammers the varint-delta archive decoder with hostile
+// input. Two properties:
+//
+//  1. Totality: Read never panics or runs away — any input is either
+//     decoded or rejected with an error, no matter how the length
+//     fields, varints, or deltas are mangled.
+//  2. Soundness: an input Read accepts yields a well-formed archive —
+//     strictly increasing timestamps, full-width rows — that round-trips
+//     through WriteTo/Read to identical samples.
+func FuzzReadArchive(f *testing.F) {
+	empty := fuzzArchiveBytes(f, 0)
+	valid := fuzzArchiveBytes(f, 9)
+	f.Add(empty)
+	f.Add(valid)
+	// Truncations at structurally interesting places.
+	for _, n := range []int{0, 3, len(fileMagic), len(fileMagic) + 2, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:n])
+	}
+	// Single-bit flips in the header, schema, and delta stream.
+	for _, off := range []int{1, len(fileMagic), len(fileMagic) + 4, len(valid) / 2, len(valid) - 2} {
+		b := append([]byte(nil), valid...)
+		b[off] ^= 0x10
+		f.Add(b)
+	}
+	f.Add([]byte(fileMagic))
+	f.Add([]byte("not an archive at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Read(bytes.NewReader(data), Options{})
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		rows, err := a.All()
+		if err != nil {
+			t.Fatalf("accepted archive failed to decode: %v", err)
+		}
+		prev := int64(-1 << 62)
+		for _, r := range rows {
+			if r.Timestamp <= prev {
+				t.Fatalf("accepted archive has non-increasing timestamps: %d after %d", r.Timestamp, prev)
+			}
+			prev = r.Timestamp
+			if len(r.Values) != len(a.Names()) {
+				t.Fatalf("row at ts=%d has %d values for a %d-column schema", r.Timestamp, len(r.Values), len(a.Names()))
+			}
+		}
+
+		var out bytes.Buffer
+		if _, err := a.WriteTo(&out); err != nil {
+			t.Fatalf("accepted archive failed to re-serialize: %v", err)
+		}
+		b, err := Read(bytes.NewReader(out.Bytes()), Options{})
+		if err != nil {
+			t.Fatalf("round-tripped archive rejected: %v", err)
+		}
+		rows2, err := b.All()
+		if err != nil {
+			t.Fatalf("round-tripped archive failed to decode: %v", err)
+		}
+		if len(rows) == 0 && len(rows2) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(rows, rows2) {
+			t.Fatalf("round trip changed samples:\n%v\n%v", rows, rows2)
+		}
+	})
+}

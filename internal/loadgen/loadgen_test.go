@@ -1,38 +1,20 @@
 package loadgen
 
 import (
-	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"papimc/internal/pcp"
-	"papimc/internal/simtime"
+	"papimc/internal/testutil"
 )
 
-// testDaemon builds a daemon with synthetic metrics and returns it plus
-// its TCP address.
+// testDaemon builds a daemon with synthetic metrics via the shared
+// testutil bed and returns it plus its TCP address.
 func testDaemon(t *testing.T) (*pcp.Daemon, string) {
 	t.Helper()
-	ms := make([]pcp.Metric, 8)
-	for i := range ms {
-		v := uint64(i) * 10
-		ms[i] = pcp.Metric{
-			Name: fmt.Sprintf("load.metric.%d", i),
-			Read: func(simtime.Time) (uint64, error) { return v, nil },
-		}
-	}
-	d, err := pcp.NewDaemon(simtime.NewClock(), 10*simtime.Millisecond, ms)
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr, err := d.Start("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { d.Close() })
-	return d, addr
+	return testutil.StartSyntheticDaemon(t, 8)
 }
 
 // TestSimSweepDeterministic: the whole simulated-time report — ops,

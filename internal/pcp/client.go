@@ -37,6 +37,18 @@ func DialRaw(addr, magic string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pcp: dial %s: %w", addr, err)
 	}
+	return NewClientConnRaw(conn, magic)
+}
+
+// NewClientConn performs the protocol handshake over an
+// already-established connection and returns a Client speaking on it.
+// It is the injection point for transport wrappers (fault injection,
+// in-process pipes): anything that satisfies net.Conn can carry the
+// protocol. On handshake failure the connection is closed.
+func NewClientConn(conn net.Conn) (*Client, error) { return NewClientConnRaw(conn, Magic) }
+
+// NewClientConnRaw is NewClientConn with a caller-chosen handshake magic.
+func NewClientConnRaw(conn net.Conn, magic string) (*Client, error) {
 	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 	if _, err := c.bw.WriteString(magic); err != nil {
 		conn.Close()

@@ -217,10 +217,17 @@ func (d *Daemon) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("pcp: listen: %w", err)
 	}
+	return d.StartOn(ln), nil
+}
+
+// StartOn serves clients on an existing listener until Close. It is the
+// injection point for wrapped listeners (fault injection, custom
+// transports). It returns the listener's address.
+func (d *Daemon) StartOn(ln net.Listener) string {
 	d.ln = ln
 	d.wg.Add(1)
 	go d.acceptLoop()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 // acceptBackoffMax caps the sleep between retries of a failing Accept.

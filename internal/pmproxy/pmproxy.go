@@ -39,6 +39,7 @@ import (
 
 	"papimc/internal/pcp"
 	"papimc/internal/simtime"
+	"papimc/internal/xrand"
 )
 
 // ErrUpstreamDown is returned when the upstream is unreachable after
@@ -64,10 +65,17 @@ type Config struct {
 	// is dropped and redialled. Zero means no deadline.
 	Timeout time.Duration
 	// MaxRetries is how many times a failed upstream operation is
-	// retried (with doubling backoff) before giving up.
+	// retried (with capped, jittered doubling backoff) before giving up.
 	MaxRetries int
 	// Backoff is the initial delay between retries.
 	Backoff time.Duration
+	// BackoffMax caps the doubling backoff between retries. Zero means
+	// 1s. Without a cap, long retry sequences (accumulated across
+	// repeated outages) double into multi-minute sleeps.
+	BackoffMax time.Duration
+	// Seed seeds the backoff jitter RNG, keeping retry timing
+	// deterministic under the chaos suite. Zero is a valid seed.
+	Seed uint64
 	// DisableStale makes the proxy fail requests when the upstream is
 	// down instead of serving the last good (timestamped) answer.
 	DisableStale bool
@@ -87,8 +95,11 @@ type Stats struct {
 	ClientFetches   int64 // fetch PDUs received from clients
 	UpstreamFetches int64 // fetch round trips that reached the daemon
 	CoalescedHits   int64 // client fetches answered from the interval cache
-	StaleServes     int64 // answers served from cache because upstream was down
+	StaleServes     int64 // fetch answers served from cache because upstream was down
+	StaleNameServes int64 // name tables served from cache because upstream was down
 	UpstreamErrors  int64 // failed upstream operations (before retry)
+	Retries         int64 // failed upstream operations that were retried
+	Exhausted       int64 // upstream operations that failed after all retries
 	Redials         int64 // upstream connections established
 }
 
@@ -167,8 +178,20 @@ type Proxy struct {
 	upstreamFetches atomic.Int64
 	coalescedHits   atomic.Int64
 	staleServes     atomic.Int64
+	staleNameServes atomic.Int64
 	upstreamErrors  atomic.Int64
+	retries         atomic.Int64
+	exhausted       atomic.Int64
 	redials         atomic.Int64
+
+	// sleep is the retry-backoff sleeper, a hook so the regression test
+	// can observe planned sleeps without wall-clock waits.
+	sleep func(time.Duration)
+
+	// boMu guards boRng: jitter draws are rare (one per retry), so a
+	// mutex is fine.
+	boMu  sync.Mutex
+	boRng *xrand.Source
 }
 
 // New builds a proxy; it does not touch the network until Start (or the
@@ -177,11 +200,16 @@ func New(cfg Config) *Proxy {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = defaultPoolSize
 	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
 	p := &Proxy{
 		cfg:    cfg,
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 		sem:    make(chan struct{}, cfg.PoolSize),
+		sleep:  time.Sleep,
+		boRng:  xrand.New(cfg.Seed),
 	}
 	for i := range p.shards {
 		p.shards[i].m = make(map[string]*entry)
@@ -196,7 +224,10 @@ func (p *Proxy) Stats() Stats {
 		UpstreamFetches: p.upstreamFetches.Load(),
 		CoalescedHits:   p.coalescedHits.Load(),
 		StaleServes:     p.staleServes.Load(),
+		StaleNameServes: p.staleNameServes.Load(),
 		UpstreamErrors:  p.upstreamErrors.Load(),
+		Retries:         p.retries.Load(),
+		Exhausted:       p.exhausted.Load(),
 		Redials:         p.redials.Load(),
 	}
 }
@@ -257,7 +288,10 @@ func (p *Proxy) discard(c *pcp.Client) {
 }
 
 // withUpstream runs op against a pooled upstream connection with bounded
-// retry and doubling backoff, redialling after each failure.
+// retry and capped, jittered doubling backoff, redialling after each
+// failure. Every failed attempt is counted in UpstreamErrors and then in
+// exactly one of Retries (another attempt follows) or Exhausted (gave
+// up), so UpstreamErrors == Retries + Exhausted holds at all times.
 func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
 	var lastErr error
 	backoff := p.cfg.Backoff
@@ -273,13 +307,32 @@ func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
 		lastErr = err
 		p.upstreamErrors.Add(1)
 		if attempt >= p.cfg.MaxRetries {
+			p.exhausted.Add(1)
 			return fmt.Errorf("%w: %v", ErrUpstreamDown, lastErr)
 		}
+		p.retries.Add(1)
 		if backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			p.sleep(p.jitter(backoff))
+			if backoff > p.cfg.BackoffMax/2 {
+				backoff = p.cfg.BackoffMax
+			} else {
+				backoff *= 2
+			}
 		}
 	}
+}
+
+// jitter spreads a backoff uniformly over [d/2, d], drawn from the
+// seeded RNG so retry timing is deterministic in simulated runs while
+// still decorrelating retry storms.
+func (p *Proxy) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	p.boMu.Lock()
+	j := time.Duration(p.boRng.Int63n(int64(d/2) + 1))
+	p.boMu.Unlock()
+	return d/2 + j
 }
 
 // keyBufPool holds scratch buffers for encoding cache keys: the encoded
@@ -389,7 +442,7 @@ func (p *Proxy) Names() ([]pcp.NameEntry, error) {
 	})
 	if err != nil {
 		if t := p.names.Load(); t != nil && !p.cfg.DisableStale {
-			p.staleServes.Add(1)
+			p.staleNameServes.Add(1)
 			return t.entries, nil
 		}
 		return nil, err
@@ -405,10 +458,17 @@ func (p *Proxy) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("pmproxy: listen: %w", err)
 	}
+	return p.StartOn(ln), nil
+}
+
+// StartOn serves clients on an existing listener until Close. It is the
+// injection point for wrapped listeners (fault injection, custom
+// transports). It returns the listener's address.
+func (p *Proxy) StartOn(ln net.Listener) string {
 	p.ln = ln
 	p.wg.Add(1)
 	go p.acceptLoop()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 // acceptBackoffMax caps the sleep between retries of a failing Accept.

@@ -3,39 +3,27 @@ package pmproxy
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
-	"papimc/internal/arch"
 	"papimc/internal/mem"
-	"papimc/internal/nest"
 	"papimc/internal/pcp"
 	"papimc/internal/simtime"
+	"papimc/internal/testutil"
 )
 
-const sampleInterval = 10 * simtime.Millisecond
+const sampleInterval = testutil.SampleInterval
 
-// rig builds a daemon over an ideal Summit socket and a proxy in front
-// of it sharing the daemon's clock.
+// rig builds a daemon over an ideal Summit socket (the shared testutil
+// bed) and a proxy in front of it sharing the daemon's clock.
 func rig(t *testing.T, cfg func(*Config)) (*mem.Controller, *simtime.Clock, *pcp.Daemon, *Proxy, string) {
 	t.Helper()
-	clock := simtime.NewClock()
-	m := arch.Summit()
-	ctl := mem.NewController(mem.Config{Channels: m.Socket.MBAChannels, DisableNoise: true}, clock)
-	pmu := nest.NewPMU(m, 0, ctl)
-	d, err := pcp.NewDaemon(clock, sampleInterval, pcp.NestMetrics([]*nest.PMU{pmu}, nest.RootCredential()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	upstream, err := d.Start("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { d.Close() })
+	bed := testutil.StartNestDaemon(t, sampleInterval)
 	c := Config{
-		Upstream:   upstream,
-		Clock:      clock,
+		Upstream:   bed.Addr,
+		Clock:      bed.Clock,
 		Interval:   sampleInterval,
 		Timeout:    2 * time.Second,
 		MaxRetries: 1,
@@ -49,7 +37,7 @@ func rig(t *testing.T, cfg func(*Config)) (*mem.Controller, *simtime.Clock, *pcp
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { p.Close() })
-	return ctl, clock, d, p, addr
+	return bed.Ctl, bed.Clock, bed.Daemon, p, addr
 }
 
 // TestCoalescing32Clients is the acceptance test for the fan-out win:
@@ -243,24 +231,12 @@ func TestNameTableCachedAndRefreshed(t *testing.T) {
 
 // TestRetryBackoffRedials: a flaky upstream dial succeeds after retries.
 func TestRetryBackoffRedials(t *testing.T) {
-	clock := simtime.NewClock()
-	m := arch.Summit()
-	ctl := mem.NewController(mem.Config{Channels: m.Socket.MBAChannels, DisableNoise: true}, clock)
-	pmu := nest.NewPMU(m, 0, ctl)
-	d, err := pcp.NewDaemon(clock, sampleInterval, pcp.NestMetrics([]*nest.PMU{pmu}, nest.RootCredential()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	upstream, err := d.Start("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer d.Close()
+	bed := testutil.StartNestDaemon(t, sampleInterval)
 
 	var mu sync.Mutex
 	dials := 0
 	p := New(Config{
-		Clock:      clock,
+		Clock:      bed.Clock,
 		Interval:   sampleInterval,
 		MaxRetries: 3,
 		Dial: func() (*pcp.Client, error) {
@@ -271,7 +247,7 @@ func TestRetryBackoffRedials(t *testing.T) {
 			if n <= 2 {
 				return nil, fmt.Errorf("transient dial failure %d", n)
 			}
-			return pcp.Dial(upstream)
+			return pcp.Dial(bed.Addr)
 		},
 	})
 	defer p.Close()
@@ -282,6 +258,9 @@ func TestRetryBackoffRedials(t *testing.T) {
 	if st.UpstreamErrors != 2 || st.Redials != 1 || st.UpstreamFetches != 1 {
 		t.Errorf("stats = %+v, want 2 errors, 1 redial, 1 fetch", st)
 	}
+	if st.Retries != 2 || st.Exhausted != 0 {
+		t.Errorf("stats = %+v, want 2 retries, 0 exhausted", st)
+	}
 
 	// Exhausted retries surface ErrUpstreamDown.
 	pBad := New(Config{MaxRetries: 1, Dial: func() (*pcp.Client, error) {
@@ -290,5 +269,69 @@ func TestRetryBackoffRedials(t *testing.T) {
 	defer pBad.Close()
 	if _, err := pBad.Fetch([]uint32{1}); !errors.Is(err, ErrUpstreamDown) {
 		t.Errorf("err = %v, want ErrUpstreamDown", err)
+	}
+	if st := pBad.Stats(); st.UpstreamErrors != 2 || st.Retries != 1 || st.Exhausted != 1 {
+		t.Errorf("exhausted stats = %+v, want errors=2 retries=1 exhausted=1", st)
+	}
+}
+
+// TestBackoffCappedAndJittered is the regression test for the unbounded
+// doubling bug: across a long retry sequence the planned sleeps must (a)
+// never exceed BackoffMax, (b) stay within each step's jitter window
+// [d/2, d], and (c) be reproducible for a fixed Config.Seed.
+func TestBackoffCappedAndJittered(t *testing.T) {
+	const retries = 20
+	run := func(seed uint64) []time.Duration {
+		var sleeps []time.Duration
+		p := New(Config{
+			MaxRetries: retries,
+			Backoff:    time.Millisecond,
+			BackoffMax: 16 * time.Millisecond,
+			Seed:       seed,
+			Dial: func() (*pcp.Client, error) {
+				return nil, errors.New("always down")
+			},
+		})
+		defer p.Close()
+		p.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+		if _, err := p.Fetch([]uint32{1}); !errors.Is(err, ErrUpstreamDown) {
+			t.Fatalf("err = %v, want ErrUpstreamDown", err)
+		}
+		return sleeps
+	}
+
+	sleeps := run(7)
+	if len(sleeps) != retries {
+		t.Fatalf("planned %d sleeps, want %d", len(sleeps), retries)
+	}
+	// The nominal (pre-jitter) backoff doubles from Backoff and saturates
+	// at BackoffMax; each planned sleep must lie in [nominal/2, nominal].
+	nominal := time.Millisecond
+	const backoffMax = 16 * time.Millisecond
+	for i, s := range sleeps {
+		if s > backoffMax {
+			t.Errorf("sleep %d = %v exceeds BackoffMax %v", i, s, backoffMax)
+		}
+		if s < nominal/2 || s > nominal {
+			t.Errorf("sleep %d = %v outside jitter window [%v, %v]", i, s, nominal/2, nominal)
+		}
+		if nominal > backoffMax/2 {
+			nominal = backoffMax
+		} else {
+			nominal *= 2
+		}
+	}
+	// Saturation: by the end the nominal backoff must have hit the cap
+	// (i.e. the sequence would have overflowed it absent the fix).
+	if tail := sleeps[len(sleeps)-1]; tail > backoffMax {
+		t.Errorf("tail sleep %v exceeds cap", tail)
+	}
+
+	// Determinism: same seed, same planned sleeps; different seed differs.
+	if again := run(7); !reflect.DeepEqual(sleeps, again) {
+		t.Errorf("sleeps not reproducible for fixed seed:\n%v\n%v", sleeps, again)
+	}
+	if other := run(8); reflect.DeepEqual(sleeps, other) {
+		t.Errorf("different seeds produced identical jitter (suspicious)")
 	}
 }
