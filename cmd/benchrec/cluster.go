@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"papimc/internal/cluster"
+	"papimc/internal/metricql"
+	"papimc/internal/simtime"
+)
+
+// clusterBenchInterval matches the cluster testbed's sampling interval.
+const clusterBenchInterval = 10 * simtime.Millisecond
+
+// clusterNodeCounts are the tree sizes the latency record covers; the
+// 64-node tree is the CI acceptance geometry, 1024 the scale point.
+var clusterNodeCounts = []int{64, 256, 1024}
+
+// clusterMain measures federated root-query latency against tree size
+// and writes the record (BENCH_5.json by default): a whole-namespace
+// scatter-gather FetchAll and a grouped metricql query, each at every
+// node count, over an in-process fanout-8 tree. There are no 'before'
+// baselines — the subsystem is new — so the record is the trajectory's
+// starting point.
+func clusterMain(out string) {
+	benches := []struct {
+		name string
+		fn   func(*testing.B, int)
+	}{
+		{"cluster/RootFetchAll", benchClusterFetchAll},
+		{"cluster/GroupByNode", benchClusterGroupByNode},
+	}
+	report := struct {
+		Note    string  `json:"note"`
+		Entries []Entry `json:"entries"`
+	}{
+		Note: "federated cluster root-query latency vs node count (in-process tree, fanout 8): " +
+			"RootFetchAll scatter-gathers the whole namespace through every federator level, " +
+			"GroupByNode evaluates sum(mem.read_bw) by (node) at the root with a fresh sample interval per op",
+	}
+	for _, bm := range benches {
+		for _, nodes := range clusterNodeCounts {
+			nodes := nodes
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				bm.fn(b, nodes)
+			})
+			e := Entry{Name: fmt.Sprintf("%s/%d", bm.name, nodes), After: Metric{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}}
+			report.Entries = append(report.Entries, e)
+			fmt.Printf("%-28s %12.1f ns/op %10d B/op %6d allocs/op\n",
+				e.Name, e.After.NsPerOp, e.After.BytesPerOp, e.After.AllocsPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func assembleBenchTree(b *testing.B, nodes int) *cluster.Tree {
+	tr, err := cluster.Assemble(cluster.Config{
+		Nodes:    nodes,
+		FanOut:   8,
+		Seed:     1,
+		Interval: clusterBenchInterval,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// benchClusterFetchAll measures the pure scatter-gather path: the
+// clock holds still, so every daemon serves its cached sample and the
+// number is the tree's routing + merge cost.
+func benchClusterFetchAll(b *testing.B, nodes int) {
+	tr := assembleBenchTree(b, nodes)
+	tr.Clock.Advance(clusterBenchInterval + 1)
+	if _, err := tr.Root.FetchAll(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Root.FetchAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClusterGroupByNode measures the grouped query end to end with a
+// fresh sample interval per op, so every daemon resamples: the cost of
+// answering sum(mem.read_bw) by (node) against live data.
+func benchClusterGroupByNode(b *testing.B, nodes int) {
+	tr := assembleBenchTree(b, nodes)
+	eng := metricql.NewEngine(tr.Root)
+	q, err := eng.Query("sum(mem.read_bw) by (node)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Clock.Advance(clusterBenchInterval + 1)
+	if _, err := q.Eval(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Clock.Advance(clusterBenchInterval + 1)
+		if _, err := q.Eval(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

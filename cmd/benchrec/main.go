@@ -7,6 +7,11 @@
 // Usage:
 //
 //	benchrec [-out BENCH_4.json] [-benchtime 1s]
+//	benchrec -cluster [-out BENCH_5.json]
+//
+// With -cluster it instead records federated root-query latency versus
+// node count (the scatter-gather tree from internal/cluster), writing
+// BENCH_5.json by default.
 package main
 
 import (
@@ -86,15 +91,27 @@ var concBaselines = map[string]Metric{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output file")
+	out := flag.String("out", "", "output file (default BENCH_4.json, or BENCH_5.json with -cluster)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
+	clusterRec := flag.Bool("cluster", false, "record federated root-query latency vs node count instead")
 	flag.Parse()
+	if *out == "" {
+		if *clusterRec {
+			*out = "BENCH_5.json"
+		} else {
+			*out = "BENCH_4.json"
+		}
+	}
 	// testing.Benchmark consults the test.benchtime flag, which only
 	// exists after testing.Init registers it.
 	testing.Init()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *clusterRec {
+		clusterMain(*out)
+		return
 	}
 
 	benchmarks := []struct {

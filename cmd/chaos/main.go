@@ -6,8 +6,15 @@
 // byte-identical report at any -j. On a violation the driver prints the
 // offending trials and one repro command line per failure, then exits 1.
 //
+// With -cluster the sweep runs against federated metric trees instead:
+// each trial assembles its own hierarchical scatter-gather cluster,
+// kills and stalls nodes mid-stream, and checks the partial-result
+// contract — every query answers, the missing nodes are named exactly,
+// and every surviving value certifies.
+//
 //	go run ./cmd/chaos -profile mixed -trials 16
 //	go run ./cmd/chaos -seed 0xc4a05 -trials 4 -trial 1 -ops 30 -corrupt 3000 -chunk 64
+//	go run ./cmd/chaos -cluster -nodes 64 -fanout 4 -kill 3 -trials 8
 package main
 
 import (
@@ -38,8 +45,60 @@ func main() {
 		corrupt = flag.Int64("corrupt", 0, "mean bytes between single-bit flips (0 = off)")
 		latency = flag.Int64("latency", 0, "mean bytes between inserted delays (0 = off)")
 		chunk   = flag.Int("chunk", 0, "max bytes per read/write (0 = unlimited)")
+
+		clusterMode = flag.Bool("cluster", false, "sweep federated metric trees instead of the serving stack")
+		nodes       = flag.Int("nodes", 64, "[cluster] node count per tree")
+		fanout      = flag.Int("fanout", 4, "[cluster] federator fan-out")
+		queries     = flag.Int("queries", 4, "[cluster] scatter-gather queries per trial")
+		kill        = flag.Int("kill", 3, "[cluster] nodes killed per trial")
+		stalled     = flag.Int("stalled", 0, "[cluster] nodes stalled per trial")
+		flap        = flag.Bool("flap", false, "[cluster] re-draw the victims before every query")
 	)
 	flag.Parse()
+
+	if *clusterMode {
+		prof := chaos.ClusterProfile{Kill: *kill, Stall: *stalled, Flap: *flap}
+		if *profile != "" {
+			p, ok := chaos.ClusterProfiles[*profile]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "chaos: unknown cluster profile %q (have: %s)\n",
+					*profile, strings.Join(chaos.ClusterProfileNames(), ", "))
+				os.Exit(2)
+			}
+			prof = p
+		}
+		o := chaos.ClusterOptions{
+			Seed:    *seed,
+			Trials:  *trials,
+			Queries: *queries,
+			Nodes:   *nodes,
+			FanOut:  *fanout,
+			Workers: *workers,
+			Profile: prof,
+			Trial:   *trial,
+		}
+		start := time.Now()
+		rep, err := chaos.RunCluster(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(rep)
+		fmt.Fprintf(os.Stderr, "elapsed %.2fs\n", time.Since(start).Seconds())
+		if rep.Failed() {
+			bad := 0
+			for _, tr := range rep.Trials {
+				if len(tr.Violations) > 0 {
+					bad++
+					fmt.Printf("repro: %s\n", chaos.ClusterReproLine(o, tr.Index))
+				}
+			}
+			fmt.Printf("FAIL: %d of %d trials violated the partial-result contract\n", bad, len(rep.Trials))
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d trials, seed %#x\n", len(rep.Trials), o.Seed)
+		return
+	}
 
 	sched := faultconn.Schedule{
 		RefuseProb:   *refuse,

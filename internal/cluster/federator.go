@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"papimc/internal/pcp"
+	"papimc/internal/pmproxy"
+)
+
+// Source is what a federator needs from each child: the namespace and a
+// fetch. pcp.Client, pcp.Daemon (via Node.Source), and Federator itself
+// all satisfy it, which is what lets trees stack to any depth.
+type Source interface {
+	Names() ([]pcp.NameEntry, error)
+	Fetch(pmids []uint32) (pcp.FetchResult, error)
+}
+
+// Child declares one downstream of a federator.
+type Child struct {
+	// Name labels the edge ("node003" for a leaf edge, "zone1" higher up).
+	Name string
+	// Src is the child's metric source.
+	Src Source
+	// Nodes are the leaf node names reachable through this child — the
+	// blast radius named in a PartialError when the whole edge fails.
+	Nodes []string
+	// Qualify, when non-empty, prefixes every child metric name with
+	// "<Qualify>:". Leaf edges set it to the node name; upper edges leave
+	// it empty because zone namespaces are already qualified.
+	Qualify string
+}
+
+// routeEntry maps one federator PMID to its owner.
+type routeEntry struct {
+	child     int
+	childPMID uint32
+}
+
+// EdgeStats is one edge's name and counters.
+type EdgeStats struct {
+	Edge  string
+	Stats pmproxy.UpstreamStats
+}
+
+// Federator is one interior vertex of the aggregation tree. It merges
+// its children's namespaces into a single qualified namespace with its
+// own PMID assignment (sorted-name order, like a daemon) and serves
+// scatter-gather fetches over them: requested PMIDs are routed to the
+// owning children, fetched concurrently through per-edge
+// pmproxy.Upstream clients (deadline, hedge, retry), and the answers
+// are merged. A failed edge contributes StatusNodeDown values and its
+// node list to the typed partial error instead of failing the query.
+type Federator struct {
+	name     string
+	children []Child
+	ups      []*pmproxy.Upstream
+	names    []pcp.NameEntry
+	route    []routeEntry // route[i] owns PMID i+1
+	nodes    []string     // union of children's Nodes, sorted
+}
+
+// NewFederator builds a federator over children, reading each child's
+// namespace once. Every edge gets the same policy; heterogeneous
+// policies can be modelled by stacking federators.
+func NewFederator(name string, children []Child, policy pmproxy.EdgePolicy) (*Federator, error) {
+	f := &Federator{name: name, children: children}
+	type entry struct {
+		name string
+		r    routeEntry
+	}
+	var entries []entry
+	nodeSet := make(map[string]bool)
+	for i, c := range children {
+		if c.Src == nil {
+			return nil, fmt.Errorf("cluster: federator %s: child %s has no source", name, c.Name)
+		}
+		ents, err := c.Src.Names()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: federator %s: listing child %s: %w", name, c.Name, err)
+		}
+		for _, en := range ents {
+			qn := en.Name
+			if c.Qualify != "" {
+				qn = c.Qualify + ":" + qn
+			}
+			entries = append(entries, entry{name: qn, r: routeEntry{child: i, childPMID: en.PMID}})
+		}
+		for _, nd := range c.Nodes {
+			nodeSet[nd] = true
+		}
+		f.ups = append(f.ups, pmproxy.NewUpstream(name+"->"+c.Name, c.Src.Fetch, policy))
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	f.names = make([]pcp.NameEntry, len(entries))
+	f.route = make([]routeEntry, len(entries))
+	for i, en := range entries {
+		if i > 0 && en.name == entries[i-1].name {
+			return nil, fmt.Errorf("cluster: federator %s: duplicate metric %q", name, en.name)
+		}
+		f.names[i] = pcp.NameEntry{PMID: uint32(i + 1), Name: en.name}
+		f.route[i] = en.r
+	}
+	f.nodes = make([]string, 0, len(nodeSet))
+	for nd := range nodeSet {
+		f.nodes = append(f.nodes, nd)
+	}
+	sort.Strings(f.nodes)
+	return f, nil
+}
+
+// Name returns the federator's name.
+func (f *Federator) Name() string { return f.name }
+
+// Nodes returns the sorted leaf node names under this federator.
+func (f *Federator) Nodes() []string { return append([]string(nil), f.nodes...) }
+
+// Names returns the federator's merged, qualified namespace.
+func (f *Federator) Names() ([]pcp.NameEntry, error) {
+	return append([]pcp.NameEntry(nil), f.names...), nil
+}
+
+// EdgeStats returns each edge's counters, in child order.
+func (f *Federator) EdgeStats() []EdgeStats {
+	out := make([]EdgeStats, len(f.ups))
+	for i, u := range f.ups {
+		out[i] = EdgeStats{Edge: u.Name(), Stats: u.Stats()}
+	}
+	return out
+}
+
+// Fetch scatter-gathers the requested PMIDs across the owning children.
+//
+// Partial-result semantics: the returned FetchResult ALWAYS carries one
+// value per requested PMID, in request order. A value owned by an
+// unreachable subtree has Status pcp.StatusNodeDown, and the
+// accompanying error is a *pcp.PartialError naming every missing leaf
+// node (sorted, deduplicated). Only when no child answers at all does
+// Fetch fail outright, with an error wrapping pmproxy.ErrUpstreamDown —
+// which is exactly what lets a parent federator treat this whole
+// subtree as one failed edge.
+//
+// The merged timestamp is the maximum across answering children; with
+// the shared clock held still past the sampling interval every child
+// answers at the same virtual time and the maximum is that time.
+func (f *Federator) Fetch(pmids []uint32) (pcp.FetchResult, error) {
+	type request struct {
+		childPMIDs []uint32
+		slots      []int
+	}
+	reqs := make([]request, len(f.children))
+	out := make([]pcp.FetchValue, len(pmids))
+	for slot, id := range pmids {
+		if id == 0 || int(id) > len(f.route) {
+			out[slot] = pcp.FetchValue{PMID: id, Status: pcp.StatusNoSuchPMID}
+			continue
+		}
+		r := f.route[id-1]
+		reqs[r.child].childPMIDs = append(reqs[r.child].childPMIDs, r.childPMID)
+		reqs[r.child].slots = append(reqs[r.child].slots, slot)
+	}
+
+	type answer struct {
+		res pcp.FetchResult
+		err error
+	}
+	answers := make([]answer, len(f.children))
+	var wg sync.WaitGroup
+	for i := range f.children {
+		if len(reqs[i].childPMIDs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := f.ups[i].Fetch(reqs[i].childPMIDs)
+			answers[i] = answer{res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var ts int64
+	missing := make(map[string]bool)
+	var cause string
+	answered := false
+	var lastErr error
+	for i := range f.children {
+		req := reqs[i]
+		if len(req.childPMIDs) == 0 {
+			continue
+		}
+		a := answers[i]
+		var pe *pcp.PartialError
+		failed := a.err != nil && !errors.As(a.err, &pe)
+		if !failed && len(a.res.Values) != len(req.childPMIDs) {
+			// A short answer is a protocol violation; treat the edge as down
+			// rather than serve misaligned values.
+			failed = true
+			a.err = fmt.Errorf("cluster: %s: %d values for %d pmids", f.ups[i].Name(), len(a.res.Values), len(req.childPMIDs))
+		}
+		if failed {
+			for _, slot := range req.slots {
+				out[slot] = pcp.FetchValue{PMID: pmids[slot], Status: pcp.StatusNodeDown}
+			}
+			for _, nd := range f.children[i].Nodes {
+				missing[nd] = true
+			}
+			if cause == "" {
+				cause = fmt.Sprintf("%s: %v", f.children[i].Name, a.err)
+			}
+			lastErr = a.err
+			continue
+		}
+		answered = true
+		if a.res.Timestamp > ts {
+			ts = a.res.Timestamp
+		}
+		if pe != nil {
+			for _, nd := range pe.Missing {
+				missing[nd] = true
+			}
+			if cause == "" {
+				cause = pe.Cause
+			}
+		}
+		for j, v := range a.res.Values {
+			v.PMID = pmids[req.slots[j]] // rewrite to this federator's PMID space
+			out[req.slots[j]] = v
+		}
+	}
+
+	if len(missing) == 0 {
+		return pcp.FetchResult{Timestamp: ts, Values: out}, nil
+	}
+	if !answered {
+		return pcp.FetchResult{}, fmt.Errorf("cluster: %s: every child failed: %w (%v)", f.name, pmproxy.ErrUpstreamDown, lastErr)
+	}
+	names := make([]string, 0, len(missing))
+	for nd := range missing {
+		names = append(names, nd)
+	}
+	sort.Strings(names)
+	return pcp.FetchResult{Timestamp: ts, Values: out},
+		&pcp.PartialError{Missing: names, Cause: cause}
+}
+
+// FetchAll fetches the federator's entire namespace in PMID order — the
+// batch form the PDU layer's PDUFetchAllReq maps to.
+func (f *Federator) FetchAll() (pcp.FetchResult, error) {
+	ids := make([]uint32, len(f.route))
+	for i := range ids {
+		ids[i] = uint32(i + 1)
+	}
+	return f.Fetch(ids)
+}

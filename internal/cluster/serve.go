@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"papimc/internal/pcp"
+)
+
+// Server serves a Federator over the PCP PDU protocol, so a tree can
+// span processes and machines: a parent federator dials it like any
+// daemon, and partial results travel as PDUFetchPartialResp. The
+// accept/serve structure mirrors pcp.Daemon's.
+type Server struct {
+	f  *Federator
+	ln net.Listener
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts serving f on addr (e.g. "127.0.0.1:0") and returns the
+// running server and its bound address.
+func Serve(f *Federator, addr string) (*Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: listen: %w", err)
+	}
+	s := &Server{
+		f:      f,
+		ln:     ln,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, ln.Addr().String(), nil
+}
+
+const acceptBackoffMax = time.Second
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	var backoff time.Duration
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-s.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	if err := pcp.ServerHandshake(br, bw); err != nil {
+		return
+	}
+	var (
+		payloadBuf []byte
+		respBuf    []byte
+		pmids      []uint32
+	)
+	for {
+		typ, payload, err := pcp.ReadPDUInto(br, payloadBuf)
+		if err != nil {
+			return
+		}
+		payloadBuf = payload
+		var respType uint8
+		var resp []byte
+		switch typ {
+		case pcp.PDUNamesReq:
+			respType, resp = pcp.PDUNamesResp, pcp.AppendNamesResp(respBuf[:0], s.f.names)
+		case pcp.PDUFetchReq:
+			pmids, err = pcp.DecodeFetchReqInto(payload, pmids[:0])
+			if err != nil {
+				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
+				break
+			}
+			res, ferr := s.f.Fetch(pmids)
+			respType, resp = s.answer(respBuf[:0], res, ferr)
+		case pcp.PDUFetchAllReq:
+			res, ferr := s.f.FetchAll()
+			respType, resp = s.answer(respBuf[:0], res, ferr)
+		default:
+			respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
+		}
+		respBuf = resp
+		if err := pcp.WritePDU(bw, respType, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// answer encodes a scatter-gather outcome: full results as a fetch
+// response, partial results as PDUFetchPartialResp, hard failures as a
+// PDU error.
+func (s *Server) answer(dst []byte, res pcp.FetchResult, err error) (uint8, []byte) {
+	var pe *pcp.PartialError
+	switch {
+	case err == nil:
+		return pcp.PDUFetchResp, pcp.AppendFetchResp(dst, res)
+	case errors.As(err, &pe):
+		return pcp.PDUFetchPartialResp, pcp.AppendPartialResp(dst, res, pe.Missing, pe.Cause)
+	default:
+		return pcp.PDUError, pcp.AppendError(dst, err.Error())
+	}
+}
+
+// Close stops the listener, disconnects clients, and waits for handlers.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}

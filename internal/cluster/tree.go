@@ -1,0 +1,302 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"papimc/internal/pcp"
+	"papimc/internal/pmproxy"
+	"papimc/internal/simtime"
+	"papimc/internal/sweep"
+)
+
+// Config shapes an assembled tree.
+type Config struct {
+	// Nodes is the leaf count. Node i is named node%0*d and seeded with
+	// sweep.Seed(Seed, i), so every node's metric stream is an
+	// independent deterministic substream.
+	Nodes int
+	// FanOut is the maximum children per federator (default 4). A
+	// 64-node FanOut-4 tree is 3 federator levels: 16 leaves, 4 zones,
+	// 1 root.
+	FanOut int
+	// Seed is the base seed for node substreams.
+	Seed uint64
+	// Interval is every daemon's sampling interval (default 10ms of
+	// simulated time).
+	Interval simtime.Duration
+	// Policy is applied to leaf federation edges. Higher levels scale
+	// Deadline and HedgeAfter by (Retries+2) per level, so a parent's
+	// deadline always covers a child's full retry budget — otherwise one
+	// stalled node would cascade: the zone's edge times out while the
+	// leaf is still retrying, and the whole subtree goes missing instead
+	// of one node.
+	Policy pmproxy.EdgePolicy
+	// Net serves every interior edge over TCP loopback: node daemons
+	// listen, federators are served, parents dial PCP clients. Off, the
+	// whole tree is in-process function calls — the mode that scales to
+	// thousands of nodes in one test.
+	Net bool
+	// Timeout bounds each net-mode client round trip (default 2s).
+	Timeout time.Duration
+}
+
+// expectEntry locates the ground truth for one root PMID.
+type expectEntry struct {
+	seed uint64 // owning node's seed
+	pmid uint32 // the metric's PMID on that node
+}
+
+// Tree is an assembled cluster: the shared clock, every node, the
+// federator levels (leaves first), and the root.
+type Tree struct {
+	Config Config
+	Clock  *simtime.Clock
+	Nodes  []*Node
+	Levels [][]*Federator
+	Root   *Federator
+
+	byName  map[string]*Node
+	expect  map[uint32]expectEntry
+	closers []io.Closer
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// levelPolicy scales the leaf-edge policy for federator level (leaf =
+// 1): Deadline and HedgeAfter grow by (Retries+2) per level. A child
+// edge's worst case is Deadline*(Retries+1) — every round timing out —
+// so the parent's deadline must exceed that to tell a dead subtree
+// from one still resolving its own slow leaf.
+func levelPolicy(base pmproxy.EdgePolicy, level int) pmproxy.EdgePolicy {
+	p := base
+	for l := 1; l < level; l++ {
+		p.Deadline *= time.Duration(base.Retries + 2)
+		p.HedgeAfter *= time.Duration(base.Retries + 2)
+	}
+	return p
+}
+
+// nodeName formats node i's name with enough digits for n nodes (at
+// least 3), so lexical order equals numeric order and the node label
+// sorts naturally in grouped query output.
+func nodeName(i, n int) string {
+	w := 3
+	for lim := 1000; n > lim; lim *= 10 {
+		w++
+	}
+	return fmt.Sprintf("node%0*d", w, i)
+}
+
+// Assemble builds the whole tree from cfg. On error everything already
+// started is torn down.
+func Assemble(cfg Config) (*Tree, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if cfg.FanOut <= 1 {
+		cfg.FanOut = 4
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * simtime.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	t := &Tree{
+		Config: cfg,
+		Clock:  simtime.NewClock(),
+		byName: make(map[string]*Node),
+		expect: make(map[uint32]expectEntry),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			t.Close()
+		}
+	}()
+
+	children := make([]Child, 0, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		name := nodeName(i, cfg.Nodes)
+		n, err := NewNode(name, sweep.Seed(cfg.Seed, i), t.Clock, cfg.Interval)
+		if err != nil {
+			return nil, err
+		}
+		t.Nodes = append(t.Nodes, n)
+		t.byName[name] = n
+		t.closers = append(t.closers, closerFunc(n.Daemon.Close))
+		src := n.Source()
+		if cfg.Net {
+			addr, err := n.Daemon.Start("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			c, err := pcp.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			c.SetTimeout(cfg.Timeout)
+			t.closers = append(t.closers, c)
+			src = n.GateSource(c)
+		}
+		children = append(children, Child{Name: name, Src: src, Nodes: []string{name}, Qualify: name})
+	}
+
+	for level := 1; ; level++ {
+		policy := levelPolicy(cfg.Policy, level)
+		groups := (len(children) + cfg.FanOut - 1) / cfg.FanOut
+		feds := make([]*Federator, 0, groups)
+		next := make([]Child, 0, groups)
+		for g := 0; g < groups; g++ {
+			lo, hi := g*cfg.FanOut, (g+1)*cfg.FanOut
+			if hi > len(children) {
+				hi = len(children)
+			}
+			fname := "root"
+			if groups > 1 {
+				fname = fmt.Sprintf("l%d.f%d", level, g)
+			}
+			fed, err := NewFederator(fname, children[lo:hi], policy)
+			if err != nil {
+				return nil, err
+			}
+			feds = append(feds, fed)
+			if groups == 1 {
+				break
+			}
+			var src Source = fed
+			if cfg.Net {
+				srv, addr, err := Serve(fed, "127.0.0.1:0")
+				if err != nil {
+					return nil, err
+				}
+				t.closers = append(t.closers, srv)
+				c, err := pcp.Dial(addr)
+				if err != nil {
+					return nil, err
+				}
+				c.SetTimeout(cfg.Timeout)
+				t.closers = append(t.closers, c)
+				src = c
+			}
+			next = append(next, Child{Name: fname, Src: src, Nodes: fed.Nodes()})
+		}
+		t.Levels = append(t.Levels, feds)
+		if len(feds) == 1 {
+			t.Root = feds[0]
+			break
+		}
+		children = next
+	}
+
+	// Index the ground truth per root PMID for snapshot certification.
+	for _, en := range t.Root.names {
+		node, metric, found := strings.Cut(en.Name, ":")
+		if !found {
+			return nil, fmt.Errorf("cluster: unqualified root metric %q", en.Name)
+		}
+		n := t.byName[node]
+		if n == nil {
+			return nil, fmt.Errorf("cluster: root metric %q names unknown node", en.Name)
+		}
+		pmid := uint32(0)
+		for i, mn := range MetricNames(n.Seed) {
+			if mn == metric {
+				pmid = uint32(i + 1)
+				break
+			}
+		}
+		if pmid == 0 {
+			return nil, fmt.Errorf("cluster: root metric %q not in node %s's table", en.Name, node)
+		}
+		t.expect[en.PMID] = expectEntry{seed: n.Seed, pmid: pmid}
+	}
+	ok = true
+	return t, nil
+}
+
+// Node returns the named node, or nil.
+func (t *Tree) Node(name string) *Node { return t.byName[name] }
+
+// Depth returns the number of federator levels (a 64-node FanOut-4
+// tree has depth 3: leaf, zone, root).
+func (t *Tree) Depth() int { return len(t.Levels) }
+
+// EdgeStats returns every edge's counters, root level first.
+func (t *Tree) EdgeStats() []EdgeStats {
+	var out []EdgeStats
+	for l := len(t.Levels) - 1; l >= 0; l-- {
+		for _, f := range t.Levels[l] {
+			out = append(out, f.EdgeStats()...)
+		}
+	}
+	return out
+}
+
+// Snapshot takes a cluster-wide consistent snapshot: it advances the
+// shared clock past the sampling interval — invalidating every
+// daemon's cached sample at once, so each resamples at the new virtual
+// now — fetches the entire namespace through the root, and certifies
+// every answered value against that single timestamp. The returned
+// error is a *pcp.PartialError when nodes are down (the snapshot is
+// still consistent over the survivors) and a hard error when any value
+// fails certification.
+func (t *Tree) Snapshot() (pcp.FetchResult, error) {
+	t.Clock.Advance(t.Config.Interval + 1)
+	want := int64(t.Clock.Now())
+	res, err := t.Root.FetchAll()
+	var pe *pcp.PartialError
+	if err != nil && !errors.As(err, &pe) {
+		return res, err
+	}
+	if verr := t.Certify(res, want); verr != nil {
+		return res, verr
+	}
+	return res, err
+}
+
+// Certify checks a root fetch against the ground truth at virtual time
+// ts: the timestamp must be exactly ts and every StatusOK value must
+// equal its node's self-certifying value — one recomputation per
+// value, no trust in any layer of the tree.
+func (t *Tree) Certify(res pcp.FetchResult, ts int64) error {
+	if res.Timestamp != ts {
+		return fmt.Errorf("cluster: snapshot timestamp %d, want %d", res.Timestamp, ts)
+	}
+	for _, v := range res.Values {
+		switch v.Status {
+		case pcp.StatusOK:
+			e, okE := t.expect[v.PMID]
+			if !okE {
+				return fmt.Errorf("cluster: snapshot carries unknown PMID %d", v.PMID)
+			}
+			if want := MetricValue(e.seed, e.pmid, ts); v.Value != want {
+				return fmt.Errorf("cluster: inconsistent value: pmid=%d ts=%d got=%#x want=%#x", v.PMID, ts, v.Value, want)
+			}
+		case pcp.StatusNodeDown:
+			// Named in the partial error; absence is not inconsistency.
+		default:
+			return fmt.Errorf("cluster: snapshot value pmid=%d has status %d", v.PMID, v.Status)
+		}
+	}
+	return nil
+}
+
+// Close tears the tree down: clients, servers, then daemons (reverse
+// construction order).
+func (t *Tree) Close() error {
+	var first error
+	for i := len(t.closers) - 1; i >= 0; i-- {
+		if err := t.closers[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.closers = nil
+	return first
+}

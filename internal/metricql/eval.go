@@ -1,6 +1,7 @@
 package metricql
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"path"
@@ -71,6 +72,8 @@ type Engine struct {
 	state   map[uint32]*counterState
 	hists   map[string]*history // canonical key -> shared window ring
 	memo    map[string]Value
+	down    map[uint32]bool // PMIDs whose node was down on the last fetch
+	downKey string          // canonical form of down, the memo invalidator
 	lastTS  int64
 	hasTS   bool
 }
@@ -178,7 +181,7 @@ func (e *Engine) Bind(ex *Expr) (*Query, error) {
 }
 
 func cloneNode(n *node) *node {
-	c := &node{kind: n.kind, num: n.num, pattern: n.pattern, op: n.op, fn: n.fn, window: n.window}
+	c := &node{kind: n.kind, num: n.num, pattern: n.pattern, op: n.op, fn: n.fn, window: n.window, by: n.by}
 	c.args = make([]*node, len(n.args))
 	for i, a := range n.args {
 		c.args[i] = cloneNode(a)
@@ -244,7 +247,11 @@ func boundKey(n *node) string {
 		if n.window != 0 {
 			k += ", " + strconv.FormatInt(n.window, 10) + "ns"
 		}
-		return k + ")"
+		k += ")"
+		if n.by != "" {
+			k += " by (" + n.by + ")"
+		}
+		return k
 	}
 	return ""
 }
@@ -272,10 +279,30 @@ func hasGlob(p string) bool {
 	return false
 }
 
+// matchQualified matches pattern against a candidate name. A pattern
+// that names no node (no ':') additionally matches the metric part of a
+// node-qualified name, so "mem.read_bw" or "mem.ch*.read_bw" selects
+// that metric on every node of a federated namespace.
+func matchQualified(pattern, candidate string) (bool, error) {
+	ok, err := path.Match(pattern, candidate)
+	if err != nil || ok {
+		return ok, err
+	}
+	if !strings.ContainsRune(pattern, ':') {
+		if i := strings.IndexByte(candidate, ':'); i >= 0 {
+			return path.Match(pattern, candidate[i+1:])
+		}
+	}
+	return false, nil
+}
+
 // expandPattern resolves a metric name or glob into concrete PMIDs.
 // Exact names resolve through aliases first, then raw names; globs
 // match against the union of alias keys and raw names (alias matches
-// deduplicate their raw counterpart by PMID). Callers hold e.mu.
+// deduplicate their raw counterpart by PMID). An exact name that is
+// absent but appears node-qualified (node003:mem.read_bw) expands to
+// every node's instance, giving unqualified queries cluster-wide scope.
+// Callers hold e.mu.
 func (e *Engine) expandPattern(pattern string) ([]selection, error) {
 	if e.byName == nil {
 		if err := e.refreshNames(); err != nil {
@@ -297,11 +324,13 @@ func (e *Engine) expandPattern(pattern string) ([]selection, error) {
 			if err := e.refreshNames(); err != nil {
 				return nil, err
 			}
-			if id, ok = lookup(pattern); !ok {
-				return nil, fmt.Errorf("metricql: unknown metric %q", pattern)
-			}
+			id, ok = lookup(pattern)
 		}
-		return []selection{{name: pattern, pmid: id}}, nil
+		if ok {
+			return []selection{{name: pattern, pmid: id}}, nil
+		}
+		// Fall through to the candidate scan: the exact name may exist
+		// node-qualified.
 	}
 	candidates := make([]string, 0, len(e.aliases)+len(e.byName))
 	for a := range e.aliases {
@@ -314,7 +343,7 @@ func (e *Engine) expandPattern(pattern string) ([]selection, error) {
 	var sel []selection
 	seen := make(map[uint32]bool)
 	for _, c := range candidates {
-		ok, err := path.Match(pattern, c)
+		ok, err := matchQualified(pattern, c)
 		if err != nil {
 			return nil, errAt(0, "bad pattern %q: %v", pattern, err)
 		}
@@ -329,13 +358,17 @@ func (e *Engine) expandPattern(pattern string) ([]selection, error) {
 		sel = append(sel, selection{name: c, pmid: id})
 	}
 	if len(sel) == 0 {
+		if !hasGlob(pattern) {
+			return nil, fmt.Errorf("metricql: unknown metric %q", pattern)
+		}
 		return nil, fmt.Errorf("metricql: pattern %q matches no metrics", pattern)
 	}
 	return sel, nil
 }
 
 // staticWidth checks vector-width consistency at bind time and returns
-// the node's width (0 = scalar).
+// the node's width: 0 = scalar, -1 = dynamic (a grouped aggregate's
+// width is one element per node group, known only at evaluation time).
 func staticWidth(n *node) (int, error) {
 	switch n.kind {
 	case nodeNum:
@@ -353,8 +386,11 @@ func staticWidth(n *node) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if lw != 0 && rw != 0 && lw != rw {
+		if lw > 0 && rw > 0 && lw != rw {
 			return 0, fmt.Errorf("metricql: operand widths differ (%d vs %d) in %s", lw, rw, n.key)
+		}
+		if lw == -1 || rw == -1 {
+			return -1, nil
 		}
 		if lw != 0 {
 			return lw, nil
@@ -367,6 +403,12 @@ func staticWidth(n *node) (int, error) {
 		}
 		switch n.fn {
 		case "sum", "avg", "min", "max":
+			if n.by != "" {
+				if aw == 0 {
+					return 0, fmt.Errorf("metricql: %s(...) by (node) needs a vector argument", n.fn)
+				}
+				return -1, nil
+			}
 			return 0, nil
 		default: // rate, delta, avg_over, max_over preserve width
 			return aw, nil
@@ -376,8 +418,8 @@ func staticWidth(n *node) (int, error) {
 }
 
 // Width returns the query's vector width: 0 for a scalar expression,
-// otherwise the number of expanded metric instances. Widths 0 and 1
-// both satisfy Scalar().
+// -1 for a dynamic width (grouped aggregates), otherwise the number of
+// expanded metric instances. Widths 0 and 1 both satisfy Scalar().
 func (q *Query) Width() (int, error) { return staticWidth(q.root) }
 
 // pmids appends every PMID referenced by the query to dst.
@@ -396,13 +438,14 @@ func collectPMIDs(n *node, dst map[uint32]bool) {
 	}
 }
 
-// Eval evaluates a single query; see EvalAll.
+// Eval evaluates a single query; see EvalAll. On a partial result the
+// Value is valid alongside the non-nil *pcp.PartialError.
 func (q *Query) Eval() (Value, error) {
 	vs, err := q.eng.EvalAll(q)
-	if err != nil {
-		return Value{}, err
+	if len(vs) > 0 {
+		return vs[0], err
 	}
-	return vs[0], nil
+	return Value{}, err
 }
 
 // EvalAll fetches every metric referenced by the given queries in one
@@ -412,6 +455,12 @@ func (q *Query) Eval() (Value, error) {
 // the same daemon sampling interval (same fetch timestamp) advances no
 // state and serves memoized values — the engine's cadence is the
 // daemon's, like every other PCP consumer.
+//
+// A federated source may answer partially: values carrying
+// StatusNodeDown are dropped from the vectors they would appear in, the
+// evaluation proceeds over what answered, and the source's
+// *pcp.PartialError (naming the missing nodes) is returned alongside
+// the valid values. Any other error leaves the returned slice nil.
 func (e *Engine) EvalAll(qs ...*Query) ([]Value, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -428,24 +477,32 @@ func (e *Engine) EvalAll(qs ...*Query) ([]Value, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	res, err := e.src.Fetch(ids)
-	if err != nil {
+	var pe *pcp.PartialError
+	if err != nil && !errors.As(err, &pe) {
 		return nil, fmt.Errorf("metricql: fetch: %w", err)
 	}
 	if len(res.Values) != len(ids) {
 		return nil, fmt.Errorf("metricql: fetch returned %d values for %d pmids", len(res.Values), len(ids))
 	}
 	byID := make(map[uint32]uint64, len(res.Values))
+	down := make(map[uint32]bool)
 	for _, v := range res.Values {
-		if v.Status != pcp.StatusOK {
+		switch v.Status {
+		case pcp.StatusOK:
+			byID[v.PMID] = v.Value
+		case pcp.StatusNodeDown:
+			down[v.PMID] = true
+		default:
 			return nil, fmt.Errorf("metricql: pmid %d failed with status %d", v.PMID, v.Status)
 		}
-		byID[v.PMID] = v.Value
 	}
 	ts := res.Timestamp
 	if e.hasTS && ts < e.lastTS {
 		return nil, fmt.Errorf("metricql: fetch timestamp went backwards (%d < %d)", ts, e.lastTS)
 	}
 	fresh := !e.hasTS || ts > e.lastTS
+	downKey := downSetKey(down)
+	e.down = down
 	if fresh {
 		for id, v := range byID {
 			st := e.state[id]
@@ -464,7 +521,14 @@ func (e *Engine) EvalAll(qs ...*Query) ([]Value, error) {
 		}
 		e.lastTS, e.hasTS = ts, true
 		e.memo = make(map[string]Value)
+		e.downKey = downKey
 	} else {
+		if downKey != e.downKey {
+			// Same daemon sample but a different set of down nodes:
+			// memoized vectors embed the old down-set's shape.
+			e.memo = make(map[string]Value)
+			e.downKey = downKey
+		}
 		// Same daemon sample as last time: top up state for PMIDs this
 		// fetch saw for the first time, keep existing memo entries.
 		for id, v := range byID {
@@ -481,7 +545,30 @@ func (e *Engine) EvalAll(qs ...*Query) ([]Value, error) {
 		}
 		out[i] = v
 	}
+	if pe != nil {
+		return out, pe
+	}
 	return out, nil
+}
+
+// downSetKey canonicalizes a down-PMID set for memo invalidation.
+func downSetKey(down map[uint32]bool) string {
+	if len(down) == 0 {
+		return ""
+	}
+	ids := make([]uint32, 0, len(down))
+	for id := range down {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(id), 10))
+	}
+	return b.String()
 }
 
 // LastTimestamp returns the daemon timestamp of the most recent fetch.
@@ -511,11 +598,17 @@ func (e *Engine) evalNodeUncached(n *node, byID map[uint32]uint64, ts int64, fre
 		return Value{Vals: []float64{n.num}}, nil
 
 	case nodeMetric:
-		names := make([]string, len(n.sel))
-		vals := make([]float64, len(n.sel))
-		for i, s := range n.sel {
+		names := make([]string, 0, len(n.sel))
+		vals := make([]float64, 0, len(n.sel))
+		for _, s := range n.sel {
 			v, ok := byID[s.pmid]
 			if !ok {
+				if e.down[s.pmid] {
+					// The owning node is down this snapshot: partial-result
+					// semantics drop the instance rather than serve a value
+					// from a different time.
+					continue
+				}
 				// PMID referenced by another query binding but not
 				// fetched this round — serve the last observed sample.
 				if st := e.state[s.pmid]; st != nil && st.seen > 0 {
@@ -524,8 +617,8 @@ func (e *Engine) evalNodeUncached(n *node, byID map[uint32]uint64, ts int64, fre
 					return Value{}, fmt.Errorf("metricql: no sample yet for %s", s.name)
 				}
 			}
-			names[i] = s.name
-			vals[i] = float64(v)
+			names = append(names, s.name)
+			vals = append(vals, float64(v))
 		}
 		return Value{Names: names, Vals: vals}, nil
 
@@ -560,6 +653,9 @@ func (e *Engine) evalNodeUncached(n *node, byID map[uint32]uint64, ts int64, fre
 			if err != nil {
 				return Value{}, err
 			}
+			if n.by != "" {
+				return aggregateBy(n.fn, v)
+			}
 			return aggregate(n.fn, v)
 		case "avg_over", "max_over":
 			v, err := e.evalNode(n.args[0], byID, ts, fresh)
@@ -579,26 +675,29 @@ func (e *Engine) evalNodeUncached(n *node, byID map[uint32]uint64, ts int64, fre
 // moved). Callers hold e.mu.
 func (e *Engine) evalCounterFn(n *node, ts int64) (Value, error) {
 	arg := n.args[0]
-	names := make([]string, len(arg.sel))
-	vals := make([]float64, len(arg.sel))
-	for i, s := range arg.sel {
-		names[i] = s.name
+	names := make([]string, 0, len(arg.sel))
+	vals := make([]float64, 0, len(arg.sel))
+	for _, s := range arg.sel {
+		if e.down[s.pmid] {
+			continue // node down this snapshot: drop, don't fabricate a 0 rate
+		}
+		names = append(names, s.name)
 		st := e.state[s.pmid]
 		if st == nil || st.seen < 2 {
-			vals[i] = 0
+			vals = append(vals, 0)
 			continue
 		}
 		d := float64(pcp.CounterDelta(st.prev, st.cur))
 		if n.fn == "delta" {
-			vals[i] = d
+			vals = append(vals, d)
 			continue
 		}
 		dt := float64(st.curTS-st.prevTS) / 1e9
 		if dt <= 0 {
-			vals[i] = 0
+			vals = append(vals, 0)
 			continue
 		}
-		vals[i] = d / dt
+		vals = append(vals, d/dt)
 	}
 	return Value{Names: names, Vals: vals}, nil
 }
@@ -611,6 +710,12 @@ func (e *Engine) evalCounterFn(n *node, ts int64) (Value, error) {
 // e.mu.
 func (e *Engine) evalWindow(n *node, cur Value, ts int64, fresh bool) (Value, error) {
 	h := n.hist
+	if len(h.vals) > 0 && len(h.vals[len(h.vals)-1]) != len(cur.Vals) {
+		// Partial results changed the vector width; old rows can no
+		// longer be reduced elementwise against the new shape.
+		h.ts = h.ts[:0]
+		h.vals = h.vals[:0]
+	}
 	if len(h.ts) == 0 || h.ts[len(h.ts)-1] != ts {
 		vcopy := make([]float64, len(cur.Vals))
 		copy(vcopy, cur.Vals)
@@ -647,8 +752,13 @@ func aggregate(fn string, v Value) (Value, error) {
 	if len(v.Vals) == 0 {
 		return Value{}, fmt.Errorf("metricql: %s() of empty vector", fn)
 	}
-	acc := v.Vals[0]
-	for _, x := range v.Vals[1:] {
+	return Value{Vals: []float64{reduce(fn, v.Vals)}}, nil
+}
+
+// reduce folds vals (non-empty) under one aggregate function.
+func reduce(fn string, vals []float64) float64 {
+	acc := vals[0]
+	for _, x := range vals[1:] {
 		switch fn {
 		case "sum", "avg":
 			acc += x
@@ -659,9 +769,45 @@ func aggregate(fn string, v Value) (Value, error) {
 		}
 	}
 	if fn == "avg" {
-		acc /= float64(len(v.Vals))
+		acc /= float64(len(vals))
 	}
-	return Value{Vals: []float64{acc}}, nil
+	return acc
+}
+
+// nodeOf extracts the node label of a qualified metric name: the prefix
+// before the first ':', or "" for an unqualified name.
+func nodeOf(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// aggregateBy collapses a vector to one element per node group, the
+// evaluation of "sum(x) by (node)". Group names sort lexically so the
+// output is deterministic; an all-down input yields an empty (non-nil)
+// vector rather than an error — the accompanying *pcp.PartialError
+// names what is missing.
+func aggregateBy(fn string, v Value) (Value, error) {
+	if v.Names == nil {
+		return Value{}, fmt.Errorf("metricql: %s(...) by (node) needs a vector argument", fn)
+	}
+	groups := make(map[string][]float64)
+	for i, name := range v.Names {
+		k := nodeOf(name)
+		groups[k] = append(groups[k], v.Vals[i])
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := Value{Names: make([]string, 0, len(keys)), Vals: make([]float64, 0, len(keys))}
+	for _, k := range keys {
+		out.Names = append(out.Names, k)
+		out.Vals = append(out.Vals, reduce(fn, groups[k]))
+	}
+	return out, nil
 }
 
 // applyBinary combines two values, broadcasting a scalar against a

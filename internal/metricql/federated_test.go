@@ -1,0 +1,351 @@
+package metricql
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"papimc/internal/pcp"
+)
+
+// fedSource is a scriptable federated metric source: a namespace of
+// node-qualified names where whole nodes can be marked down, answering
+// with StatusNodeDown values and a *pcp.PartialError like a cluster
+// root federator.
+type fedSource struct {
+	names []pcp.NameEntry
+	vals  map[uint32]uint64
+	node  map[uint32]string // pmid -> owning node
+	down  map[string]bool
+	ts    int64
+}
+
+func (f *fedSource) Names() ([]pcp.NameEntry, error) { return f.names, nil }
+
+func (f *fedSource) Fetch(pmids []uint32) (pcp.FetchResult, error) {
+	res := pcp.FetchResult{Timestamp: f.ts}
+	missing := make(map[string]bool)
+	for _, id := range pmids {
+		if n := f.node[id]; f.down[n] {
+			missing[n] = true
+			res.Values = append(res.Values, pcp.FetchValue{PMID: id, Status: pcp.StatusNodeDown})
+			continue
+		}
+		res.Values = append(res.Values, pcp.FetchValue{PMID: id, Status: pcp.StatusOK, Value: f.vals[id]})
+	}
+	if len(missing) > 0 {
+		names := make([]string, 0, len(missing))
+		for n := range missing {
+			names = append(names, n)
+		}
+		return res, &pcp.PartialError{Missing: names, Cause: "scripted outage"}
+	}
+	return res, nil
+}
+
+// newFed builds a 3-node federated namespace with mem.read_bw and
+// mem.write_bw on every node.
+func newFed() *fedSource {
+	f := &fedSource{
+		vals: make(map[uint32]uint64),
+		node: make(map[uint32]string),
+		down: make(map[string]bool),
+	}
+	id := uint32(1)
+	for _, n := range []string{"node001", "node002", "node003"} {
+		for _, m := range []string{"mem.read_bw", "mem.write_bw"} {
+			f.names = append(f.names, pcp.NameEntry{PMID: id, Name: n + ":" + m})
+			f.node[id] = n
+			f.vals[id] = uint64(id) * 10 // node001: 10,20; node002: 30,40; node003: 50,60
+			id++
+		}
+	}
+	return f
+}
+
+func TestParseByClause(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"sum(mem.read_bw) by (node)", "sum(mem.read_bw) by (node)"},
+		{"avg( x )by( node )", "avg(x) by (node)"},
+		{"sum(node*:mem.read_bw) by (node)", "sum(node*:mem.read_bw) by (node)"},
+		{"sum(a) by (node) + 1", "(sum(a) by (node) + 1)"},
+		{"by + 1", "(by + 1)"}, // "by" is contextual: still a metric name
+		{"sum(by) by (node)", "sum(by) by (node)"},
+	}
+	for _, c := range cases {
+		ex, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := ex.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		ex2, err := Parse(c.want)
+		if err != nil {
+			t.Errorf("reparse %q: %v", c.want, err)
+			continue
+		}
+		if ex2.String() != c.want {
+			t.Errorf("canonical %q not a fixed point: reparses to %q", c.want, ex2.String())
+		}
+	}
+	bad := []string{
+		"sum(x) by (zone)", // only the node label exists
+		"sum(x) by ()",
+		"sum(x) by node",
+		"sum(x) by (node",
+		"rate(x) by (node)", // rate is not a grouping aggregate
+	}
+	for _, c := range bad {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestFederatedExpansion(t *testing.T) {
+	f := newFed()
+	e := NewEngine(f)
+
+	// An unqualified exact name expands to every node's instance.
+	q, err := e.Query("mem.read_bw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := q.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"node001:mem.read_bw", "node002:mem.read_bw", "node003:mem.read_bw"}
+	if !reflect.DeepEqual(v.Names, wantNames) {
+		t.Errorf("names: got %v want %v", v.Names, wantNames)
+	}
+	if !reflect.DeepEqual(v.Vals, []float64{10, 30, 50}) {
+		t.Errorf("vals: got %v", v.Vals)
+	}
+
+	// A node-qualified glob scopes to that node.
+	q2, err := e.Query("sum(node002:mem.*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := q2.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := v2.Scalar(); s != 70 { // 30 + 40
+		t.Errorf("node002 sum: got %v want 70", s)
+	}
+
+	// An unqualified glob matches the metric part on every node.
+	q3, err := e.Query("sum(mem.*_bw)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := q3.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := v3.Scalar(); s != 210 { // 10+20+30+40+50+60
+		t.Errorf("cluster sum: got %v want 210", s)
+	}
+}
+
+func TestGroupByNode(t *testing.T) {
+	f := newFed()
+	e := NewEngine(f)
+	q, err := e.Query("sum(mem.*_bw) by (node)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, err := q.Width(); err != nil || w != -1 {
+		t.Errorf("Width() = %d, %v; want -1 (dynamic)", w, err)
+	}
+	v, err := q.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Value{Names: []string{"node001", "node002", "node003"}, Vals: []float64{30, 70, 110}}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("got %+v want %+v", v, want)
+	}
+
+	// Grouped aggregates compose with arithmetic (dynamic width).
+	q2, err := e.Query("max(mem.read_bw) by (node) * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := q2.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v2.Vals, []float64{20, 60, 100}) {
+		t.Errorf("scaled group max: got %v", v2.Vals)
+	}
+
+	// A grouped aggregate of a scalar is a bind-time error.
+	if _, err := e.Query("sum(3) by (node)"); err == nil {
+		t.Error("sum(3) by (node) bound cleanly, want width error")
+	}
+}
+
+func TestPartialEval(t *testing.T) {
+	f := newFed()
+	e := NewEngine(f)
+	q, err := e.Query("sum(mem.read_bw) by (node)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.down["node002"] = true
+	v, err := q.Eval()
+	var pe *pcp.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *pcp.PartialError, got %v", err)
+	}
+	if !reflect.DeepEqual(pe.Missing, []string{"node002"}) {
+		t.Errorf("missing: got %v want [node002]", pe.Missing)
+	}
+	want := Value{Names: []string{"node001", "node003"}, Vals: []float64{10, 50}}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("partial answer: got %+v want %+v", v, want)
+	}
+
+	// Same timestamp, different down-set: the memo must not serve the
+	// old shape.
+	f.down["node002"] = false
+	f.down["node001"] = true
+	v2, err := q.Eval()
+	if !errors.As(err, &pe) || pe.Missing[0] != "node001" {
+		t.Fatalf("second outage not reported: %v", err)
+	}
+	want2 := Value{Names: []string{"node002", "node003"}, Vals: []float64{30, 50}}
+	if !reflect.DeepEqual(v2, want2) {
+		t.Errorf("after down-set change: got %+v want %+v", v2, want2)
+	}
+
+	// Recovery at a later timestamp restores the full answer.
+	f.down["node001"] = false
+	f.ts += 1e9
+	v3, err := q.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v3.Vals, []float64{10, 30, 50}) {
+		t.Errorf("after recovery: got %+v", v3)
+	}
+}
+
+func TestPartialAllDown(t *testing.T) {
+	f := newFed()
+	e := NewEngine(f)
+	q, err := e.Query("avg(mem.read_bw) by (node)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"node001", "node002", "node003"} {
+		f.down[n] = true
+	}
+	v, err := q.Eval()
+	var pe *pcp.PartialError
+	if !errors.As(err, &pe) || len(pe.Missing) != 3 {
+		t.Fatalf("expected all-down partial error, got %v", err)
+	}
+	if v.Names == nil || len(v.Vals) != 0 {
+		t.Errorf("all-down grouped answer should be empty vector, got %+v", v)
+	}
+
+	// The ungrouped aggregate has no empty-vector meaning: it errors.
+	q2, err := e.Query("sum(mem.read_bw)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.Eval(); err == nil {
+		t.Error("sum over all-down vector succeeded")
+	}
+}
+
+func TestPartialRateSkipsDownNodes(t *testing.T) {
+	f := newFed()
+	e := NewEngine(f)
+	q, err := e.Query("rate(mem.read_bw)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	// Advance all counters by 100 over 1s, then take node003 down.
+	for id := range f.vals {
+		f.vals[id] += 100
+	}
+	f.ts += 1e9
+	f.down["node003"] = true
+	v, err := q.Eval()
+	var pe *pcp.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected partial error, got %v", err)
+	}
+	wantNames := []string{"node001:mem.read_bw", "node002:mem.read_bw"}
+	if !reflect.DeepEqual(v.Names, wantNames) {
+		t.Errorf("rate names: got %v want %v", v.Names, wantNames)
+	}
+	for i, x := range v.Vals {
+		if math.Abs(x-100) > 1e-9 {
+			t.Errorf("rate[%d] = %v, want 100", i, x)
+		}
+	}
+}
+
+func TestPartialWindowWidthChange(t *testing.T) {
+	f := newFed()
+	e := NewEngine(f)
+	q, err := e.Query("avg_over(mem.read_bw, 10s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	// A node going down shrinks the vector mid-window; the ring must
+	// reset rather than index out of shape.
+	f.ts += 1e9
+	f.down["node001"] = true
+	v, err := q.Eval()
+	var pe *pcp.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected partial error, got %v", err)
+	}
+	if len(v.Vals) != 2 {
+		t.Errorf("window width after outage: got %d want 2", len(v.Vals))
+	}
+	// And recovery grows it back.
+	f.ts += 1e9
+	f.down["node001"] = false
+	v2, err := q.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2.Vals) != 3 {
+		t.Errorf("window width after recovery: got %d want 3", len(v2.Vals))
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	cases := map[string]string{
+		"node003:mem.read_bw": "node003",
+		"mem.read_bw":         "",
+		"a:b:c":               "a",
+	}
+	for in, want := range cases {
+		if got := nodeOf(in); got != want {
+			t.Errorf("nodeOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.Contains((&pcp.PartialError{Missing: []string{"n1", "n2"}}).Error(), "2 node(s) missing") {
+		t.Error("PartialError message does not count missing nodes")
+	}
+}

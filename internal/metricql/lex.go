@@ -98,9 +98,10 @@ type token struct {
 
 // isNameChar reports whether c may appear inside a metric name or glob
 // pattern. '-' is excluded (it is the subtraction operator); ranges like
-// [0-7] are handled by the bracket scan in scanName.
+// [0-7] are handled by the bracket scan in scanName. ':' is the
+// federated node-label separator (node003:mem.read_bw).
 func isNameChar(c byte) bool {
-	return c == '.' || c == '_' || c == '*' || c == '?' ||
+	return c == '.' || c == '_' || c == '*' || c == '?' || c == ':' ||
 		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
 }
 

@@ -24,6 +24,7 @@ type node struct {
 	op      byte    // nodeUnary ('-'), nodeBinary ('+','-','*','/')
 	fn      string  // nodeCall
 	window  int64   // nodeCall with a window argument, nanoseconds
+	by      string  // nodeCall aggregate with a "by (label)" clause
 	args    []*node // nodeUnary/nodeBinary operands, nodeCall arguments
 
 	// Bound state (set by Engine.Query):
@@ -36,15 +37,16 @@ type node struct {
 type funcSpec struct {
 	metricArg bool // argument must be a plain metric pattern (rate, delta)
 	window    bool // takes a trailing duration argument (avg_over, max_over)
+	grouping  bool // aggregate: accepts a trailing "by (node)" clause
 }
 
 var funcs = map[string]funcSpec{
 	"rate":     {metricArg: true},
 	"delta":    {metricArg: true},
-	"sum":      {},
-	"avg":      {},
-	"min":      {},
-	"max":      {},
+	"sum":      {grouping: true},
+	"avg":      {grouping: true},
+	"min":      {grouping: true},
+	"max":      {grouping: true},
 	"avg_over": {window: true},
 	"max_over": {window: true},
 }
@@ -136,6 +138,11 @@ func writeNode(b *strings.Builder, n *node) {
 			b.WriteString("ns")
 		}
 		b.WriteByte(')')
+		if n.by != "" {
+			b.WriteString(" by (")
+			b.WriteString(n.by)
+			b.WriteByte(')')
+		}
 	}
 }
 
@@ -311,6 +318,27 @@ func (p *parser) parseCall(name token, depth int) (*node, error) {
 	}
 	if _, err := p.expect(tokRParen); err != nil {
 		return nil, err
+	}
+	// "by" is a contextual keyword: it only means grouping immediately
+	// after an aggregate's closing paren, so metrics named "by" still work.
+	if spec.grouping && p.tok.kind == tokName && p.tok.text == "by" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		lbl, err := p.expect(tokName)
+		if err != nil {
+			return nil, err
+		}
+		if lbl.text != "node" {
+			return nil, errAt(lbl.pos, "unknown grouping label %q: only the node label exists", lbl.text)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		n.by = lbl.text
 	}
 	return n, nil
 }

@@ -2,6 +2,7 @@ package pcp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -88,32 +89,39 @@ func (c *Client) SetTimeout(d time.Duration) {
 // returned payload aliases the client's receive buffer and is only valid
 // until the next round trip; callers decode it before releasing the lock.
 func (c *Client) roundTripLocked(reqType uint8, payload []byte, wantType uint8) ([]byte, error) {
+	resp, _, err := c.roundTripAnyLocked(reqType, payload, wantType, wantType)
+	return resp, err
+}
+
+// roundTripAnyLocked is roundTripLocked accepting either of two response
+// types, returning which one arrived.
+func (c *Client) roundTripAnyLocked(reqType uint8, payload []byte, want1, want2 uint8) ([]byte, uint8, error) {
 	if c.timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	if err := WritePDU(c.bw, reqType, payload); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	typ, resp, err := ReadPDUInto(c.br, c.recvBuf)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	c.recvBuf = resp
 	if typ == PDUError {
 		msg, derr := DecodeError(resp)
 		if derr != nil {
-			return nil, derr
+			return nil, 0, derr
 		}
-		return nil, fmt.Errorf("pcp: daemon error: %s", msg)
+		return nil, 0, fmt.Errorf("pcp: daemon error: %s", msg)
 	}
-	if typ != wantType {
-		return nil, fmt.Errorf("%w: expected PDU %d, got %d", ErrProtocol, wantType, typ)
+	if typ != want1 && typ != want2 {
+		return nil, 0, fmt.Errorf("%w: expected PDU %d, got %d", ErrProtocol, want1, typ)
 	}
-	return resp, nil
+	return resp, typ, nil
 }
 
 // Names fetches the daemon's metric table.
@@ -135,10 +143,17 @@ func (c *Client) Names() ([]NameEntry, error) {
 	return entries, nil
 }
 
-// Fetch retrieves values for the given PMIDs.
+// Fetch retrieves values for the given PMIDs. Against a federated
+// server it may return both a valid (partial) result and a
+// *PartialError naming the nodes that contributed nothing; see
+// FetchInto.
 func (c *Client) Fetch(pmids []uint32) (FetchResult, error) {
 	var res FetchResult
 	if err := c.FetchInto(pmids, &res); err != nil {
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			return res, err
+		}
 		return FetchResult{}, err
 	}
 	return res, nil
@@ -148,13 +163,53 @@ func (c *Client) Fetch(pmids []uint32) (FetchResult, error) {
 // array. With a warm result it performs the whole round trip without
 // allocating: the request is encoded into and the response received
 // into client-owned scratch buffers.
+//
+// A PDUFetchPartialResp from a federated server decodes into a valid
+// res AND a non-nil *PartialError return: the values for the missing
+// nodes carry StatusNodeDown and the error names those nodes. Any
+// other non-nil error leaves res untrustworthy.
 func (c *Client) FetchInto(pmids []uint32, res *FetchResult) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reqBuf = AppendFetchReq(c.reqBuf[:0], pmids)
-	resp, err := c.roundTripLocked(PDUFetchReq, c.reqBuf, PDUFetchResp)
+	return c.fetchRoundTripLocked(PDUFetchReq, c.reqBuf, res)
+}
+
+// FetchAll retrieves every metric the server exports, in PMID order,
+// from one snapshot — the batch form of Fetch, one round trip for the
+// whole namespace. Partial results surface as in FetchInto.
+func (c *Client) FetchAll() (FetchResult, error) {
+	var res FetchResult
+	if err := c.FetchAllInto(&res); err != nil {
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			return res, err
+		}
+		return FetchResult{}, err
+	}
+	return res, nil
+}
+
+// FetchAllInto is FetchAll decoding into res, reusing its backing array.
+func (c *Client) FetchAllInto(res *FetchResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetchRoundTripLocked(PDUFetchAllReq, nil, res)
+}
+
+// fetchRoundTripLocked performs one fetch-family round trip, accepting
+// either a full or a partial fetch response. The caller must hold c.mu.
+func (c *Client) fetchRoundTripLocked(reqType uint8, payload []byte, res *FetchResult) error {
+	resp, typ, err := c.roundTripAnyLocked(reqType, payload, PDUFetchResp, PDUFetchPartialResp)
 	if err != nil {
 		return err
+	}
+	if typ == PDUFetchPartialResp {
+		pe, derr := DecodePartialResp(resp, res)
+		if derr != nil {
+			return derr
+		}
+		return pe
 	}
 	return DecodeFetchRespInto(resp, res)
 }

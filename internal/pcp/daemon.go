@@ -210,6 +210,21 @@ func (d *Daemon) FetchInto(pmids []uint32, vals []FetchValue) FetchResult {
 	return FetchResult{Timestamp: int64(s.at), Values: vals}
 }
 
+// FetchAll returns the daemon's current view of every metric, in PMID
+// order — the batch fetch, one snapshot read for the whole namespace.
+func (d *Daemon) FetchAll() FetchResult {
+	return d.FetchAllInto(nil)
+}
+
+// FetchAllInto is FetchAll appending the values to vals. Like
+// FetchInto it takes no locks: the whole answer is one published
+// snapshot, so it can never be torn across samples.
+func (d *Daemon) FetchAllInto(vals []FetchValue) FetchResult {
+	s := d.current()
+	vals = append(vals, s.values...)
+	return FetchResult{Timestamp: int64(s.at), Values: vals}
+}
+
 // Start listens on addr (e.g. "127.0.0.1:0") and serves clients in the
 // background until Close. It returns the bound address.
 func (d *Daemon) Start(addr string) (string, error) {
@@ -310,6 +325,10 @@ func (d *Daemon) serveConn(conn net.Conn) {
 				break
 			}
 			res := d.FetchInto(pmids, vals[:0])
+			vals = res.Values
+			respType, resp = PDUFetchResp, AppendFetchResp(respBuf[:0], res)
+		case PDUFetchAllReq:
+			res := d.FetchAllInto(vals[:0])
 			vals = res.Values
 			respType, resp = PDUFetchResp, AppendFetchResp(respBuf[:0], res)
 		default:

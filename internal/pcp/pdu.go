@@ -28,7 +28,17 @@ const (
 	PDUNamesResp uint8 = 2
 	PDUFetchReq  uint8 = 3
 	PDUFetchResp uint8 = 4
-	PDUError     uint8 = 255
+	// PDUFetchPartialResp answers a fetch that some cluster nodes could
+	// not serve: a fetch-response body prefixed with the missing node
+	// list (see AppendPartialResp). Clients surface it as a FetchResult
+	// plus a *PartialError.
+	PDUFetchPartialResp uint8 = 5
+	// PDUFetchAllReq is the batch fetch: an empty payload answered with
+	// every metric in the server's table, in PMID order, from one
+	// snapshot. One round trip serves a whole EventSet or a cluster
+	// snapshot instead of a names exchange plus an enumerated fetch.
+	PDUFetchAllReq uint8 = 6
+	PDUError       uint8 = 255
 )
 
 // Per-value status codes in fetch responses.
@@ -36,6 +46,7 @@ const (
 	StatusOK         int32 = 0
 	StatusNoSuchPMID int32 = -3 // mirrors PM_ERR_PMID
 	StatusValueError int32 = -5 // the underlying read failed
+	StatusNodeDown   int32 = -7 // the owning cluster node did not answer
 )
 
 // MaxPDUBytes bounds a PDU payload; anything larger is a protocol error.

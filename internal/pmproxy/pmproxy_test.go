@@ -8,19 +8,49 @@ import (
 	"testing"
 	"time"
 
+	"papimc/internal/arch"
 	"papimc/internal/mem"
+	"papimc/internal/nest"
 	"papimc/internal/pcp"
 	"papimc/internal/simtime"
-	"papimc/internal/testutil"
 )
 
-const sampleInterval = testutil.SampleInterval
+const sampleInterval = 10 * simtime.Millisecond
 
-// rig builds a daemon over an ideal Summit socket (the shared testutil
-// bed) and a proxy in front of it sharing the daemon's clock.
+// nestBed mirrors testutil.NestBed locally: these tests live in
+// package pmproxy (they reach unexported proxy state), and testutil
+// imports cluster — which imports pmproxy — so importing testutil from
+// here would be a cycle.
+type nestBed struct {
+	Ctl    *mem.Controller
+	Clock  *simtime.Clock
+	Daemon *pcp.Daemon
+	Addr   string
+}
+
+func startNestDaemon(t *testing.T, interval simtime.Duration) nestBed {
+	t.Helper()
+	clock := simtime.NewClock()
+	m := arch.Summit()
+	ctl := mem.NewController(mem.Config{Channels: m.Socket.MBAChannels, DisableNoise: true}, clock)
+	pmu := nest.NewPMU(m, 0, ctl)
+	d, err := pcp.NewDaemon(clock, interval, pcp.NestMetrics([]*nest.PMU{pmu}, nest.RootCredential()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return nestBed{Ctl: ctl, Clock: clock, Daemon: d, Addr: addr}
+}
+
+// rig builds a daemon over an ideal Summit socket and a proxy in front
+// of it sharing the daemon's clock.
 func rig(t *testing.T, cfg func(*Config)) (*mem.Controller, *simtime.Clock, *pcp.Daemon, *Proxy, string) {
 	t.Helper()
-	bed := testutil.StartNestDaemon(t, sampleInterval)
+	bed := startNestDaemon(t, sampleInterval)
 	c := Config{
 		Upstream:   bed.Addr,
 		Clock:      bed.Clock,
@@ -231,7 +261,7 @@ func TestNameTableCachedAndRefreshed(t *testing.T) {
 
 // TestRetryBackoffRedials: a flaky upstream dial succeeds after retries.
 func TestRetryBackoffRedials(t *testing.T) {
-	bed := testutil.StartNestDaemon(t, sampleInterval)
+	bed := startNestDaemon(t, sampleInterval)
 
 	var mu sync.Mutex
 	dials := 0

@@ -4,10 +4,12 @@
 // The pcp, pmproxy, loadgen, and chaos tests all build on it instead of
 // carrying their own copies of the setup.
 //
-// The package deliberately imports pcp but NOT pmproxy: pmproxy's own
-// internal tests import testutil, and a testutil→pmproxy edge would be
-// an import cycle. Proxy construction stays with the callers, which
-// also keeps proxy Config choices visible at each test site.
+// The package imports cluster (for StartClusterNodes), and cluster
+// imports pmproxy for its federation edges — so pmproxy's own internal
+// tests cannot import testutil without a cycle; they carry a local
+// copy of the nest rig instead. Proxy construction stays with the
+// callers, which also keeps proxy Config choices visible at each test
+// site.
 package testutil
 
 import (
@@ -15,10 +17,12 @@ import (
 	"testing"
 
 	"papimc/internal/arch"
+	"papimc/internal/cluster"
 	"papimc/internal/mem"
 	"papimc/internal/nest"
 	"papimc/internal/pcp"
 	"papimc/internal/simtime"
+	"papimc/internal/sweep"
 )
 
 // SampleInterval is the daemon sampling interval the testbeds use: long
@@ -90,6 +94,34 @@ func SyntheticMetrics(n int) []pcp.Metric {
 		}
 	}
 	return ms
+}
+
+// ClusterBed is a fleet of in-process cluster nodes sharing one
+// simulated clock.
+type ClusterBed struct {
+	Clock *simtime.Clock
+	Nodes []*cluster.Node
+}
+
+// StartClusterNodes builds n cluster nodes — each its own PMCD daemon
+// with a distinct noise seed and architecture (channel count varies by
+// seed) — on a shared clock, with daemon cleanup registered on t. The
+// daemons are in-process only: no listeners, so a test can spin up
+// hundreds of nodes without port churn. Node i is seeded
+// sweep.Seed(seed, i), the same substream convention the cluster tree
+// and the sweep executor use.
+func StartClusterNodes(t *testing.T, n int, seed uint64) ClusterBed {
+	t.Helper()
+	bed := ClusterBed{Clock: simtime.NewClock(), Nodes: make([]*cluster.Node, n)}
+	for i := range bed.Nodes {
+		node, err := cluster.NewNode(fmt.Sprintf("node%03d", i), sweep.Seed(seed, i), bed.Clock, SampleInterval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bed.Nodes[i] = node
+		t.Cleanup(func() { node.Daemon.Close() })
+	}
+	return bed
 }
 
 // Dial connects a PCP client to addr, failing the test on error and

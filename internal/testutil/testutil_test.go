@@ -1,0 +1,38 @@
+package testutil
+
+import (
+	"testing"
+
+	"papimc/internal/cluster"
+	"papimc/internal/pcp"
+)
+
+func TestStartClusterNodes(t *testing.T) {
+	bed := StartClusterNodes(t, 20, 0xBED)
+	if len(bed.Nodes) != 20 {
+		t.Fatalf("got %d nodes", len(bed.Nodes))
+	}
+	seeds := make(map[uint64]bool)
+	widths := make(map[int]bool)
+	bed.Clock.Advance(SampleInterval + 1)
+	ts := int64(bed.Clock.Now())
+	for _, n := range bed.Nodes {
+		if seeds[n.Seed] {
+			t.Errorf("duplicate seed %#x", n.Seed)
+		}
+		seeds[n.Seed] = true
+		names := n.Daemon.Names()
+		widths[len(names)] = true
+		// Every node samples the shared clock: one fetch certifies.
+		res := n.Daemon.Fetch([]uint32{1})
+		if res.Timestamp != ts {
+			t.Errorf("%s: timestamp %d, want %d (shared clock broken)", n.Name, res.Timestamp, ts)
+		}
+		if res.Values[0].Status != pcp.StatusOK || res.Values[0].Value != cluster.MetricValue(n.Seed, 1, ts) {
+			t.Errorf("%s: value does not certify", n.Name)
+		}
+	}
+	if len(widths) < 2 {
+		t.Error("20 nodes share one namespace width; arch variation is broken")
+	}
+}
