@@ -1,0 +1,104 @@
+// The -capacity recorder: sweep the example capacity spec through the
+// virtual-time workload engine, record the knee point, and measure how
+// fast the engine simulates the million-client diurnal spec. Everything
+// but the wall-clock speed figures is deterministic, so successive runs
+// agree on every knee number.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"papimc/internal/workload"
+)
+
+// CapacityRecord is BENCH_6.json: the swept curve, the knee the
+// analyzer found, and the virtual-time engine's simulation rate.
+type CapacityRecord struct {
+	Note     string                   `json:"note"`
+	Capacity *workload.CapacityReport `json:"capacity"`
+	// Knee facts lifted out of the report for easy trending.
+	KneeMult   float64 `json:"knee_mult"`
+	KneeRatio  float64 `json:"knee_ratio"`
+	KneeP99Ns  int64   `json:"knee_p99_ns"`
+	KneeReason string  `json:"knee_reason"`
+	Sim        SimRate `json:"sim"`
+}
+
+// SimRate records the engine's speed on the million-client spec.
+type SimRate struct {
+	Spec           string  `json:"spec"`
+	Clients        int     `json:"clients"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Speedup        float64 `json:"speedup"` // virtual / wall
+	Arrivals       int64   `json:"arrivals"`
+	Events         int64   `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"` // wall-clock event rate
+}
+
+func capacityMain(out, specPath, simSpecPath string) {
+	spec, err := workload.LoadSpec(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := workload.Capacity(spec, workload.CapacityOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Render())
+	if rep.Knee < 0 {
+		fatal(fmt.Errorf("capacity sweep of %s found no knee; the record needs one", specPath))
+	}
+	knee := rep.Points[rep.Knee]
+	rec := CapacityRecord{
+		Note: "workload capacity knee (deterministic virtual-time sweep of " + specPath +
+			") and engine simulation rate on " + simSpecPath,
+		Capacity:   rep,
+		KneeMult:   knee.Mult,
+		KneeRatio:  knee.Ratio,
+		KneeP99Ns:  knee.P99,
+		KneeReason: rep.KneeReason,
+	}
+
+	simSpec, err := workload.LoadSpec(simSpecPath)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	simRep, err := workload.Run(simSpec, workload.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start).Seconds()
+	virtual := float64(int64(simRep.Horizon)) / 1e9
+	rec.Sim = SimRate{
+		Spec:           simSpec.Name,
+		Clients:        simSpec.TotalClients(),
+		VirtualSeconds: virtual,
+		WallSeconds:    round2(wall),
+		Speedup:        round2(virtual / wall),
+		Arrivals:       simRep.Total.Arrivals,
+		Events:         simRep.Events,
+		EventsPerSec:   round2(float64(simRep.Events) / wall),
+	}
+	fmt.Printf("sim: %d clients, %.0fs virtual in %.2fs wall (%.0fx real time, %.2gM events/s)\n",
+		rec.Sim.Clients, virtual, wall, rec.Sim.Speedup, rec.Sim.EventsPerSec/1e6)
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrec:", err)
+	os.Exit(1)
+}

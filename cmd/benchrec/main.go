@@ -8,10 +8,14 @@
 //
 //	benchrec [-out BENCH_4.json] [-benchtime 1s]
 //	benchrec -cluster [-out BENCH_5.json]
+//	benchrec -capacity [-out BENCH_6.json]
 //
 // With -cluster it instead records federated root-query latency versus
 // node count (the scatter-gather tree from internal/cluster), writing
-// BENCH_5.json by default.
+// BENCH_5.json by default. With -capacity it records the workload
+// capacity sweep's knee point and the virtual-time engine's
+// million-client simulation rate (internal/workload), writing
+// BENCH_6.json by default.
 package main
 
 import (
@@ -91,16 +95,26 @@ var concBaselines = map[string]Metric{
 }
 
 func main() {
-	out := flag.String("out", "", "output file (default BENCH_4.json, or BENCH_5.json with -cluster)")
+	out := flag.String("out", "", "output file (default BENCH_4.json; BENCH_5.json with -cluster, BENCH_6.json with -capacity)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
 	clusterRec := flag.Bool("cluster", false, "record federated root-query latency vs node count instead")
+	capacityRec := flag.Bool("capacity", false, "record the workload capacity knee and simulation rate instead")
+	capacitySpec := flag.String("capacity-spec", "examples/workload-specs/capacity.yaml", "spec swept for the -capacity knee")
+	simSpec := flag.String("sim-spec", "examples/workload-specs/diurnal.yaml", "spec timed for the -capacity simulation rate")
 	flag.Parse()
 	if *out == "" {
-		if *clusterRec {
+		switch {
+		case *clusterRec:
 			*out = "BENCH_5.json"
-		} else {
+		case *capacityRec:
+			*out = "BENCH_6.json"
+		default:
 			*out = "BENCH_4.json"
 		}
+	}
+	if *capacityRec {
+		capacityMain(*out, *capacitySpec, *simSpec)
+		return
 	}
 	// testing.Benchmark consults the test.benchtime flag, which only
 	// exists after testing.Init registers it.

@@ -12,14 +12,25 @@
 // runs — useful for diffing sweeps and for CI. Without -sim, latencies
 // are wall-clock round-trip times.
 //
+// With -spec it instead runs a declarative workload model (see
+// internal/workload): cohorts, rate curves, diurnal patterns and
+// heavy-tailed request mixes expand into a deterministic request
+// stream, executed in virtual time by default (millions of clients,
+// seconds of wall clock) or against a real tier with -live. The run can
+// be recorded to a compact trace with -record and replayed bit-exact
+// with -replay.
+//
 // Usage:
 //
 //	pcploadgen [-target both|daemon|proxy|ADDR] [-mode closed|open]
 //	           [-sweep 1,2,4,8] [-ops 200] [-rate 50000] [-sim] [-seed 1]
+//	pcploadgen -spec FILE [-mult M] [-record FILE | -replay FILE]
+//	           [-live [-target ADDR] [-workers N]]
 //
-// Example deterministic sweep:
+// Example deterministic sweep and workload run:
 //
 //	pcploadgen -sim -mode open -rate 100000 -sweep 1,4,16
+//	pcploadgen -spec examples/workload-specs/diurnal.yaml -mult 0.5
 package main
 
 import (
@@ -48,7 +59,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulated-time model seed")
 	base := flag.Duration("base", 10*time.Microsecond, "simulated-time mean service time")
 	jitter := flag.Float64("jitter", 0.25, "simulated-time relative jitter")
+	specPath := flag.String("spec", "", "workload spec file: run the workload model instead of a sweep")
+	mult := flag.Float64("mult", 0, "workload rate multiplier (0 = spec's own, or the replayed trace's)")
+	record := flag.String("record", "", "write the workload run's request trace to this file")
+	replay := flag.String("replay", "", "replay a recorded trace instead of generating arrivals")
+	live := flag.Bool("live", false, "execute the workload against a real tier in wall-clock time")
+	workers := flag.Int("workers", 32, "live-mode executor connections")
 	flag.Parse()
+
+	if *specPath != "" || *replay != "" {
+		workloadMain(*specPath, *replay, *record, *mult, *live, *target, *machine, *workers)
+		return
+	}
 
 	sweep, err := parseSweep(*sweepFlag)
 	if err != nil {

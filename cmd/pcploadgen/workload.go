@@ -1,0 +1,95 @@
+// Workload-model mode: -spec runs a declarative workload through
+// internal/workload — virtual time by default, a real tier with -live —
+// with optional trace recording and bit-exact replay.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"papimc/internal/arch"
+	"papimc/internal/loadgen"
+	"papimc/internal/node"
+	"papimc/internal/workload"
+)
+
+func workloadMain(specPath, replayPath, recordPath string, mult float64, live bool, target, machine string, workers int) {
+	if specPath == "" {
+		wfail(fmt.Errorf("-replay needs -spec: the trace stores the schedule, the spec the cohorts and service model"))
+	}
+	spec, err := workload.LoadSpec(specPath)
+	if err != nil {
+		wfail(err)
+	}
+	o := workload.Options{Mult: mult}
+	var tr workload.Trace
+	if recordPath != "" {
+		o.Record = &tr
+	}
+	if live {
+		addr, cleanup, err := resolveLiveAddr(target, machine)
+		if err != nil {
+			wfail(err)
+		}
+		defer cleanup()
+		fmt.Printf("live tier at %s, %d executor connections\n", addr, workers)
+		o.Live = &workload.LiveOptions{Factory: loadgen.DialFactory(addr), Workers: workers}
+	}
+	var rep *workload.Report
+	if replayPath != "" {
+		rec, err := workload.ReadTraceFile(replayPath)
+		if err != nil {
+			wfail(err)
+		}
+		rep, err = workload.Replay(rec, spec, o)
+		if err != nil {
+			wfail(err)
+		}
+		fmt.Printf("replayed %d requests from %s\n", len(rec.Rows), replayPath)
+	} else {
+		rep, err = workload.Run(spec, o)
+		if err != nil {
+			wfail(err)
+		}
+	}
+	fmt.Print(rep.Render())
+	if recordPath != "" {
+		if err := tr.WriteFile(recordPath); err != nil {
+			wfail(err)
+		}
+		fmt.Printf("recorded %d requests to %s\n", len(tr.Rows), recordPath)
+	}
+}
+
+// resolveLiveAddr turns the -target flag into one dialable address: a
+// self-hosted testbed tier by name, or an external host:port as given.
+func resolveLiveAddr(target, machine string) (string, func(), error) {
+	switch target {
+	case "daemon", "proxy", "both":
+		m := arch.Summit()
+		if strings.EqualFold(machine, "tellico") {
+			m = arch.Tellico()
+		}
+		tb, err := node.NewTestbed(m, 1, node.Options{DisableNoise: true})
+		if err != nil {
+			return "", nil, err
+		}
+		if target == "proxy" {
+			_, addr, err := tb.StartProxy()
+			if err != nil {
+				tb.Close()
+				return "", nil, err
+			}
+			return addr, func() { tb.Close() }, nil
+		}
+		return tb.PMCDAddr, func() { tb.Close() }, nil
+	default:
+		return target, func() {}, nil
+	}
+}
+
+func wfail(err error) {
+	fmt.Fprintln(os.Stderr, "pcploadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command pmcap is the capacity analyzer: it expands a declarative
+// workload spec (see internal/workload), sweeps its rate multiplier
+// through the virtual-time engine, and reports the knee — where the tier
+// stops absorbing offered load or the p99 cliffs.
+//
+// Everything runs in virtual time, so a sweep over millions of simulated
+// clients finishes in seconds of wall time and the report is
+// byte-identical across runs and across -j worker counts: CI diffs two
+// invocations to hold the engine to that.
+//
+// Usage:
+//
+//	pmcap -spec FILE [-mults 0.25,0.5,1,2,4] [-j N] [-seed N]
+//	      [-duration D] [-knee-ratio 0.99] [-cliff 10] [-json]
+//
+// Example:
+//
+//	pmcap -spec examples/workload-specs/diurnal.yaml -mults 0.5,1,2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"papimc/internal/simtime"
+	"papimc/internal/workload"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "workload spec file (YAML or JSON), required")
+	multsFlag := flag.String("mults", "", "comma-separated rate multipliers to sweep (default 0.25,0.5,1,2,4)")
+	workers := flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS; output is identical at any value)")
+	seed := flag.Uint64("seed", 0, "override the spec's seed")
+	duration := flag.Duration("duration", 0, "override the spec's virtual horizon")
+	kneeRatio := flag.Float64("knee-ratio", 0, "saturation threshold on throughput-to-arrival ratio (default 0.99)")
+	cliff := flag.Float64("cliff", 0, "p99 cliff factor over the baseline point (default 10)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	flag.Parse()
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "pmcap: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := workload.LoadSpec(*specPath)
+	if err != nil {
+		fail(err)
+	}
+	if flagSet("seed") {
+		spec.Seed = *seed
+	}
+	if *duration > 0 {
+		spec.Duration = simtime.Duration(duration.Nanoseconds())
+	}
+	mults, err := parseMults(*multsFlag)
+	if err != nil {
+		fail(err)
+	}
+	rep, err := workload.Capacity(spec, workload.CapacityOptions{
+		Mults:       mults,
+		Workers:     *workers,
+		KneeRatio:   *kneeRatio,
+		CliffFactor: *cliff,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Print(rep.Render())
+}
+
+func parseMults(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad multiplier %q in -mults", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pmcap:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -33,6 +34,23 @@ import (
 	"papimc/internal/pcp"
 	"papimc/internal/stats"
 	"papimc/internal/xrand"
+)
+
+// Typed option-validation errors, so callers (the workload subsystem,
+// cohort expansion) can distinguish a bad rate from a bad seed set with
+// errors.Is instead of string matching.
+var (
+	// ErrRate rejects a zero or negative arrival rate. A negative Rate is
+	// rejected in every mode — previously it only failed in open loop and
+	// silently rode along in closed loop.
+	ErrRate = errors.New("loadgen: rate must be positive")
+	// ErrSeedCount rejects a WorkerSeeds slice whose length does not
+	// match the worker count.
+	ErrSeedCount = errors.New("loadgen: WorkerSeeds length must equal Workers")
+	// ErrDuplicateSeed rejects two workers sharing a sim seed: their
+	// latency streams would be identical, silently halving the effective
+	// sample diversity.
+	ErrDuplicateSeed = errors.New("loadgen: duplicate worker seed")
 )
 
 // Mode selects the load-generation discipline.
@@ -135,10 +153,16 @@ type Options struct {
 	// simulated-time mode.
 	Duration time.Duration
 	// Rate is the total open-loop arrival rate in requests/second,
-	// split evenly across workers. Required when Mode is Open.
+	// split evenly across workers. Required when Mode is Open; must not
+	// be negative in any mode.
 	Rate float64
 	// Sim switches to deterministic simulated-time latencies.
 	Sim *SimModel
+	// WorkerSeeds, when non-nil, gives each sim worker an explicit seed
+	// substream (the workload subsystem derives these per cohort via
+	// sweep.Seed2). Length must equal the resolved worker count and the
+	// seeds must be distinct; nil keeps the default Sim.Seed derivation.
+	WorkerSeeds []uint64
 }
 
 // Result is one run's report.
@@ -172,8 +196,20 @@ func Run(f Factory, o Options) (Result, error) {
 	if len(o.PMIDs) == 0 {
 		o.PMIDs = []uint32{1}
 	}
-	if o.Mode == Open && o.Rate <= 0 {
-		return Result{}, fmt.Errorf("loadgen: open loop requires a positive Rate")
+	if o.Rate < 0 || (o.Mode == Open && o.Rate <= 0) {
+		return Result{}, fmt.Errorf("%w: got %g in %s loop", ErrRate, o.Rate, o.Mode)
+	}
+	if o.WorkerSeeds != nil {
+		if len(o.WorkerSeeds) != o.Workers {
+			return Result{}, fmt.Errorf("%w: %d seeds for %d workers", ErrSeedCount, len(o.WorkerSeeds), o.Workers)
+		}
+		seen := make(map[uint64]int, len(o.WorkerSeeds))
+		for i, s := range o.WorkerSeeds {
+			if prev, dup := seen[s]; dup {
+				return Result{}, fmt.Errorf("%w: workers %d and %d both use %d", ErrDuplicateSeed, prev, i, s)
+			}
+			seen[s] = i
+		}
 	}
 	if o.Sim != nil && o.Ops <= 0 {
 		return Result{}, fmt.Errorf("loadgen: simulated-time mode requires a per-worker Ops count")
@@ -240,7 +276,11 @@ func Run(f Factory, o Options) (Result, error) {
 // at the per-worker inter-arrival interval and latency includes the
 // virtual queueing delay behind earlier requests on this connection.
 func runSimWorker(fet Fetcher, o Options, w int, out *workerOut) {
-	rng := xrand.New(o.Sim.Seed ^ (uint64(w+1) * 0x9E3779B97F4A7C15))
+	seed := o.Sim.Seed ^ (uint64(w+1) * 0x9E3779B97F4A7C15)
+	if o.WorkerSeeds != nil {
+		seed = o.WorkerSeeds[w]
+	}
+	rng := xrand.New(seed)
 	var interArrival float64
 	if o.Mode == Open {
 		interArrival = float64(o.Workers) / o.Rate * 1e9

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -125,6 +126,73 @@ func TestOptionValidation(t *testing.T) {
 	}
 	if _, err := Run(f, Options{Sim: &SimModel{}}); err == nil {
 		t.Error("sim mode without Ops should fail")
+	}
+}
+
+// TestRateValidationTyped: a zero or negative rate is rejected with the
+// typed ErrRate — including a negative rate in closed loop, which used
+// to ride along silently because closed loop never reads Rate.
+func TestRateValidationTyped(t *testing.T) {
+	f := SharedFactory(FetchFunc(func([]uint32) (pcp.FetchResult, error) {
+		return pcp.FetchResult{}, nil
+	}))
+	for _, tc := range []struct {
+		name string
+		o    Options
+	}{
+		{"open zero rate", Options{Mode: Open, Ops: 10}},
+		{"open negative rate", Options{Mode: Open, Rate: -5, Ops: 10}},
+		{"closed negative rate", Options{Mode: Closed, Rate: -1, Ops: 10}},
+	} {
+		_, err := Run(f, tc.o)
+		if !errors.Is(err, ErrRate) {
+			t.Errorf("%s: err = %v, want ErrRate", tc.name, err)
+		}
+	}
+	// A closed loop that never set Rate must keep working.
+	if _, err := Run(f, Options{Mode: Closed, Ops: 5, Sim: &SimModel{Seed: 1}}); err != nil {
+		t.Errorf("closed loop with zero rate rejected: %v", err)
+	}
+}
+
+// TestWorkerSeedValidation: explicit per-worker seed substreams must
+// match the worker count and be distinct, each failure mode with its own
+// typed error; valid distinct seeds change the latency draws.
+func TestWorkerSeedValidation(t *testing.T) {
+	f := SharedFactory(FetchFunc(func([]uint32) (pcp.FetchResult, error) {
+		return pcp.FetchResult{}, nil
+	}))
+	base := Options{Workers: 2, Ops: 50, Sim: &SimModel{Seed: 9}}
+
+	o := base
+	o.WorkerSeeds = []uint64{1}
+	if _, err := Run(f, o); !errors.Is(err, ErrSeedCount) {
+		t.Errorf("short seed slice: err = %v, want ErrSeedCount", err)
+	}
+	o = base
+	o.WorkerSeeds = []uint64{7, 7}
+	if _, err := Run(f, o); !errors.Is(err, ErrDuplicateSeed) {
+		t.Errorf("duplicate seeds: err = %v, want ErrDuplicateSeed", err)
+	}
+	o = base
+	o.WorkerSeeds = []uint64{3, 4}
+	a, err := Run(f, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(f, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("explicit worker seeds not deterministic")
+	}
+	def, err := Run(f, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, def) {
+		t.Error("explicit worker seeds did not change the draw streams")
 	}
 }
 

@@ -1,6 +1,9 @@
 package stats
 
-import "math/bits"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Histogram is an HDR-style log-bucketed latency histogram: values are
 // binned into power-of-two ranges, each split into histSub linear
@@ -128,6 +131,69 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return float64(h.max)
+}
+
+// Quantiles returns the value at each quantile in qs — the batch form of
+// Quantile, answering p50/p90/p99/p999 (the capacity analyzer's set) in
+// one pass over the buckets instead of one per quantile. qs may be in any
+// order; the result is positionally aligned with qs and each entry is
+// exactly what Quantile would have returned for that q.
+func (h *Histogram) Quantiles(qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	if h.total == 0 {
+		return out
+	}
+	// Process quantiles in ascending rank order so one cumulative sweep
+	// answers all of them; ordering only affects the visit order, not the
+	// per-q answer.
+	order := make([]int, len(qs))
+	for i := range order {
+		order[i] = i
+	}
+	rank := func(q float64) int64 {
+		r := int64(q*float64(h.total) + 0.5)
+		if r < 1 {
+			r = 1
+		}
+		if r > h.total {
+			r = h.total
+		}
+		return r
+	}
+	sort.Slice(order, func(a, b int) bool { return qs[order[a]] < qs[order[b]] })
+	// seen is the cumulative count of buckets [0, bucket); consuming a
+	// bucket advances both, so no count is ever added twice.
+	var seen int64
+	bucket := 0
+	for _, oi := range order {
+		q := qs[oi]
+		switch {
+		case q <= 0:
+			out[oi] = float64(h.min)
+			continue
+		case q >= 1:
+			out[oi] = float64(h.max)
+			continue
+		}
+		r := rank(q)
+		for seen < r && bucket < histBuckets {
+			seen += h.counts[bucket]
+			bucket++
+		}
+		if bucket == 0 || seen < r {
+			out[oi] = float64(h.max)
+			continue
+		}
+		m := bucketMid(bucket - 1)
+		if m < float64(h.min) {
+			m = float64(h.min)
+		}
+		if m > float64(h.max) {
+			m = float64(h.max)
+		}
+		out[oi] = m
+	}
+	return out
 }
 
 // Merge adds o's observations into h. Counts stay exact: merging

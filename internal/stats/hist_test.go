@@ -91,6 +91,34 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantilesMatchesSinglePath: the batch accessor returns
+// exactly what the single-quantile path returns, for every q, in any
+// order, including the extremes, same-bucket repeats, and empty input.
+func TestHistogramQuantilesMatchesSinglePath(t *testing.T) {
+	rng := xrand.New(11)
+	var h Histogram
+	for i := 0; i < 30000; i++ {
+		h.Record(int64(50 + rng.Int63n(500_000_000)))
+	}
+	qs := []float64{0.999, 0.5, 0.99, 0.5, 0, 1, 0.9, 0.001, 0.501, -0.5, 1.5}
+	got := h.Quantiles(qs)
+	if len(got) != len(qs) {
+		t.Fatalf("len = %d, want %d", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := h.Quantile(q); got[i] != want {
+			t.Errorf("Quantiles[%d] (q=%v) = %v, want Quantile = %v", i, q, got[i], want)
+		}
+	}
+
+	var empty Histogram
+	for _, v := range empty.Quantiles([]float64{0.5, 0.99}) {
+		if v != 0 {
+			t.Errorf("empty histogram batch quantile = %v, want 0", v)
+		}
+	}
+}
+
 func TestHistogramRecordDoesNotAllocate(t *testing.T) {
 	var h Histogram
 	if got := testing.AllocsPerRun(1000, func() {

@@ -29,6 +29,15 @@ func Seed(base uint64, index int) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Seed2 derives the seed of element (i, j) of a two-level substream
+// hierarchy — cohort i, client j in the workload model's use — by
+// re-splitting substream i. Rows never collide with each other or with
+// the single-level Seed stream of the same base, so a million clients
+// across many cohorts all draw from statistically independent streams.
+func Seed2(base uint64, i, j int) uint64 {
+	return Seed(Seed(base, i), j)
+}
+
 // Workers resolves a -j style parallelism request: values below 1 mean
 // "one worker per available CPU" (GOMAXPROCS).
 func Workers(requested int) int {

@@ -23,6 +23,29 @@ func TestSeedSubstreamsDistinct(t *testing.T) {
 	}
 }
 
+// TestSeed2GridDistinct: the two-level (cohort, client) grid yields no
+// collisions among itself or with the single-level stream of the same
+// base — the property that lets workload cohorts expand deterministically
+// without any client sharing a stream.
+func TestSeed2GridDistinct(t *testing.T) {
+	const base = uint64(42)
+	seen := map[uint64]string{}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 500; j++ {
+			s := Seed2(base, i, j)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("Seed2 collision at (%d,%d): repeats %s", i, j, prev)
+			}
+			seen[s] = "grid"
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if _, dup := seen[Seed(base, i)]; dup {
+			t.Fatalf("Seed2 grid collides with Seed(base, %d)", i)
+		}
+	}
+}
+
 func TestSeedDiffersFromBase(t *testing.T) {
 	// Task 0's substream must not be the base stream itself, or a
 	// parallel sweep's first point would replay the serial run's noise.

@@ -96,6 +96,41 @@ func SyntheticMetrics(n int) []pcp.Metric {
 	return ms
 }
 
+// CounterMetrics builds n monotonically advancing counters named
+// "load.counter.%d": metric i ticks i+1 units per simulated millisecond,
+// so successive fetches observe motion and each PMID is distinguishable
+// by rate. Workload and loadgen tests use these where fixed values would
+// hide a stuck sampler.
+func CounterMetrics(n int) []pcp.Metric {
+	ms := make([]pcp.Metric, n)
+	for i := range ms {
+		rate := uint64(i + 1)
+		ms[i] = pcp.Metric{
+			Name: fmt.Sprintf("load.counter.%d", i),
+			Read: func(t simtime.Time) (uint64, error) {
+				return rate * uint64(int64(t)/int64(simtime.Millisecond)), nil
+			},
+		}
+	}
+	return ms
+}
+
+// StartCounterDaemon builds a daemon exporting n CounterMetrics,
+// listening on loopback. Cleanup is registered on t.
+func StartCounterDaemon(t *testing.T, n int) (*pcp.Daemon, string) {
+	t.Helper()
+	d, err := pcp.NewDaemon(simtime.NewClock(), SampleInterval, CounterMetrics(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, addr
+}
+
 // ClusterBed is a fleet of in-process cluster nodes sharing one
 // simulated clock.
 type ClusterBed struct {

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCapacityKnee sweeps the exactly-solvable spec: one server at 1ms
+// per request serves 1000/s, the cohort offers 600/s, so mult 2 is the
+// first saturated point.
+func TestCapacityKnee(t *testing.T) {
+	rep, err := Capacity(kneeSpec(), CapacityOptions{Mults: []float64{0.5, 1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Knee != 2 {
+		t.Fatalf("knee at index %d (%q), want 2 (mult 2):\n%s", rep.Knee, rep.KneeReason, rep.Render())
+	}
+	if rep.Points[1].Ratio < 0.99 {
+		t.Errorf("mult 1 (600/s into 1000/s capacity) saturated: ratio %.3f", rep.Points[1].Ratio)
+	}
+	if rep.Points[2].Ratio >= 0.99 {
+		t.Errorf("mult 2 (1200/s into 1000/s capacity) not saturated: ratio %.3f", rep.Points[2].Ratio)
+	}
+	// Achieved throughput at and past the knee pins near capacity.
+	for _, i := range []int{2, 3} {
+		if a := rep.Points[i].Achieved; a < 900 || a > 1100 {
+			t.Errorf("point %d achieved %.0f/s, want ~1000 (capacity)", i, a)
+		}
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "knee at mult=2") || !strings.Contains(out, "<<") {
+		t.Errorf("render missing knee verdict:\n%s", out)
+	}
+}
+
+// TestCapacityDeterministicAcrossWorkers is the sweep contract extended
+// to the analyzer: the report is byte-identical at any worker count.
+func TestCapacityDeterministicAcrossWorkers(t *testing.T) {
+	opts := func(w int) CapacityOptions {
+		return CapacityOptions{Mults: []float64{0.5, 1, 2}, Workers: w}
+	}
+	serial, err := Capacity(richSpec(), opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Capacity(richSpec(), opts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != parallel.Render() {
+		t.Errorf("worker count changed the report:\n%s\nvs\n%s", serial.Render(), parallel.Render())
+	}
+}
+
+func TestCapacityNoKnee(t *testing.T) {
+	spec := kneeSpec()
+	rep, err := Capacity(spec, CapacityOptions{Mults: []float64{0.25, 0.5, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Knee != -1 {
+		t.Errorf("underloaded sweep found a knee at %d: %s", rep.Knee, rep.KneeReason)
+	}
+	if !strings.Contains(rep.Render(), "no knee found") {
+		t.Errorf("render missing no-knee verdict:\n%s", rep.Render())
+	}
+}
+
+func TestCapacityOptionErrors(t *testing.T) {
+	for name, mults := range map[string][]float64{
+		"zero mult":      {0, 1},
+		"negative mult":  {-1, 1},
+		"not increasing": {1, 1},
+	} {
+		_, err := Capacity(kneeSpec(), CapacityOptions{Mults: mults})
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: %v does not wrap ErrSpec", name, err)
+		}
+	}
+	bad := kneeSpec()
+	bad.Cohorts = nil
+	if _, err := Capacity(bad, CapacityOptions{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

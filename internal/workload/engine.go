@@ -1,0 +1,518 @@
+// The discrete-event engine: a binary min-heap of per-client arrival
+// candidates over virtual time. Every client is a state machine with its
+// own sweep.Seed2 substream; candidates arrive at the cohort's envelope
+// rate and are accepted by thinning against the momentary rate curve, so
+// arrivals form a non-homogeneous Poisson process per cohort while every
+// draw stays deterministic.
+//
+// Virtual-time and wall-clock runs share this entire path — generation,
+// thinning, issue, accounting, trace recording. They diverge only at two
+// clock touchpoints: pace() (a no-op in virtual time, a sleep-until in
+// wall time) and the Target (deterministic queue model vs. real fetch).
+// That is what makes a laptop simulate a million concurrent clients
+// faster than real time with the same code that drives a real tier.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"papimc/internal/loadgen"
+	"papimc/internal/simtime"
+	"papimc/internal/stats"
+	"papimc/internal/sweep"
+	"papimc/internal/xrand"
+)
+
+// Options configures one workload run.
+type Options struct {
+	// Mult scales every cohort's rate curve (the capacity analyzer's
+	// sweep axis). 0 means 1.
+	Mult float64
+	// Target overrides the service model. Nil means NewSimTarget(spec)
+	// in virtual time; ignored when Live is set.
+	Target Target
+	// Record, when non-nil, receives every issued request as a trace row.
+	Record *Trace
+	// Live switches to the wall-clock executor: arrivals are paced in
+	// real time and issued against real connections.
+	Live *LiveOptions
+}
+
+// LiveOptions configures the wall-clock executor.
+type LiveOptions struct {
+	// Factory builds one connection per executor worker.
+	Factory loadgen.Factory
+	// Workers bounds in-flight requests (0 means 64). Generation blocks
+	// when all workers are busy, which is the executor's backpressure.
+	Workers int
+	// MaxPMIDs caps the fetch width a request's Size can demand (0: 64).
+	MaxPMIDs int
+}
+
+// CohortResult is one cohort's accounting in a report.
+type CohortResult struct {
+	Name      string            `json:"name"`
+	Clients   int               `json:"clients"`
+	Arrivals  int64             `json:"arrivals"`
+	Completed int64             `json:"completed"` // completion within the horizon
+	Pending   int64             `json:"pending"`   // issued, completion past the horizon
+	Errors    int64             `json:"errors"`
+	ByClass   [NumClasses]int64 `json:"by_class"`
+	P50       int64             `json:"p50_ns"`
+	P90       int64             `json:"p90_ns"`
+	P99       int64             `json:"p99_ns"`
+	P999      int64             `json:"p999_ns"`
+	MaxLat    int64             `json:"max_ns"`
+}
+
+// Report is one run's result: per-cohort and total accounting plus the
+// saturation ratio the capacity analyzer keys on. In virtual-time mode
+// every field is bit-identical across runs with the same spec and seed.
+type Report struct {
+	Name    string           `json:"name"`
+	Seed    uint64           `json:"seed"`
+	Mult    float64          `json:"mult"`
+	Horizon simtime.Duration `json:"horizon_ns"`
+	Live    bool             `json:"live,omitempty"`
+	Cohorts []CohortResult   `json:"cohorts"`
+	Total   CohortResult     `json:"total"`
+	// Offered is the accepted arrival rate over the horizon; Achieved
+	// counts only completions inside the horizon; their Ratio dropping
+	// below 1 is the first knee signal.
+	Offered  float64 `json:"offered_per_sec"`
+	Achieved float64 `json:"achieved_per_sec"`
+	Ratio    float64 `json:"ratio"`
+	Events   int64   `json:"events"` // candidates processed by the event loop
+}
+
+// event is one pending arrival candidate, ordered by (t, cohort, client)
+// so heap order — and therefore every downstream draw — is deterministic.
+type event struct {
+	t      int64
+	cohort int32
+	client int32
+}
+
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.cohort != b.cohort {
+		return a.cohort < b.cohort
+	}
+	return a.client < b.client
+}
+
+// eventHeap is a hand-rolled binary min-heap: the loop runs millions of
+// push/pop pairs, so we avoid container/heap's interface boxing.
+type eventHeap struct{ ev []event }
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h.ev[i], h.ev[p]) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(h.ev[l], h.ev[small]) {
+			small = l
+		}
+		if r < n && eventLess(h.ev[r], h.ev[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.ev[i], h.ev[small] = h.ev[small], h.ev[i]
+		i = small
+	}
+}
+
+func (h *eventHeap) init() {
+	for i := len(h.ev)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// cohortGen is a cohort's precomputed generation state.
+type cohortGen struct {
+	spec      *CohortSpec
+	srcs      []xrand.Source // one substream per client
+	envelope  float64
+	invRateNs float64 // mean candidate inter-arrival per client, ns
+	cumMix    [NumClasses]float64
+	sizeMin   float64
+	sizeInvA  float64 // 1/alpha, 0 for fixed size
+	sizeMax   float64
+}
+
+func newCohortGen(spec *Spec, ci int, mult float64) *cohortGen {
+	c := &spec.Cohorts[ci]
+	g := &cohortGen{spec: c, envelope: c.envelope()}
+	peak := c.Rate * mult * g.envelope / float64(c.Clients)
+	g.invRateNs = 1e9 / peak
+	w := c.Mix.weights()
+	total := c.Mix.total()
+	cum := 0.0
+	for i := range w {
+		cum += w[i] / total
+		g.cumMix[i] = cum
+	}
+	g.cumMix[NumClasses-1] = 1 // guard against float residue
+	g.sizeMin = float64(c.Size.Min)
+	g.sizeMax = float64(c.Size.Max)
+	if c.Size.Alpha > 0 {
+		g.sizeInvA = 1 / c.Size.Alpha
+	}
+	g.srcs = make([]xrand.Source, c.Clients)
+	for j := range g.srcs {
+		g.srcs[j] = *xrand.New(sweep.Seed2(spec.Seed, ci, j))
+	}
+	return g
+}
+
+// next draws client j's next candidate delay in ns (exponential at the
+// envelope rate).
+func (g *cohortGen) next(j int) int64 {
+	d := g.srcs[j].ExpFloat64() * g.invRateNs
+	if d < 1 {
+		d = 1
+	}
+	if d > math.MaxInt64/2 {
+		d = math.MaxInt64 / 2
+	}
+	return int64(d)
+}
+
+// accept thins the candidate at time t against the momentary rate curve.
+func (g *cohortGen) accept(j int, t simtime.Time) bool {
+	return g.srcs[j].Float64()*g.envelope < g.spec.modulation(t)
+}
+
+// draw samples the request class and heavy-tailed size from the client's
+// substream.
+func (g *cohortGen) draw(j int) (Class, int) {
+	u := g.srcs[j].Float64()
+	class := Class(0)
+	for class < NumClasses-1 && u > g.cumMix[class] {
+		class++
+	}
+	size := g.sizeMin
+	if g.sizeInvA > 0 {
+		v := g.srcs[j].Float64()
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		size = g.sizeMin * math.Pow(v, -g.sizeInvA)
+	}
+	if size > g.sizeMax {
+		size = g.sizeMax
+	}
+	return class, int(size)
+}
+
+// engine carries one run's mutable state; Run and Replay both drive it
+// through the same pace/issue/complete path.
+type engine struct {
+	spec    *Spec
+	mult    float64
+	horizon int64
+	target  Target
+	rec     *Trace
+
+	// live-mode rig; nil in virtual time.
+	live      *LiveOptions
+	wallStart time.Time
+	reqs      chan Request
+	wg        sync.WaitGroup
+	mu        sync.Mutex // guards accounting + trace in live mode
+	liveErr   error
+
+	seq    int64
+	events int64
+	acc    []cohortAcc
+}
+
+type cohortAcc struct {
+	arrivals, completed, pending, errs int64
+	byClass                            [NumClasses]int64
+	hist                               stats.Histogram
+}
+
+func newEngine(spec *Spec, o Options) (*engine, error) {
+	e := &engine{
+		spec:    spec,
+		mult:    o.Mult,
+		horizon: int64(spec.Duration),
+		target:  o.Target,
+		rec:     o.Record,
+		live:    o.Live,
+		acc:     make([]cohortAcc, len(spec.Cohorts)),
+	}
+	if e.mult <= 0 {
+		e.mult = 1
+	}
+	if e.rec != nil {
+		e.rec.Spec = spec.Name
+		e.rec.Seed = spec.Seed
+		e.rec.Mult = e.mult
+		e.rec.Horizon = e.horizon
+		e.rec.Cohorts = e.rec.Cohorts[:0]
+		for i := range spec.Cohorts {
+			e.rec.Cohorts = append(e.rec.Cohorts, spec.Cohorts[i].Name)
+		}
+		e.rec.Rows = e.rec.Rows[:0]
+	}
+	if e.live != nil {
+		if e.live.Factory == nil {
+			return nil, fmt.Errorf("workload: live mode requires a Factory")
+		}
+		if err := e.startLive(); err != nil {
+			return nil, err
+		}
+	} else if e.target == nil {
+		e.target = NewSimTarget(spec)
+	}
+	return e, nil
+}
+
+func (e *engine) startLive() error {
+	workers := e.live.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	e.wallStart = time.Now()
+	e.reqs = make(chan Request, workers)
+	for w := 0; w < workers; w++ {
+		fet, cleanup, err := e.live.Factory()
+		if err != nil {
+			close(e.reqs)
+			e.wg.Wait()
+			return fmt.Errorf("workload: live worker %d: %w", w, err)
+		}
+		lt := NewLiveTarget(fet, e.live.MaxPMIDs)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer cleanup()
+			for req := range e.reqs {
+				out := lt.Do(req)
+				e.mu.Lock()
+				e.complete(req, out)
+				e.mu.Unlock()
+			}
+		}()
+	}
+	return nil
+}
+
+// pace is the only clock touchpoint of the generation loop: virtual time
+// proceeds as fast as the heap drains, wall time sleeps to the schedule.
+func (e *engine) pace(t int64) {
+	if e.live == nil {
+		return
+	}
+	if d := time.Until(e.wallStart.Add(time.Duration(t))); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// issue sends one request down the shared path: inline through the
+// deterministic target in virtual time, to the executor pool in live
+// mode.
+func (e *engine) issue(t int64, cohort int, class Class, size int) {
+	req := Request{T: simtime.Time(t), Seq: e.seq, Cohort: cohort, Class: class, Size: size}
+	e.seq++
+	if e.live != nil {
+		e.reqs <- req
+		return
+	}
+	e.complete(req, e.target.Do(req))
+}
+
+// complete records one outcome. Called inline in virtual time, under
+// e.mu from executor workers in live mode.
+func (e *engine) complete(req Request, out Outcome) {
+	a := &e.acc[req.Cohort]
+	a.arrivals++
+	a.byClass[req.Class]++
+	status := uint8(0)
+	if out.Err {
+		a.errs++
+		status = 1
+	}
+	if int64(req.T)+out.Lat <= e.horizon {
+		a.completed++
+		a.hist.Record(out.Lat)
+	} else {
+		a.pending++
+	}
+	if e.rec != nil {
+		e.rec.Rows = append(e.rec.Rows, Row{
+			T: int64(req.T), Seq: req.Seq, Cohort: uint32(req.Cohort),
+			Class: req.Class, Size: uint32(req.Size), Lat: out.Lat, Status: status,
+		})
+	}
+}
+
+// finish drains the executor, sorts trace rows back into issue order
+// (live completions arrive out of order), and assembles the report.
+func (e *engine) finish() *Report {
+	if e.live != nil {
+		close(e.reqs)
+		e.wg.Wait()
+	}
+	if e.rec != nil {
+		sort.Slice(e.rec.Rows, func(i, j int) bool { return e.rec.Rows[i].Seq < e.rec.Rows[j].Seq })
+	}
+	rep := &Report{
+		Name:    e.spec.Name,
+		Seed:    e.spec.Seed,
+		Mult:    e.mult,
+		Horizon: simtime.Duration(e.horizon),
+		Live:    e.live != nil,
+		Events:  e.events,
+	}
+	var total cohortAcc
+	qs := []float64{0.5, 0.9, 0.99, 0.999}
+	for i := range e.acc {
+		a := &e.acc[i]
+		cr := cohortResult(e.spec.Cohorts[i].Name, e.spec.Cohorts[i].Clients, a, qs)
+		rep.Cohorts = append(rep.Cohorts, cr)
+		total.arrivals += a.arrivals
+		total.completed += a.completed
+		total.pending += a.pending
+		total.errs += a.errs
+		for c := range a.byClass {
+			total.byClass[c] += a.byClass[c]
+		}
+		total.hist.Merge(&a.hist)
+	}
+	rep.Total = cohortResult("total", e.spec.TotalClients(), &total, qs)
+	secs := simtime.Duration(e.horizon).Seconds()
+	if secs > 0 {
+		rep.Offered = float64(total.arrivals) / secs
+		rep.Achieved = float64(total.completed) / secs
+	}
+	rep.Ratio = 1
+	if total.arrivals > 0 {
+		rep.Ratio = float64(total.completed) / float64(total.arrivals)
+	}
+	return rep
+}
+
+func cohortResult(name string, clients int, a *cohortAcc, qs []float64) CohortResult {
+	q := a.hist.Quantiles(qs)
+	return CohortResult{
+		Name: name, Clients: clients,
+		Arrivals: a.arrivals, Completed: a.completed, Pending: a.pending, Errors: a.errs,
+		ByClass: a.byClass,
+		P50:     int64(q[0]), P90: int64(q[1]), P99: int64(q[2]), P999: int64(q[3]),
+		MaxLat: a.hist.Max(),
+	}
+}
+
+// Run expands the spec into its request stream and executes it. With the
+// default virtual-time executor the run is deterministic: byte-identical
+// reports (and traces) across runs with the same spec and seed.
+func Run(spec *Spec, o Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	gens := make([]*cohortGen, len(spec.Cohorts))
+	var h eventHeap
+	for ci := range spec.Cohorts {
+		gens[ci] = newCohortGen(spec, ci, e.mult)
+		for j := 0; j < spec.Cohorts[ci].Clients; j++ {
+			if t := gens[ci].next(j); t <= e.horizon {
+				h.ev = append(h.ev, event{t: t, cohort: int32(ci), client: int32(j)})
+			}
+		}
+	}
+	h.init()
+	for len(h.ev) > 0 {
+		ev := h.pop()
+		e.events++
+		g := gens[ev.cohort]
+		j := int(ev.client)
+		if g.accept(j, simtime.Time(ev.t)) {
+			class, size := g.draw(j)
+			e.pace(ev.t)
+			e.issue(ev.t, int(ev.cohort), class, size)
+		}
+		if t := ev.t + g.next(j); t <= e.horizon {
+			h.push(event{t: t, cohort: ev.cohort, client: ev.client})
+		}
+	}
+	return e.finish(), nil
+}
+
+// Replay re-issues a recorded trace through the same issue path: the
+// per-request schedule comes from the trace rows instead of the client
+// state machines, everything downstream — pacing, target, accounting,
+// re-recording — is the code Run uses. Replaying a virtual-time trace
+// against the spec that recorded it reproduces the original run's result
+// stream bit-exact.
+func Replay(tr *Trace, spec *Spec, o Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tr.Cohorts) != len(spec.Cohorts) {
+		return nil, fmt.Errorf("workload: trace has %d cohorts, spec %d", len(tr.Cohorts), len(spec.Cohorts))
+	}
+	for i := range tr.Cohorts {
+		if tr.Cohorts[i] != spec.Cohorts[i].Name {
+			return nil, fmt.Errorf("workload: trace cohort %d is %q, spec has %q", i, tr.Cohorts[i], spec.Cohorts[i].Name)
+		}
+	}
+	if o.Mult == 0 {
+		o.Mult = tr.Mult
+	}
+	replaySpec := *spec
+	replaySpec.Seed = tr.Seed
+	if tr.Horizon > 0 {
+		replaySpec.Duration = simtime.Duration(tr.Horizon)
+	}
+	e, err := newEngine(&replaySpec, o)
+	if err != nil {
+		return nil, err
+	}
+	for i := range tr.Rows {
+		r := &tr.Rows[i]
+		if int(r.Cohort) >= len(spec.Cohorts) {
+			return nil, fmt.Errorf("workload: trace row %d names cohort %d of %d", i, r.Cohort, len(spec.Cohorts))
+		}
+		e.events++
+		e.pace(r.T)
+		e.issue(r.T, int(r.Cohort), r.Class, int(r.Size))
+	}
+	return e.finish(), nil
+}

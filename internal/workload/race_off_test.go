@@ -1,0 +1,9 @@
+//go:build !race
+
+package workload
+
+// raceEnabled reports whether the race detector is compiled in; the
+// million-client simulation skips under it (the detector's shadow memory
+// multiplies the event loop's footprint without adding coverage — the
+// virtual-time path is single-goroutine).
+const raceEnabled = false

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"papimc/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestValidateDefaults(t *testing.T) {
+	s := &Spec{Cohorts: []CohortSpec{{Name: "c", Clients: 10, Rate: 5}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "workload" || s.Duration != 60*simtime.Second {
+		t.Errorf("spec defaults: name=%q duration=%v", s.Name, s.Duration)
+	}
+	if s.Server.Servers != 8 || s.Server.Base != 500*simtime.Microsecond || s.Server.SizeRef != 8 {
+		t.Errorf("server defaults: %+v", s.Server)
+	}
+	c := s.Cohorts[0]
+	if c.Mix.Live != 1 || c.Size.Min != 1 || c.Size.Max != 64 {
+		t.Errorf("cohort defaults: mix=%+v size=%+v", c.Mix, c.Size)
+	}
+	// Idempotent: validating again changes nothing.
+	before := s.String()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != before {
+		t.Error("Validate is not idempotent")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mk := func(mutate func(*Spec)) *Spec {
+		s := richSpec()
+		mutate(s)
+		return s
+	}
+	cases := map[string]*Spec{
+		"no cohorts":        {Name: "x"},
+		"unnamed cohort":    mk(func(s *Spec) { s.Cohorts[0].Name = "" }),
+		"duplicate cohort":  mk(func(s *Spec) { s.Cohorts[1].Name = s.Cohorts[0].Name }),
+		"zero clients":      mk(func(s *Spec) { s.Cohorts[0].Clients = 0 }),
+		"negative rate":     mk(func(s *Spec) { s.Cohorts[0].Rate = -4 }),
+		"zero rate":         mk(func(s *Spec) { s.Cohorts[0].Rate = 0 }),
+		"negative mix":      mk(func(s *Spec) { s.Cohorts[0].Mix.Archive = -1 }),
+		"negative size min": mk(func(s *Spec) { s.Cohorts[0].Size.Min = -2 }),
+		"max below min":     mk(func(s *Spec) { s.Cohorts[0].Size = SizeSpec{Min: 10, Max: 5} }),
+		"negative alpha":    mk(func(s *Spec) { s.Cohorts[0].Size.Alpha = -1 }),
+		"zero period":       mk(func(s *Spec) { s.Cohorts[0].Diurnal[0].Period = 0 }),
+		"negative window":   mk(func(s *Spec) { s.Cohorts[0].Windows[0].Start = -simtime.Second }),
+		"window disorder":   mk(func(s *Spec) { s.Cohorts[0].Windows[1].Start = 0 }),
+		"negative servers":  mk(func(s *Spec) { s.Server.Servers = -1 }),
+		"jitter too big":    mk(func(s *Spec) { s.Server.Jitter = 1 }),
+	}
+	for name, s := range cases {
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: %v does not wrap ErrSpec", name, err)
+		}
+	}
+}
+
+// TestLoadSpecGolden parses the checked-in example spec and diffs its
+// canonical normalized form against the golden file. Refresh with
+// go test ./internal/workload -run LoadSpecGolden -update
+func TestLoadSpecGolden(t *testing.T) {
+	s, err := LoadSpec(filepath.Join("testdata", "diurnal.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.String()
+	golden := filepath.Join("testdata", "diurnal.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("parsed spec drifted from golden (rerun with -update if intended):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestParseSpecJSONEquivalence feeds the same spec through both front
+// ends; the raw trees must decode identically.
+func TestParseSpecJSONEquivalence(t *testing.T) {
+	yamlSrc := `
+name: two-front-ends
+seed: 11
+duration: 90s
+server: {servers: 4, base: 250us, jitter: 0.1, sizeref: 2}
+cohorts:
+  - name: readers
+    clients: 300
+    rate: 120
+    mix: {live: 3, archive: 1}
+    size: {min: 2, alpha: 1.5, max: 32}
+    diurnal:
+      - period: 30s
+        amplitude: 0.4
+        phase: 0.25
+    windows:
+      - start: 0s
+        mult: 1
+      - start: 45s
+        mult: 2
+`
+	jsonSrc := `{
+  "name": "two-front-ends",
+  "seed": 11,
+  "duration": "90s",
+  "server": {"servers": 4, "base": "250us", "jitter": 0.1, "sizeref": 2},
+  "cohorts": [
+    {
+      "name": "readers", "clients": 300, "rate": 120,
+      "mix": {"live": 3, "archive": 1},
+      "size": {"min": 2, "alpha": 1.5, "max": 32},
+      "diurnal": [{"period": "30s", "amplitude": 0.4, "phase": 0.25}],
+      "windows": [{"start": "0s", "mult": 1}, {"start": "45s", "mult": 2}]
+    }
+  ]
+}`
+	fromYAML, err := ParseSpec([]byte(yamlSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseSpec([]byte(jsonSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromYAML.String() != fromJSON.String() {
+		t.Errorf("front ends disagree:\n--- yaml ---\n%s--- json ---\n%s", fromYAML, fromJSON)
+	}
+	// Durations accept bare seconds too.
+	bare, err := ParseSpec([]byte("name: bare\nduration: 90\ncohorts:\n  - name: c\n    clients: 1\n    rate: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Duration != 90*simtime.Second {
+		t.Errorf("bare duration parsed as %v", bare.Duration)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown key":        "name: x\nbogus: 1\ncohorts:\n  - name: c\n    clients: 1\n    rate: 1\n",
+		"unknown cohort key": "cohorts:\n  - name: c\n    clients: 1\n    rate: 1\n    color: red\n",
+		"unknown mix key":    "cohorts:\n  - name: c\n    clients: 1\n    rate: 1\n    mix: {livee: 1}\n",
+		"tab indent":         "name: x\ncohorts:\n\t- name: c\n",
+		"bad duration":       "duration: soon\ncohorts:\n  - name: c\n    clients: 1\n    rate: 1\n",
+		"bad number":         "cohorts:\n  - name: c\n    clients: few\n    rate: 1\n",
+		"non-integer":        "cohorts:\n  - name: c\n    clients: 1.5\n    rate: 1\n",
+		"duplicate key":      "name: x\nname: y\ncohorts:\n  - name: c\n    clients: 1\n    rate: 1\n",
+		"bad json":           "{not json",
+		"empty":              "",
+		"cohorts not list":   "cohorts: 3\n",
+		"invalid spec":       "cohorts:\n  - name: c\n    clients: 0\n    rate: 1\n",
+	}
+	for name, src := range cases {
+		_, err := ParseSpec([]byte(src))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: %v does not wrap ErrSpec", name, err)
+		}
+	}
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.yaml")); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestModulationEnvelope(t *testing.T) {
+	c := &richSpec().Cohorts[0]
+	env := c.envelope()
+	for _, tm := range []simtime.Time{0, 1e9, 5e9, 9e9, 11e9, 19e9} {
+		m := c.modulation(tm)
+		if m < 0 || m > env+1e-9 {
+			t.Errorf("modulation(%v) = %g outside [0, envelope=%g]", tm, m, env)
+		}
+	}
+	if !strings.Contains(richSpec().String(), "envelope=") {
+		t.Error("String omits the envelope")
+	}
+}

@@ -1,0 +1,124 @@
+// Targets: where the engine's requests go. The virtual-time engine and
+// the wall-clock executor share the whole generation and issue path; a
+// Target is the single point where they diverge — SimTarget computes a
+// deterministic queueing outcome in virtual time, LiveTarget performs a
+// real fetch and measures the wall clock.
+package workload
+
+import (
+	"time"
+
+	"papimc/internal/loadgen"
+	"papimc/internal/simtime"
+	"papimc/internal/sweep"
+	"papimc/internal/xrand"
+)
+
+// Request is one generated query, fully determined by the spec and seed.
+type Request struct {
+	T      simtime.Time // scheduled (virtual) arrival
+	Seq    int64        // global issue-order sequence number
+	Cohort int
+	Class  Class
+	Size   int // metrics touched
+}
+
+// Outcome is a completed request: latency measured from the scheduled
+// arrival (queueing included — no coordinated omission), and whether the
+// request failed.
+type Outcome struct {
+	Lat int64 // nanoseconds
+	Err bool
+}
+
+// Target executes one request.
+type Target interface {
+	Do(req Request) Outcome
+}
+
+// targetSub is the sweep.Seed substream index reserved for the service
+// model, far above any cohort index so client streams never collide.
+const targetSub = 1 << 20
+
+// SimTarget is the deterministic service model: a bank of Servers
+// parallel service slots fed in arrival order. A request entering at T
+// starts on the earliest-free slot (queueing delay if all are busy) and
+// holds it for a service time proportional to its size, with bounded
+// uniform jitter drawn from the target's own seed substream in issue
+// order — so a replayed trace, issuing the same requests in the same
+// order, reproduces every latency bit-exact.
+type SimTarget struct {
+	spec ServerSpec
+	rng  *xrand.Source
+	busy []int64 // per-slot busy-until, virtual ns
+}
+
+// NewSimTarget builds the service model for a validated spec.
+func NewSimTarget(spec *Spec) *SimTarget {
+	return &SimTarget{
+		spec: spec.Server,
+		rng:  xrand.New(sweep.Seed(spec.Seed, targetSub)),
+		busy: make([]int64, spec.Server.Servers),
+	}
+}
+
+// Do implements Target.
+func (st *SimTarget) Do(req Request) Outcome {
+	best := 0
+	for i := 1; i < len(st.busy); i++ {
+		if st.busy[i] < st.busy[best] {
+			best = i
+		}
+	}
+	start := int64(req.T)
+	if st.busy[best] > start {
+		start = st.busy[best]
+	}
+	svc := float64(st.spec.Base) * float64(req.Size) / st.spec.SizeRef
+	if j := st.spec.Jitter; j > 0 {
+		svc *= 1 + j*(2*st.rng.Float64()-1)
+	}
+	if svc < 1 {
+		svc = 1
+	}
+	done := start + int64(svc)
+	st.busy[best] = done
+	return Outcome{Lat: done - int64(req.T)}
+}
+
+// LiveTarget issues real fetches through a loadgen connection and
+// measures wall-clock latency. The request's Size picks how many PMIDs
+// the fetch covers (clamped to MaxPMIDs), so the heavy-tailed size mix
+// exercises wide fetches against the real tier too.
+type LiveTarget struct {
+	fet      loadgen.Fetcher
+	maxPMIDs int
+	pmids    []uint32
+}
+
+// NewLiveTarget wraps one fetcher connection. maxPMIDs caps the fetch
+// width (0 means 64).
+func NewLiveTarget(fet loadgen.Fetcher, maxPMIDs int) *LiveTarget {
+	if maxPMIDs <= 0 {
+		maxPMIDs = 64
+	}
+	return &LiveTarget{fet: fet, maxPMIDs: maxPMIDs}
+}
+
+// Do implements Target.
+func (lt *LiveTarget) Do(req Request) Outcome {
+	n := req.Size
+	if n > lt.maxPMIDs {
+		n = lt.maxPMIDs
+	}
+	if n < 1 {
+		n = 1
+	}
+	lt.pmids = lt.pmids[:0]
+	for i := 0; i < n; i++ {
+		lt.pmids = append(lt.pmids, uint32(i+1))
+	}
+	start := time.Now()
+	_, err := lt.fet.Fetch(lt.pmids)
+	return Outcome{Lat: time.Since(start).Nanoseconds(), Err: err != nil}
+}
