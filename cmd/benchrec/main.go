@@ -9,13 +9,17 @@
 //	benchrec [-out BENCH_4.json] [-benchtime 1s]
 //	benchrec -cluster [-out BENCH_5.json]
 //	benchrec -capacity [-out BENCH_6.json]
+//	benchrec -wire [-out BENCH_7.json]
 //
 // With -cluster it instead records federated root-query latency versus
 // node count (the scatter-gather tree from internal/cluster), writing
 // BENCH_5.json by default. With -capacity it records the workload
 // capacity sweep's knee point and the virtual-time engine's
 // million-client simulation rate (internal/workload), writing
-// BENCH_6.json by default.
+// BENCH_6.json by default. With -wire it records proxied fetch
+// throughput over real TCP, lockstep Version1 versus the pipelined
+// Version2 wire path (tagged PDUs, shared connections, batched sets),
+// writing BENCH_7.json by default.
 package main
 
 import (
@@ -95,12 +99,14 @@ var concBaselines = map[string]Metric{
 }
 
 func main() {
-	out := flag.String("out", "", "output file (default BENCH_4.json; BENCH_5.json with -cluster, BENCH_6.json with -capacity)")
+	out := flag.String("out", "", "output file (default BENCH_4.json; BENCH_5.json with -cluster, BENCH_6.json with -capacity, BENCH_7.json with -wire)")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
 	clusterRec := flag.Bool("cluster", false, "record federated root-query latency vs node count instead")
 	capacityRec := flag.Bool("capacity", false, "record the workload capacity knee and simulation rate instead")
 	capacitySpec := flag.String("capacity-spec", "examples/workload-specs/capacity.yaml", "spec swept for the -capacity knee")
 	simSpec := flag.String("sim-spec", "examples/workload-specs/diurnal.yaml", "spec timed for the -capacity simulation rate")
+	wireRec := flag.Bool("wire", false, "record lockstep vs pipelined wire-path throughput instead")
+	wireDuration := flag.Duration("wire-duration", 1500*time.Millisecond, "per-run measuring time with -wire")
 	flag.Parse()
 	if *out == "" {
 		switch {
@@ -108,12 +114,18 @@ func main() {
 			*out = "BENCH_5.json"
 		case *capacityRec:
 			*out = "BENCH_6.json"
+		case *wireRec:
+			*out = "BENCH_7.json"
 		default:
 			*out = "BENCH_4.json"
 		}
 	}
 	if *capacityRec {
 		capacityMain(*out, *capacitySpec, *simSpec)
+		return
+	}
+	if *wireRec {
+		wireMain(*out, *wireDuration)
 		return
 	}
 	// testing.Benchmark consults the test.benchtime flag, which only

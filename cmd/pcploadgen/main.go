@@ -24,6 +24,7 @@
 //
 //	pcploadgen [-target both|daemon|proxy|ADDR] [-mode closed|open]
 //	           [-sweep 1,2,4,8] [-ops 200] [-rate 50000] [-sim] [-seed 1]
+//	           [-pipeline N] [-batch B]
 //	pcploadgen -spec FILE [-mult M] [-record FILE | -replay FILE]
 //	           [-live [-target ADDR] [-workers N]]
 //
@@ -55,6 +56,8 @@ func main() {
 	duration := flag.Duration("duration", time.Second, "live-mode wall deadline when -ops is 0")
 	rate := flag.Float64("rate", 50_000, "open-loop total arrival rate, requests/second")
 	numPMIDs := flag.Int("pmids", 8, "number of metrics each request fetches")
+	pipeline := flag.Int("pipeline", 0, "share N pipelined connections across all workers (0 = one lockstep-style connection per worker)")
+	batch := flag.Int("batch", 1, "PMID sets per request: >1 bundles them into one FetchBatch round trip")
 	sim := flag.Bool("sim", false, "deterministic simulated-time latencies")
 	seed := flag.Uint64("seed", 1, "simulated-time model seed")
 	base := flag.Duration("base", 10*time.Microsecond, "simulated-time mean service time")
@@ -82,6 +85,7 @@ func main() {
 		Duration: *duration,
 		Rate:     *rate,
 		PMIDs:    pmidSet(*numPMIDs),
+		Batch:    *batch,
 	}
 	switch *mode {
 	case "closed":
@@ -134,11 +138,21 @@ func main() {
 
 	for _, tr := range tiers {
 		fmt.Printf("target=%s addr=%s mode=%s pmids=%d", tr.name, tr.addr, *mode, *numPMIDs)
+		if *pipeline > 0 {
+			fmt.Printf(" pipeline=%d", *pipeline)
+		}
+		if *batch > 1 {
+			fmt.Printf(" batch=%d", *batch)
+		}
 		if *sim {
 			fmt.Printf(" sim(seed=%d base=%v jitter=%g)", *seed, *base, *jitter)
 		}
 		fmt.Println()
-		results, err := loadgen.Sweep(loadgen.DialFactory(tr.addr), sweep, opts)
+		factory := loadgen.DialFactory(tr.addr)
+		if *pipeline > 0 {
+			factory = loadgen.PipelinedFactory(tr.addr, *pipeline)
+		}
+		results, err := loadgen.Sweep(factory, sweep, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pcploadgen:", err)
 			os.Exit(1)

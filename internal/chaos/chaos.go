@@ -348,7 +348,13 @@ func runTrial(o Options, idx int) (Trial, error) {
 			if err != nil {
 				return nil, err
 			}
-			return pcp.NewClientConn(c)
+			// Pin the lockstep protocol: the suite's conservation laws
+			// count one fatal fault per failed upstream round trip, which
+			// is exact only when requests are single-flight. The
+			// pipelined path has its own chaos coverage (typed
+			// per-request errors, no hangs) in internal/pcp's
+			// pipeline_fault_test.go.
+			return pcp.NewClientConnMax(c, pcp.Version1)
 		},
 		Clock:      clock,
 		Interval:   Interval,

@@ -206,7 +206,11 @@ func TestClientDeadlineUnderStall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := pcp.NewClientConn(raw)
+	// Version1: keeps read offset 7 inside the fetch response (the
+	// version exchange would otherwise consume it) and exercises the
+	// lockstep whole-connection deadline; the pipelined per-request
+	// deadline has its own stall test.
+	c, err := pcp.NewClientConnMax(raw, pcp.Version1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,20 +146,53 @@ func (f *Federator) EdgeStats() []EdgeStats {
 // the shared clock held still past the sampling interval every child
 // answers at the same virtual time and the maximum is that time.
 func (f *Federator) Fetch(pmids []uint32) (pcp.FetchResult, error) {
+	results, err := f.FetchBatch([][]uint32{pmids})
+	if err != nil {
+		var pe *pcp.PartialError
+		if errors.As(err, &pe) {
+			return results[0], err
+		}
+		return pcp.FetchResult{}, err
+	}
+	return results[0], nil
+}
+
+// FetchBatch scatter-gathers multiple PMID sets at once: the PMIDs of
+// every set are routed together, so each owning child is asked with ONE
+// edge round trip covering the entire batch — the federation win of the
+// batch PDU. A whole multi-set snapshot costs the same number of edge
+// round trips as a single fetch. Fetch is the one-set special case.
+//
+// Partial-result semantics are Fetch's, lifted to the batch: every set
+// carries one value per requested PMID, unreachable subtrees contribute
+// StatusNodeDown values, and one *pcp.PartialError names the union of
+// missing leaf nodes across the batch. All sets share the merged
+// (maximum) timestamp of the single scatter.
+func (f *Federator) FetchBatch(sets [][]uint32) ([]pcp.FetchResult, error) {
+	type backref struct{ set, slot int }
 	type request struct {
 		childPMIDs []uint32
-		slots      []int
+		refs       []backref
 	}
 	reqs := make([]request, len(f.children))
-	out := make([]pcp.FetchValue, len(pmids))
-	for slot, id := range pmids {
-		if id == 0 || int(id) > len(f.route) {
-			out[slot] = pcp.FetchValue{PMID: id, Status: pcp.StatusNoSuchPMID}
-			continue
+	results := make([]pcp.FetchResult, len(sets))
+	routed := false
+	for si, pmids := range sets {
+		vals := make([]pcp.FetchValue, len(pmids))
+		results[si].Values = vals
+		for slot, id := range pmids {
+			if id == 0 || int(id) > len(f.route) {
+				vals[slot] = pcp.FetchValue{PMID: id, Status: pcp.StatusNoSuchPMID}
+				continue
+			}
+			r := f.route[id-1]
+			reqs[r.child].childPMIDs = append(reqs[r.child].childPMIDs, r.childPMID)
+			reqs[r.child].refs = append(reqs[r.child].refs, backref{set: si, slot: slot})
+			routed = true
 		}
-		r := f.route[id-1]
-		reqs[r.child].childPMIDs = append(reqs[r.child].childPMIDs, r.childPMID)
-		reqs[r.child].slots = append(reqs[r.child].slots, slot)
+	}
+	if !routed {
+		return results, nil
 	}
 
 	type answer struct {
@@ -201,8 +234,10 @@ func (f *Federator) Fetch(pmids []uint32) (pcp.FetchResult, error) {
 			a.err = fmt.Errorf("cluster: %s: %d values for %d pmids", f.ups[i].Name(), len(a.res.Values), len(req.childPMIDs))
 		}
 		if failed {
-			for _, slot := range req.slots {
-				out[slot] = pcp.FetchValue{PMID: pmids[slot], Status: pcp.StatusNodeDown}
+			for _, ref := range req.refs {
+				results[ref.set].Values[ref.slot] = pcp.FetchValue{
+					PMID: sets[ref.set][ref.slot], Status: pcp.StatusNodeDown,
+				}
 			}
 			for _, nd := range f.children[i].Nodes {
 				missing[nd] = true
@@ -226,24 +261,27 @@ func (f *Federator) Fetch(pmids []uint32) (pcp.FetchResult, error) {
 			}
 		}
 		for j, v := range a.res.Values {
-			v.PMID = pmids[req.slots[j]] // rewrite to this federator's PMID space
-			out[req.slots[j]] = v
+			ref := req.refs[j]
+			v.PMID = sets[ref.set][ref.slot] // rewrite to this federator's PMID space
+			results[ref.set].Values[ref.slot] = v
 		}
+	}
+	for i := range results {
+		results[i].Timestamp = ts
 	}
 
 	if len(missing) == 0 {
-		return pcp.FetchResult{Timestamp: ts, Values: out}, nil
+		return results, nil
 	}
 	if !answered {
-		return pcp.FetchResult{}, fmt.Errorf("cluster: %s: every child failed: %w (%v)", f.name, pmproxy.ErrUpstreamDown, lastErr)
+		return nil, fmt.Errorf("cluster: %s: every child failed: %w (%v)", f.name, pmproxy.ErrUpstreamDown, lastErr)
 	}
 	names := make([]string, 0, len(missing))
 	for nd := range missing {
 		names = append(names, nd)
 	}
 	sort.Strings(names)
-	return pcp.FetchResult{Timestamp: ts, Values: out},
-		&pcp.PartialError{Missing: names, Cause: cause}
+	return results, &pcp.PartialError{Missing: names, Cause: cause}
 }
 
 // FetchAll fetches the federator's entire namespace in PMID order — the

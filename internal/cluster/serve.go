@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -40,8 +41,14 @@ func Serve(f *Federator, addr string) (*Server, string, error) {
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	// Shard the accept path like pcp.Daemon: one blocked Accept per
+	// processor, load-balanced by the kernel, so connection setup does
+	// not serialise behind a single goroutine wakeup.
+	shards := runtime.GOMAXPROCS(0)
+	s.wg.Add(shards)
+	for i := 0; i < shards; i++ {
+		go s.acceptLoop()
+	}
 	return s, ln.Addr().String(), nil
 }
 
@@ -94,43 +101,114 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err := pcp.ServerHandshake(br, bw); err != nil {
 		return
 	}
-	var (
-		payloadBuf []byte
-		respBuf    []byte
-		pmids      []uint32
-	)
+	var payloadBuf, respBuf []byte
 	for {
 		typ, payload, err := pcp.ReadPDUInto(br, payloadBuf)
 		if err != nil {
 			return
 		}
 		payloadBuf = payload
-		var respType uint8
-		var resp []byte
-		switch typ {
-		case pcp.PDUNamesReq:
-			respType, resp = pcp.PDUNamesResp, pcp.AppendNamesResp(respBuf[:0], s.f.names)
-		case pcp.PDUFetchReq:
-			pmids, err = pcp.DecodeFetchReqInto(payload, pmids[:0])
-			if err != nil {
-				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
-				break
+		if typ == pcp.PDUVersionReq {
+			respType, resp, tagged := pcp.NegotiateVersion(payload, respBuf[:0])
+			respBuf = resp
+			if err := pcp.WritePDU(bw, respType, resp); err != nil {
+				return
 			}
-			res, ferr := s.f.Fetch(pmids)
-			respType, resp = s.answer(respBuf[:0], res, ferr)
-		case pcp.PDUFetchAllReq:
-			res, ferr := s.f.FetchAll()
-			respType, resp = s.answer(respBuf[:0], res, ferr)
-		default:
-			respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			if tagged {
+				s.serveTagged(conn, br, bw)
+				return
+			}
+			continue
 		}
-		respBuf = resp
+		respType, resp := s.handleReq(typ, payload)
 		if err := pcp.WritePDU(bw, respType, resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// taggedConcurrency caps in-flight requests per tagged connection: a
+// pipelined client cannot spawn unbounded handler goroutines; past the
+// cap the reader blocks, which is exactly TCP backpressure.
+const taggedConcurrency = 32
+
+// serveTagged serves the tagged, pipelined protocol with true
+// out-of-order completion: each request runs in its own goroutine, so a
+// fetch whose scatter is stalled on a hedging or dead edge does not
+// head-of-line-block the requests queued behind it. This differs from
+// pcp.ServeTagged (sequential) deliberately — at the federation tier
+// per-request latency is dominated by downstream round trips, not
+// handler CPU, so concurrency is where pipelining pays. Responses are
+// serialised by a write mutex.
+func (s *Server) serveTagged(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+	var (
+		wmu sync.Mutex
+		wg  sync.WaitGroup
+	)
+	sem := make(chan struct{}, taggedConcurrency)
+	defer wg.Wait()
+	var payloadBuf []byte
+	for {
+		typ, tag, payload, err := pcp.ReadTaggedPDUInto(br, payloadBuf)
+		if err != nil {
+			return
+		}
+		payloadBuf = payload
+		// The handler runs concurrently with the next read, so it gets
+		// its own copy of the payload.
+		req := append([]byte(nil), payload...)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(typ uint8, tag uint32, payload []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			respType, resp := s.handleReq(typ, payload)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := pcp.WriteTaggedPDU(bw, respType, tag, resp); err != nil {
+				conn.Close() // unblocks the reader; the loop exits on its error
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				conn.Close()
+			}
+		}(typ, tag, req)
+	}
+}
+
+// handleReq dispatches one request PDU to the federator and encodes the
+// response. It allocates its buffers because the tagged path runs it
+// from concurrent goroutines; at this tier the downstream scatter
+// dwarfs the allocation cost.
+func (s *Server) handleReq(typ uint8, payload []byte) (uint8, []byte) {
+	switch typ {
+	case pcp.PDUNamesReq:
+		return pcp.PDUNamesResp, pcp.AppendNamesResp(nil, s.f.names)
+	case pcp.PDUFetchReq:
+		pmids, err := pcp.DecodeFetchReqInto(payload, nil)
+		if err != nil {
+			return pcp.PDUError, pcp.AppendError(nil, err.Error())
+		}
+		res, ferr := s.f.Fetch(pmids)
+		return s.answer(nil, res, ferr)
+	case pcp.PDUFetchAllReq:
+		res, ferr := s.f.FetchAll()
+		return s.answer(nil, res, ferr)
+	case pcp.PDUFetchBatchReq:
+		sets, err := pcp.DecodeFetchBatchReqInto(payload, nil)
+		if err != nil {
+			return pcp.PDUError, pcp.AppendError(nil, err.Error())
+		}
+		results, ferr := s.f.FetchBatch(sets)
+		return s.answerBatch(nil, results, ferr)
+	default:
+		return pcp.PDUError, pcp.AppendError(nil, fmt.Sprintf("unknown PDU type %d", typ))
 	}
 }
 
@@ -144,6 +222,21 @@ func (s *Server) answer(dst []byte, res pcp.FetchResult, err error) (uint8, []by
 		return pcp.PDUFetchResp, pcp.AppendFetchResp(dst, res)
 	case errors.As(err, &pe):
 		return pcp.PDUFetchPartialResp, pcp.AppendPartialResp(dst, res, pe.Missing, pe.Cause)
+	default:
+		return pcp.PDUError, pcp.AppendError(dst, err.Error())
+	}
+}
+
+// answerBatch is answer for the batch PDU: partial outcomes ride in the
+// batch response's own missing/cause header instead of a separate PDU
+// type.
+func (s *Server) answerBatch(dst []byte, results []pcp.FetchResult, err error) (uint8, []byte) {
+	var pe *pcp.PartialError
+	switch {
+	case err == nil:
+		return pcp.PDUFetchBatchResp, pcp.AppendFetchBatchResp(dst, results, nil, "")
+	case errors.As(err, &pe):
+		return pcp.PDUFetchBatchResp, pcp.AppendFetchBatchResp(dst, results, pe.Missing, pe.Cause)
 	default:
 		return pcp.PDUError, pcp.AppendError(dst, err.Error())
 	}

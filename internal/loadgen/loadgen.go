@@ -77,6 +77,14 @@ type Fetcher interface {
 	Fetch(pmids []uint32) (pcp.FetchResult, error)
 }
 
+// BatchFetcher is the optional batching side of a Fetcher. When
+// Options.Batch > 1 the generator requires it and issues one FetchBatch
+// round trip per Batch sets. *pcp.Client, *pcp.Daemon, *pmproxy.Proxy,
+// and *cluster.Federator all implement it.
+type BatchFetcher interface {
+	FetchBatch(sets [][]uint32) ([]pcp.FetchResult, error)
+}
+
 // FetchFunc adapts a function to the Fetcher interface (for in-process
 // targets like *pcp.Daemon or *pmproxy.Proxy).
 type FetchFunc func(pmids []uint32) (pcp.FetchResult, error)
@@ -105,6 +113,57 @@ func DialFactory(addr string) Factory {
 func SharedFactory(f Fetcher) Factory {
 	return func() (Fetcher, func() error, error) {
 		return f, func() error { return nil }, nil
+	}
+}
+
+// PipelinedFactory shares conns pipelined connections across all
+// workers, round-robin, so many workers keep requests in flight on few
+// sockets — the pipelined wire path's intended shape (DialFactory's
+// socket-per-worker measures lockstep fan-out instead). Connections are
+// dialed on demand and refcounted: the last worker's cleanup closes
+// them, so the same Factory value is reusable across Sweep levels.
+func PipelinedFactory(addr string, conns int) Factory {
+	if conns <= 0 {
+		conns = 1
+	}
+	var (
+		mu      sync.Mutex
+		clients []*pcp.Client
+		refs    int
+		next    int
+	)
+	return func() (Fetcher, func() error, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		var c *pcp.Client
+		if len(clients) < conns {
+			cc, err := pcp.Dial(addr)
+			if err != nil {
+				return nil, nil, err
+			}
+			clients = append(clients, cc)
+			c = cc
+		} else {
+			c = clients[next%len(clients)]
+			next++
+		}
+		refs++
+		cleanup := func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			if refs--; refs > 0 {
+				return nil
+			}
+			var err error
+			for _, cl := range clients {
+				if e := cl.Close(); e != nil && err == nil {
+					err = e
+				}
+			}
+			clients, next = nil, 0
+			return err
+		}
+		return c, cleanup, nil
 	}
 }
 
@@ -152,10 +211,18 @@ type Options struct {
 	// Duration bounds a live-mode run when Ops is 0. Ignored in
 	// simulated-time mode.
 	Duration time.Duration
-	// Rate is the total open-loop arrival rate in requests/second,
+	// Rate is the total open-loop arrival rate in fetched sets/second,
 	// split evenly across workers. Required when Mode is Open; must not
-	// be negative in any mode.
+	// be negative in any mode. With Batch > 1 the request rate is
+	// Rate/Batch, so the offered per-set load stays comparable across
+	// batch factors.
 	Rate float64
+	// Batch, when > 1, bundles that many copies of PMIDs into one
+	// FetchBatch round trip per request. The fetchers must implement
+	// BatchFetcher. Ops still counts requests per worker; reported ops
+	// and throughput count fetched sets; a failed request counts one
+	// error.
+	Batch int
 	// Sim switches to deterministic simulated-time latencies.
 	Sim *SimModel
 	// WorkerSeeds, when non-nil, gives each sim worker an explicit seed
@@ -271,6 +338,37 @@ func Run(f Factory, o Options) (Result, error) {
 	return res, nil
 }
 
+// fetchOp resolves one worker's per-request operation: a single fetch,
+// or — when Options.Batch > 1 — one FetchBatch round trip carrying
+// Batch copies of the PMID set. Returns the operation and the number of
+// sets each request fetches.
+func fetchOp(fet Fetcher, o Options) (func() error, int, error) {
+	if o.Batch <= 1 {
+		return func() error {
+			_, err := fet.Fetch(o.PMIDs)
+			return err
+		}, 1, nil
+	}
+	bf, ok := fet.(BatchFetcher)
+	if !ok {
+		return nil, 0, fmt.Errorf("loadgen: Batch=%d but fetcher %T does not implement BatchFetcher", o.Batch, fet)
+	}
+	sets := make([][]uint32, o.Batch)
+	for i := range sets {
+		sets[i] = o.PMIDs
+	}
+	return func() error {
+		out, err := bf.FetchBatch(sets)
+		if err != nil {
+			return err
+		}
+		if len(out) != len(sets) {
+			return fmt.Errorf("loadgen: batch returned %d sets, want %d", len(out), len(sets))
+		}
+		return nil
+	}, o.Batch, nil
+}
+
 // runSimWorker issues o.Ops real requests and advances a virtual clock
 // by deterministic service times. In the open loop, arrivals are spaced
 // at the per-worker inter-arrival interval and latency includes the
@@ -281,13 +379,18 @@ func runSimWorker(fet Fetcher, o Options, w int, out *workerOut) {
 		seed = o.WorkerSeeds[w]
 	}
 	rng := xrand.New(seed)
+	op, per, err := fetchOp(fet, o)
+	if err != nil {
+		out.err = err
+		return
+	}
 	var interArrival float64
 	if o.Mode == Open {
-		interArrival = float64(o.Workers) / o.Rate * 1e9
+		interArrival = float64(o.Workers*per) / o.Rate * 1e9
 	}
 	var busy int64
 	for i := 0; i < o.Ops; i++ {
-		if _, err := fet.Fetch(o.PMIDs); err != nil {
+		if err := op(); err != nil {
 			out.errs++
 			continue
 		}
@@ -307,7 +410,7 @@ func runSimWorker(fet Fetcher, o Options, w int, out *workerOut) {
 			lat = svc
 		}
 		out.hist.Record(lat)
-		out.ops++
+		out.ops += int64(per)
 	}
 	out.virtualEnd = busy
 }
@@ -315,9 +418,14 @@ func runSimWorker(fet Fetcher, o Options, w int, out *workerOut) {
 // runLiveWorker measures wall-clock round trips until the op count or
 // deadline is reached.
 func runLiveWorker(fet Fetcher, o Options, w int, start time.Time, out *workerOut) {
+	op, per, err := fetchOp(fet, o)
+	if err != nil {
+		out.err = err
+		return
+	}
 	var interArrival time.Duration
 	if o.Mode == Open {
-		interArrival = time.Duration(float64(o.Workers) / o.Rate * 1e9)
+		interArrival = time.Duration(float64(o.Workers*per) / o.Rate * 1e9)
 	}
 	deadline := start.Add(o.Duration)
 	for i := 0; ; i++ {
@@ -338,12 +446,12 @@ func runLiveWorker(fet Fetcher, o Options, w int, start time.Time, out *workerOu
 		} else {
 			ref = time.Now()
 		}
-		if _, err := fet.Fetch(o.PMIDs); err != nil {
+		if err := op(); err != nil {
 			out.errs++
 			continue
 		}
 		out.hist.Record(time.Since(ref).Nanoseconds())
-		out.ops++
+		out.ops += int64(per)
 	}
 }
 

@@ -225,6 +225,36 @@ func (d *Daemon) FetchAllInto(vals []FetchValue) FetchResult {
 	return FetchResult{Timestamp: int64(s.at), Values: vals}
 }
 
+// FetchBatch answers one result per PMID set, all served from a single
+// snapshot — the multi-EventSet fetch: every set sees the same
+// timestamp and a mutually consistent view.
+func (d *Daemon) FetchBatch(sets [][]uint32) []FetchResult {
+	return d.FetchBatchInto(sets, nil)
+}
+
+// FetchBatchInto is FetchBatch decoding into results, reusing its outer
+// array and each element's Values backing array. Like FetchInto it
+// takes no locks.
+func (d *Daemon) FetchBatchInto(sets [][]uint32, results []FetchResult) []FetchResult {
+	s := d.current()
+	for i, pmids := range sets {
+		var res FetchResult
+		if i < cap(results) {
+			res = results[:i+1][i]
+		}
+		vals := res.Values[:0]
+		for _, id := range pmids {
+			if id == 0 || int(id) > len(s.values) {
+				vals = append(vals, FetchValue{PMID: id, Status: StatusNoSuchPMID})
+				continue
+			}
+			vals = append(vals, s.values[id-1])
+		}
+		results = append(results[:i], FetchResult{Timestamp: int64(s.at), Values: vals})
+	}
+	return results[:len(sets)]
+}
+
 // Start listens on addr (e.g. "127.0.0.1:0") and serves clients in the
 // background until Close. It returns the bound address.
 func (d *Daemon) Start(addr string) (string, error) {
@@ -238,10 +268,18 @@ func (d *Daemon) Start(addr string) (string, error) {
 // StartOn serves clients on an existing listener until Close. It is the
 // injection point for wrapped listeners (fault injection, custom
 // transports). It returns the listener's address.
+//
+// Accepting is sharded per core: GOMAXPROCS goroutines block in Accept
+// on the one listener (the kernel load-balances wakeups), so a
+// connection burst is admitted in parallel instead of serializing on a
+// single accept loop.
 func (d *Daemon) StartOn(ln net.Listener) string {
 	d.ln = ln
-	d.wg.Add(1)
-	go d.acceptLoop()
+	n := runtime.GOMAXPROCS(0)
+	d.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go d.acceptLoop()
+	}
 	return ln.Addr().String()
 }
 
@@ -291,10 +329,54 @@ func (d *Daemon) acceptLoop() {
 	}
 }
 
-// serveConn handles one client connection: handshake, then a
-// request/response loop. The loop reuses per-connection scratch buffers
-// for the request payload, decoded PMIDs, fetched values and encoded
+// serveScratch is the per-connection reusable state of a serving loop:
+// request payload, decoded PMIDs and sets, fetched values and encoded
 // response, so steady-state fetch serving does not allocate.
+type serveScratch struct {
+	respBuf []byte
+	pmids   []uint32
+	sets    [][]uint32
+	vals    []FetchValue
+	batch   []FetchResult
+}
+
+// handleReq serves one decoded request PDU, returning the response type
+// and payload (encoded into s.respBuf). It is shared by the lockstep
+// and tagged serving loops.
+func (d *Daemon) handleReq(typ uint8, payload []byte, s *serveScratch) (uint8, []byte) {
+	switch typ {
+	case PDUNamesReq:
+		return PDUNamesResp, AppendNamesResp(s.respBuf[:0], d.table.Load().names)
+	case PDUFetchReq:
+		pmids, err := DecodeFetchReqInto(payload, s.pmids[:0])
+		if err != nil {
+			return PDUError, AppendError(s.respBuf[:0], err.Error())
+		}
+		s.pmids = pmids
+		res := d.FetchInto(pmids, s.vals[:0])
+		s.vals = res.Values
+		return PDUFetchResp, AppendFetchResp(s.respBuf[:0], res)
+	case PDUFetchAllReq:
+		res := d.FetchAllInto(s.vals[:0])
+		s.vals = res.Values
+		return PDUFetchResp, AppendFetchResp(s.respBuf[:0], res)
+	case PDUFetchBatchReq:
+		sets, err := DecodeFetchBatchReqInto(payload, s.sets[:0])
+		if err != nil {
+			return PDUError, AppendError(s.respBuf[:0], err.Error())
+		}
+		s.sets = sets
+		s.batch = d.FetchBatchInto(sets, s.batch[:0])
+		return PDUFetchBatchResp, AppendFetchBatchResp(s.respBuf[:0], s.batch, nil, "")
+	default:
+		return PDUError, AppendError(s.respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
+	}
+}
+
+// serveConn handles one client connection: handshake, then a lockstep
+// request/response loop. A PDUVersionReq negotiating Version2 or higher
+// hands the connection to the tagged loop (ServeTagged); Version1
+// clients never send one and stay in lockstep.
 func (d *Daemon) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
@@ -303,9 +385,7 @@ func (d *Daemon) serveConn(conn net.Conn) {
 	}
 	var (
 		payloadBuf []byte
-		respBuf    []byte
-		pmids      []uint32
-		vals       []FetchValue
+		s          serveScratch
 	)
 	for {
 		typ, payload, err := ReadPDUInto(br, payloadBuf)
@@ -315,34 +395,94 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		payloadBuf = payload
 		var respType uint8
 		var resp []byte
-		switch typ {
-		case PDUNamesReq:
-			respType, resp = PDUNamesResp, AppendNamesResp(respBuf[:0], d.table.Load().names)
-		case PDUFetchReq:
-			pmids, err = DecodeFetchReqInto(payload, pmids[:0])
-			if err != nil {
-				respType, resp = PDUError, AppendError(respBuf[:0], err.Error())
-				break
-			}
-			res := d.FetchInto(pmids, vals[:0])
-			vals = res.Values
-			respType, resp = PDUFetchResp, AppendFetchResp(respBuf[:0], res)
-		case PDUFetchAllReq:
-			res := d.FetchAllInto(vals[:0])
-			vals = res.Values
-			respType, resp = PDUFetchResp, AppendFetchResp(respBuf[:0], res)
-		default:
-			respType, resp = PDUError, AppendError(respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
+		tagged := false
+		if typ == PDUVersionReq {
+			respType, resp, tagged = NegotiateVersion(payload, s.respBuf[:0])
+			s.respBuf = resp
+		} else {
+			respType, resp = d.handleReq(typ, payload, &s)
 		}
-		respBuf = resp
 		if err := WritePDU(bw, respType, resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		if tagged {
+			ServeTagged(conn, br, func(typ uint8, payload []byte) (uint8, []byte) {
+				return d.handleReq(typ, payload, &s)
+			})
+			return
+		}
 	}
 }
+
+// NegotiateVersion answers a PDUVersionReq payload on the server side,
+// appending the response to dst: the reply carries min(client max,
+// server max), and tagged reports whether the connection must switch to
+// tagged framing once the response is flushed. Exported for the other
+// servers speaking the protocol (pmproxy, cluster).
+func NegotiateVersion(payload, dst []byte) (respType uint8, resp []byte, tagged bool) {
+	peerMax, err := DecodeVersion(payload)
+	if err != nil {
+		return PDUError, AppendError(dst, err.Error()), false
+	}
+	v := MaxVersion
+	if peerMax < v {
+		v = peerMax
+	}
+	return PDUVersionResp, AppendVersion(dst, v), v >= Version2
+}
+
+// ServeTagged runs the Version2 serving loop on a negotiated
+// connection: tagged frames in, tagged frames out, with writer-side
+// coalescing — responses accumulate in a frameBatch and are flushed
+// with one vectored write when no further request is already buffered,
+// so a pipelined burst of n requests costs one read wakeup and one
+// write syscall instead of n of each. Exported for the other servers
+// speaking the protocol (pmproxy, cluster).
+//
+// handle may encode responses into reused buffers it owns; a response
+// larger than the coalescing threshold is referenced zero-copy and
+// flushed before the next request is read, so that reuse stays safe.
+func ServeTagged(conn net.Conn, br *bufio.Reader, handle func(typ uint8, payload []byte) (respType uint8, resp []byte)) {
+	var (
+		payloadBuf []byte
+		batch      frameBatch
+	)
+	for {
+		if batch.empty() || br.Buffered() > 0 {
+			// More input already buffered (or nothing pending): read
+			// before flushing, so a burst coalesces into one write.
+		} else if err := batch.flush(conn); err != nil {
+			return
+		}
+		typ, tag, payload, err := ReadTaggedPDUInto(br, payloadBuf)
+		if err != nil {
+			return
+		}
+		payloadBuf = payload
+		respType, resp := handle(typ, payload)
+		direct, err := batch.appendFrame(respType, tag, resp)
+		if err != nil {
+			return
+		}
+		if direct || len(batch.small) >= serveFlushBytes {
+			// Flush now: either the batch references resp zero-copy (the
+			// next request would overwrite the scratch buffer it lives
+			// in), or enough responses accumulated that holding more
+			// would just grow the batch — writing applies backpressure
+			// to a peer that streams requests without reading answers.
+			if err := batch.flush(conn); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveFlushBytes caps how many coalesced response bytes the tagged
+// serving loop holds before forcing a flush.
+const serveFlushBytes = 64 << 10
 
 // Close stops the listener, disconnects clients, and waits for
 // connection handlers to finish. It is idempotent.

@@ -71,6 +71,9 @@ func FuzzReadPDU(f *testing.F) {
 		_, _ = DecodeFetchReq(payload)
 		_, _ = DecodeFetchResp(payload)
 		_, _ = DecodeError(payload)
+		_, _ = DecodeVersion(payload)
+		_, _ = DecodeFetchBatchReqInto(payload, nil)
+		_, _, _ = DecodeFetchBatchRespInto(payload, nil)
 	})
 }
 

@@ -38,7 +38,34 @@ const (
 	// snapshot. One round trip serves a whole EventSet or a cluster
 	// snapshot instead of a names exchange plus an enumerated fetch.
 	PDUFetchAllReq uint8 = 6
-	PDUError       uint8 = 255
+	// PDUVersionReq negotiates the wire protocol version after the magic
+	// handshake: the payload is the sender's maximum version, the reply
+	// (PDUVersionResp) is min(client max, server max). A Version1-only
+	// server answers it with PDUError instead — which is exactly the
+	// fallback signal, since the connection stays usable in lockstep
+	// framing. At Version2 and above both sides switch to tagged frames
+	// (see WriteTaggedPDU) immediately after the version exchange.
+	PDUVersionReq  uint8 = 7
+	PDUVersionResp uint8 = 8
+	// PDUFetchBatchReq carries multiple PMID sets so one round trip
+	// serves a whole multi-component EventSet: the reply is one
+	// PDUFetchBatchResp holding a fetch-response body per set, all served
+	// from a single snapshot.
+	PDUFetchBatchReq  uint8 = 9
+	PDUFetchBatchResp uint8 = 10
+	PDUError          uint8 = 255
+)
+
+// Wire protocol versions negotiated via PDUVersionReq.
+const (
+	// Version1 is the original lockstep protocol: plain 5-byte frames,
+	// one request outstanding per connection.
+	Version1 uint32 = 1
+	// Version2 adds tagged 9-byte frames (pipelining with out-of-order
+	// completion) and the batch fetch PDUs.
+	Version2 uint32 = 2
+	// MaxVersion is the newest version this package speaks.
+	MaxVersion = Version2
 )
 
 // Per-value status codes in fetch responses.
@@ -316,11 +343,26 @@ func DecodeFetchResp(b []byte) (FetchResult, error) {
 // res.Values' backing array. res is left zeroed on error.
 func DecodeFetchRespInto(b []byte, res *FetchResult) error {
 	d := decoder{buf: b}
+	d.fetchBody(res)
+	if err := d.done(); err != nil {
+		*res = FetchResult{}
+		return err
+	}
+	return nil
+}
+
+// fetchBody decodes one fetch-response body (timestamp, count, values)
+// from the decoder's position into res, reusing res.Values' backing
+// array. It is the shared sub-parser of the full, partial and batch
+// response decoders; on failure d.err is set and res is unspecified.
+func (d *decoder) fetchBody(res *FetchResult) {
 	ts := d.i64()
 	n := d.u32()
-	if n > MaxPDUBytes/16 {
-		*res = FetchResult{}
-		return fmt.Errorf("%w: implausible value count %d", ErrProtocol, n)
+	if d.err == nil && n > MaxPDUBytes/16 {
+		d.err = fmt.Errorf("%w: implausible value count %d", ErrProtocol, n)
+	}
+	if d.err != nil {
+		return
 	}
 	vals := res.Values[:0]
 	for i := uint32(0); i < n; i++ {
@@ -330,13 +372,11 @@ func DecodeFetchRespInto(b []byte, res *FetchResult) error {
 			Value:  d.u64(),
 		})
 	}
-	if err := d.done(); err != nil {
-		*res = FetchResult{}
-		return err
+	if d.err != nil {
+		return
 	}
 	res.Timestamp = ts
 	res.Values = vals
-	return nil
 }
 
 func EncodeError(msg string) []byte { return AppendError(nil, msg) }
@@ -355,4 +395,153 @@ func DecodeError(b []byte) (string, error) {
 		return "", err
 	}
 	return s, nil
+}
+
+// AppendVersion appends an encoded version PDU payload (request and
+// response share the format: one u32 version) to dst.
+func AppendVersion(dst []byte, version uint32) []byte {
+	e := encoder{buf: dst}
+	e.u32(version)
+	return e.buf
+}
+
+// EncodeVersion encodes a version PDU payload into a fresh buffer.
+func EncodeVersion(version uint32) []byte { return AppendVersion(nil, version) }
+
+// DecodeVersion decodes a version PDU payload. A version of zero is a
+// protocol error: there is no version 0 and accepting one would make a
+// zeroed frame negotiate successfully.
+func DecodeVersion(b []byte) (uint32, error) {
+	d := decoder{buf: b}
+	v := d.u32()
+	if err := d.done(); err != nil {
+		return 0, err
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("%w: version 0", ErrProtocol)
+	}
+	return v, nil
+}
+
+// MaxBatchSets bounds the number of PMID sets in one batch fetch, like
+// the other implausibility guards in the decoders.
+const MaxBatchSets = MaxPDUBytes / 8
+
+// AppendFetchBatchReq appends an encoded batch fetch request to dst:
+// the set count, then each set as an ordinary fetch-request body.
+func AppendFetchBatchReq(dst []byte, sets [][]uint32) []byte {
+	e := encoder{buf: dst}
+	e.u32(uint32(len(sets)))
+	for _, pmids := range sets {
+		e.u32(uint32(len(pmids)))
+		for _, id := range pmids {
+			e.u32(id)
+		}
+	}
+	return e.buf
+}
+
+// EncodeFetchBatchReq encodes a batch fetch request into a fresh buffer.
+func EncodeFetchBatchReq(sets [][]uint32) []byte { return AppendFetchBatchReq(nil, sets) }
+
+// DecodeFetchBatchReqInto decodes a batch fetch request, reusing dst's
+// outer and inner backing arrays (pass dst[:0] with populated capacity
+// to run allocation-free in the steady state).
+func DecodeFetchBatchReqInto(b []byte, dst [][]uint32) ([][]uint32, error) {
+	d := decoder{buf: b}
+	nsets := d.u32()
+	if nsets > MaxBatchSets {
+		return nil, fmt.Errorf("%w: implausible batch set count %d", ErrProtocol, nsets)
+	}
+	for i := uint32(0); i < nsets; i++ {
+		n := d.u32()
+		if d.err == nil && n > MaxPDUBytes/4 {
+			return nil, fmt.Errorf("%w: implausible pmid count %d", ErrProtocol, n)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		var set []uint32
+		if i < uint32(cap(dst)) {
+			set = dst[:i+1][i][:0]
+		}
+		for j := uint32(0); j < n; j++ {
+			set = append(set, d.u32())
+		}
+		dst = append(dst[:i], set)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return dst[:nsets], nil
+}
+
+// AppendFetchBatchResp appends an encoded batch fetch response to dst:
+// one partial-result header (missing-node list and cause — empty on a
+// full answer) covering the whole batch, then the set count and each
+// set's fetch-response body. All sets are served from one snapshot, so
+// a single header suffices.
+func AppendFetchBatchResp(dst []byte, sets []FetchResult, missing []string, cause string) []byte {
+	e := encoder{buf: dst}
+	e.u32(uint32(len(missing)))
+	for _, m := range missing {
+		e.str(m)
+	}
+	e.str(cause)
+	e.u32(uint32(len(sets)))
+	for _, res := range sets {
+		e.buf = AppendFetchResp(e.buf, res)
+	}
+	return e.buf
+}
+
+// EncodeFetchBatchResp encodes a batch fetch response into a fresh
+// buffer.
+func EncodeFetchBatchResp(sets []FetchResult, missing []string, cause string) []byte {
+	return AppendFetchBatchResp(nil, sets, missing, cause)
+}
+
+// DecodeFetchBatchRespInto decodes a batch fetch response, reusing
+// dst's outer array and each element's Values backing array. The
+// returned *PartialError is nil on a full answer and applies to the
+// batch as a whole (the missing nodes' values carry StatusNodeDown in
+// every affected set).
+func DecodeFetchBatchRespInto(b []byte, dst []FetchResult) ([]FetchResult, *PartialError, error) {
+	d := decoder{buf: b}
+	nmiss := d.u32()
+	if nmiss > MaxPartialMissing {
+		return nil, nil, fmt.Errorf("%w: implausible missing-node count %d", ErrProtocol, nmiss)
+	}
+	var pe *PartialError
+	if nmiss > 0 {
+		pe = &PartialError{Missing: make([]string, 0, nmiss)}
+		for i := uint32(0); i < nmiss; i++ {
+			pe.Missing = append(pe.Missing, d.str())
+		}
+		pe.Cause = d.str()
+	} else {
+		d.str() // cause slot, empty on a full answer
+	}
+	nsets := d.u32()
+	if d.err == nil && nsets > MaxBatchSets {
+		return nil, nil, fmt.Errorf("%w: implausible batch set count %d", ErrProtocol, nsets)
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	for i := uint32(0); i < nsets; i++ {
+		var res FetchResult
+		if i < uint32(cap(dst)) {
+			res = dst[:i+1][i]
+		}
+		d.fetchBody(&res)
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		dst = append(dst[:i], res)
+	}
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return dst[:nsets], pe, nil
 }

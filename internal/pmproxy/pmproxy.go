@@ -33,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,17 +92,22 @@ type Config struct {
 // dashboards ask for, small enough not to crowd the daemon.
 const defaultPoolSize = 4
 
-// Stats is a snapshot of the proxy's counters.
+// Stats is a snapshot of the proxy's counters. A batch fetch of n sets
+// counts as n ClientFetches, and each of its sets as one CoalescedHit,
+// UpstreamFetch or StaleServe — so the existing ratios keep their
+// meaning — while UpstreamBatchRTs separately counts the actual
+// upstream round trips batches were grouped into.
 type Stats struct {
-	ClientFetches   int64 // fetch PDUs received from clients
-	UpstreamFetches int64 // fetch round trips that reached the daemon
-	CoalescedHits   int64 // client fetches answered from the interval cache
-	StaleServes     int64 // fetch answers served from cache because upstream was down
-	StaleNameServes int64 // name tables served from cache because upstream was down
-	UpstreamErrors  int64 // failed upstream operations (before retry)
-	Retries         int64 // failed upstream operations that were retried
-	Exhausted       int64 // upstream operations that failed after all retries
-	Redials         int64 // upstream connections established
+	ClientFetches    int64 // fetch (or batch-set) requests received from clients
+	UpstreamFetches  int64 // fetch sets that reached the daemon
+	UpstreamBatchRTs int64 // grouped upstream round trips serving batch misses
+	CoalescedHits    int64 // client fetches answered from the interval cache
+	StaleServes      int64 // fetch answers served from cache because upstream was down
+	StaleNameServes  int64 // name tables served from cache because upstream was down
+	UpstreamErrors   int64 // failed upstream operations (before retry)
+	Retries          int64 // failed upstream operations that were retried
+	Exhausted        int64 // upstream operations that failed after all retries
+	Redials          int64 // upstream connections established
 }
 
 // CoalescingRatio is client fetches per upstream fetch — the fan-out
@@ -174,15 +181,16 @@ type Proxy struct {
 
 	shards [numShards]shard
 
-	clientFetches   atomic.Int64
-	upstreamFetches atomic.Int64
-	coalescedHits   atomic.Int64
-	staleServes     atomic.Int64
-	staleNameServes atomic.Int64
-	upstreamErrors  atomic.Int64
-	retries         atomic.Int64
-	exhausted       atomic.Int64
-	redials         atomic.Int64
+	clientFetches    atomic.Int64
+	upstreamFetches  atomic.Int64
+	upstreamBatchRTs atomic.Int64
+	coalescedHits    atomic.Int64
+	staleServes      atomic.Int64
+	staleNameServes  atomic.Int64
+	upstreamErrors   atomic.Int64
+	retries          atomic.Int64
+	exhausted        atomic.Int64
+	redials          atomic.Int64
 
 	// sleep is the retry-backoff sleeper, a hook so the regression test
 	// can observe planned sleeps without wall-clock waits.
@@ -220,15 +228,16 @@ func New(cfg Config) *Proxy {
 // Stats returns a snapshot of the proxy's counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		ClientFetches:   p.clientFetches.Load(),
-		UpstreamFetches: p.upstreamFetches.Load(),
-		CoalescedHits:   p.coalescedHits.Load(),
-		StaleServes:     p.staleServes.Load(),
-		StaleNameServes: p.staleNameServes.Load(),
-		UpstreamErrors:  p.upstreamErrors.Load(),
-		Retries:         p.retries.Load(),
-		Exhausted:       p.exhausted.Load(),
-		Redials:         p.redials.Load(),
+		ClientFetches:    p.clientFetches.Load(),
+		UpstreamFetches:  p.upstreamFetches.Load(),
+		UpstreamBatchRTs: p.upstreamBatchRTs.Load(),
+		CoalescedHits:    p.coalescedHits.Load(),
+		StaleServes:      p.staleServes.Load(),
+		StaleNameServes:  p.staleNameServes.Load(),
+		UpstreamErrors:   p.upstreamErrors.Load(),
+		Retries:          p.retries.Load(),
+		Exhausted:        p.exhausted.Load(),
+		Redials:          p.redials.Load(),
 	}
 }
 
@@ -375,15 +384,40 @@ func (p *Proxy) lookup(key []byte) *entry {
 	return e
 }
 
+// lookupAffine is lookup behind a connection-local memo: a serving
+// connection that re-requests the same pmid-sets (the dashboard steady
+// state) resolves its entry with one private map probe and never
+// touches the shard mutex again — connection affinity to the 16-way
+// sharded cache. The memo holds entry pointers only; if a shard
+// overflow resets the shared map underneath, a memoized entry keeps
+// working (it still coalesces every connection that memoized it) and
+// the bound keeps the memo from outliving its usefulness.
+func (p *Proxy) lookupAffine(key []byte, local map[string]*entry) *entry {
+	if local != nil {
+		if e, ok := local[string(key)]; ok {
+			return e
+		}
+	}
+	e := p.lookup(key)
+	if local != nil && len(local) < maxShardEntries {
+		local[string(key)] = e
+	}
+	return e
+}
+
 // Fetch serves one client fetch through the coalescing cache. Exported
 // for in-process use; the network handler goes through it too. The
 // returned result is shared with other readers of the same cache entry
 // and must be treated as read-only.
 func (p *Proxy) Fetch(pmids []uint32) (pcp.FetchResult, error) {
+	return p.fetch(pmids, nil)
+}
+
+func (p *Proxy) fetch(pmids []uint32, local map[string]*entry) (pcp.FetchResult, error) {
 	p.clientFetches.Add(1)
 	bp := keyBufPool.Get().(*[]byte)
 	key := pcp.AppendFetchReq((*bp)[:0], pmids)
-	e := p.lookup(key)
+	e := p.lookupAffine(key, local)
 	*bp = key
 	keyBufPool.Put(bp)
 
@@ -421,6 +455,122 @@ func (p *Proxy) Fetch(pmids []uint32) (pcp.FetchResult, error) {
 	p.upstreamFetches.Add(1)
 	e.cur.Store(&cached{res: res, fetchedAt: p.now()})
 	return res, nil
+}
+
+// FetchBatch serves a multi-set fetch through the coalescing cache:
+// sets that hit are answered from their entries, and all the misses are
+// grouped into ONE upstream batch round trip (the whole point of the
+// batch PDU — a cold multi-component EventSet costs one upstream RT,
+// not one per component). Results alias cache entries and must be
+// treated as read-only.
+func (p *Proxy) FetchBatch(sets [][]uint32) ([]pcp.FetchResult, error) {
+	return p.fetchBatch(sets, nil)
+}
+
+// missGroup is one distinct stale pmid-set of a batch: its cache entry
+// and every batch index asking for it.
+type missGroup struct {
+	key     string
+	e       *entry
+	pmids   []uint32
+	indices []int
+}
+
+func (p *Proxy) fetchBatch(sets [][]uint32, local map[string]*entry) ([]pcp.FetchResult, error) {
+	p.clientFetches.Add(int64(len(sets)))
+	results := make([]pcp.FetchResult, len(sets))
+	var (
+		misses []*missGroup
+		byKey  map[string]*missGroup
+	)
+	bp := keyBufPool.Get().(*[]byte)
+	key := (*bp)[:0]
+	for i, pmids := range sets {
+		key = pcp.AppendFetchReq(key[:0], pmids)
+		e := p.lookupAffine(key, local)
+		if c := e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
+			p.coalescedHits.Add(1)
+			results[i] = c.res
+			continue
+		}
+		if byKey == nil {
+			byKey = make(map[string]*missGroup)
+		}
+		g := byKey[string(key)]
+		if g == nil {
+			g = &missGroup{key: string(key), e: e, pmids: pmids}
+			byKey[g.key] = g
+			misses = append(misses, g)
+		}
+		g.indices = append(g.indices, i)
+	}
+	*bp = key
+	keyBufPool.Put(bp)
+	if len(misses) == 0 {
+		return results, nil
+	}
+
+	// Single-flight across multiple entries: lock the distinct miss
+	// entries in sorted key order — the one total order every batch
+	// agrees on, so two overlapping batches can never deadlock (the
+	// single-set path never holds more than one entry lock, so it
+	// cannot complete a cycle either).
+	sort.Slice(misses, func(a, b int) bool { return misses[a].key < misses[b].key })
+	held := misses[:0]
+	for _, g := range misses {
+		g.e.mu.Lock()
+		if c := g.e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
+			g.e.mu.Unlock()
+			p.coalescedHits.Add(int64(len(g.indices)))
+			for _, i := range g.indices {
+				results[i] = c.res
+			}
+			continue
+		}
+		held = append(held, g)
+	}
+	if len(held) == 0 {
+		return results, nil
+	}
+	defer func() {
+		for j := len(held) - 1; j >= 0; j-- {
+			held[j].e.mu.Unlock()
+		}
+	}()
+
+	missSets := make([][]uint32, len(held))
+	for j, g := range held {
+		missSets[j] = g.pmids
+	}
+	var out []pcp.FetchResult
+	err := p.withUpstream(func(c *pcp.Client) error {
+		var ferr error
+		out, ferr = c.FetchBatch(missSets)
+		return ferr
+	})
+	if err != nil {
+		for _, g := range held {
+			c := g.e.cur.Load()
+			if c == nil || p.cfg.DisableStale {
+				return nil, err
+			}
+			p.staleServes.Add(int64(len(g.indices)))
+			for _, i := range g.indices {
+				results[i] = c.res
+			}
+		}
+		return results, nil
+	}
+	p.upstreamFetches.Add(int64(len(held)))
+	p.upstreamBatchRTs.Add(1)
+	now := p.now()
+	for j, g := range held {
+		g.e.cur.Store(&cached{res: out[j], fetchedAt: now})
+		for _, i := range g.indices {
+			results[i] = out[j]
+		}
+	}
+	return results, nil
 }
 
 // Names serves the upstream name table through the proxy's cache. Reads
@@ -464,10 +614,17 @@ func (p *Proxy) Start(addr string) (string, error) {
 // StartOn serves clients on an existing listener until Close. It is the
 // injection point for wrapped listeners (fault injection, custom
 // transports). It returns the listener's address.
+//
+// Accepting is sharded per core, like the daemon's: GOMAXPROCS
+// goroutines block in Accept on the one listener so a connection burst
+// is admitted in parallel.
 func (p *Proxy) StartOn(ln net.Listener) string {
 	p.ln = ln
-	p.wg.Add(1)
-	go p.acceptLoop()
+	n := runtime.GOMAXPROCS(0)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.acceptLoop()
+	}
 	return ln.Addr().String()
 }
 
@@ -517,7 +674,55 @@ func (p *Proxy) acceptLoop() {
 	}
 }
 
-// serveConn speaks the daemon side of the PDU protocol to one client.
+// proxyScratch is the per-connection reusable serving state: encode
+// buffer, decoded PMID scratch, and the connection's entry memo (the
+// cache-shard affinity map).
+type proxyScratch struct {
+	respBuf []byte
+	pmids   []uint32
+	sets    [][]uint32
+	local   map[string]*entry
+}
+
+// handleReq serves one decoded request PDU, shared by the lockstep and
+// tagged loops.
+func (p *Proxy) handleReq(typ uint8, payload []byte, s *proxyScratch) (uint8, []byte) {
+	switch typ {
+	case pcp.PDUNamesReq:
+		entries, err := p.Names()
+		if err != nil {
+			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+		}
+		return pcp.PDUNamesResp, pcp.AppendNamesResp(s.respBuf[:0], entries)
+	case pcp.PDUFetchReq:
+		pmids, err := pcp.DecodeFetchReqInto(payload, s.pmids[:0])
+		if err != nil {
+			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+		}
+		s.pmids = pmids
+		res, err := p.fetch(pmids, s.local)
+		if err != nil {
+			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+		}
+		return pcp.PDUFetchResp, pcp.AppendFetchResp(s.respBuf[:0], res)
+	case pcp.PDUFetchBatchReq:
+		sets, err := pcp.DecodeFetchBatchReqInto(payload, s.sets[:0])
+		if err != nil {
+			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+		}
+		s.sets = sets
+		results, err := p.fetchBatch(sets, s.local)
+		if err != nil {
+			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+		}
+		return pcp.PDUFetchBatchResp, pcp.AppendFetchBatchResp(s.respBuf[:0], results, nil, "")
+	default:
+		return pcp.PDUError, pcp.AppendError(s.respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
+	}
+}
+
+// serveConn speaks the daemon side of the PDU protocol to one client:
+// lockstep until a PDUVersionReq negotiates Version2, tagged after.
 func (p *Proxy) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
@@ -526,11 +731,8 @@ func (p *Proxy) serveConn(conn net.Conn) {
 	}
 	// Per-connection scratch reused across requests so steady-state
 	// coalesced serving does not allocate.
-	var (
-		payloadBuf []byte
-		respBuf    []byte
-		pmids      []uint32
-	)
+	var payloadBuf []byte
+	s := proxyScratch{local: make(map[string]*entry)}
 	for {
 		typ, payload, err := pcp.ReadPDUInto(br, payloadBuf)
 		if err != nil {
@@ -539,34 +741,23 @@ func (p *Proxy) serveConn(conn net.Conn) {
 		payloadBuf = payload
 		var respType uint8
 		var resp []byte
-		switch typ {
-		case pcp.PDUNamesReq:
-			entries, err := p.Names()
-			if err != nil {
-				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
-				break
-			}
-			respType, resp = pcp.PDUNamesResp, pcp.AppendNamesResp(respBuf[:0], entries)
-		case pcp.PDUFetchReq:
-			pmids, err = pcp.DecodeFetchReqInto(payload, pmids[:0])
-			if err != nil {
-				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
-				break
-			}
-			res, err := p.Fetch(pmids)
-			if err != nil {
-				respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], err.Error())
-				break
-			}
-			respType, resp = pcp.PDUFetchResp, pcp.AppendFetchResp(respBuf[:0], res)
-		default:
-			respType, resp = pcp.PDUError, pcp.AppendError(respBuf[:0], fmt.Sprintf("unknown PDU type %d", typ))
+		tagged := false
+		if typ == pcp.PDUVersionReq {
+			respType, resp, tagged = pcp.NegotiateVersion(payload, s.respBuf[:0])
+			s.respBuf = resp
+		} else {
+			respType, resp = p.handleReq(typ, payload, &s)
 		}
-		respBuf = resp
 		if err := pcp.WritePDU(bw, respType, resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
+			return
+		}
+		if tagged {
+			pcp.ServeTagged(conn, br, func(typ uint8, payload []byte) (uint8, []byte) {
+				return p.handleReq(typ, payload, &s)
+			})
 			return
 		}
 	}
