@@ -1,0 +1,251 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"papimc/internal/archive"
+	"papimc/internal/pcp"
+	"papimc/internal/stats"
+)
+
+// The archive record simulates a long recording at a 1ms cadence with
+// 1s and 60s rollup tiers: 2M rows is a ~33-minute recording, and the
+// pushdown window below covers most of it — the same shape as a 30-day
+// dashboard query over a production archive, scaled to CI time.
+const (
+	archCadence  = int64(time.Millisecond)
+	archBaseRows = 2_000
+)
+
+var archRollups = []int64{int64(time.Second), int64(time.Minute)}
+
+// SizeEntry is the query-latency row for one archive size.
+type SizeEntry struct {
+	Label        string  `json:"label"`
+	Rows         int     `json:"rows"`
+	EncodedBytes int     `json:"encoded_bytes"`
+	WindowNs     float64 `json:"samples_window_ns"` // fixed 100-row range query
+	ValueAtNs    float64 `json:"value_at_ns"`       // point lookup mid-span
+	RateNs       float64 `json:"rate_ns"`           // rate over a trailing 1s window
+}
+
+// archiveMain records the archive tier's headline numbers
+// (BENCH_8.json): block-index query latency as the archive grows
+// 1x/32x/1000x, the rollup-pushdown speedup for a long window, and the
+// read-latency tail while the background compactor churns.
+func archiveMain(out string, duration time.Duration) {
+	report := struct {
+		Note       string      `json:"note"`
+		Sizes      []SizeEntry `json:"sizes"`
+		Growth1000 float64     `json:"window_query_growth_1000x"` // window ns at 1000x / 1x
+		Pushdown   struct {
+			WindowSeconds float64 `json:"window_seconds"`
+			Resolution    string  `json:"resolution"`
+			RawNs         float64 `json:"raw_ns"`
+			RollupNs      float64 `json:"rollup_ns"`
+			Speedup       float64 `json:"speedup"`
+			RawValue      float64 `json:"raw_avg"`
+			RollupValue   float64 `json:"rollup_avg"`
+		} `json:"pushdown"`
+		Compaction struct {
+			Reads    int64   `json:"reads"`
+			Folded   int     `json:"rows_folded"`
+			P50Us    float64 `json:"p50_us"`
+			P99Us    float64 `json:"p99_us"`
+			QuietP99 float64 `json:"quiet_p99_us"`
+		} `json:"compaction_concurrent_reads"`
+	}{
+		Note: "archive tier at production scale: fixed-width range-query latency as the raw tier " +
+			"grows 1x/32x/1000x (block index keeps it flat), avg_over pushdown into rollup tiers vs " +
+			"a forced raw scan over the same window, and range-read latency while the background " +
+			"compactor folds aged raw blocks concurrently.",
+	}
+
+	// Query latency vs size: the same fixed-width queries against
+	// archives 1x, 32x, and 1000x the base size. With the block index
+	// these are O(log blocks + answer), so the latencies stay flat.
+	var biggest *archive.Archive
+	for _, sz := range []struct {
+		label string
+		rows  int
+	}{{"1x", archBaseRows}, {"32x", 32 * archBaseRows}, {"1000x", 1000 * archBaseRows}} {
+		a := buildBenchArchive(sz.rows, 0)
+		biggest = a
+		first, last, _ := a.Span()
+		windowLo := last - 100*archCadence
+		e := SizeEntry{Label: sz.label, Rows: sz.rows, EncodedBytes: a.Stats().EncodedBytes}
+		e.WindowNs, _ = measureOp(300*time.Millisecond, func() {
+			if _, err := a.Samples(windowLo, last); err != nil {
+				fatal(err)
+			}
+		})
+		mid := (first + last) / 2
+		e.ValueAtNs, _ = measureOp(300*time.Millisecond, func() {
+			if _, err := a.ValueAt(1, mid); err != nil {
+				fatal(err)
+			}
+		})
+		e.RateNs, _ = measureOp(300*time.Millisecond, func() {
+			if _, err := a.Rate(1, last-int64(time.Second), last); err != nil {
+				fatal(err)
+			}
+		})
+		report.Sizes = append(report.Sizes, e)
+		fmt.Printf("size %-6s rows=%-8d window=%8.0f ns  value_at=%8.0f ns  rate=%8.0f ns  encoded=%d B\n",
+			sz.label, sz.rows, e.WindowNs, e.ValueAtNs, e.RateNs, e.EncodedBytes)
+	}
+	report.Growth1000 = round2(report.Sizes[2].WindowNs / report.Sizes[0].WindowNs)
+	fmt.Printf("window-query growth at 1000x: %.2fx\n\n", report.Growth1000)
+
+	// Pushdown: avg_over a window covering 90% of the biggest archive,
+	// answered from the coarsest qualifying rollup tier versus a forced
+	// raw scan of the same window. Both paths see the same archive; the
+	// values are printed so divergence would be visible in the record.
+	first, last, _ := biggest.Span()
+	t0, t1 := first+(last-first)/10, last
+	res := biggest.SelectResolution(t0, t1)
+	if res == archive.ResRaw {
+		fatal(fmt.Errorf("pushdown window unexpectedly selected the raw path"))
+	}
+	report.Pushdown.WindowSeconds = float64(t1-t0) / 1e9
+	report.Pushdown.Resolution = res.String()
+	var rawAgg, ruAgg archive.WindowAgg
+	report.Pushdown.RawNs, _ = measureOp(time.Second, func() {
+		var err error
+		if rawAgg, err = biggest.WindowAt(archive.ResRaw, 1, t0, t1); err != nil {
+			fatal(err)
+		}
+	})
+	report.Pushdown.RollupNs, _ = measureOp(time.Second, func() {
+		var err error
+		if ruAgg, err = biggest.WindowAt(res, 1, t0, t1); err != nil {
+			fatal(err)
+		}
+	})
+	report.Pushdown.RawValue = rawAgg.Sum / float64(rawAgg.Count)
+	report.Pushdown.RollupValue = ruAgg.Sum / float64(ruAgg.Count)
+	report.Pushdown.Speedup = round2(report.Pushdown.RawNs / report.Pushdown.RollupNs)
+	fmt.Printf("pushdown %.0fs window at %v: raw=%.0f ns rollup=%.0f ns  speedup=%.1fx  (avg %.6g vs %.6g)\n\n",
+		report.Pushdown.WindowSeconds, res, report.Pushdown.RawNs, report.Pushdown.RollupNs,
+		report.Pushdown.Speedup, report.Pushdown.RawValue, report.Pushdown.RollupValue)
+
+	// Compaction-concurrent reads: a writer extends the archive while the
+	// compactor folds aged raw blocks as fast as it can; readers time
+	// fixed-width range queries near the head. The quiet p99 (same-size
+	// archive, nothing running) is recorded next to it so the record
+	// shows what concurrency costs the tail.
+	quiet := buildBenchArchive(200_000, 0)
+	_, qLast, _ := quiet.Span()
+	var qh stats.Histogram
+	deadline := time.Now().Add(duration / 4)
+	for time.Now().Before(deadline) {
+		start := time.Now()
+		if _, err := quiet.Samples(qLast-100*archCadence, qLast); err != nil {
+			fatal(err)
+		}
+		qh.Record(time.Since(start).Nanoseconds())
+	}
+	report.Compaction.QuietP99 = round2(qh.Quantile(0.99) / 1e3)
+
+	live := buildBenchArchive(200_000, 50_000*archCadence)
+	stopCompact := live.StartCompactor(200 * time.Microsecond)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		row := archive.Sample{Values: make([]uint64, 4)}
+		for i := 200_000; !stop.Load(); i++ {
+			fillBenchRow(&row, i)
+			if err := live.AppendSample(row); err != nil {
+				fatal(err)
+			}
+		}
+	}()
+	var h stats.Histogram
+	deadline = time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		_, last, _ := live.Span()
+		start := time.Now()
+		if _, err := live.Samples(last-100*archCadence, last); err != nil {
+			fatal(err)
+		}
+		h.Record(time.Since(start).Nanoseconds())
+	}
+	stop.Store(true)
+	wg.Wait()
+	stopCompact()
+	report.Compaction.Reads = h.Count()
+	report.Compaction.Folded = live.Stats().Folded
+	report.Compaction.P50Us = round2(h.Quantile(0.50) / 1e3)
+	report.Compaction.P99Us = round2(h.Quantile(0.99) / 1e3)
+	fmt.Printf("compaction-concurrent reads: %d reads, %d rows folded, p50=%.1fus p99=%.1fus (quiet p99=%.1fus)\n",
+		report.Compaction.Reads, report.Compaction.Folded,
+		report.Compaction.P50Us, report.Compaction.P99Us, report.Compaction.QuietP99)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// buildBenchArchive appends rows deterministic samples at the bench
+// cadence: two counters at different slopes, a wrapping counter, and a
+// sawtooth level.
+func buildBenchArchive(rows int, rawRetention int64) *archive.Archive {
+	a, err := archive.New([]pcp.NameEntry{
+		{PMID: 1, Name: "bench.counter.a"},
+		{PMID: 2, Name: "bench.counter.b"},
+		{PMID: 3, Name: "bench.counter.wrap"},
+		{PMID: 4, Name: "bench.level"},
+	}, archive.Options{
+		Rollups:      archRollups,
+		RawRetention: rawRetention,
+		MaxBytes:     1 << 40, // size sweep owns retention; never evict
+		MaxBuckets:   1 << 30,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	row := archive.Sample{Values: make([]uint64, 4)}
+	for i := 0; i < rows; i++ {
+		fillBenchRow(&row, i)
+		if err := a.AppendSample(row); err != nil {
+			fatal(err)
+		}
+	}
+	return a
+}
+
+func fillBenchRow(row *archive.Sample, i int) {
+	row.Timestamp = int64(i) * archCadence
+	row.Values[0] = uint64(i) * 640
+	row.Values[1] = uint64(i) * 17
+	row.Values[2] = ^uint64(0) - 100_000 + uint64(i)*4096 // wraps early, keeps wrapping
+	row.Values[3] = uint64(500 + 100*(i%7))
+}
+
+// measureOp times fn in batches until the budget elapses and returns
+// its mean latency.
+func measureOp(budget time.Duration, fn func()) (nsPerOp float64, ops int64) {
+	fn() // warm caches (decoded blocks) so the steady state is measured
+	deadline := time.Now().Add(budget)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		for i := 0; i < 16; i++ {
+			fn()
+		}
+		ops += 16
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops), ops
+}

@@ -10,6 +10,7 @@
 //	benchrec -cluster [-out BENCH_5.json]
 //	benchrec -capacity [-out BENCH_6.json]
 //	benchrec -wire [-out BENCH_7.json]
+//	benchrec -archive [-out BENCH_8.json]
 //
 // With -cluster it instead records federated root-query latency versus
 // node count (the scatter-gather tree from internal/cluster), writing
@@ -19,7 +20,11 @@
 // BENCH_6.json by default. With -wire it records proxied fetch
 // throughput over real TCP, lockstep Version1 versus the pipelined
 // Version2 wire path (tagged PDUs, shared connections, batched sets),
-// writing BENCH_7.json by default.
+// writing BENCH_7.json by default. With -archive it records the archive
+// tier at production scale: fixed-width query latency as the raw tier
+// grows 1x/32x/1000x, the avg_over rollup-pushdown speedup, and
+// range-read tail latency under a concurrently folding compactor,
+// writing BENCH_8.json by default.
 package main
 
 import (
@@ -107,6 +112,8 @@ func main() {
 	simSpec := flag.String("sim-spec", "examples/workload-specs/diurnal.yaml", "spec timed for the -capacity simulation rate")
 	wireRec := flag.Bool("wire", false, "record lockstep vs pipelined wire-path throughput instead")
 	wireDuration := flag.Duration("wire-duration", 1500*time.Millisecond, "per-run measuring time with -wire")
+	archiveRec := flag.Bool("archive", false, "record archive query latency vs size, rollup pushdown, and compaction-concurrent reads instead")
+	archiveDuration := flag.Duration("archive-duration", 2*time.Second, "compaction-concurrent measuring time with -archive")
 	flag.Parse()
 	if *out == "" {
 		switch {
@@ -116,6 +123,8 @@ func main() {
 			*out = "BENCH_6.json"
 		case *wireRec:
 			*out = "BENCH_7.json"
+		case *archiveRec:
+			*out = "BENCH_8.json"
 		default:
 			*out = "BENCH_4.json"
 		}
@@ -126,6 +135,10 @@ func main() {
 	}
 	if *wireRec {
 		wireMain(*out, *wireDuration)
+		return
+	}
+	if *archiveRec {
+		archiveMain(*out, *archiveDuration)
 		return
 	}
 	// testing.Benchmark consults the test.benchtime flag, which only

@@ -7,7 +7,14 @@
 // Usage:
 //
 //	pmlogger -addr 127.0.0.1:44321 -o run.pmlog [-interval 100ms] [-duration 10s]
+//	pmlogger -addr ... -o run.pmlog -rollup 10s,5m -raw-retention 1h
 //	pmlogger -dump run.pmlog
+//
+// With -rollup the archive maintains multi-resolution rollup tiers
+// alongside the raw samples; -raw-retention additionally lets a
+// background compactor fold raw blocks older than the retention into
+// the tiers, bounding the raw footprint of a long recording while
+// keeping its full history queryable at rollup resolution.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"papimc/internal/archive"
@@ -28,6 +36,8 @@ func main() {
 	interval := flag.Duration("interval", 100*time.Millisecond, "polling interval")
 	duration := flag.Duration("duration", 0, "stop after this long (0 = until Ctrl-C)")
 	maxBytes := flag.Int("max-bytes", archive.DefaultMaxBytes, "ring retention budget for encoded samples")
+	rollup := flag.String("rollup", "", "comma-separated rollup tier widths, finest first (e.g. 10s,5m)")
+	rawRetention := flag.Duration("raw-retention", 0, "fold raw blocks older than this into the rollup tiers (0 = keep all raw)")
 	dump := flag.String("dump", "", "print the given archive file and exit")
 	flag.Parse()
 
@@ -38,21 +48,47 @@ func main() {
 		}
 		return
 	}
-	if err := record(*addr, *out, *interval, *duration, *maxBytes); err != nil {
+	opts := archive.Options{MaxBytes: *maxBytes, RawRetention: rawRetention.Nanoseconds()}
+	var err error
+	if opts.Rollups, err = parseRollups(*rollup); err != nil {
+		fmt.Fprintln(os.Stderr, "pmlogger:", err)
+		os.Exit(2)
+	}
+	if err := record(*addr, *out, *interval, *duration, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pmlogger:", err)
 		os.Exit(1)
 	}
 }
 
-func record(addr, out string, interval, duration time.Duration, maxBytes int) error {
+// parseRollups turns "10s,5m" into ascending tier widths in nanoseconds.
+func parseRollups(spec string) ([]int64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(spec, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -rollup %q: %v", part, err)
+		}
+		out = append(out, d.Nanoseconds())
+	}
+	return out, nil
+}
+
+func record(addr, out string, interval, duration time.Duration, opts archive.Options) error {
 	client, err := pcp.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	rec, err := archive.NewRecorderFromUpstream(client, archive.Options{MaxBytes: maxBytes})
+	rec, err := archive.NewRecorderFromUpstream(client, opts)
 	if err != nil {
 		return err
+	}
+	if opts.RawRetention > 0 {
+		stop := rec.Archive().StartCompactor(time.Second)
+		defer stop()
 	}
 	fmt.Printf("pmlogger: recording %d metrics from %s every %v\n",
 		len(rec.Archive().Names()), addr, interval)
@@ -88,8 +124,11 @@ loop:
 		return err
 	}
 	st := rec.Archive().Stats()
-	fmt.Printf("pmlogger: wrote %s: %d samples (%d evicted), %s encoded vs %s raw\n",
-		out, st.Samples, st.Evicted, units.FormatBytes(int64(st.EncodedBytes)), units.FormatBytes(int64(st.RawBytes)))
+	fmt.Printf("pmlogger: wrote %s: %d samples (%d evicted, %d folded), %s encoded vs %s raw\n",
+		out, st.Samples, st.Evicted, st.Folded, units.FormatBytes(int64(st.EncodedBytes)), units.FormatBytes(int64(st.RawBytes)))
+	for _, ts := range st.Tiers {
+		fmt.Printf("pmlogger: rollup tier %v: %d buckets (%d evicted)\n", ts.Resolution, ts.Buckets, ts.Evicted)
+	}
 	return nil
 }
 
@@ -111,6 +150,14 @@ func dumpArchive(path string) error {
 		return nil
 	}
 	fmt.Printf("span: %d ns .. %d ns (%.3f s)\n", first, last, float64(last-first)/1e9)
+	for _, ts := range st.Tiers {
+		tf, tl, tok := a.SpanAt(ts.Resolution)
+		if !tok {
+			continue
+		}
+		fmt.Printf("tier %v: %d buckets (%d evicted), span %.3f s .. %.3f s\n",
+			ts.Resolution, ts.Buckets, ts.Evicted, float64(tf)/1e9, float64(tl)/1e9)
+	}
 	for _, e := range a.Names() {
 		fmt.Printf("  pmid %3d  %s", e.PMID, e.Name)
 		if last > first {

@@ -43,6 +43,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:44321", "PMCD daemon or pmproxy address")
 	arch := flag.String("archive", "", "evaluate over this archive file instead of a live daemon")
+	resolution := flag.Duration("resolution", 0, "archive read resolution: serve rollup buckets of this width instead of raw samples (0 = raw)")
 	interval := flag.Duration("interval", 100*time.Millisecond, "sampling (live) or replay stepping (archive) interval")
 	count := flag.Int("n", 1, "number of samples to print in live mode")
 	watch := flag.Bool("watch", false, "sample until Ctrl-C instead of stopping after -n")
@@ -63,7 +64,7 @@ func main() {
 	}
 	var err error
 	if *arch != "" {
-		err = runArchive(*arch, *interval, exprs, ruleSpecs, *hold, *holdoff, os.Stdout, os.Stderr)
+		err = runArchive(*arch, *resolution, *interval, exprs, ruleSpecs, *hold, *holdoff, os.Stdout, os.Stderr)
 	} else {
 		err = runLive(*addr, *interval, *count, *watch, exprs, ruleSpecs, *hold, *holdoff, os.Stdout, os.Stderr)
 	}
@@ -224,7 +225,7 @@ func runLive(addr string, interval time.Duration, count int, watch bool, exprs, 
 	return nil
 }
 
-func runArchive(path string, interval time.Duration, exprs, ruleSpecs []string, hold int, holdoff time.Duration, out, alerts io.Writer) error {
+func runArchive(path string, resolution, interval time.Duration, exprs, ruleSpecs []string, hold int, holdoff time.Duration, out, alerts io.Writer) error {
 	if interval <= 0 {
 		return fmt.Errorf("interval must be positive")
 	}
@@ -237,12 +238,16 @@ func runArchive(path string, interval time.Duration, exprs, ruleSpecs []string, 
 	if err != nil {
 		return err
 	}
-	first, last, ok := a.Span()
+	res := archive.Resolution(resolution.Nanoseconds())
+	first, last, ok := a.SpanAt(res)
 	if !ok {
+		if res != archive.ResRaw {
+			return fmt.Errorf("%s: archive has no %v rollup tier", path, res)
+		}
 		return fmt.Errorf("%s: empty archive", path)
 	}
 	clock := simtime.NewClock()
-	replay := archive.NewReplay(a, clock)
+	replay := archive.NewReplayAt(a, clock, res)
 	s, err := newSession(replay, exprs, ruleSpecs, hold, holdoff, out, alerts)
 	if err != nil {
 		return err

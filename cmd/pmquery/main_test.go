@@ -81,13 +81,62 @@ func writeTestArchive(t *testing.T) string {
 func TestArchiveModeGolden(t *testing.T) {
 	path := writeTestArchive(t)
 	var out bytes.Buffer
-	err := runArchive(path, 100*time.Millisecond,
+	err := runArchive(path, 0, 100*time.Millisecond,
 		[]string{"rate(arch.metric.a)", "sum(rate(arch.metric.*))", "arch.metric.c"},
 		nil, 1, 0, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "archive.csv", out.Bytes())
+}
+
+// TestArchiveResolutionPinned replays an archive through a rollup tier:
+// with -resolution the CSV rows sit on bucket last-sample timestamps and
+// rates span bucket aggregates, never touching the raw read path.
+func TestArchiveResolutionPinned(t *testing.T) {
+	a, err := archive.New([]pcp.NameEntry{
+		{PMID: 1, Name: "arch.metric.a"},
+	}, archive.Options{Rollups: []int64{int64(200 * time.Millisecond)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step = int64(100 * time.Millisecond)
+	for i := int64(0); i < 8; i++ {
+		if err := a.AppendSample(archive.Sample{Timestamp: i * step, Values: []uint64{uint64(i) * 1000}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "rollup.pmlog")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = runArchive(path, 200*time.Millisecond, 200*time.Millisecond,
+		[]string{"rate(arch.metric.a)"}, nil, 1, 0, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets end at 100/300/500/700ms holding a = 1000/3000/5000/7000;
+	// the 200ms replay steps see consecutive buckets, so every printed
+	// rate after the baseline is 2000 counts per 200ms = 10000/s.
+	want := "time,arch.metric.a\n0.100,0\n0.300,10000\n0.500,10000\n"
+	if out.String() != want {
+		t.Errorf("pinned-resolution CSV:\n%s--- want\n%s", out.String(), want)
+	}
+
+	// A resolution the archive has no tier for is an explicit error.
+	if err := runArchive(path, time.Hour, 200*time.Millisecond,
+		[]string{"rate(arch.metric.a)"}, nil, 1, 0, io.Discard, io.Discard); err == nil {
+		t.Error("missing tier accepted")
+	}
 }
 
 // TestLiveModeGolden samples a live daemon serving fixed synthetic
@@ -110,7 +159,7 @@ func TestLiveModeGolden(t *testing.T) {
 func TestArchiveRuleFires(t *testing.T) {
 	path := writeTestArchive(t)
 	var out, alerts bytes.Buffer
-	err := runArchive(path, 100*time.Millisecond,
+	err := runArchive(path, 0, 100*time.Millisecond,
 		[]string{"rate(arch.metric.a)"},
 		[]string{"rate(arch.metric.a) > 5000"}, 1, 0, &out, &alerts)
 	if err != nil {

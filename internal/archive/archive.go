@@ -1,15 +1,34 @@
 // Package archive implements the pmlogger analogue: an append-only
 // time-series archive of PCP fetch results, so profiles and figures can
-// be replayed from a recording instead of a live daemon.
+// be replayed from a recording instead of a live daemon — grown here
+// into a small TSDB: multi-resolution rollup tiers, an indexed block
+// store with lock-free snapshot reads, and a background compactor.
 //
-// Samples are stored varint-delta encoded — each row is the zigzag
+// Raw samples are stored varint-delta encoded — each row is the zigzag
 // varint of the timestamp delta followed by one zigzag varint per
 // counter delta — in fixed-size blocks whose first row is absolute, so
-// any block decodes independently. Retention is a bounded-memory ring:
-// when the encoded size exceeds the budget, whole blocks are evicted
-// oldest-first. Counters compress extremely well under this scheme
-// because consecutive daemon samples differ by small per-channel byte
-// counts.
+// any block decodes independently. Every sealed block carries an index
+// entry ([firstTS, lastTS]) and per-column summaries (first/last/min/
+// max/sum and the wrap-corrected delta total), so range queries binary-
+// search to the covering blocks and long-horizon rates fold summaries
+// instead of decoding rows. Decoded blocks are cached behind an
+// atomic.Pointer per block, so hot dashboards hit decoded data.
+//
+// Alongside the raw tier the archive maintains rollup tiers (10s and 5m
+// buckets by default), updated incrementally on Append: each bucket
+// stores count/first/last/min/max/sum per column plus the wrap-corrected
+// intra-bucket delta, and the step between two adjacent buckets is
+// recoverable exactly as pcp.CounterDelta(prev.Last, next.First) —
+// adjacent buckets always hold adjacent samples at their facing edges —
+// so rates over rollups are exact for wrapped counters on bucket-aligned
+// windows. Compact (or the background compactor) folds aged raw blocks
+// out of the raw tier once the rollups cover them, the production
+// retention pattern: raw for hours, 10s for days, 5m for months.
+//
+// All writers (Append, Compact) serialize on a mutex and publish an
+// immutable snapshot through an atomic pointer; readers load the pointer
+// once and never block — the same publication pattern the PMCD daemon
+// uses for its metric snapshots.
 //
 // The schema (the PMID set and the name table) is fixed when the
 // archive is created, exactly like a real pmlogger archive's metadata
@@ -20,8 +39,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"papimc/internal/pcp"
 )
@@ -38,10 +58,14 @@ var (
 	ErrSchema = errors.New("archive: fetch result does not match schema")
 	// ErrFormat indicates a corrupt serialized archive.
 	ErrFormat = errors.New("archive: bad archive format")
+	// ErrNoTier indicates a query at a resolution with no rollup tier.
+	ErrNoTier = errors.New("archive: no rollup tier at that resolution")
 )
 
 // Sample is one decoded row: the daemon's sample timestamp and one value
-// per schema PMID, in schema order.
+// per schema PMID, in schema order. Samples returned by queries may
+// share storage with the archive's decoded-block cache and must be
+// treated as read-only.
 type Sample struct {
 	Timestamp int64
 	Values    []uint64
@@ -49,40 +73,165 @@ type Sample struct {
 
 // Options tune archive construction.
 type Options struct {
-	// MaxBytes bounds the encoded sample storage; oldest blocks are
+	// MaxBytes bounds the encoded raw sample storage; oldest blocks are
 	// evicted once it is exceeded. 0 means DefaultMaxBytes.
 	MaxBytes int
-	// BlockSamples is the number of rows per block. 0 means
+	// BlockSamples is the number of rows per raw block. 0 means
 	// DefaultBlockSamples.
 	BlockSamples int
+	// Rollups lists the rollup tier bucket widths in nanoseconds,
+	// strictly ascending. nil means DefaultRollups (10s and 5m); an
+	// explicit empty non-nil slice disables rollups.
+	Rollups []int64
+	// MaxBuckets bounds each rollup tier's retained buckets (oldest
+	// evicted past it). 0 means DefaultMaxBuckets.
+	MaxBuckets int
+	// RawRetention is how much full-resolution history Compact keeps,
+	// in nanoseconds: raw blocks wholly older than newest-RawRetention
+	// are folded out of the raw tier once every rollup tier covers
+	// them. 0 disables age-based folding (raw is evicted only by the
+	// MaxBytes ring budget).
+	RawRetention int64
 }
 
 // Defaults for Options.
 const (
 	DefaultMaxBytes     = 4 << 20
 	DefaultBlockSamples = 64
+	DefaultMaxBuckets   = 1 << 17
 )
 
-// block is one independently decodable run of delta-encoded rows.
+// Res10s and Res5m are the default rollup resolutions.
+const (
+	ResRaw Resolution = 0
+	Res10s Resolution = 10_000_000_000
+	Res5m  Resolution = 300_000_000_000
+)
+
+// DefaultRollups returns the default tier set (10s, 5m).
+func DefaultRollups() []int64 { return []int64{int64(Res10s), int64(Res5m)} }
+
+// Resolution identifies a storage tier by its bucket width in
+// nanoseconds; 0 is the raw (full-resolution) tier.
+type Resolution int64
+
+func (r Resolution) String() string {
+	if r == 0 {
+		return "raw"
+	}
+	switch {
+	case int64(r)%1_000_000_000 == 0:
+		return fmt.Sprintf("%ds", int64(r)/1_000_000_000)
+	case int64(r)%1_000_000 == 0:
+		return fmt.Sprintf("%dms", int64(r)/1_000_000)
+	default:
+		return fmt.Sprintf("%dns", int64(r))
+	}
+}
+
+// colSummary is the per-column index entry of one sealed block: enough
+// to answer floors, ceilings, and wrap-corrected rates without decoding.
+type colSummary struct {
+	First, Last uint64  // first/last sample values in the block
+	Min, Max    uint64  // extrema over the block's samples
+	Sum         float64 // Σ float64(value) over the block's samples
+	Delta       int64   // Σ wrap-corrected steps between consecutive rows
+}
+
+// block is one sealed, immutable run of delta-encoded rows plus its
+// index entry and summaries. dec caches the decoded rows; it is reset by
+// the compactor for cold blocks and repopulated on demand.
 type block struct {
 	buf     []byte
 	count   int
 	firstTS int64
 	lastTS  int64
+	sums    []colSummary
+	cum     []float64 // extended value at the first row, anchored at the writer epoch
+	dec     atomic.Pointer[[]Sample]
 }
 
-// Archive is an append-only recording. It is safe for concurrent use.
+// ColAgg is the per-column aggregate of one rollup bucket.
+type ColAgg struct {
+	First, Last uint64  // first/last sample values in the bucket
+	Min, Max    uint64  // extrema
+	Sum         float64 // Σ float64(value), for averages
+	Delta       int64   // Σ wrap-corrected steps strictly inside the bucket
+}
+
+// Bucket is one rollup row: the aggregate of every raw sample whose
+// timestamp falls in [Start, Start+resolution). The step between two
+// adjacent retained buckets is exactly
+// pcp.CounterDelta(prev.Cols[c].Last, next.Cols[c].First): their facing
+// edge samples are adjacent in the raw stream, so rates reconstructed
+// from rollups are exact for wrapped counters on bucket-aligned windows.
+type Bucket struct {
+	Start   int64 // bucket start, aligned to the tier resolution
+	FirstTS int64 // timestamp of the first sample in the bucket
+	LastTS  int64 // timestamp of the last sample in the bucket
+	Count   int   // samples folded in
+	Cols    []ColAgg
+}
+
+// tierSnap is one rollup tier inside a snapshot: completed buckets plus
+// the in-progress one (copy-on-write so published buckets never mutate).
+type tierSnap struct {
+	res     int64
+	done    []Bucket
+	cur     *Bucket
+	evicted int // buckets dropped by the MaxBuckets cap
+}
+
+func (t *tierSnap) count() int {
+	n := len(t.done)
+	if t.cur != nil {
+		n++
+	}
+	return n
+}
+
+func (t *tierSnap) at(i int) *Bucket {
+	if i < len(t.done) {
+		return &t.done[i]
+	}
+	return t.cur
+}
+
+// snapshot is the immutable published state: readers load it once and
+// work on it without locks. Writers build a new one under a.mu and
+// store it atomically.
+type snapshot struct {
+	blocks  []*block  // sealed raw blocks, ascending time
+	tail    []Sample  // decoded rows newer than the last sealed block
+	tailCum []float64 // extended value at tail[0], anchored at the writer epoch
+	tiers   []tierSnap
+	last    *Sample // newest raw row, nil if none retained
+	lastTS  int64   // newest timestamp ever accepted (survives raw eviction)
+	seenAny bool    // any sample ever accepted (or loaded)
+
+	rawSamples  int // retained raw rows
+	sealedBytes int // encoded bytes across sealed blocks
+	tailBytes   int // encoded bytes of the tail
+	appended    int // rows ever accepted
+	evicted     int // rows dropped by the ring budget
+	folded      int // rows folded out of raw by Compact after rollup handoff
+	compactions int
+}
+
+// Archive is an append-only recording. It is safe for concurrent use:
+// reads are lock-free against the published snapshot.
 type Archive struct {
-	mu       sync.Mutex
-	names    []pcp.NameEntry
-	byName   map[string]uint32
-	col      map[uint32]int // PMID -> column index
-	blocks   []*block
-	last     Sample // newest row, for delta encoding
-	total    int    // encoded bytes across blocks
-	appended int    // rows accepted (including later-evicted ones)
-	evicted  int    // rows dropped by ring retention
-	opts     Options
+	mu     sync.Mutex // serializes writers: Append, Compact, WriteTo capture
+	names  []pcp.NameEntry
+	byName map[string]uint32
+	col    map[uint32]int // PMID -> column index
+	opts   Options
+
+	snap atomic.Pointer[snapshot]
+
+	// Writer-only state, guarded by mu.
+	tailBuf    []byte    // encoded form of the published tail
+	runningExt []float64 // extended value at the newest row, anchored at the epoch
 }
 
 // New builds an empty archive over the given name table. The entries
@@ -97,11 +246,26 @@ func New(names []pcp.NameEntry, opts Options) (*Archive, error) {
 	if opts.BlockSamples <= 0 {
 		opts.BlockSamples = DefaultBlockSamples
 	}
+	if opts.Rollups == nil {
+		opts.Rollups = DefaultRollups()
+	}
+	if opts.MaxBuckets <= 0 {
+		opts.MaxBuckets = DefaultMaxBuckets
+	}
+	for i, res := range opts.Rollups {
+		if res <= 0 {
+			return nil, fmt.Errorf("archive: rollup resolution %d must be positive", res)
+		}
+		if i > 0 && res <= opts.Rollups[i-1] {
+			return nil, fmt.Errorf("archive: rollup resolutions must be strictly ascending")
+		}
+	}
 	a := &Archive{
-		names:  append([]pcp.NameEntry(nil), names...),
-		byName: make(map[string]uint32, len(names)),
-		col:    make(map[uint32]int, len(names)),
-		opts:   opts,
+		names:      append([]pcp.NameEntry(nil), names...),
+		byName:     make(map[string]uint32, len(names)),
+		col:        make(map[uint32]int, len(names)),
+		opts:       opts,
+		runningExt: make([]float64, len(names)),
 	}
 	for i, e := range names {
 		if e.PMID == 0 {
@@ -113,6 +277,11 @@ func New(names []pcp.NameEntry, opts Options) (*Archive, error) {
 		a.byName[e.Name] = e.PMID
 		a.col[e.PMID] = i
 	}
+	s := &snapshot{tiers: make([]tierSnap, len(opts.Rollups))}
+	for i, res := range opts.Rollups {
+		s.tiers[i] = tierSnap{res: res}
+	}
+	a.snap.Store(s)
 	return a, nil
 }
 
@@ -134,6 +303,18 @@ func (a *Archive) PMIDs() []uint32 {
 	out := make([]uint32, len(a.names))
 	for i, e := range a.names {
 		out[i] = e.PMID
+	}
+	return out
+}
+
+// Resolutions returns the archive's tiers, finest first: ResRaw followed
+// by the configured rollup resolutions.
+func (a *Archive) Resolutions() []Resolution {
+	s := a.snap.Load()
+	out := make([]Resolution, 0, len(s.tiers)+1)
+	out = append(out, ResRaw)
+	for i := range s.tiers {
+		out = append(out, Resolution(s.tiers[i].res))
 	}
 	return out
 }
@@ -163,72 +344,198 @@ func (a *Archive) Append(res pcp.FetchResult) error {
 }
 
 // AppendSample records one pre-built row (len(Values) must equal the
-// schema width). Same ordering rules as Append.
+// schema width). Same ordering rules as Append. The row's Values slice
+// is not retained.
 func (a *Archive) AppendSample(row Sample) error {
 	if len(row.Values) != len(a.names) {
 		return fmt.Errorf("%w: row has %d values, schema has %d", ErrSchema, len(row.Values), len(a.names))
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.appended > 0 {
-		if row.Timestamp == a.last.Timestamp {
+	cur := a.snap.Load()
+	if cur.seenAny {
+		if row.Timestamp == cur.lastTS {
 			return nil // same daemon sample, nothing new
 		}
-		if row.Timestamp < a.last.Timestamp {
-			return fmt.Errorf("%w: %d after %d", ErrOutOfOrder, row.Timestamp, a.last.Timestamp)
+		if row.Timestamp < cur.lastTS {
+			return fmt.Errorf("%w: %d after %d", ErrOutOfOrder, row.Timestamp, cur.lastTS)
+		}
+	}
+	own := Sample{Timestamp: row.Timestamp, Values: append([]uint64(nil), row.Values...)}
+
+	next := &snapshot{
+		blocks:      cur.blocks,
+		tiers:       make([]tierSnap, len(cur.tiers)),
+		last:        &own,
+		lastTS:      own.Timestamp,
+		seenAny:     true,
+		rawSamples:  cur.rawSamples + 1,
+		sealedBytes: cur.sealedBytes,
+		appended:    cur.appended + 1,
+		evicted:     cur.evicted,
+		folded:      cur.folded,
+		compactions: cur.compactions,
+	}
+
+	// Advance the extended (wrap-unrolled) series: one step per column
+	// from the previous row, when raw history is continuous.
+	if cur.last != nil {
+		for c := range own.Values {
+			a.runningExt[c] += float64(int64(pcp.CounterDelta(cur.last.Values[c], own.Values[c])))
 		}
 	}
 
-	cur := a.tail()
-	if cur == nil || cur.count >= a.opts.BlockSamples {
-		cur = &block{firstTS: row.Timestamp}
-		a.blocks = append(a.blocks, cur)
-	}
-	before := len(cur.buf)
-	if cur.count == 0 {
-		// Keyframe: absolute timestamp and values.
-		cur.buf = binary.AppendVarint(cur.buf, row.Timestamp)
-		for _, v := range row.Values {
-			cur.buf = binary.AppendUvarint(cur.buf, v)
+	// Encode the row into the writer's tail buffer: a keyframe when the
+	// tail is empty, deltas against the previous row otherwise.
+	if len(cur.tail) == 0 {
+		a.tailBuf = binary.AppendVarint(a.tailBuf[:0], own.Timestamp)
+		for _, v := range own.Values {
+			a.tailBuf = binary.AppendUvarint(a.tailBuf, v)
 		}
-		cur.firstTS = row.Timestamp
+		next.tail = append([]Sample(nil), own)
+		next.tailCum = append([]float64(nil), a.runningExt...)
 	} else {
-		cur.buf = binary.AppendVarint(cur.buf, row.Timestamp-a.last.Timestamp)
-		for i, v := range row.Values {
-			cur.buf = binary.AppendVarint(cur.buf, int64(v-a.last.Values[i]))
+		a.tailBuf = binary.AppendVarint(a.tailBuf, own.Timestamp-cur.last.Timestamp)
+		for c, v := range own.Values {
+			a.tailBuf = binary.AppendVarint(a.tailBuf, int64(v-cur.last.Values[c]))
 		}
+		next.tail = append(cur.tail, own)
+		next.tailCum = cur.tailCum
 	}
-	cur.count++
-	cur.lastTS = row.Timestamp
-	a.total += len(cur.buf) - before
-	a.last = Sample{Timestamp: row.Timestamp, Values: append([]uint64(nil), row.Values...)}
-	a.appended++
+	next.tailBytes = len(a.tailBuf)
 
-	// Ring retention: evict oldest whole blocks past the byte budget,
-	// always keeping the block being written.
-	for a.total > a.opts.MaxBytes && len(a.blocks) > 1 {
-		old := a.blocks[0]
-		a.blocks = a.blocks[1:]
-		a.total -= len(old.buf)
-		a.evicted += old.count
+	// Rollup maintenance: fold the row into every tier's current bucket.
+	for i := range cur.tiers {
+		next.tiers[i] = updateTier(&cur.tiers[i], own, a.opts.MaxBuckets)
 	}
+
+	// Seal a full tail into an immutable indexed block.
+	if len(next.tail) >= a.opts.BlockSamples {
+		blk := sealBlock(a.tailBuf, next.tail, next.tailCum)
+		next.blocks = append(cur.blocks, blk)
+		next.sealedBytes += len(blk.buf)
+		next.tail, next.tailCum, next.tailBytes = nil, nil, 0
+		a.tailBuf = nil
+	}
+
+	// Ring retention backstop: evict oldest sealed blocks past the byte
+	// budget, always keeping the tail being written.
+	for next.sealedBytes+next.tailBytes > a.opts.MaxBytes && len(next.blocks) > 0 {
+		old := next.blocks[0]
+		next.blocks = next.blocks[1:]
+		next.sealedBytes -= len(old.buf)
+		next.rawSamples -= old.count
+		next.evicted += old.count
+	}
+
+	a.snap.Store(next)
 	return nil
 }
 
-// tail returns the block currently being appended to, or nil.
-func (a *Archive) tail() *block {
-	if len(a.blocks) == 0 {
-		return nil
+// sealBlock builds the immutable block for a finished tail: the encoded
+// bytes, the [firstTS, lastTS] index entry, per-column summaries, and
+// the extended-series anchor of its first row.
+func sealBlock(buf []byte, rows []Sample, cum []float64) *block {
+	width := len(rows[0].Values)
+	b := &block{
+		buf:     buf,
+		count:   len(rows),
+		firstTS: rows[0].Timestamp,
+		lastTS:  rows[len(rows)-1].Timestamp,
+		sums:    make([]colSummary, width),
+		cum:     append([]float64(nil), cum...),
 	}
-	return a.blocks[len(a.blocks)-1]
+	for c := 0; c < width; c++ {
+		v0 := rows[0].Values[c]
+		s := colSummary{First: v0, Last: v0, Min: v0, Max: v0, Sum: float64(v0)}
+		for i := 1; i < len(rows); i++ {
+			v := rows[i].Values[c]
+			s.Last = v
+			if v < s.Min {
+				s.Min = v
+			}
+			if v > s.Max {
+				s.Max = v
+			}
+			s.Sum += float64(v)
+			s.Delta += int64(pcp.CounterDelta(rows[i-1].Values[c], v))
+		}
+		b.sums[c] = s
+	}
+	return b
 }
 
-// decodeBlock appends the block's rows to dst.
-func (a *Archive) decodeBlock(b *block, dst []Sample) ([]Sample, error) {
-	buf := b.buf
+// alignDown returns the bucket start covering ts at resolution res,
+// correct for negative timestamps.
+func alignDown(ts, res int64) int64 {
+	q := ts / res
+	if ts%res < 0 {
+		q--
+	}
+	return q * res
+}
+
+// updateTier folds one row into a tier, copy-on-write: published buckets
+// are never mutated in place.
+func updateTier(t *tierSnap, row Sample, maxBuckets int) tierSnap {
+	nt := tierSnap{res: t.res, done: t.done, evicted: t.evicted}
+	start := alignDown(row.Timestamp, t.res)
+	if t.cur != nil && start == t.cur.Start {
+		// Extend the in-progress bucket. The previous sample is, by
+		// construction, this bucket's Last: steps folded here are
+		// strictly intra-bucket.
+		nb := Bucket{
+			Start:   t.cur.Start,
+			FirstTS: t.cur.FirstTS,
+			LastTS:  row.Timestamp,
+			Count:   t.cur.Count + 1,
+			Cols:    make([]ColAgg, len(t.cur.Cols)),
+		}
+		for c := range nb.Cols {
+			agg := t.cur.Cols[c]
+			v := row.Values[c]
+			agg.Delta += int64(pcp.CounterDelta(agg.Last, v))
+			agg.Last = v
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
+			agg.Sum += float64(v)
+			nb.Cols[c] = agg
+		}
+		nt.cur = &nb
+		return nt
+	}
+	if t.cur != nil {
+		nt.done = append(t.done, *t.cur)
+		if drop := len(nt.done) - maxBuckets; drop > 0 {
+			nt.done = nt.done[drop:]
+			nt.evicted += drop
+		}
+	}
+	nb := Bucket{
+		Start:   start,
+		FirstTS: row.Timestamp,
+		LastTS:  row.Timestamp,
+		Count:   1,
+		Cols:    make([]ColAgg, len(row.Values)),
+	}
+	for c, v := range row.Values {
+		nb.Cols[c] = ColAgg{First: v, Last: v, Min: v, Max: v, Sum: float64(v)}
+	}
+	nt.cur = &nb
+	return nt
+}
+
+// decodeRows decodes count delta-encoded rows of the given width from
+// buf. With strict set, trailing bytes after the last row are rejected.
+func decodeRows(buf []byte, count, width int, strict bool) ([]Sample, error) {
+	rows := make([]Sample, 0, count)
 	var prev Sample
-	for i := 0; i < b.count; i++ {
-		row := Sample{Values: make([]uint64, len(a.names))}
+	for i := 0; i < count; i++ {
+		row := Sample{Values: make([]uint64, width)}
 		if i == 0 {
 			ts, n := binary.Varint(buf)
 			if n <= 0 {
@@ -260,68 +567,146 @@ func (a *Archive) decodeBlock(b *block, dst []Sample) ([]Sample, error) {
 				row.Values[c] = prev.Values[c] + uint64(dv)
 			}
 		}
-		dst = append(dst, row)
+		rows = append(rows, row)
 		prev = row
 	}
-	return dst, nil
+	if strict && len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after block", ErrFormat, len(buf))
+	}
+	return rows, nil
 }
 
-// Len returns the number of retained samples.
-func (a *Archive) Len() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	n := 0
-	for _, b := range a.blocks {
-		n += b.count
+// decodeCached returns the block's rows, decoding once and caching the
+// result behind the block's atomic pointer.
+func (a *Archive) decodeCached(b *block) ([]Sample, error) {
+	if p := b.dec.Load(); p != nil {
+		return *p, nil
 	}
-	return n
+	rows, err := decodeRows(b.buf, b.count, len(a.names), false)
+	if err != nil {
+		return nil, err
+	}
+	b.dec.Store(&rows)
+	return rows, nil
+}
+
+// Len returns the number of retained raw samples.
+func (a *Archive) Len() int {
+	return a.snap.Load().rawSamples
+}
+
+// TierStats describes one rollup tier's storage state.
+type TierStats struct {
+	Resolution Resolution
+	Buckets    int // retained buckets (including the in-progress one)
+	Evicted    int // buckets dropped by the MaxBuckets cap
 }
 
 // Stats describes the archive's storage state.
 type Stats struct {
-	Samples      int // retained rows
+	Samples      int // retained raw rows
 	Appended     int // rows ever accepted
 	Evicted      int // rows dropped by ring retention
-	EncodedBytes int // current encoded size
-	RawBytes     int // what the retained rows would cost un-encoded
+	Folded       int // rows folded out of raw by compaction after rollup handoff
+	Compactions  int // Compact passes that ran
+	EncodedBytes int // current encoded raw size
+	RawBytes     int // what the retained raw rows would cost un-encoded
+	Tiers        []TierStats
 }
 
 // Stats returns storage counters, including the raw-vs-encoded size so
 // tests can assert the compression win.
 func (a *Archive) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	s := Stats{Appended: a.appended, Evicted: a.evicted, EncodedBytes: a.total}
-	for _, b := range a.blocks {
-		s.Samples += b.count
+	s := a.snap.Load()
+	st := Stats{
+		Samples:      s.rawSamples,
+		Appended:     s.appended,
+		Evicted:      s.evicted,
+		Folded:       s.folded,
+		Compactions:  s.compactions,
+		EncodedBytes: s.sealedBytes + s.tailBytes,
 	}
-	s.RawBytes = s.Samples * (8 + 8*len(a.names))
-	return s
+	st.RawBytes = st.Samples * (8 + 8*len(a.names))
+	for i := range s.tiers {
+		t := &s.tiers[i]
+		st.Tiers = append(st.Tiers, TierStats{
+			Resolution: Resolution(t.res),
+			Buckets:    t.count(),
+			Evicted:    t.evicted,
+		})
+	}
+	return st
 }
 
-// Span returns the timestamps of the oldest and newest retained samples.
+// Span returns the timestamps of the oldest and newest retained raw
+// samples. Rollup-only history (raw folded away) is visible through
+// SpanAt instead.
 func (a *Archive) Span() (first, last int64, ok bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if len(a.blocks) == 0 || a.blocks[0].count == 0 {
+	s := a.snap.Load()
+	return s.rawSpan()
+}
+
+func (s *snapshot) rawSpan() (first, last int64, ok bool) {
+	switch {
+	case len(s.blocks) > 0 && len(s.tail) > 0:
+		return s.blocks[0].firstTS, s.tail[len(s.tail)-1].Timestamp, true
+	case len(s.blocks) > 0:
+		return s.blocks[0].firstTS, s.blocks[len(s.blocks)-1].lastTS, true
+	case len(s.tail) > 0:
+		return s.tail[0].Timestamp, s.tail[len(s.tail)-1].Timestamp, true
+	}
+	return 0, 0, false
+}
+
+// SpanAt returns the sample span covered at the given resolution: the
+// raw span for ResRaw, or the first/last sample timestamps of the
+// tier's retained buckets.
+func (a *Archive) SpanAt(res Resolution) (first, last int64, ok bool) {
+	if res == ResRaw {
+		return a.Span()
+	}
+	s := a.snap.Load()
+	t := s.tier(int64(res))
+	if t == nil || t.count() == 0 {
 		return 0, 0, false
 	}
-	return a.blocks[0].firstTS, a.tail().lastTS, true
+	return t.at(0).FirstTS, t.at(t.count() - 1).LastTS, true
 }
 
-// Samples returns every retained row with t0 <= Timestamp <= t1, oldest
-// first.
-func (a *Archive) Samples(t0, t1 int64) ([]Sample, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	var out []Sample
-	for _, b := range a.blocks {
-		if b.count == 0 || b.lastTS < t0 || b.firstTS > t1 {
-			continue
+func (s *snapshot) tier(res int64) *tierSnap {
+	for i := range s.tiers {
+		if s.tiers[i].res == res {
+			return &s.tiers[i]
 		}
-		rows, err := a.decodeBlock(b, nil)
+	}
+	return nil
+}
+
+// Samples returns every retained raw row with t0 <= Timestamp <= t1,
+// oldest first. An empty interval (t0 > t1), an empty archive, or an
+// interval outside the retained span all yield an empty result, not an
+// error. Returned rows may share storage with the decoded-block cache.
+func (a *Archive) Samples(t0, t1 int64) ([]Sample, error) {
+	if t0 > t1 {
+		return nil, nil
+	}
+	s := a.snap.Load()
+	var out []Sample
+	blocks := s.blocks
+	// Binary search to the first block that can contain t0.
+	lo := sort.Search(len(blocks), func(i int) bool { return blocks[i].lastTS >= t0 })
+	for i := lo; i < len(blocks); i++ {
+		b := blocks[i]
+		if b.firstTS > t1 {
+			return out, nil
+		}
+		rows, err := a.decodeCached(b)
 		if err != nil {
 			return nil, err
+		}
+		if b.firstTS >= t0 && b.lastTS <= t1 {
+			out = append(out, rows...)
+			continue
 		}
 		for _, r := range rows {
 			if r.Timestamp >= t0 && r.Timestamp <= t1 {
@@ -329,73 +714,114 @@ func (a *Archive) Samples(t0, t1 int64) ([]Sample, error) {
 			}
 		}
 	}
-	return out, nil
-}
-
-// All returns every retained row, oldest first.
-func (a *Archive) All() ([]Sample, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.allLocked()
-}
-
-func (a *Archive) allLocked() ([]Sample, error) {
-	var out []Sample
-	var err error
-	for _, b := range a.blocks {
-		if out, err = a.decodeBlock(b, out); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-// Floor returns the newest sample with Timestamp <= t — the value a live
-// daemon would have served at time t. ok is false if every retained
-// sample is newer than t (or the archive is empty).
-func (a *Archive) Floor(t int64) (Sample, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	var cand *block
-	for _, b := range a.blocks {
-		if b.count == 0 || b.firstTS > t {
+	for _, r := range s.tail {
+		if r.Timestamp > t1 {
 			break
 		}
-		cand = b
+		if r.Timestamp >= t0 {
+			out = append(out, r)
+		}
 	}
-	if cand == nil {
+	return out, nil
+}
+
+// All returns every retained raw row, oldest first.
+func (a *Archive) All() ([]Sample, error) {
+	s := a.snap.Load()
+	out := make([]Sample, 0, s.rawSamples)
+	for _, b := range s.blocks {
+		rows, err := a.decodeCached(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	out = append(out, s.tail...)
+	return out, nil
+}
+
+// Floor returns the newest raw sample with Timestamp <= t — the value a
+// live daemon would have served at time t. ok is false if every retained
+// sample is newer than t (or no raw samples are retained).
+func (a *Archive) Floor(t int64) (Sample, bool) {
+	s := a.snap.Load()
+	return a.floorSnap(s, t)
+}
+
+func (a *Archive) floorSnap(s *snapshot, t int64) (Sample, bool) {
+	if len(s.tail) > 0 && s.tail[0].Timestamp <= t {
+		i := sort.Search(len(s.tail), func(i int) bool { return s.tail[i].Timestamp > t })
+		return s.tail[i-1], true
+	}
+	blocks := s.blocks
+	idx := sort.Search(len(blocks), func(i int) bool { return blocks[i].firstTS > t }) - 1
+	if idx < 0 {
 		return Sample{}, false
 	}
-	rows, err := a.decodeBlock(cand, nil)
+	b := blocks[idx]
+	if t >= b.lastTS {
+		// The block's last row, synthesized from summaries: no decode.
+		return a.summaryRow(b, b.lastTS, func(cs *colSummary) uint64 { return cs.Last }), true
+	}
+	rows, err := a.decodeCached(b)
 	if err != nil {
 		return Sample{}, false
 	}
-	best := Sample{}
-	found := false
-	for _, r := range rows {
-		if r.Timestamp <= t {
-			best, found = r, true
-		}
-	}
-	return best, found
+	i := sort.Search(len(rows), func(i int) bool { return rows[i].Timestamp > t })
+	return rows[i-1], true
 }
 
-// Nearest returns the retained sample whose timestamp is closest to t
-// (ties go to the older sample).
-func (a *Archive) Nearest(t int64) (Sample, bool) {
-	a.mu.Lock()
-	rows, err := a.allLocked()
-	a.mu.Unlock()
-	if err != nil || len(rows) == 0 {
-		return Sample{}, false
+// ceilSnap returns the oldest raw sample with Timestamp >= t.
+func (a *Archive) ceilSnap(s *snapshot, t int64) (Sample, bool) {
+	blocks := s.blocks
+	idx := sort.Search(len(blocks), func(i int) bool { return blocks[i].lastTS >= t })
+	if idx < len(blocks) {
+		b := blocks[idx]
+		if t <= b.firstTS {
+			return a.summaryRow(b, b.firstTS, func(cs *colSummary) uint64 { return cs.First }), true
+		}
+		rows, err := a.decodeCached(b)
+		if err != nil {
+			return Sample{}, false
+		}
+		i := sort.Search(len(rows), func(i int) bool { return rows[i].Timestamp >= t })
+		return rows[i], true
 	}
-	best := rows[0]
-	for _, r := range rows[1:] {
-		if absDelta(r.Timestamp, t) < absDelta(best.Timestamp, t) {
-			best = r
+	for _, r := range s.tail {
+		if r.Timestamp >= t {
+			return r, true
 		}
 	}
-	return best, true
+	return Sample{}, false
+}
+
+// summaryRow synthesizes one edge row of a block from its summaries.
+func (a *Archive) summaryRow(b *block, ts int64, get func(*colSummary) uint64) Sample {
+	row := Sample{Timestamp: ts, Values: make([]uint64, len(a.names))}
+	for c := range b.sums {
+		row.Values[c] = get(&b.sums[c])
+	}
+	return row
+}
+
+// Nearest returns the retained raw sample whose timestamp is closest to
+// t (ties go to the older sample).
+func (a *Archive) Nearest(t int64) (Sample, bool) {
+	s := a.snap.Load()
+	lo, okLo := a.floorSnap(s, t)
+	hi, okHi := a.ceilSnap(s, t)
+	switch {
+	case !okLo && !okHi:
+		return Sample{}, false
+	case !okLo:
+		return hi, true
+	case !okHi:
+		return lo, true
+	}
+	if absDelta(lo.Timestamp, t) <= absDelta(hi.Timestamp, t) {
+		return lo, true
+	}
+	return hi, true
 }
 
 func absDelta(a, b int64) uint64 {
@@ -418,35 +844,97 @@ func sampleStep(lo, hi Sample, c int) float64 {
 // ValueAt returns the metric's value at time t on the unwrapped
 // ("extended") series: linear interpolation between the surrounding
 // samples with uint64 wraparound corrected per step, clamped to the
-// recording's span. After a wrap the extended value keeps growing past
-// 2^64 — the series stays monotone for counters, which is what
-// interpolation is for.
+// recording's raw span. After a wrap the extended value keeps growing
+// past 2^64 — the series stays monotone for counters, which is what
+// interpolation is for. The lookup binary-searches to the covering
+// block and anchors on its precomputed extended-series prefix, so the
+// cost is independent of the archive size.
 func (a *Archive) ValueAt(pmid uint32, t int64) (float64, error) {
 	c, ok := a.col[pmid]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoPMID, pmid)
 	}
-	rows, err := a.All()
+	s := a.snap.Load()
+	// Oldest retained raw row: the anchor of the reported series.
+	var oldestTS int64
+	var oldestVal uint64
+	var extOldest float64
+	switch {
+	case len(s.blocks) > 0:
+		b := s.blocks[0]
+		oldestTS, oldestVal, extOldest = b.firstTS, b.sums[c].First, b.cum[c]
+	case len(s.tail) > 0:
+		oldestTS, oldestVal, extOldest = s.tail[0].Timestamp, s.tail[0].Values[c], s.tailCum[c]
+	default:
+		return 0, ErrEmpty
+	}
+	if t <= oldestTS {
+		return float64(oldestVal), nil
+	}
+	ext, err := a.extAt(s, c, t)
 	if err != nil {
 		return 0, err
 	}
-	if len(rows) == 0 {
+	return float64(oldestVal) + ext - extOldest, nil
+}
+
+// extAt computes the extended-series value at time t (> oldest retained
+// timestamp), anchored at the writer epoch.
+func (a *Archive) extAt(s *snapshot, c int, t int64) (float64, error) {
+	// In or beyond the tail?
+	if len(s.tail) > 0 && t >= s.tail[0].Timestamp {
+		ext := s.tailCum[c]
+		for i := 1; i < len(s.tail); i++ {
+			step := sampleStep(s.tail[i-1], s.tail[i], c)
+			if t <= s.tail[i].Timestamp {
+				lo, hi := s.tail[i-1], s.tail[i]
+				f := float64(t-lo.Timestamp) / float64(hi.Timestamp-lo.Timestamp)
+				return ext + f*step, nil
+			}
+			ext += step
+		}
+		return ext, nil // clamped past the newest row
+	}
+	blocks := s.blocks
+	idx := sort.Search(len(blocks), func(i int) bool { return blocks[i].firstTS > t }) - 1
+	if idx < 0 {
+		// t precedes all blocks but a tail exists before t was checked:
+		// only reachable when there are no blocks at all.
 		return 0, ErrEmpty
 	}
-	if t <= rows[0].Timestamp {
-		return float64(rows[0].Values[c]), nil
-	}
-	ext := float64(rows[0].Values[c])
-	for i := 1; i < len(rows); i++ {
-		step := sampleStep(rows[i-1], rows[i], c)
-		if t <= rows[i].Timestamp {
-			lo, hi := rows[i-1], rows[i]
-			f := float64(t-lo.Timestamp) / float64(hi.Timestamp-lo.Timestamp)
-			return ext + f*step, nil
+	b := blocks[idx]
+	if t <= b.lastTS {
+		rows, err := a.decodeCached(b)
+		if err != nil {
+			return 0, err
 		}
-		ext += step
+		ext := b.cum[c]
+		for i := 1; i < len(rows); i++ {
+			step := sampleStep(rows[i-1], rows[i], c)
+			if t <= rows[i].Timestamp {
+				lo, hi := rows[i-1], rows[i]
+				f := float64(t-lo.Timestamp) / float64(hi.Timestamp-lo.Timestamp)
+				return ext + f*step, nil
+			}
+			ext += step
+		}
+		return ext, nil
 	}
-	return ext, nil
+	// t falls between this block's last row and the next chunk's first.
+	extEnd := b.cum[c] + float64(b.sums[c].Delta)
+	var nextTS int64
+	var extNext float64
+	switch {
+	case idx+1 < len(blocks):
+		nb := blocks[idx+1]
+		nextTS, extNext = nb.firstTS, nb.cum[c]
+	case len(s.tail) > 0:
+		nextTS, extNext = s.tail[0].Timestamp, s.tailCum[c]
+	default:
+		return extEnd, nil // clamped past the newest row
+	}
+	f := float64(t-b.lastTS) / float64(nextTS-b.lastTS)
+	return extEnd + f*(extNext-extEnd), nil
 }
 
 // Rate returns the metric's average rate over [t0, t1] in units per
@@ -456,6 +944,9 @@ func (a *Archive) ValueAt(pmid uint32, t int64) (float64, error) {
 // extended values would swallow exactly the small per-interval deltas a
 // rate is made of. Instead each segment's wrap-corrected uint64 delta is
 // summed directly, weighted by its fractional overlap with [t0, t1].
+// Blocks that lie entirely inside the window contribute their summary
+// delta without being decoded; only the window's edge blocks decode
+// (served from the per-block cache when hot).
 func (a *Archive) Rate(pmid uint32, t0, t1 int64) (float64, error) {
 	if t1 <= t0 {
 		return 0, fmt.Errorf("archive: bad rate interval [%d, %d]", t0, t1)
@@ -464,149 +955,84 @@ func (a *Archive) Rate(pmid uint32, t0, t1 int64) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoPMID, pmid)
 	}
-	rows, err := a.All()
-	if err != nil {
-		return 0, err
-	}
-	if len(rows) == 0 {
+	s := a.snap.Load()
+	if s.rawSamples == 0 {
 		return 0, ErrEmpty
 	}
-	var sum float64
-	for i := 1; i < len(rows); i++ {
-		lo, hi := rows[i-1].Timestamp, rows[i].Timestamp
-		if hi <= lo {
-			continue
-		}
-		s, e := max(t0, lo), min(t1, hi)
-		if e <= s {
-			continue
-		}
-		frac := float64(e-s) / float64(hi-lo)
-		sum += frac * sampleStep(rows[i-1], rows[i], c)
+	sum, err := a.rawDeltaSum(s, c, t0, t1)
+	if err != nil {
+		return 0, err
 	}
 	return sum / (float64(t1-t0) / 1e9), nil
 }
 
-// --- serialization -----------------------------------------------------
-
-// fileMagic starts a serialized archive.
-const fileMagic = "PMLG1\n"
-
-// WriteTo serializes the archive: magic, schema, then every retained row
-// re-encoded as one delta stream.
-func (a *Archive) WriteTo(w io.Writer) (int64, error) {
-	a.mu.Lock()
-	rows, err := a.allLocked()
-	names := a.names
-	a.mu.Unlock()
-	if err != nil {
-		return 0, err
+// overlapFrac is the fraction of segment [lo, hi] covered by [t0, t1].
+func overlapFrac(lo, hi, t0, t1 int64) float64 {
+	if hi <= lo {
+		return 0
 	}
-	var buf []byte
-	buf = append(buf, fileMagic...)
-	buf = binary.AppendUvarint(buf, uint64(len(names)))
-	for _, e := range names {
-		buf = binary.AppendUvarint(buf, uint64(e.PMID))
-		buf = binary.AppendUvarint(buf, uint64(len(e.Name)))
-		buf = append(buf, e.Name...)
+	s, e := max(t0, lo), min(t1, hi)
+	if e <= s {
+		return 0
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(rows)))
-	var prev Sample
-	for i, r := range rows {
-		if i == 0 {
-			buf = binary.AppendVarint(buf, r.Timestamp)
-			for _, v := range r.Values {
-				buf = binary.AppendUvarint(buf, v)
-			}
-		} else {
-			buf = binary.AppendVarint(buf, r.Timestamp-prev.Timestamp)
-			for c, v := range r.Values {
-				buf = binary.AppendVarint(buf, int64(v-prev.Values[c]))
-			}
-		}
-		prev = r
-	}
-	n, err := w.Write(buf)
-	return int64(n), err
+	return float64(e-s) / float64(hi-lo)
 }
 
-// Read deserializes an archive written by WriteTo.
-func Read(r io.Reader, opts Options) (*Archive, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
-	if len(data) < len(fileMagic) || string(data[:len(fileMagic)]) != fileMagic {
-		return nil, fmt.Errorf("%w: missing magic", ErrFormat)
-	}
-	buf := data[len(fileMagic):]
-	uv := func() uint64 {
-		v, n := binary.Uvarint(buf)
-		if n <= 0 {
-			err = fmt.Errorf("%w: truncated uvarint", ErrFormat)
-			return 0
-		}
-		buf = buf[n:]
-		return v
-	}
-	sv := func() int64 {
-		v, n := binary.Varint(buf)
-		if n <= 0 {
-			err = fmt.Errorf("%w: truncated varint", ErrFormat)
-			return 0
-		}
-		buf = buf[n:]
-		return v
-	}
-	nNames := uv()
-	if err != nil {
-		return nil, err
-	}
-	if nNames == 0 || nNames > 1<<20 {
-		return nil, fmt.Errorf("%w: implausible name count %d", ErrFormat, nNames)
-	}
-	names := make([]pcp.NameEntry, 0, nNames)
-	for i := uint64(0); i < nNames; i++ {
-		pmid := uv()
-		ln := uv()
-		if err != nil {
-			return nil, err
-		}
-		if uint64(len(buf)) < ln {
-			return nil, fmt.Errorf("%w: truncated name", ErrFormat)
-		}
-		names = append(names, pcp.NameEntry{PMID: uint32(pmid), Name: string(buf[:ln])})
-		buf = buf[ln:]
-	}
-	a, aerr := New(names, opts)
-	if aerr != nil {
-		return nil, aerr
-	}
-	nRows := uv()
-	if err != nil {
-		return nil, err
-	}
-	prev := Sample{Values: make([]uint64, len(names))}
-	for i := uint64(0); i < nRows; i++ {
-		row := Sample{Values: make([]uint64, len(names))}
-		if i == 0 {
-			row.Timestamp = sv()
-			for c := range row.Values {
-				row.Values[c] = uv()
+// rawDeltaSum computes Σ frac·step over every consecutive-sample segment
+// of column c overlapping [t0, t1], using block summaries for fully
+// covered blocks and decoding only the window's edge blocks.
+func (a *Archive) rawDeltaSum(s *snapshot, c int, t0, t1 int64) (float64, error) {
+	blocks := s.blocks
+	var sum float64
+	// walkRows folds the decoded rows of one chunk.
+	walkRows := func(rows []Sample) {
+		for i := 1; i < len(rows); i++ {
+			f := overlapFrac(rows[i-1].Timestamp, rows[i].Timestamp, t0, t1)
+			if f > 0 {
+				sum += f * sampleStep(rows[i-1], rows[i], c)
 			}
+		}
+	}
+	// Sealed blocks overlapping the window.
+	lo := sort.Search(len(blocks), func(i int) bool { return blocks[i].lastTS > t0 })
+	for i := lo; i < len(blocks) && blocks[i].firstTS < t1; i++ {
+		b := blocks[i]
+		if b.firstTS >= t0 && b.lastTS <= t1 {
+			sum += float64(b.sums[c].Delta)
+			continue
+		}
+		rows, err := a.decodeCached(b)
+		if err != nil {
+			return 0, err
+		}
+		walkRows(rows)
+	}
+	// Boundary segments between consecutive chunks (block→block and
+	// block→tail): their endpoint values come from summaries, no decode.
+	// Start one block early — the boundary out of a block that ends
+	// before t0 can still overlap the window.
+	for i := max(lo-1, 0); i < len(blocks); i++ {
+		endTS := blocks[i].lastTS
+		if endTS >= t1 {
+			break
+		}
+		var startTS int64
+		var endVal, startVal uint64
+		if i+1 < len(blocks) {
+			startTS, startVal = blocks[i+1].firstTS, blocks[i+1].sums[c].First
+		} else if len(s.tail) > 0 {
+			startTS, startVal = s.tail[0].Timestamp, s.tail[0].Values[c]
 		} else {
-			row.Timestamp = prev.Timestamp + sv()
-			for c := range row.Values {
-				row.Values[c] = prev.Values[c] + uint64(sv())
-			}
+			break
 		}
-		if err != nil {
-			return nil, err
+		endVal = blocks[i].sums[c].Last
+		if f := overlapFrac(endTS, startTS, t0, t1); f > 0 {
+			sum += f * float64(int64(pcp.CounterDelta(endVal, startVal)))
 		}
-		if aerr := a.AppendSample(row); aerr != nil {
-			return nil, aerr
-		}
-		prev = row
 	}
-	return a, nil
+	// Tail rows.
+	if len(s.tail) > 0 && s.tail[len(s.tail)-1].Timestamp > t0 && s.tail[0].Timestamp < t1 {
+		walkRows(s.tail)
+	}
+	return sum, nil
 }

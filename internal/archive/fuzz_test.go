@@ -2,20 +2,23 @@ package archive
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"reflect"
 	"testing"
 
 	"papimc/internal/pcp"
 )
 
-// fuzzArchiveBytes serializes a small valid archive to seed the corpus.
+// fuzzArchiveBytes serializes a small valid archive (current format
+// version) to seed the corpus.
 func fuzzArchiveBytes(tb testing.TB, rows int) []byte {
 	tb.Helper()
 	a, err := New([]pcp.NameEntry{
 		{PMID: 1, Name: "fuzz.metric.a"},
 		{PMID: 2, Name: "fuzz.metric.b"},
 		{PMID: 7, Name: "fuzz.metric.c"},
-	}, Options{})
+	}, Options{BlockSamples: 4, Rollups: []int64{40, 200}})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -35,32 +38,125 @@ func fuzzArchiveBytes(tb testing.TB, rows int) []byte {
 	return buf.Bytes()
 }
 
-// FuzzReadArchive hammers the varint-delta archive decoder with hostile
+// fuzzArchiveBytesV1 builds the same rows in the legacy v1 single-stream
+// format, so the fuzzer exercises the legacy read path too.
+func fuzzArchiveBytesV1(rows int) []byte {
+	names := []pcp.NameEntry{
+		{PMID: 1, Name: "fuzz.metric.a"},
+		{PMID: 2, Name: "fuzz.metric.b"},
+		{PMID: 7, Name: "fuzz.metric.c"},
+	}
+	var buf []byte
+	buf = append(buf, fileMagicV1...)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, e := range names {
+		buf = binary.AppendUvarint(buf, uint64(e.PMID))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Name)))
+		buf = append(buf, e.Name...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(rows))
+	var prev Sample
+	for i := 0; i < rows; i++ {
+		row := Sample{
+			Timestamp: int64(i) * 10,
+			Values:    []uint64{uint64(i) * 100, 1 << (uint(i) % 60), ^uint64(0) - uint64(i)},
+		}
+		if i == 0 {
+			buf = binary.AppendVarint(buf, row.Timestamp)
+			for _, v := range row.Values {
+				buf = binary.AppendUvarint(buf, v)
+			}
+		} else {
+			buf = binary.AppendVarint(buf, row.Timestamp-prev.Timestamp)
+			for c, v := range row.Values {
+				buf = binary.AppendVarint(buf, int64(v-prev.Values[c]))
+			}
+		}
+		prev = row
+	}
+	return buf
+}
+
+// FuzzReadArchive hammers the archive decoder — both format versions,
+// including the v2 block-index and rollup sections — with hostile
 // input. Two properties:
 //
 //  1. Totality: Read never panics or runs away — any input is either
 //     decoded or rejected with an error, no matter how the length
-//     fields, varints, or deltas are mangled.
+//     fields, varints, section ids, chunk counts, or bucket aggregates
+//     are mangled.
 //  2. Soundness: an input Read accepts yields a well-formed archive —
-//     strictly increasing timestamps, full-width rows — that round-trips
-//     through WriteTo/Read to identical samples.
+//     strictly increasing timestamps, full-width rows, queryable rollup
+//     tiers — that round-trips through WriteTo/Read to identical
+//     samples and identical rollup buckets.
 func FuzzReadArchive(f *testing.F) {
 	empty := fuzzArchiveBytes(f, 0)
 	valid := fuzzArchiveBytes(f, 9)
+	big := fuzzArchiveBytes(f, 23) // several sealed blocks + completed buckets
+	legacy := fuzzArchiveBytesV1(9)
 	f.Add(empty)
 	f.Add(valid)
-	// Truncations at structurally interesting places.
-	for _, n := range []int{0, 3, len(fileMagic), len(fileMagic) + 2, len(valid) / 2, len(valid) - 1} {
-		f.Add(valid[:n])
+	f.Add(big)
+	f.Add(legacy)
+	// Truncations at structurally interesting places: inside the magic,
+	// the schema, the chunk table, and the trailing sections.
+	for _, n := range []int{0, 3, len(fileMagicV2), len(fileMagicV2) + 2, len(big) / 2, len(big) * 3 / 4, len(big) - 1} {
+		f.Add(big[:n])
 	}
-	// Single-bit flips in the header, schema, and delta stream.
-	for _, off := range []int{1, len(fileMagic), len(fileMagic) + 4, len(valid) / 2, len(valid) - 2} {
-		b := append([]byte(nil), valid...)
+	f.Add(legacy[:len(legacy)/2])
+	// Single-bit flips in the header, schema, chunk lengths, delta
+	// stream, and section payloads (index timestamps, bucket counts).
+	for _, off := range []int{1, len(fileMagicV2), len(fileMagicV2) + 4, len(big) / 3, len(big) / 2, len(big) * 7 / 8, len(big) - 2} {
+		b := append([]byte(nil), big...)
 		b[off] ^= 0x10
 		f.Add(b)
 	}
-	f.Add([]byte(fileMagic))
+	f.Add([]byte(fileMagicV1))
+	f.Add([]byte(fileMagicV2))
 	f.Add([]byte("not an archive at all"))
+	// Hostile hand-built v2 skeletons: huge chunk/bucket counts that a
+	// naive decoder would pre-allocate, an unknown section (must be
+	// skipped), and an empty-section file.
+	hostile := func(build func(b []byte) []byte) []byte {
+		var b []byte
+		b = append(b, fileMagicV2...)
+		b = binary.AppendUvarint(b, 1) // one name
+		b = binary.AppendUvarint(b, 1)
+		b = binary.AppendUvarint(b, 1)
+		b = append(b, 'x')
+		return build(b)
+	}
+	f.Add(hostile(func(b []byte) []byte { // chunk claims 2^24 rows in 3 bytes
+		b = binary.AppendUvarint(b, 1)
+		b = binary.AppendUvarint(b, 1<<24)
+		b = binary.AppendUvarint(b, 3)
+		return append(b, 0, 0, 0)
+	}))
+	f.Add(hostile(func(b []byte) []byte { // rollup tier claims 2^24 buckets in 2 bytes
+		b = binary.AppendUvarint(b, 0) // no chunks
+		b = binary.AppendUvarint(b, 1) // one section
+		b = binary.AppendUvarint(b, sectionRollups)
+		b = binary.AppendUvarint(b, 6)
+		b = binary.AppendUvarint(b, 1)     // one tier
+		b = binary.AppendUvarint(b, 10)    // res
+		b = binary.AppendUvarint(b, 0)     // evicted
+		b = binary.AppendUvarint(b, 1<<24) // buckets
+		return append(b, 0)
+	}))
+	f.Add(hostile(func(b []byte) []byte { // unknown section id: must be skipped
+		b = binary.AppendUvarint(b, 0)
+		b = binary.AppendUvarint(b, 1)
+		b = binary.AppendUvarint(b, 99)
+		b = binary.AppendUvarint(b, 4)
+		return append(b, 0xde, 0xad, 0xbe, 0xef)
+	}))
+	f.Add(hostile(func(b []byte) []byte { // section length past end of file
+		b = binary.AppendUvarint(b, 0)
+		b = binary.AppendUvarint(b, 1)
+		b = binary.AppendUvarint(b, sectionBlockIndex)
+		b = binary.AppendUvarint(b, 1<<40)
+		return b
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := Read(bytes.NewReader(data), Options{})
@@ -81,6 +177,16 @@ func FuzzReadArchive(f *testing.F) {
 				t.Fatalf("row at ts=%d has %d values for a %d-column schema", r.Timestamp, len(r.Values), len(a.Names()))
 			}
 		}
+		// Accepted rollup tiers must be queryable without panicking.
+		for _, res := range a.Resolutions() {
+			if _, _, ok := a.SpanAt(res); !ok {
+				continue
+			}
+			if _, err := a.Buckets(res, math.MinInt64/2, math.MaxInt64/2); err != nil && res != ResRaw {
+				t.Fatalf("accepted archive: Buckets(%v) failed: %v", res, err)
+			}
+			a.FloorAt(res, 0)
+		}
 
 		var out bytes.Buffer
 		if _, err := a.WriteTo(&out); err != nil {
@@ -94,11 +200,26 @@ func FuzzReadArchive(f *testing.F) {
 		if err != nil {
 			t.Fatalf("round-tripped archive failed to decode: %v", err)
 		}
-		if len(rows) == 0 && len(rows2) == 0 {
-			return
+		if len(rows) != 0 || len(rows2) != 0 {
+			if !reflect.DeepEqual(rows, rows2) {
+				t.Fatalf("round trip changed samples:\n%v\n%v", rows, rows2)
+			}
 		}
-		if !reflect.DeepEqual(rows, rows2) {
-			t.Fatalf("round trip changed samples:\n%v\n%v", rows, rows2)
+		// Rollup tiers must survive the round trip bucket-for-bucket.
+		for _, res := range a.Resolutions() {
+			if res == ResRaw {
+				continue
+			}
+			ba, errA := a.Buckets(res, math.MinInt64/2, math.MaxInt64/2)
+			bb, errB := b.Buckets(res, math.MinInt64/2, math.MaxInt64/2)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("round trip changed tier %v availability: %v vs %v", res, errA, errB)
+			}
+			if len(ba) != 0 || len(bb) != 0 {
+				if !reflect.DeepEqual(ba, bb) {
+					t.Fatalf("round trip changed tier %v buckets:\n%v\n%v", res, ba, bb)
+				}
+			}
 		}
 	})
 }

@@ -67,6 +67,7 @@ type history struct {
 type Engine struct {
 	mu      sync.Mutex
 	src     Source
+	wp      WindowPlanner     // non-nil if src can answer windows itself
 	aliases map[string]string // alias -> raw metric name
 	byName  map[string]uint32 // raw metric name -> pmid (namespace cache)
 	state   map[uint32]*counterState
@@ -78,11 +79,27 @@ type Engine struct {
 	hasTS   bool
 }
 
+// WindowPlanner is implemented by sources that can answer a windowed
+// function over (t0, t1] directly — an archive replay reads its rollup
+// tiers instead of having the engine ring-buffer raw samples. fn is the
+// metricql function name ("avg_over", "min_over", "max_over",
+// "rate_over"). ok=false means this window cannot be pushed down (the
+// engine falls back to its sample ring); an error aborts the
+// evaluation. Pushed-down windows aggregate every archived sample in
+// the window, which matches the ring's fetch-cadence aggregation
+// whenever the engine steps at the recording cadence and is strictly
+// more accurate when it steps coarser.
+type WindowPlanner interface {
+	EvalWindow(fn string, pmid uint32, t0, t1 int64) (val float64, ok bool, err error)
+}
+
 // NewEngine creates an engine over src. The namespace is listed lazily
 // on first Query and refreshed once on a lookup miss.
 func NewEngine(src Source) *Engine {
+	wp, _ := src.(WindowPlanner)
 	return &Engine{
 		src:     src,
+		wp:      wp,
 		aliases: make(map[string]string),
 		state:   make(map[uint32]*counterState),
 		hists:   make(map[string]*history),
@@ -657,7 +674,12 @@ func (e *Engine) evalNodeUncached(n *node, byID map[uint32]uint64, ts int64, fre
 				return aggregateBy(n.fn, v)
 			}
 			return aggregate(n.fn, v)
-		case "avg_over", "max_over":
+		case "avg_over", "max_over", "min_over", "rate_over":
+			if v, ok, err := e.evalWindowPushdown(n, ts); err != nil {
+				return Value{}, err
+			} else if ok {
+				return v, nil
+			}
 			v, err := e.evalNode(n.args[0], byID, ts, fresh)
 			if err != nil {
 				return Value{}, err
@@ -731,20 +753,77 @@ func (e *Engine) evalWindow(n *node, cur Value, ts int64, fresh bool) (Value, er
 	h.vals = h.vals[drop:]
 	out := Value{Names: cur.Names, Vals: make([]float64, len(cur.Vals))}
 	for i := range out.Vals {
-		acc := h.vals[0][i]
-		for _, row := range h.vals[1:] {
-			if n.fn == "max_over" {
-				acc = math.Max(acc, row[i])
-			} else {
-				acc += row[i]
+		var acc float64
+		switch n.fn {
+		case "rate_over":
+			// Wrap-corrected increase across the retained samples over
+			// their time span. The ring only sees the window's first and
+			// last samples, so a counter that wrapped more than once
+			// inside one window under-reports — the archive pushdown
+			// path, which sums per-sample deltas, has no such bound.
+			if len(h.vals) >= 2 {
+				d := h.vals[len(h.vals)-1][i] - h.vals[0][i]
+				if d < 0 {
+					d += twoTo64 // counter wrapped mod 2^64
+				}
+				if dt := float64(h.ts[len(h.ts)-1]-h.ts[0]) / 1e9; dt > 0 {
+					acc = d / dt
+				}
 			}
-		}
-		if n.fn == "avg_over" {
-			acc /= float64(len(h.vals))
+		default:
+			acc = h.vals[0][i]
+			for _, row := range h.vals[1:] {
+				switch n.fn {
+				case "max_over":
+					acc = math.Max(acc, row[i])
+				case "min_over":
+					acc = math.Min(acc, row[i])
+				default:
+					acc += row[i]
+				}
+			}
+			if n.fn == "avg_over" {
+				acc /= float64(len(h.vals))
+			}
 		}
 		out.Vals[i] = acc
 	}
 	return out, nil
+}
+
+// twoTo64 is 2^64 as a float64, the wrap modulus of a uint64 counter.
+const twoTo64 = 1 << 64
+
+// evalWindowPushdown asks the source's WindowPlanner (if any) to answer
+// a windowed function over a plain metric argument directly. Returns
+// ok=false — engine falls back to the sample ring — when the source is
+// not a planner, the argument is not a bare metric selection, or the
+// planner declines any selected PMID. Callers hold e.mu.
+func (e *Engine) evalWindowPushdown(n *node, ts int64) (Value, bool, error) {
+	if e.wp == nil {
+		return Value{}, false, nil
+	}
+	arg := n.args[0]
+	if arg.kind != nodeMetric {
+		return Value{}, false, nil
+	}
+	names := make([]string, 0, len(arg.sel))
+	vals := make([]float64, 0, len(arg.sel))
+	for _, s := range arg.sel {
+		if e.down[s.pmid] {
+			continue // node down this snapshot: drop, as the ring path does
+		}
+		v, ok, err := e.wp.EvalWindow(n.fn, s.pmid, ts-n.window, ts)
+		if err != nil {
+			return Value{}, false, err
+		}
+		if !ok {
+			return Value{}, false, nil
+		}
+		names = append(names, s.name)
+		vals = append(vals, v)
+	}
+	return Value{Names: names, Vals: vals}, true, nil
 }
 
 // aggregate collapses a vector to a scalar.

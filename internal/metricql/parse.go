@@ -49,6 +49,11 @@ var funcs = map[string]funcSpec{
 	"max":      {grouping: true},
 	"avg_over": {window: true},
 	"max_over": {window: true},
+	"min_over": {window: true},
+	"rate_over": {
+		metricArg: true,
+		window:    true,
+	},
 }
 
 // Expr is a parsed expression. An Expr is immutable after Parse; binding
@@ -98,7 +103,7 @@ func (e *Expr) Instant() bool {
 func instantNode(n *node) bool {
 	if n.kind == nodeCall {
 		switch n.fn {
-		case "rate", "delta", "avg_over", "max_over":
+		case "rate", "delta", "avg_over", "max_over", "min_over", "rate_over":
 			return true
 		}
 	}
