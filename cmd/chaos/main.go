@@ -12,9 +12,17 @@
 // contract — every query answers, the missing nodes are named exactly,
 // and every surviving value certifies.
 //
+// With -overload the sweep runs the multi-tenant QoS suite instead:
+// three tenants offer twice the modelled upstream capacity through the
+// proxy's admission layer, and each trial checks the overload contract
+// (gold p99 within 2x of its uncontended baseline under a protecting
+// policy, exact per-tenant conservation, typed sheds, stale-served
+// degradation, and a collapsing control arm).
+//
 //	go run ./cmd/chaos -profile mixed -trials 16
 //	go run ./cmd/chaos -seed 0xc4a05 -trials 4 -trial 1 -ops 30 -corrupt 3000 -chunk 64
 //	go run ./cmd/chaos -cluster -nodes 64 -fanout 4 -kill 3 -trials 8
+//	go run ./cmd/chaos -overload -policy token-bucket -trials 8
 package main
 
 import (
@@ -46,6 +54,9 @@ func main() {
 		latency = flag.Int64("latency", 0, "mean bytes between inserted delays (0 = off)")
 		chunk   = flag.Int("chunk", 0, "max bytes per read/write (0 = unlimited)")
 
+		overloadMode = flag.Bool("overload", false, "sweep the multi-tenant overload QoS suite instead of the fault suite")
+		policy       = flag.String("policy", "token-bucket", "[overload] admission policy: "+strings.Join(chaos.OverloadPolicies(), ", "))
+
 		clusterMode = flag.Bool("cluster", false, "sweep federated metric trees instead of the serving stack")
 		nodes       = flag.Int("nodes", 64, "[cluster] node count per tree")
 		fanout      = flag.Int("fanout", 4, "[cluster] federator fan-out")
@@ -55,6 +66,37 @@ func main() {
 		flap        = flag.Bool("flap", false, "[cluster] re-draw the victims before every query")
 	)
 	flag.Parse()
+
+	if *overloadMode {
+		o := chaos.OverloadOptions{
+			Seed:    *seed,
+			Trials:  *trials,
+			Policy:  *policy,
+			Workers: *workers,
+			Trial:   *trial,
+		}
+		start := time.Now()
+		rep, err := chaos.RunOverload(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(rep)
+		fmt.Fprintf(os.Stderr, "elapsed %.2fs\n", time.Since(start).Seconds())
+		if rep.Failed() {
+			bad := 0
+			for _, tr := range rep.Trials {
+				if len(tr.Violations) > 0 {
+					bad++
+					fmt.Printf("repro: %s\n", chaos.OverloadReproLine(o, tr.Index))
+				}
+			}
+			fmt.Printf("FAIL: %d of %d trials violated the overload contract\n", bad, len(rep.Trials))
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d trials, seed %#x\n", len(rep.Trials), o.Seed)
+		return
+	}
 
 	if *clusterMode {
 		prof := chaos.ClusterProfile{Kill: *kill, Stall: *stalled, Flap: *flap}

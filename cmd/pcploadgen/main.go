@@ -20,11 +20,18 @@
 // be recorded to a compact trace with -record and replayed bit-exact
 // with -replay.
 //
+// With -tenant N every connection identifies itself in-band as that
+// tenant (protocol Version3), so a QoS-enabled pmproxy applies the
+// tenant's quota; with -tenants "gold=1,guest=2" one concurrent stream
+// runs per tenant and the report breaks out each tenant's ops, errors,
+// sheds and latency quantiles — the two-tenant overload experiment in
+// one command.
+//
 // Usage:
 //
 //	pcploadgen [-target both|daemon|proxy|ADDR] [-mode closed|open]
 //	           [-sweep 1,2,4,8] [-ops 200] [-rate 50000] [-sim] [-seed 1]
-//	           [-pipeline N] [-batch B]
+//	           [-pipeline N] [-batch B] [-tenant N | -tenants name=id,...]
 //	pcploadgen -spec FILE [-mult M] [-record FILE | -replay FILE]
 //	           [-live [-target ADDR] [-workers N]]
 //
@@ -68,6 +75,8 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded trace instead of generating arrivals")
 	live := flag.Bool("live", false, "execute the workload against a real tier in wall-clock time")
 	workers := flag.Int("workers", 32, "live-mode executor connections")
+	tenant := flag.Uint64("tenant", 0, "tag every connection with this tenant ID (0 = default tenant)")
+	tenants := flag.String("tenants", "", "multi-tenant run: comma-separated name=id streams (e.g. gold=1,guest=2), one concurrent stream each")
 	flag.Parse()
 
 	if *specPath != "" || *replay != "" {
@@ -136,6 +145,11 @@ func main() {
 		tiers = append(tiers, tier{*target, *target})
 	}
 
+	if (*tenant != 0 || *tenants != "") && *pipeline > 0 {
+		fmt.Fprintln(os.Stderr, "pcploadgen: -tenant/-tenants use one tagged connection per worker and cannot combine with -pipeline")
+		os.Exit(2)
+	}
+
 	for _, tr := range tiers {
 		fmt.Printf("target=%s addr=%s mode=%s pmids=%d", tr.name, tr.addr, *mode, *numPMIDs)
 		if *pipeline > 0 {
@@ -144,13 +158,37 @@ func main() {
 		if *batch > 1 {
 			fmt.Printf(" batch=%d", *batch)
 		}
+		if *tenant != 0 {
+			fmt.Printf(" tenant=%d", *tenant)
+		}
 		if *sim {
 			fmt.Printf(" sim(seed=%d base=%v jitter=%g)", *seed, *base, *jitter)
 		}
 		fmt.Println()
+		if *tenants != "" {
+			// Multi-tenant overload shape: one concurrent stream per
+			// tenant at the first sweep entry's worker count, reported
+			// per tenant (ops, errors, sheds, latency quantiles).
+			loads, err := parseTenants(*tenants, tr.addr, opts, sweep[0])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcploadgen:", err)
+				os.Exit(2)
+			}
+			results, err := loadgen.RunTenants(loads)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcploadgen:", err)
+				os.Exit(1)
+			}
+			fmt.Print(loadgen.TenantReport(results))
+			fmt.Println()
+			continue
+		}
 		factory := loadgen.DialFactory(tr.addr)
 		if *pipeline > 0 {
 			factory = loadgen.PipelinedFactory(tr.addr, *pipeline)
+		}
+		if *tenant != 0 {
+			factory = loadgen.DialTenantFactory(tr.addr, uint32(*tenant))
 		}
 		results, err := loadgen.Sweep(factory, sweep, opts)
 		if err != nil {
@@ -160,6 +198,33 @@ func main() {
 		fmt.Print(loadgen.Report(results))
 		fmt.Println()
 	}
+}
+
+// parseTenants expands "gold=1,guest=2" into one TenantLoad per stream,
+// each running the shared options at the given worker count.
+func parseTenants(spec, addr string, opts loadgen.Options, workers int) ([]loadgen.TenantLoad, error) {
+	var loads []loadgen.TenantLoad
+	opts.Workers = workers
+	for _, part := range strings.Split(spec, ",") {
+		name, idStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tenants entry %q (want name=id)", part)
+		}
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad tenant id in -tenants entry %q: %v", part, err)
+		}
+		loads = append(loads, loadgen.TenantLoad{
+			Name:    name,
+			Tenant:  uint32(id),
+			Factory: loadgen.DialTenantFactory(addr, uint32(id)),
+			Opts:    opts,
+		})
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("empty -tenants")
+	}
+	return loads, nil
 }
 
 func parseSweep(s string) ([]int, error) {

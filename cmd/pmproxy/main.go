@@ -4,9 +4,18 @@
 // single upstream round trip and serving stale-but-timestamped answers
 // while the upstream is unreachable.
 //
+// With -policy the admission/QoS layer is enabled: per-tenant quotas
+// (repeatable -tenant specs), weighted fair queueing, and load shedding
+// with typed overload errors. Tenants identify themselves in-band by
+// dialling with pcp.DialTenant (protocol Version3); older clients land
+// on the default tenant. A -breaker-threshold adds a per-upstream
+// circuit breaker.
+//
 // Usage:
 //
 //	pmproxy -addr 127.0.0.1:44322 -upstream 127.0.0.1:44321 [-interval 10ms]
+//	pmproxy -policy token-bucket -tenant id=1,rate=1000,burst=50 \
+//	        -tenant id=2,rate=50,degradable -default-tenant rate=10
 package main
 
 import (
@@ -14,11 +23,63 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"papimc/internal/pmproxy"
 	"papimc/internal/simtime"
 )
+
+// parseTenantSpec parses "id=1,rate=100,burst=4,weight=2,prio=1,degradable".
+// withID selects between a -tenant spec (id required) and the
+// -default-tenant spec (id forbidden).
+func parseTenantSpec(spec string, withID bool) (uint32, pmproxy.TenantConfig, error) {
+	var (
+		id    uint64
+		sawID bool
+		tc    pmproxy.TenantConfig
+	)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, hasVal := strings.Cut(part, "=")
+		var err error
+		switch k {
+		case "id":
+			id, err = strconv.ParseUint(v, 10, 32)
+			sawID = true
+		case "rate":
+			tc.Rate, err = strconv.ParseFloat(v, 64)
+		case "burst":
+			tc.Burst, err = strconv.ParseFloat(v, 64)
+		case "weight":
+			tc.Weight, err = strconv.ParseFloat(v, 64)
+		case "prio":
+			tc.Priority, err = strconv.Atoi(v)
+		case "degradable":
+			if hasVal {
+				tc.Degradable, err = strconv.ParseBool(v)
+			} else {
+				tc.Degradable = true
+			}
+		default:
+			return 0, tc, fmt.Errorf("unknown key %q in tenant spec %q", k, spec)
+		}
+		if err != nil {
+			return 0, tc, fmt.Errorf("bad value for %q in tenant spec %q: %v", k, spec, err)
+		}
+	}
+	if withID && !sawID {
+		return 0, tc, fmt.Errorf("tenant spec %q needs id=N", spec)
+	}
+	if !withID && sawID {
+		return 0, tc, fmt.Errorf("default-tenant spec %q must not set id", spec)
+	}
+	return uint32(id), tc, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:44322", "listen address")
@@ -27,7 +88,48 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-upstream-round-trip deadline")
 	retries := flag.Int("retries", 2, "upstream retry attempts")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff")
+
+	policy := flag.String("policy", "", "admission policy ("+strings.Join(pmproxy.PolicyNames(), ", ")+"); empty disables admission")
+	capacity := flag.Float64("capacity", 0, "provisioned upstream capacity in req/s (priority policy)")
+	queueDepth := flag.Int("queue-depth", 0, "per-tenant fair-queue backlog bound (0 = 64)")
+	maxConc := flag.Int("max-concurrent", 0, "fair-queue service slots (0 = pool size)")
+	admission := pmproxy.AdmissionConfig{Tenants: map[uint32]pmproxy.TenantConfig{}}
+	flag.Func("tenant", "per-tenant quota spec: id=N[,rate=R][,burst=B][,weight=W][,prio=P][,degradable] (repeatable)",
+		func(spec string) error {
+			id, tc, err := parseTenantSpec(spec, true)
+			if err != nil {
+				return err
+			}
+			admission.Tenants[id] = tc
+			return nil
+		})
+	flag.Func("default-tenant", "quota spec for tenants without a -tenant entry: [rate=R][,burst=B][,...]",
+		func(spec string) error {
+			_, tc, err := parseTenantSpec(spec, false)
+			if err != nil {
+				return err
+			}
+			admission.Default = tc
+			return nil
+		})
+
+	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive upstream failures that open the circuit breaker (0 = off)")
+	brkProbe := flag.Duration("breaker-probe-delay", 100*time.Millisecond, "initial open interval before a half-open probe")
+	brkProbeMax := flag.Duration("breaker-probe-delay-max", 5*time.Second, "cap on the doubling open interval")
 	flag.Parse()
+
+	admission.Policy = *policy
+	admission.Capacity = *capacity
+	admission.QueueDepth = *queueDepth
+	admission.MaxConcurrent = *maxConc
+	if *policy != "" {
+		// Validate the user-supplied name here: pmproxy.New treats an
+		// unknown policy as a wiring bug and panics.
+		if _, err := pmproxy.NewPolicy(*policy, admission); err != nil {
+			fmt.Fprintln(os.Stderr, "pmproxy:", err)
+			os.Exit(2)
+		}
+	}
 
 	p := pmproxy.New(pmproxy.Config{
 		Upstream:   *upstream,
@@ -35,6 +137,12 @@ func main() {
 		Timeout:    *timeout,
 		MaxRetries: *retries,
 		Backoff:    *backoff,
+		Admission:  admission,
+		Breaker: pmproxy.BreakerConfig{
+			Threshold:     *brkThreshold,
+			ProbeDelay:    *brkProbe,
+			ProbeDelayMax: *brkProbeMax,
+		},
 	})
 	bound, err := p.Start(*addr)
 	if err != nil {
@@ -42,6 +150,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("pmproxy: serving on %s, upstream %s, coalescing window %v\n", bound, *upstream, *interval)
+	if *policy != "" {
+		fmt.Printf("pmproxy: admission policy %s, %d tenant quotas\n", *policy, len(admission.Tenants))
+	}
 	fmt.Println("pmproxy: connect with pcp.Dial or the papi pcp component; Ctrl-C to stop")
 
 	stop := make(chan os.Signal, 1)
@@ -51,4 +162,12 @@ func main() {
 	st := p.Stats()
 	fmt.Printf("\npmproxy: %d client fetches, %d upstream fetches (%.1fx coalescing), %d coalesced hits, %d stale serves, %d upstream errors\n",
 		st.ClientFetches, st.UpstreamFetches, st.CoalescingRatio(), st.CoalescedHits, st.StaleServes, st.UpstreamErrors)
+	if *policy != "" {
+		fmt.Printf("pmproxy: %d shed, breaker opens=%d probes=%d short-circuits=%d\n",
+			st.Shed, st.BreakerOpens, st.BreakerProbes, st.BreakerShortCircuits)
+		for _, ts := range p.TenantStatsAll() {
+			fmt.Printf("pmproxy: tenant %d: issued=%d admitted=%d shed=%d stale-served=%d\n",
+				ts.Tenant, ts.Issued, ts.Admitted, ts.Shed, ts.StaleServed)
+		}
+	}
 }

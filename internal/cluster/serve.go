@@ -109,7 +109,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		payloadBuf = payload
 		if typ == pcp.PDUVersionReq {
-			respType, resp, tagged := pcp.NegotiateVersion(payload, respBuf[:0])
+			respType, resp, version := pcp.NegotiateVersionV(payload, respBuf[:0])
 			respBuf = resp
 			if err := pcp.WritePDU(bw, respType, resp); err != nil {
 				return
@@ -117,8 +117,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
-			if tagged {
-				s.serveTagged(conn, br, bw)
+			if version >= pcp.Version2 {
+				s.serveTagged(conn, br, bw, version >= pcp.Version3)
 				return
 			}
 			continue
@@ -146,7 +146,7 @@ const taggedConcurrency = 32
 // per-request latency is dominated by downstream round trips, not
 // handler CPU, so concurrency is where pipelining pays. Responses are
 // serialised by a write mutex.
-func (s *Server) serveTagged(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+func (s *Server) serveTagged(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, wide bool) {
 	var (
 		wmu sync.Mutex
 		wg  sync.WaitGroup
@@ -155,7 +155,18 @@ func (s *Server) serveTagged(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) 
 	defer wg.Wait()
 	var payloadBuf []byte
 	for {
-		typ, tag, payload, err := pcp.ReadTaggedPDUInto(br, payloadBuf)
+		var (
+			typ     uint8
+			tag     uint32
+			tenant  uint32
+			payload []byte
+			err     error
+		)
+		if wide {
+			typ, tag, tenant, payload, err = pcp.ReadWidePDUInto(br, payloadBuf)
+		} else {
+			typ, tag, payload, err = pcp.ReadTaggedPDUInto(br, payloadBuf)
+		}
 		if err != nil {
 			return
 		}
@@ -165,20 +176,26 @@ func (s *Server) serveTagged(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) 
 		req := append([]byte(nil), payload...)
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(typ uint8, tag uint32, payload []byte) {
+		go func(typ uint8, tag, tenant uint32, payload []byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			respType, resp := s.handleReq(typ, payload)
 			wmu.Lock()
 			defer wmu.Unlock()
-			if err := pcp.WriteTaggedPDU(bw, respType, tag, resp); err != nil {
+			var werr error
+			if wide {
+				werr = pcp.WriteWidePDU(bw, respType, tag, tenant, resp)
+			} else {
+				werr = pcp.WriteTaggedPDU(bw, respType, tag, resp)
+			}
+			if werr != nil {
 				conn.Close() // unblocks the reader; the loop exits on its error
 				return
 			}
 			if err := bw.Flush(); err != nil {
 				conn.Close()
 			}
-		}(typ, tag, req)
+		}(typ, tag, tenant, req)
 	}
 }
 

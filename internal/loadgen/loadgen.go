@@ -108,6 +108,20 @@ func DialFactory(addr string) Factory {
 	}
 }
 
+// DialTenantFactory is DialFactory with each worker connection
+// identifying itself as the given tenant (carried in-band on Version3
+// wires; silently absent against older peers). It is how a multi-tenant
+// load run addresses a QoS-enabled pmproxy.
+func DialTenantFactory(addr string, tenant uint32) Factory {
+	return func() (Fetcher, func() error, error) {
+		c, err := pcp.DialTenant(addr, tenant)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, c.Close, nil
+	}
+}
+
 // SharedFactory serves every worker from one in-process Fetcher (the
 // target must be safe for concurrent use, as Daemon and Proxy are).
 func SharedFactory(f Fetcher) Factory {
@@ -234,10 +248,14 @@ type Options struct {
 
 // Result is one run's report.
 type Result struct {
-	Mode       Mode
-	Workers    int
-	Ops        int64
-	Errors     int64
+	Mode    Mode
+	Workers int
+	Ops     int64
+	Errors  int64
+	// Shed counts requests the tier rejected with a typed overload
+	// status (admission control), kept apart from Errors: a shed is the
+	// tier working as configured, an error is the tier failing.
+	Shed       int64
 	Elapsed    time.Duration // virtual in simulated-time mode
 	Throughput float64       // ops per (virtual) second
 	P50        time.Duration
@@ -251,8 +269,21 @@ type Result struct {
 type workerOut struct {
 	hist       stats.Histogram
 	ops, errs  int64
+	shed       int64
 	virtualEnd int64 // last virtual completion, simulated-time mode
 	err        error
+}
+
+// countFailure classifies one failed request: typed overload rejections
+// (pmproxy admission sheds, travelling as pcp.StatusOverload over the
+// wire or wrapping pcp.ErrOverload in process) count as sheds, anything
+// else as an error.
+func (o *workerOut) countFailure(err error) {
+	if errors.Is(err, pcp.ErrOverload) {
+		o.shed++
+	} else {
+		o.errs++
+	}
 }
 
 // Run executes one load-generation run at o.Workers concurrency.
@@ -317,6 +348,7 @@ func Run(f Factory, o Options) (Result, error) {
 		}
 		res.Ops += outs[i].ops
 		res.Errors += outs[i].errs
+		res.Shed += outs[i].shed
 		hist.Merge(&outs[i].hist)
 		if outs[i].virtualEnd > virtualEnd {
 			virtualEnd = outs[i].virtualEnd
@@ -391,7 +423,7 @@ func runSimWorker(fet Fetcher, o Options, w int, out *workerOut) {
 	var busy int64
 	for i := 0; i < o.Ops; i++ {
 		if err := op(); err != nil {
-			out.errs++
+			out.countFailure(err)
 			continue
 		}
 		svc := o.Sim.service(rng)
@@ -447,7 +479,7 @@ func runLiveWorker(fet Fetcher, o Options, w int, start time.Time, out *workerOu
 			ref = time.Now()
 		}
 		if err := op(); err != nil {
-			out.errs++
+			out.countFailure(err)
 			continue
 		}
 		out.hist.Record(time.Since(ref).Nanoseconds())
@@ -472,11 +504,11 @@ func Sweep(f Factory, workers []int, o Options) ([]Result, error) {
 // Report renders a sweep as an aligned text table.
 func Report(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%7s %5s %9s %6s %12s %9s %9s %9s %9s %9s\n",
-		"workers", "mode", "ops", "errs", "throughput", "p50", "p95", "p99", "p99.9", "max")
+	fmt.Fprintf(&b, "%7s %5s %9s %6s %6s %12s %9s %9s %9s %9s %9s\n",
+		"workers", "mode", "ops", "errs", "sheds", "throughput", "p50", "p95", "p99", "p99.9", "max")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%7d %5s %9d %6d %9.0f/s %9s %9s %9s %9s %9s\n",
-			r.Workers, r.Mode, r.Ops, r.Errors, r.Throughput,
+		fmt.Fprintf(&b, "%7d %5s %9d %6d %6d %9.0f/s %9s %9s %9s %9s %9s\n",
+			r.Workers, r.Mode, r.Ops, r.Errors, r.Shed, r.Throughput,
 			fmtDur(r.P50), fmtDur(r.P95), fmtDur(r.P99), fmtDur(r.P999), fmtDur(r.Max))
 	}
 	return b.String()

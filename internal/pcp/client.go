@@ -113,9 +113,41 @@ func newClientConn(conn net.Conn, magic string, maxVersion uint32) (*Client, err
 		}
 	}
 	if c.version >= Version2 {
-		c.pl = newPipeline(conn, c.br)
+		c.pl = newPipeline(conn, c.br, c.version >= Version3)
 	}
 	return c, nil
+}
+
+// DialTenant is Dial plus SetTenant: the connection identifies itself as
+// the given tenant on every request (requires a Version3 peer for the
+// tenant to travel in-band; against older peers it is silently absent,
+// and the server accounts the connection as the default tenant).
+func DialTenant(addr string, tenant uint32) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTenant(tenant)
+	return c, nil
+}
+
+// SetTenant sets the tenant stamped on every subsequent request's wide
+// frame. It only has wire effect on a Version3 (or later) connection;
+// on older connections it is a no-op. Safe for concurrent use; requests
+// already enqueued keep the tenant they were issued with.
+func (c *Client) SetTenant(tenant uint32) {
+	if c.pl != nil && c.pl.wide {
+		c.pl.tenant.Store(tenant)
+	}
+}
+
+// Tenant returns the tenant currently stamped on outgoing requests
+// (zero — the default tenant — on connections below Version3).
+func (c *Client) Tenant() uint32 {
+	if c.pl != nil && c.pl.wide {
+		return c.pl.tenant.Load()
+	}
+	return 0
 }
 
 // negotiate runs the version exchange on a fresh lockstep connection.
@@ -228,6 +260,13 @@ func (c *Client) roundTripAnyLocked(reqType uint8, payload []byte, want1, want2 
 			return nil, 0, derr
 		}
 		return nil, 0, fmt.Errorf("pcp: daemon error: %s", msg)
+	}
+	if typ == PDUStatusError {
+		se, derr := DecodeStatusError(resp)
+		if derr != nil {
+			return nil, 0, derr
+		}
+		return nil, 0, se
 	}
 	if typ != want1 && typ != want2 {
 		return nil, 0, fmt.Errorf("%w: expected PDU %d, got %d", ErrProtocol, want1, typ)

@@ -395,9 +395,9 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		payloadBuf = payload
 		var respType uint8
 		var resp []byte
-		tagged := false
+		var version uint32
 		if typ == PDUVersionReq {
-			respType, resp, tagged = NegotiateVersion(payload, s.respBuf[:0])
+			respType, resp, version = NegotiateVersionV(payload, s.respBuf[:0])
 			s.respBuf = resp
 		} else {
 			respType, resp = d.handleReq(typ, payload, &s)
@@ -408,8 +408,8 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
-		if tagged {
-			ServeTagged(conn, br, func(typ uint8, payload []byte) (uint8, []byte) {
+		if version >= Version2 {
+			serveTagged(conn, br, version >= Version3, func(typ uint8, tenant uint32, payload []byte) (uint8, []byte) {
 				return d.handleReq(typ, payload, &s)
 			})
 			return
@@ -421,17 +421,29 @@ func (d *Daemon) serveConn(conn net.Conn) {
 // appending the response to dst: the reply carries min(client max,
 // server max), and tagged reports whether the connection must switch to
 // tagged framing once the response is flushed. Exported for the other
-// servers speaking the protocol (pmproxy, cluster).
+// servers speaking the protocol (pmproxy, cluster). Servers that need
+// the exact version (to pick tagged vs wide framing) use
+// NegotiateVersionV instead.
 func NegotiateVersion(payload, dst []byte) (respType uint8, resp []byte, tagged bool) {
+	respType, resp, v := NegotiateVersionV(payload, dst)
+	return respType, resp, v >= Version2
+}
+
+// NegotiateVersionV is NegotiateVersion returning the negotiated
+// version itself: 0 on a malformed request (the response is then a
+// PDUError), Version1 and up otherwise. At Version2 the connection
+// switches to tagged frames after the response is flushed; at Version3
+// and above, to wide (tenant-carrying) frames.
+func NegotiateVersionV(payload, dst []byte) (respType uint8, resp []byte, version uint32) {
 	peerMax, err := DecodeVersion(payload)
 	if err != nil {
-		return PDUError, AppendError(dst, err.Error()), false
+		return PDUError, AppendError(dst, err.Error()), 0
 	}
 	v := MaxVersion
 	if peerMax < v {
 		v = peerMax
 	}
-	return PDUVersionResp, AppendVersion(dst, v), v >= Version2
+	return PDUVersionResp, AppendVersion(dst, v), v
 }
 
 // ServeTagged runs the Version2 serving loop on a negotiated
@@ -446,6 +458,22 @@ func NegotiateVersion(payload, dst []byte) (respType uint8, resp []byte, tagged 
 // larger than the coalescing threshold is referenced zero-copy and
 // flushed before the next request is read, so that reuse stays safe.
 func ServeTagged(conn net.Conn, br *bufio.Reader, handle func(typ uint8, payload []byte) (respType uint8, resp []byte)) {
+	serveTagged(conn, br, false, func(typ uint8, _ uint32, payload []byte) (uint8, []byte) {
+		return handle(typ, payload)
+	})
+}
+
+// ServeTaggedWide is ServeTagged for a Version3 connection: wide frames
+// in and out, with each request's tenant passed to handle and echoed on
+// the response frame. Exported for the other servers speaking the
+// protocol (pmproxy, cluster).
+func ServeTaggedWide(conn net.Conn, br *bufio.Reader, handle func(typ uint8, tenant uint32, payload []byte) (respType uint8, resp []byte)) {
+	serveTagged(conn, br, true, handle)
+}
+
+// serveTagged is the shared Version2/Version3 serving loop; wide selects
+// the frame format (and whether tenants are read and echoed).
+func serveTagged(conn net.Conn, br *bufio.Reader, wide bool, handle func(typ uint8, tenant uint32, payload []byte) (respType uint8, resp []byte)) {
 	var (
 		payloadBuf []byte
 		batch      frameBatch
@@ -457,13 +485,29 @@ func ServeTagged(conn net.Conn, br *bufio.Reader, handle func(typ uint8, payload
 		} else if err := batch.flush(conn); err != nil {
 			return
 		}
-		typ, tag, payload, err := ReadTaggedPDUInto(br, payloadBuf)
+		var (
+			typ     uint8
+			tag     uint32
+			tenant  uint32
+			payload []byte
+			err     error
+		)
+		if wide {
+			typ, tag, tenant, payload, err = ReadWidePDUInto(br, payloadBuf)
+		} else {
+			typ, tag, payload, err = ReadTaggedPDUInto(br, payloadBuf)
+		}
 		if err != nil {
 			return
 		}
 		payloadBuf = payload
-		respType, resp := handle(typ, payload)
-		direct, err := batch.appendFrame(respType, tag, resp)
+		respType, resp := handle(typ, tenant, payload)
+		var direct bool
+		if wide {
+			direct, err = batch.appendWide(respType, tag, tenant, resp)
+		} else {
+			direct, err = batch.appendFrame(respType, tag, resp)
+		}
 		if err != nil {
 			return
 		}

@@ -95,6 +95,93 @@ func ReadTaggedPDUInto(r io.Reader, buf []byte) (typ uint8, tag uint32, payload 
 	return typ, tag, payload, nil
 }
 
+// Wide framing (wire protocol Version3). A wide frame extends the
+// tagged frame with a 4-byte tenant field:
+//
+//	u32 payload length | u8 type | u32 tag | u32 tenant | payload
+//
+// The tenant identifies the requesting principal for admission control
+// and per-tenant accounting at a proxy; servers echo it verbatim in
+// responses so middleboxes can attribute both directions of a stream
+// without per-connection state. Both sides switch to wide frames
+// immediately after negotiating Version3 or higher; Version1 and
+// Version2 peers never see one.
+
+// WideHdrLen is the wide (tenant-carrying) frame header size.
+const WideHdrLen = 13
+
+// hdr13Pool recycles wide frame headers, like hdr9Pool for tagged ones.
+var hdr13Pool = sync.Pool{
+	New: func() any { b := make([]byte, WideHdrLen); return &b },
+}
+
+// putWideHdr encodes a wide frame header into hdr.
+func putWideHdr(hdr []byte, typ uint8, tag, tenant uint32, payloadLen int) {
+	binary.BigEndian.PutUint32(hdr[:4], uint32(payloadLen))
+	hdr[4] = typ
+	binary.BigEndian.PutUint32(hdr[5:9], tag)
+	binary.BigEndian.PutUint32(hdr[9:13], tenant)
+}
+
+// WriteWidePDU frames and writes one wide PDU. Like WriteTaggedPDU it
+// does not allocate in the steady state.
+func WriteWidePDU(w io.Writer, typ uint8, tag, tenant uint32, payload []byte) error {
+	if len(payload) > MaxPDUBytes {
+		return fmt.Errorf("%w (writing %d bytes)", ErrPDUTooLarge, len(payload))
+	}
+	hp := hdr13Pool.Get().(*[]byte)
+	hdr := *hp
+	putWideHdr(hdr, typ, tag, tenant, len(payload))
+	_, err := w.Write(hdr)
+	hdr13Pool.Put(hp)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadWideHeader reads one wide frame header with the same hostile-input
+// contract as ReadTaggedHeader: the length prefix is validated against
+// MaxPDUBytes before anything is allocated, and the payload is left
+// unread. Any 32-bit tenant value is structurally valid — policy about
+// unknown tenants belongs to the admission layer, not the framing.
+func ReadWideHeader(r io.Reader) (typ uint8, tag, tenant uint32, n uint32, err error) {
+	hp := hdr13Pool.Get().(*[]byte)
+	hdr := *hp
+	_, err = io.ReadFull(r, hdr)
+	n = binary.BigEndian.Uint32(hdr[:4])
+	typ = hdr[4]
+	tag = binary.BigEndian.Uint32(hdr[5:9])
+	tenant = binary.BigEndian.Uint32(hdr[9:13])
+	hdr13Pool.Put(hp)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if n > MaxPDUBytes {
+		return 0, 0, 0, 0, fmt.Errorf("%w (length prefix %d)", ErrPDUTooLarge, n)
+	}
+	return typ, tag, tenant, n, nil
+}
+
+// ReadWidePDUInto reads one whole wide PDU, reading the payload into
+// buf and growing it if needed — the wide analogue of ReadTaggedPDUInto,
+// with the same aliasing contract.
+func ReadWidePDUInto(r io.Reader, buf []byte) (typ uint8, tag, tenant uint32, payload []byte, err error) {
+	typ, tag, tenant, n, err := ReadWideHeader(r)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return typ, tag, tenant, payload, nil
+}
+
 // coalesceMax is the payload size up to which a frame is copied into
 // the batch's contiguous buffer. Larger payloads are referenced
 // zero-copy as their own write-vector element; the copy would cost more
@@ -121,12 +208,26 @@ type frameBatch struct {
 // the payload was referenced zero-copy rather than copied: the caller
 // must not modify it before the next flush.
 func (b *frameBatch) appendFrame(typ uint8, tag uint32, payload []byte) (direct bool, err error) {
+	var hdr [TaggedHdrLen]byte
+	putTaggedHdr(hdr[:], typ, tag, len(payload))
+	return b.push(hdr[:], payload)
+}
+
+// appendWide adds one wide (tenant-carrying) frame to the batch, with
+// the same direct/aliasing contract as appendFrame.
+func (b *frameBatch) appendWide(typ uint8, tag, tenant uint32, payload []byte) (direct bool, err error) {
+	var hdr [WideHdrLen]byte
+	putWideHdr(hdr[:], typ, tag, tenant, len(payload))
+	return b.push(hdr[:], payload)
+}
+
+// push appends an already-encoded header plus payload, coalescing or
+// referencing the payload per coalesceMax.
+func (b *frameBatch) push(hdr, payload []byte) (direct bool, err error) {
 	if len(payload) > MaxPDUBytes {
 		return false, fmt.Errorf("%w (writing %d bytes)", ErrPDUTooLarge, len(payload))
 	}
-	var hdr [TaggedHdrLen]byte
-	putTaggedHdr(hdr[:], typ, tag, len(payload))
-	b.small = append(b.small, hdr[:]...)
+	b.small = append(b.small, hdr...)
 	if len(payload) > coalesceMax {
 		b.seal()
 		b.vec = append(b.vec, payload)

@@ -53,7 +53,14 @@ const (
 	// from a single snapshot.
 	PDUFetchBatchReq  uint8 = 9
 	PDUFetchBatchResp uint8 = 10
-	PDUError          uint8 = 255
+	// PDUStatusError is the typed error PDU introduced at Version3: an
+	// i32 status code plus a message, so a client can classify a
+	// server-side rejection (overload shed, quota) programmatically
+	// instead of string-matching a PDUError. Servers only send it to
+	// peers that negotiated Version3 or higher; older peers get a plain
+	// PDUError with the same message.
+	PDUStatusError uint8 = 254
+	PDUError       uint8 = 255
 )
 
 // Wire protocol versions negotiated via PDUVersionReq.
@@ -64,8 +71,13 @@ const (
 	// Version2 adds tagged 9-byte frames (pipelining with out-of-order
 	// completion) and the batch fetch PDUs.
 	Version2 uint32 = 2
+	// Version3 widens the tagged frame header with a tenant field (see
+	// WriteWidePDU) so multi-tenant QoS travels in-band, and adds
+	// PDUStatusError for typed server-side rejections. Version1 and
+	// Version2 peers negotiate down and never see either.
+	Version3 uint32 = 3
 	// MaxVersion is the newest version this package speaks.
-	MaxVersion = Version2
+	MaxVersion = Version3
 )
 
 // Per-value status codes in fetch responses.
@@ -74,7 +86,38 @@ const (
 	StatusNoSuchPMID int32 = -3 // mirrors PM_ERR_PMID
 	StatusValueError int32 = -5 // the underlying read failed
 	StatusNodeDown   int32 = -7 // the owning cluster node did not answer
+	// StatusOverload is carried in a PDUStatusError when the server shed
+	// the request under admission control rather than failing to serve
+	// it. Clients surface it as an error wrapping ErrOverload.
+	StatusOverload int32 = -9
 )
+
+// ErrOverload is the sentinel a shed request's error wraps, on both
+// sides of the wire: a server-side admission layer returns errors
+// wrapping it, and a client receiving a PDUStatusError with
+// StatusOverload reconstructs it — so errors.Is(err, ErrOverload) means
+// "the service is up but chose not to serve this request now".
+var ErrOverload = errors.New("pcp: server overloaded")
+
+// StatusError is a typed server-side rejection decoded from a
+// PDUStatusError. It unwraps to ErrOverload when the status says so,
+// keeping one errors.Is check valid in-process and over the wire.
+type StatusError struct {
+	Status int32
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("pcp: server status %d: %s", e.Status, e.Msg)
+}
+
+// Unwrap maps known status codes onto their sentinel errors.
+func (e *StatusError) Unwrap() error {
+	if e.Status == StatusOverload {
+		return ErrOverload
+	}
+	return nil
+}
 
 // MaxPDUBytes bounds a PDU payload; anything larger is a protocol error.
 // The limit exists so a hostile or corrupt length prefix cannot force an
@@ -395,6 +438,31 @@ func DecodeError(b []byte) (string, error) {
 		return "", err
 	}
 	return s, nil
+}
+
+// AppendStatusError appends an encoded PDUStatusError payload to dst:
+// an i32 status code followed by a message string.
+func AppendStatusError(dst []byte, status int32, msg string) []byte {
+	e := encoder{buf: dst}
+	e.i32(status)
+	e.str(msg)
+	return e.buf
+}
+
+// EncodeStatusError encodes a PDUStatusError payload into a fresh buffer.
+func EncodeStatusError(status int32, msg string) []byte {
+	return AppendStatusError(nil, status, msg)
+}
+
+// DecodeStatusError decodes a PDUStatusError payload into a *StatusError.
+func DecodeStatusError(b []byte) (*StatusError, error) {
+	d := decoder{buf: b}
+	status := d.i32()
+	msg := d.str()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &StatusError{Status: status, Msg: msg}, nil
 }
 
 // AppendVersion appends an encoded version PDU payload (request and

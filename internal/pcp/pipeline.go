@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,7 @@ var ErrRequestTimeout = fmt.Errorf("pcp: request timed out: %w", os.ErrDeadlineE
 type pcall struct {
 	typ     uint8
 	tag     uint32
+	tenant  uint32 // stamped on the request's wide frame (Version3)
 	req     []byte // encoded request payload (owned, reused)
 	resp    []byte // response payload (owned, reused)
 	respTyp uint8
@@ -86,6 +88,12 @@ type pipeline struct {
 	wq   chan *pcall
 	quit chan struct{} // closed by fail; unblocks enqueue and the writer
 
+	// wide selects Version3 framing: every frame carries a tenant field
+	// (requests send the client's tenant, responses echo it). Set once at
+	// construction, before the loops start.
+	wide   bool
+	tenant atomic.Uint32 // tenant stamped on outgoing wide frames
+
 	mu      sync.Mutex
 	pending map[uint32]*pcall
 	nextTag uint32
@@ -99,11 +107,12 @@ type pipeline struct {
 // backpressure by blocking enqueue until the writer drains.
 const pipelineQueueDepth = 256
 
-func newPipeline(conn net.Conn, br *bufio.Reader) *pipeline {
+func newPipeline(conn net.Conn, br *bufio.Reader, wide bool) *pipeline {
 	p := &pipeline{
 		conn:       conn,
 		wq:         make(chan *pcall, pipelineQueueDepth),
 		quit:       make(chan struct{}),
+		wide:       wide,
 		pending:    make(map[uint32]*pcall),
 		readerDone: make(chan struct{}),
 		writerDone: make(chan struct{}),
@@ -160,10 +169,18 @@ func (p *pipeline) abandon(tag uint32) {
 func (p *pipeline) writeLoop() {
 	defer close(p.writerDone)
 	var batch frameBatch
+	appendCall := func(c *pcall) error {
+		if p.wide {
+			_, err := batch.appendWide(c.typ, c.tag, c.tenant, c.req)
+			return err
+		}
+		_, err := batch.appendFrame(c.typ, c.tag, c.req)
+		return err
+	}
 	for {
 		select {
 		case call := <-p.wq:
-			if _, err := batch.appendFrame(call.typ, call.tag, call.req); err != nil {
+			if err := appendCall(call); err != nil {
 				p.fail(err)
 				return
 			}
@@ -171,7 +188,7 @@ func (p *pipeline) writeLoop() {
 			for {
 				select {
 				case next := <-p.wq:
-					if _, err := batch.appendFrame(next.typ, next.tag, next.req); err != nil {
+					if err := appendCall(next); err != nil {
 						p.fail(err)
 						return
 					}
@@ -195,7 +212,17 @@ func (p *pipeline) writeLoop() {
 func (p *pipeline) readLoop(br *bufio.Reader) {
 	defer close(p.readerDone)
 	for {
-		typ, tag, n, err := ReadTaggedHeader(br)
+		var (
+			typ uint8
+			tag uint32
+			n   uint32
+			err error
+		)
+		if p.wide {
+			typ, tag, _, n, err = ReadWideHeader(br) // echoed tenant is informational
+		} else {
+			typ, tag, n, err = ReadTaggedHeader(br)
+		}
 		if err != nil {
 			p.fail(err)
 			return
@@ -264,6 +291,7 @@ func (p *pipeline) close() error {
 func (p *pipeline) roundTrip(reqType uint8, enc func(dst []byte) []byte, d time.Duration, want1, want2 uint8) (*pcall, error) {
 	call := getCall()
 	call.typ = reqType
+	call.tenant = p.tenant.Load()
 	call.req = call.req[:0]
 	if enc != nil {
 		call.req = enc(call.req)
@@ -291,6 +319,13 @@ func (p *pipeline) roundTrip(reqType uint8, enc func(dst []byte) []byte, d time.
 			return nil, derr
 		}
 		return nil, fmt.Errorf("pcp: daemon error: %s", msg)
+	case PDUStatusError:
+		se, derr := DecodeStatusError(call.resp)
+		putCall(call)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, se
 	}
 	typ := call.respTyp
 	putCall(call)

@@ -101,22 +101,22 @@ func startV1OnlyServer(t *testing.T, names []NameEntry, res FetchResult) string 
 }
 
 // TestVersionNegotiationMatrix covers every pairing of negotiating and
-// pre-Version2 peers: new<->new lands on Version2, while a capped (old)
-// client against a new daemon and a new client against a v1-only daemon
-// both fall back to Version1 lockstep — with results identical to the
-// upgraded pairing's.
+// older peers: new<->new lands on Version3 wide frames, a Version2-capped
+// client gets tagged frames, while a capped (old) client against a new
+// daemon and a new client against a v1-only daemon both fall back to
+// Version1 lockstep — with results identical to the upgraded pairing's.
 func TestVersionNegotiationMatrix(t *testing.T) {
 	_, _, addr := startPipelineDaemon(t, 4)
 	pmids := []uint32{1, 2, 3, 4}
 
-	// New client, new daemon: Version2 pipelined.
+	// New client, new daemon: Version3 pipelined wide frames.
 	cNew, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cNew.Close()
-	if v := cNew.Version(); v != Version2 {
-		t.Fatalf("new<->new negotiated version %d, want %d", v, Version2)
+	if v := cNew.Version(); v != Version3 {
+		t.Fatalf("new<->new negotiated version %d, want %d", v, Version3)
 	}
 	namesNew, err := cNew.Names()
 	if err != nil {
@@ -125,6 +125,30 @@ func TestVersionNegotiationMatrix(t *testing.T) {
 	resNew, err := cNew.Fetch(pmids)
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// Version2-capped client, new daemon: tagged frames, same answers.
+	cV2, err := DialMax(addr, Version2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cV2.Close()
+	if v := cV2.Version(); v != Version2 {
+		t.Fatalf("v2-capped client negotiated version %d, want %d", v, Version2)
+	}
+	namesV2, err := cV2.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resV2, err := cV2.Fetch(pmids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(namesNew, namesV2) {
+		t.Fatalf("namespaces differ across versions:\nv3: %v\nv2: %v", namesNew, namesV2)
+	}
+	if !reflect.DeepEqual(resNew, resV2) {
+		t.Fatalf("fetch results differ across versions:\nv3: %+v\nv2: %+v", resNew, resV2)
 	}
 
 	// Old client (capped at Version1), new daemon: lockstep fallback.
@@ -305,21 +329,21 @@ func TestPipelinedTimeoutKeepsConnectionUsable(t *testing.T) {
 		if err != nil || typ != PDUVersionReq {
 			return
 		}
-		respType, resp, tagged := NegotiateVersion(payload, nil)
-		if !tagged {
+		respType, resp, version := NegotiateVersionV(payload, nil)
+		if version < Version3 {
 			return
 		}
 		if WritePDU(bw, respType, resp) != nil || bw.Flush() != nil {
 			return
 		}
-		var parkedTag uint32
+		var parkedTag, parkedTenant uint32
 		parked := false
-		answer := func(tag uint32) bool {
+		answer := func(tag, tenant uint32) bool {
 			body := EncodeFetchResp(FetchResult{Timestamp: 9, Values: []FetchValue{{PMID: 1, Status: StatusOK, Value: 9}}})
-			return WriteTaggedPDU(bw, PDUFetchResp, tag, body) == nil && bw.Flush() == nil
+			return WriteWidePDU(bw, PDUFetchResp, tag, tenant, body) == nil && bw.Flush() == nil
 		}
 		for {
-			typ, tag, _, err := ReadTaggedPDUInto(br, nil)
+			typ, tag, tenant, _, err := ReadWidePDUInto(br, nil)
 			if err != nil {
 				return
 			}
@@ -327,12 +351,12 @@ func TestPipelinedTimeoutKeepsConnectionUsable(t *testing.T) {
 				continue
 			}
 			if !parked {
-				parked, parkedTag = true, tag // time this one out
+				parked, parkedTag, parkedTenant = true, tag, tenant // time this one out
 				continue
 			}
 			// Release the stale parked answer first: the client abandoned
 			// that tag, so its reader must discard it, then match this one.
-			if !answer(parkedTag) || !answer(tag) {
+			if !answer(parkedTag, parkedTenant) || !answer(tag, tenant) {
 				return
 			}
 		}

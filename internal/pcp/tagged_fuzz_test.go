@@ -18,6 +18,17 @@ func tframe(length uint32, typ uint8, tag uint32, payload []byte) []byte {
 	return append(b, payload...)
 }
 
+// wframe is tframe for the Version3 wide frame format: the same lying
+// length prefix plus an arbitrary (possibly hostile) tenant field.
+func wframe(length uint32, typ uint8, tag, tenant uint32, payload []byte) []byte {
+	b := make([]byte, WideHdrLen, WideHdrLen+len(payload))
+	binary.BigEndian.PutUint32(b, length)
+	b[4] = typ
+	binary.BigEndian.PutUint32(b[5:9], tag)
+	binary.BigEndian.PutUint32(b[9:13], tenant)
+	return append(b, payload...)
+}
+
 // recordedPipelinedSession reproduces the byte stream of a realistic
 // Version2 exchange — interleaved requests and out-of-order responses,
 // including a batch — as seed material: the frames a demux reader
@@ -73,6 +84,16 @@ func FuzzReadTaggedPDU(f *testing.F) {
 	f.Add(tframe(2, PDUVersionResp, 3, []byte{0, 0, 0, 2}))  // claims less than present
 	f.Add([]byte{0, 0, 0, 1, 9, 0})                          // truncated header
 	f.Add(tframe(8, PDUFetchBatchReq, 0, bytes.Repeat([]byte{0xFF}, 8)))
+	// Version3 wide frames, including hostile tenant tags: the extra
+	// tenant word must never confuse either reader, and any 32-bit tenant
+	// value must be structurally accepted (policy is the admission
+	// layer's job, not the framing's).
+	se := EncodeStatusError(StatusOverload, "shed: tenant over quota")
+	f.Add(wframe(uint32(len(se)), PDUStatusError, 11, 3, se))
+	f.Add(wframe(uint32(len(EncodeFetchReq([]uint32{1}))), PDUFetchReq, 1, 0xFFFFFFFF, EncodeFetchReq([]uint32{1})))
+	f.Add(wframe(4, PDUVersionReq, 0, 0xDEADBEEF, EncodeVersion(Version3)))
+	f.Add(wframe(0xFFFFFFFF, PDUFetchResp, 2, 0x41414141, nil)) // oversize claim, hostile tenant
+	f.Add(wframe(100, PDUFetchReq, 3, 0, []byte{1, 2}))         // claims more than present
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, tag, payload, err := ReadTaggedPDUInto(bufio.NewReader(bytes.NewReader(data)), nil)
@@ -130,6 +151,41 @@ func FuzzReadTaggedPDU(f *testing.F) {
 			if pe != nil && len(pe.Missing) > MaxPDUBytes/4 {
 				t.Fatalf("DecodeFetchBatchRespInto produced implausible %d missing nodes", len(pe.Missing))
 			}
+		}
+		if se, err := DecodeStatusError(payload); err == nil {
+			if errors.Is(se, ErrOverload) != (se.Status == StatusOverload) {
+				t.Fatalf("StatusError{%d} overload classification inconsistent", se.Status)
+			}
+		}
+		// The same bytes through the wide reader: same robustness contract,
+		// and accepted wide frames round-trip with the tenant preserved.
+		wtyp, wtag, wtenant, wpayload, err := ReadWidePDUInto(bufio.NewReader(bytes.NewReader(data)), nil)
+		if err != nil {
+			if errors.Is(err, ErrPDUTooLarge) && !errors.Is(err, ErrProtocol) {
+				t.Fatal("wide ErrPDUTooLarge must wrap ErrProtocol")
+			}
+			return
+		}
+		if len(wpayload) > MaxPDUBytes {
+			t.Fatalf("wide reader accepted %d-byte payload beyond MaxPDUBytes", len(wpayload))
+		}
+		var wbuf bytes.Buffer
+		if err := WriteWidePDU(&wbuf, wtyp, wtag, wtenant, wpayload); err != nil {
+			t.Fatalf("WriteWidePDU of accepted frame: %v", err)
+		}
+		wtyp2, wtag2, wtenant2, wpayload2, err := ReadWidePDUInto(bufio.NewReader(bytes.NewReader(wbuf.Bytes())), nil)
+		if err != nil {
+			t.Fatalf("re-read of written wide frame: %v", err)
+		}
+		if wtyp2 != wtyp || wtag2 != wtag || wtenant2 != wtenant || !bytes.Equal(wpayload2, wpayload) {
+			t.Fatalf("wide round trip changed frame: type %d->%d, tag %d->%d, tenant %d->%d",
+				wtyp, wtyp2, wtag, wtag2, wtenant, wtenant2)
+		}
+		whr := bytes.NewReader(wbuf.Bytes())
+		if _, _, _, n, err := ReadWideHeader(whr); err != nil {
+			t.Fatalf("ReadWideHeader on accepted frame: %v", err)
+		} else if whr.Len() != int(n) {
+			t.Fatalf("ReadWideHeader consumed payload bytes: %d left, want %d", whr.Len(), n)
 		}
 	})
 }

@@ -1,0 +1,175 @@
+package pmproxy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen short-circuits a request while the upstream's breaker
+// is open: no connection is dialled and no retry loop runs. It wraps
+// ErrUpstreamDown so the existing stale-serving fallback applies — an
+// open breaker degrades exactly like a down upstream, it just fails
+// fast instead of burning the retry budget first.
+var ErrCircuitOpen = fmt.Errorf("%w: circuit open", ErrUpstreamDown)
+
+// BreakerConfig tunes the per-upstream circuit breaker.
+type BreakerConfig struct {
+	// Threshold is how many consecutive upstream failures trip the
+	// breaker open. Zero disables the breaker entirely (the default:
+	// fault accounting stays exactly as before).
+	Threshold int
+	// ProbeDelay is how long the breaker stays open before admitting a
+	// single half-open probe. The delay doubles (with the proxy's
+	// seeded jitter) after each failed probe, capped at ProbeDelayMax.
+	// Zero means 100ms.
+	ProbeDelay time.Duration
+	// ProbeDelayMax caps the doubling probe delay. Zero means 5s.
+	ProbeDelayMax time.Duration
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// breaker is a closed/open/half-open circuit breaker over the upstream.
+// While closed it only counts consecutive failures; at Threshold it
+// opens and short-circuits every request until the probe delay passes,
+// then admits exactly one half-open probe — success closes it, failure
+// re-opens it with a doubled (capped, jittered) delay. All timing uses
+// the proxy timebase, so the breaker is deterministic under virtual
+// time, and the jitter draws come from the proxy's seeded RNG (the
+// existing backoff machinery) rather than a second randomness source.
+type breaker struct {
+	cfg    BreakerConfig
+	jitter func(time.Duration) time.Duration
+
+	mu        sync.Mutex
+	state     int
+	failures  int           // consecutive failures while closed
+	delay     time.Duration // current open interval
+	openUntil int64         // proxy timebase; probe admitted at/after this
+	probing   bool          // a half-open probe is in flight
+
+	opens  int64 // times the breaker tripped open (closed/half-open → open)
+	probes int64 // half-open probes admitted
+
+	// transitions records every state change as "from→to" in order, for
+	// the state-machine test to pin the exact sequence.
+	transitions []string
+}
+
+func newBreaker(cfg BreakerConfig, jitter func(time.Duration) time.Duration) *breaker {
+	if cfg.ProbeDelay <= 0 {
+		cfg.ProbeDelay = 100 * time.Millisecond
+	}
+	if cfg.ProbeDelayMax <= 0 {
+		cfg.ProbeDelayMax = 5 * time.Second
+	}
+	return &breaker{cfg: cfg, jitter: jitter, delay: cfg.ProbeDelay}
+}
+
+// transitionLocked moves the breaker to state to, recording it.
+func (b *breaker) transitionLocked(to int) {
+	b.transitions = append(b.transitions, breakerStateNames[b.state]+"→"+breakerStateNames[to])
+	b.state = to
+}
+
+// allow reports whether a request may proceed to the upstream at time
+// now. While open it returns ErrCircuitOpen until the probe delay has
+// passed, then transitions to half-open and admits one probe; a second
+// request during an in-flight probe is short-circuited too.
+func (b *breaker) allow(now int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if now < b.openUntil {
+			return ErrCircuitOpen
+		}
+		b.transitionLocked(breakerHalfOpen)
+		b.probing = true
+		b.probes++
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		b.probes++
+		return nil
+	}
+}
+
+// onSuccess records a successful upstream attempt: a half-open probe
+// closes the breaker and resets the failure count and delay.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state == breakerHalfOpen {
+		b.transitionLocked(breakerClosed)
+		b.probing = false
+		b.delay = b.cfg.ProbeDelay
+	}
+}
+
+// onFailure records a failed upstream attempt at time now. Reaching
+// Threshold consecutive failures while closed trips the breaker; a
+// failed half-open probe re-opens it with a doubled, capped, jittered
+// delay.
+func (b *breaker) onFailure(now int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.openLocked(now)
+		}
+	case breakerHalfOpen:
+		// The probe failed: back off harder before the next one.
+		b.probing = false
+		if b.delay < b.cfg.ProbeDelayMax/2 {
+			b.delay *= 2
+		} else {
+			b.delay = b.cfg.ProbeDelayMax
+		}
+		b.openLocked(now)
+	}
+	// Failures while already open (late attempts that were in flight
+	// when the breaker tripped) change nothing.
+}
+
+// openLocked trips the breaker open at time now.
+func (b *breaker) openLocked(now int64) {
+	b.transitionLocked(breakerOpen)
+	b.opens++
+	b.failures = 0
+	d := b.delay
+	if b.jitter != nil {
+		d = b.jitter(d)
+	}
+	b.openUntil = now + int64(d)
+}
+
+// snapshot returns the breaker's counters.
+func (b *breaker) snapshot() (opens, probes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.probes
+}
+
+// history returns a copy of the recorded transition sequence.
+func (b *breaker) history() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.transitions...)
+}

@@ -85,6 +85,17 @@ type Config struct {
 	// Cache misses for distinct pmid-sets pipeline across the pool
 	// instead of queueing on one connection. Zero means 4.
 	PoolSize int
+	// Admission configures the admission/scheduling layer in front of
+	// the fetch path: a factory-registered policy, per-tenant quotas,
+	// and weighted fair queueing. The zero value disables admission
+	// entirely (every request proceeds, no queue) — the pre-QoS fast
+	// path. An unknown policy name panics in New; validate with
+	// NewPolicy first when the name comes from user input.
+	Admission AdmissionConfig
+	// Breaker configures the per-upstream circuit breaker. A zero
+	// Threshold disables it (the default), keeping fault accounting
+	// exactly as before.
+	Breaker BreakerConfig
 }
 
 // defaultPoolSize is the upstream connection cap when Config.PoolSize is
@@ -98,16 +109,39 @@ const defaultPoolSize = 4
 // meaning — while UpstreamBatchRTs separately counts the actual
 // upstream round trips batches were grouped into.
 type Stats struct {
-	ClientFetches    int64 // fetch (or batch-set) requests received from clients
-	UpstreamFetches  int64 // fetch sets that reached the daemon
-	UpstreamBatchRTs int64 // grouped upstream round trips serving batch misses
-	CoalescedHits    int64 // client fetches answered from the interval cache
-	StaleServes      int64 // fetch answers served from cache because upstream was down
-	StaleNameServes  int64 // name tables served from cache because upstream was down
-	UpstreamErrors   int64 // failed upstream operations (before retry)
-	Retries          int64 // failed upstream operations that were retried
-	Exhausted        int64 // upstream operations that failed after all retries
-	Redials          int64 // upstream connections established
+	ClientFetches        int64 // fetch (or batch-set) requests received from clients
+	UpstreamFetches      int64 // fetch sets that reached the daemon
+	UpstreamBatchRTs     int64 // grouped upstream round trips serving batch misses
+	CoalescedHits        int64 // client fetches answered from the interval cache
+	StaleServes          int64 // fetch answers served from cache because upstream was down
+	StaleNameServes      int64 // name tables served from cache because upstream was down
+	UpstreamErrors       int64 // failed upstream operations (before retry)
+	Retries              int64 // failed upstream operations that were retried
+	Exhausted            int64 // upstream operations that failed after all retries
+	Redials              int64 // upstream connections established
+	Shed                 int64 // fetch sets rejected by admission (typed ErrAdmissionRejected)
+	BreakerOpens         int64 // circuit-breaker trips (closed/half-open → open)
+	BreakerProbes        int64 // half-open probes admitted
+	BreakerShortCircuits int64 // requests failed fast by an open breaker (no dial, no retries)
+}
+
+// TenantStats is one tenant's request accounting. Every issued fetch
+// set lands in exactly one of Admitted, Shed or StaleServed:
+//
+//	Issued == Admitted + Shed + StaleServed
+//
+// Admitted counts sets the admission layer let through to normal
+// serving (cache hits and upstream round trips — including round trips
+// that then failed upstream without a stale fallback, which stay
+// visible in the aggregate error counters). Shed counts typed
+// admission rejections; StaleServed counts sets answered from cache
+// because the upstream was down or the set was shed but degradable.
+type TenantStats struct {
+	Tenant      uint32
+	Issued      int64
+	Admitted    int64
+	Shed        int64
+	StaleServed int64
 }
 
 // CoalescingRatio is client fetches per upstream fetch — the fan-out
@@ -181,6 +215,14 @@ type Proxy struct {
 
 	shards [numShards]shard
 
+	// Admission layer: policy (nil = disabled), weighted fair queue
+	// gating upstream work (nil = disabled), per-upstream breaker
+	// (nil = disabled), and per-tenant counters.
+	admit   Policy
+	queue   *wfq
+	brk     *breaker
+	tenants sync.Map // uint32 -> *tenantCounter
+
 	clientFetches    atomic.Int64
 	upstreamFetches  atomic.Int64
 	upstreamBatchRTs atomic.Int64
@@ -191,6 +233,8 @@ type Proxy struct {
 	retries          atomic.Int64
 	exhausted        atomic.Int64
 	redials          atomic.Int64
+	shed             atomic.Int64
+	breakerShorts    atomic.Int64
 
 	// sleep is the retry-backoff sleeper, a hook so the regression test
 	// can observe planned sleeps without wall-clock waits.
@@ -222,23 +266,117 @@ func New(cfg Config) *Proxy {
 	for i := range p.shards {
 		p.shards[i].m = make(map[string]*entry)
 	}
+	if cfg.Admission.Policy != "" {
+		pol, err := NewPolicy(cfg.Admission.Policy, cfg.Admission)
+		if err != nil {
+			panic(err) // construction-time wiring error; see Config.Admission
+		}
+		p.admit = pol
+		slots := cfg.Admission.MaxConcurrent
+		if slots <= 0 {
+			slots = cfg.PoolSize
+		}
+		p.queue = newWFQ(slots, cfg.Admission.QueueDepth, func(id uint32) float64 {
+			return cfg.Admission.weight(id)
+		})
+	}
+	if cfg.Breaker.Threshold > 0 {
+		p.brk = newBreaker(cfg.Breaker, p.jitter)
+	}
 	return p
+}
+
+// tenantCounter returns (creating on first use) the counters for a
+// tenant.
+func (p *Proxy) tenantCounter(id uint32) *tenantCounter {
+	if v, ok := p.tenants.Load(id); ok {
+		return v.(*tenantCounter)
+	}
+	v, _ := p.tenants.LoadOrStore(id, &tenantCounter{})
+	return v.(*tenantCounter)
+}
+
+// tenantCounter holds one tenant's atomic request accounting.
+type tenantCounter struct {
+	issued      atomic.Int64
+	admitted    atomic.Int64
+	shed        atomic.Int64
+	staleServed atomic.Int64
+}
+
+// TenantStatsFor snapshots one tenant's counters.
+func (p *Proxy) TenantStatsFor(id uint32) TenantStats {
+	v, ok := p.tenants.Load(id)
+	if !ok {
+		return TenantStats{Tenant: id}
+	}
+	tc := v.(*tenantCounter)
+	return TenantStats{
+		Tenant:      id,
+		Issued:      tc.issued.Load(),
+		Admitted:    tc.admitted.Load(),
+		Shed:        tc.shed.Load(),
+		StaleServed: tc.staleServed.Load(),
+	}
+}
+
+// TenantStatsAll snapshots every tenant seen so far, sorted by tenant
+// ID.
+func (p *Proxy) TenantStatsAll() []TenantStats {
+	var out []TenantStats
+	p.tenants.Range(func(k, _ any) bool {
+		out = append(out, p.TenantStatsFor(k.(uint32)))
+		return true
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
+	return out
+}
+
+// BreakerHistory returns the breaker's state-transition sequence so
+// far ("closed→open", ...); empty when the breaker is disabled.
+func (p *Proxy) BreakerHistory() []string {
+	if p.brk == nil {
+		return nil
+	}
+	return p.brk.history()
+}
+
+// admitReq assembles one admission decision's input.
+func (p *Proxy) admitReq(tenant uint32, cost int) AdmitRequest {
+	return AdmitRequest{
+		Tenant:   tenant,
+		Cost:     cost,
+		Priority: p.cfg.Admission.priority(tenant),
+		Now:      p.now(),
+	}
+}
+
+// degradable reports whether the tenant's queries tolerate staleness
+// when shed.
+func (p *Proxy) degradable(tenant uint32) bool {
+	return p.cfg.Admission.tenant(tenant).Degradable
 }
 
 // Stats returns a snapshot of the proxy's counters.
 func (p *Proxy) Stats() Stats {
-	return Stats{
-		ClientFetches:    p.clientFetches.Load(),
-		UpstreamFetches:  p.upstreamFetches.Load(),
-		UpstreamBatchRTs: p.upstreamBatchRTs.Load(),
-		CoalescedHits:    p.coalescedHits.Load(),
-		StaleServes:      p.staleServes.Load(),
-		StaleNameServes:  p.staleNameServes.Load(),
-		UpstreamErrors:   p.upstreamErrors.Load(),
-		Retries:          p.retries.Load(),
-		Exhausted:        p.exhausted.Load(),
-		Redials:          p.redials.Load(),
+	s := Stats{
+		ClientFetches:        p.clientFetches.Load(),
+		UpstreamFetches:      p.upstreamFetches.Load(),
+		UpstreamBatchRTs:     p.upstreamBatchRTs.Load(),
+		CoalescedHits:        p.coalescedHits.Load(),
+		StaleServes:          p.staleServes.Load(),
+		StaleNameServes:      p.staleNameServes.Load(),
+		UpstreamErrors:       p.upstreamErrors.Load(),
+		Retries:              p.retries.Load(),
+		Exhausted:            p.exhausted.Load(),
+		Redials:              p.redials.Load(),
+		Shed:                 p.shed.Load(),
+		BreakerShortCircuits: p.breakerShorts.Load(),
 	}
+	if p.brk != nil {
+		s.BreakerOpens, s.BreakerProbes = p.brk.snapshot()
+	}
+	return s
 }
 
 // now reads the proxy's coalescing timebase.
@@ -301,7 +439,19 @@ func (p *Proxy) discard(c *pcp.Client) {
 // failure. Every failed attempt is counted in UpstreamErrors and then in
 // exactly one of Retries (another attempt follows) or Exhausted (gave
 // up), so UpstreamErrors == Retries + Exhausted holds at all times.
+//
+// With a breaker configured, an open circuit fails the operation before
+// any dial or retry (ErrCircuitOpen, counted in BreakerShortCircuits
+// and NOT in the attempt counters — a short-circuited request never
+// reached the upstream), and every real attempt's outcome feeds the
+// breaker's failure window.
 func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
+	if p.brk != nil {
+		if err := p.brk.allow(p.now()); err != nil {
+			p.breakerShorts.Add(1)
+			return err
+		}
+	}
 	var lastErr error
 	backoff := p.cfg.Backoff
 	for attempt := 0; ; attempt++ {
@@ -309,12 +459,18 @@ func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
 		if err == nil {
 			if err = op(c); err == nil {
 				p.release(c)
+				if p.brk != nil {
+					p.brk.onSuccess()
+				}
 				return nil
 			}
 			p.discard(c)
 		}
 		lastErr = err
 		p.upstreamErrors.Add(1)
+		if p.brk != nil {
+			p.brk.onFailure(p.now())
+		}
 		if attempt >= p.cfg.MaxRetries {
 			p.exhausted.Add(1)
 			return fmt.Errorf("%w: %v", ErrUpstreamDown, lastErr)
@@ -329,6 +485,20 @@ func (p *Proxy) withUpstream(op func(*pcp.Client) error) error {
 			}
 		}
 	}
+}
+
+// withUpstreamTenant is withUpstream behind the weighted fair queue:
+// the tenant waits its fair-share turn for a service slot before any
+// upstream work starts. Only upstream operations queue — cache hits
+// never reach here.
+func (p *Proxy) withUpstreamTenant(tenant uint32, op func(*pcp.Client) error) error {
+	if p.queue != nil {
+		if err := p.queue.acquire(tenant); err != nil {
+			return err
+		}
+		defer p.queue.release()
+	}
+	return p.withUpstream(op)
 }
 
 // jitter spreads a backoff uniformly over [d/2, d], drawn from the
@@ -405,16 +575,39 @@ func (p *Proxy) lookupAffine(key []byte, local map[string]*entry) *entry {
 	return e
 }
 
-// Fetch serves one client fetch through the coalescing cache. Exported
-// for in-process use; the network handler goes through it too. The
-// returned result is shared with other readers of the same cache entry
-// and must be treated as read-only.
+// Fetch serves one client fetch through the coalescing cache as the
+// default tenant. Exported for in-process use; the network handler goes
+// through FetchTenant. The returned result is shared with other readers
+// of the same cache entry and must be treated as read-only.
 func (p *Proxy) Fetch(pmids []uint32) (pcp.FetchResult, error) {
-	return p.fetch(pmids, nil)
+	return p.FetchTenant(DefaultTenant, pmids)
 }
 
-func (p *Proxy) fetch(pmids []uint32, local map[string]*entry) (pcp.FetchResult, error) {
+// FetchTenant is Fetch accounted to (and admission-controlled as) the
+// given tenant.
+func (p *Proxy) FetchTenant(tenant uint32, pmids []uint32) (pcp.FetchResult, error) {
+	return p.fetch(tenant, pmids, nil)
+}
+
+// shedOrStale resolves a typed admission rejection for one fetch set:
+// a degradable tenant with a cached answer is served stale (preferring
+// degraded service over rejection), anything else is a counted shed
+// failing with the typed error.
+func (p *Proxy) shedOrStale(tenant uint32, tc *tenantCounter, e *entry, aerr error) (pcp.FetchResult, error) {
+	if c := e.cur.Load(); c != nil && p.degradable(tenant) && !p.cfg.DisableStale {
+		p.staleServes.Add(1)
+		tc.staleServed.Add(1)
+		return c.res, nil
+	}
+	p.shed.Add(1)
+	tc.shed.Add(1)
+	return pcp.FetchResult{}, aerr
+}
+
+func (p *Proxy) fetch(tenant uint32, pmids []uint32, local map[string]*entry) (pcp.FetchResult, error) {
 	p.clientFetches.Add(1)
+	tc := p.tenantCounter(tenant)
+	tc.issued.Add(1)
 	bp := keyBufPool.Get().(*[]byte)
 	key := pcp.AppendFetchReq((*bp)[:0], pmids)
 	e := p.lookupAffine(key, local)
@@ -422,9 +615,11 @@ func (p *Proxy) fetch(pmids []uint32, local map[string]*entry) (pcp.FetchResult,
 	keyBufPool.Put(bp)
 
 	// Lock-free fast path: a published answer younger than the sampling
-	// interval is the coalesced hit.
+	// interval is the coalesced hit. Cache hits are never gated: quotas
+	// meter upstream work, and a hit costs none.
 	if c := e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
 		p.coalescedHits.Add(1)
+		tc.admitted.Add(1)
 		return c.res, nil
 	}
 
@@ -435,24 +630,42 @@ func (p *Proxy) fetch(pmids []uint32, local map[string]*entry) (pcp.FetchResult,
 	defer e.mu.Unlock()
 	if c := e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
 		p.coalescedHits.Add(1)
+		tc.admitted.Add(1)
 		return c.res, nil
 	}
+	// Admission gate: only work that would cost an upstream round trip
+	// is policed.
+	if p.admit != nil {
+		if aerr := p.admit.Admit(p.admitReq(tenant, 1)); aerr != nil {
+			return p.shedOrStale(tenant, tc, e, aerr)
+		}
+	}
 	var res pcp.FetchResult
-	err := p.withUpstream(func(c *pcp.Client) error {
+	err := p.withUpstreamTenant(tenant, func(c *pcp.Client) error {
 		var ferr error
 		res, ferr = c.Fetch(pmids)
 		return ferr
 	})
 	if err != nil {
+		if IsShed(err) {
+			// Fair-queue overflow or shutdown: same degrade-or-shed
+			// resolution as a policy rejection.
+			return p.shedOrStale(tenant, tc, e, err)
+		}
 		if c := e.cur.Load(); c != nil && !p.cfg.DisableStale {
 			// Graceful degradation: the answer is stale but carries its
 			// original daemon timestamp, so the client can tell.
 			p.staleServes.Add(1)
+			tc.staleServed.Add(1)
 			return c.res, nil
 		}
+		// Admitted past the gate; the upstream failed with nothing to
+		// degrade to. The failure stays visible in UpstreamErrors.
+		tc.admitted.Add(1)
 		return pcp.FetchResult{}, err
 	}
 	p.upstreamFetches.Add(1)
+	tc.admitted.Add(1)
 	e.cur.Store(&cached{res: res, fetchedAt: p.now()})
 	return res, nil
 }
@@ -464,7 +677,15 @@ func (p *Proxy) fetch(pmids []uint32, local map[string]*entry) (pcp.FetchResult,
 // not one per component). Results alias cache entries and must be
 // treated as read-only.
 func (p *Proxy) FetchBatch(sets [][]uint32) ([]pcp.FetchResult, error) {
-	return p.fetchBatch(sets, nil)
+	return p.fetchBatch(DefaultTenant, sets, nil)
+}
+
+// FetchBatchTenant is FetchBatch accounted to (and admission-controlled
+// as) the given tenant. Each set counts as one issued request; a shed
+// batch counts every miss set as shed (hit sets stay admitted), so the
+// per-tenant conservation law holds set-exactly.
+func (p *Proxy) FetchBatchTenant(tenant uint32, sets [][]uint32) ([]pcp.FetchResult, error) {
+	return p.fetchBatch(tenant, sets, nil)
 }
 
 // missGroup is one distinct stale pmid-set of a batch: its cache entry
@@ -476,8 +697,10 @@ type missGroup struct {
 	indices []int
 }
 
-func (p *Proxy) fetchBatch(sets [][]uint32, local map[string]*entry) ([]pcp.FetchResult, error) {
+func (p *Proxy) fetchBatch(tenant uint32, sets [][]uint32, local map[string]*entry) ([]pcp.FetchResult, error) {
 	p.clientFetches.Add(int64(len(sets)))
+	tc := p.tenantCounter(tenant)
+	tc.issued.Add(int64(len(sets)))
 	results := make([]pcp.FetchResult, len(sets))
 	var (
 		misses []*missGroup
@@ -490,6 +713,7 @@ func (p *Proxy) fetchBatch(sets [][]uint32, local map[string]*entry) ([]pcp.Fetc
 		e := p.lookupAffine(key, local)
 		if c := e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
 			p.coalescedHits.Add(1)
+			tc.admitted.Add(1)
 			results[i] = c.res
 			continue
 		}
@@ -522,6 +746,7 @@ func (p *Proxy) fetchBatch(sets [][]uint32, local map[string]*entry) ([]pcp.Fetc
 		if c := g.e.cur.Load(); c != nil && p.fresh(c.fetchedAt, p.now()) {
 			g.e.mu.Unlock()
 			p.coalescedHits.Add(int64(len(g.indices)))
+			tc.admitted.Add(int64(len(g.indices)))
 			for _, i := range g.indices {
 				results[i] = c.res
 			}
@@ -537,24 +762,50 @@ func (p *Proxy) fetchBatch(sets [][]uint32, local map[string]*entry) ([]pcp.Fetc
 			held[j].e.mu.Unlock()
 		}
 	}()
+	heldSets := 0
+	for _, g := range held {
+		heldSets += len(g.indices)
+	}
 
+	// Admission gate: the batch's upstream cost is its distinct miss
+	// groups (one grouped round trip of len(held) sets).
+	if p.admit != nil {
+		if aerr := p.admit.Admit(p.admitReq(tenant, len(held))); aerr != nil {
+			return p.shedOrStaleBatch(tenant, tc, held, heldSets, results, aerr)
+		}
+	}
 	missSets := make([][]uint32, len(held))
 	for j, g := range held {
 		missSets[j] = g.pmids
 	}
 	var out []pcp.FetchResult
-	err := p.withUpstream(func(c *pcp.Client) error {
+	err := p.withUpstreamTenant(tenant, func(c *pcp.Client) error {
 		var ferr error
 		out, ferr = c.FetchBatch(missSets)
 		return ferr
 	})
 	if err != nil {
+		if IsShed(err) {
+			return p.shedOrStaleBatch(tenant, tc, held, heldSets, results, err)
+		}
+		// Degrade to stale only when every miss group has a cached
+		// answer (all-or-nothing, so the accounting matches what the
+		// client actually received).
+		stale := !p.cfg.DisableStale
+		for _, g := range held {
+			if g.e.cur.Load() == nil {
+				stale = false
+				break
+			}
+		}
+		if !stale {
+			tc.admitted.Add(int64(heldSets))
+			return nil, err
+		}
 		for _, g := range held {
 			c := g.e.cur.Load()
-			if c == nil || p.cfg.DisableStale {
-				return nil, err
-			}
 			p.staleServes.Add(int64(len(g.indices)))
+			tc.staleServed.Add(int64(len(g.indices)))
 			for _, i := range g.indices {
 				results[i] = c.res
 			}
@@ -563,6 +814,7 @@ func (p *Proxy) fetchBatch(sets [][]uint32, local map[string]*entry) ([]pcp.Fetc
 	}
 	p.upstreamFetches.Add(int64(len(held)))
 	p.upstreamBatchRTs.Add(1)
+	tc.admitted.Add(int64(heldSets))
 	now := p.now()
 	for j, g := range held {
 		g.e.cur.Store(&cached{res: out[j], fetchedAt: now})
@@ -571,6 +823,36 @@ func (p *Proxy) fetchBatch(sets [][]uint32, local map[string]*entry) ([]pcp.Fetc
 		}
 	}
 	return results, nil
+}
+
+// shedOrStaleBatch resolves a typed admission rejection for a batch's
+// miss groups: when the tenant is degradable and every miss group has a
+// cached answer, the whole batch degrades to stale; otherwise every
+// miss set counts shed and the batch fails with the typed error.
+func (p *Proxy) shedOrStaleBatch(tenant uint32, tc *tenantCounter, held []*missGroup, heldSets int, results []pcp.FetchResult, aerr error) ([]pcp.FetchResult, error) {
+	if p.degradable(tenant) && !p.cfg.DisableStale {
+		stale := true
+		for _, g := range held {
+			if g.e.cur.Load() == nil {
+				stale = false
+				break
+			}
+		}
+		if stale {
+			for _, g := range held {
+				c := g.e.cur.Load()
+				p.staleServes.Add(int64(len(g.indices)))
+				tc.staleServed.Add(int64(len(g.indices)))
+				for _, i := range g.indices {
+					results[i] = c.res
+				}
+			}
+			return results, nil
+		}
+	}
+	p.shed.Add(int64(heldSets))
+	tc.shed.Add(int64(heldSets))
+	return nil, aerr
 }
 
 // Names serves the upstream name table through the proxy's cache. Reads
@@ -684,14 +966,27 @@ type proxyScratch struct {
 	local   map[string]*entry
 }
 
-// handleReq serves one decoded request PDU, shared by the lockstep and
-// tagged loops.
-func (p *Proxy) handleReq(typ uint8, payload []byte, s *proxyScratch) (uint8, []byte) {
+// errPDU encodes a serving error: a typed PDUStatusError for peers
+// that negotiated Version3 (typed=true) when the error is a recognised
+// overload, a plain PDUError otherwise — so Version1/Version2 clients
+// see exactly the messages they always did.
+func errPDU(s *proxyScratch, err error, typed bool) (uint8, []byte) {
+	if typed && errors.Is(err, pcp.ErrOverload) {
+		return pcp.PDUStatusError, pcp.AppendStatusError(s.respBuf[:0], pcp.StatusOverload, err.Error())
+	}
+	return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+}
+
+// handleReq serves one decoded request PDU, shared by the lockstep,
+// tagged and wide loops. tenant is the requester's in-band identity
+// (DefaultTenant below Version3); typed selects PDUStatusError
+// encoding for overload rejections.
+func (p *Proxy) handleReq(typ uint8, tenant uint32, payload []byte, s *proxyScratch, typed bool) (uint8, []byte) {
 	switch typ {
 	case pcp.PDUNamesReq:
 		entries, err := p.Names()
 		if err != nil {
-			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+			return errPDU(s, err, typed)
 		}
 		return pcp.PDUNamesResp, pcp.AppendNamesResp(s.respBuf[:0], entries)
 	case pcp.PDUFetchReq:
@@ -700,9 +995,9 @@ func (p *Proxy) handleReq(typ uint8, payload []byte, s *proxyScratch) (uint8, []
 			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
 		}
 		s.pmids = pmids
-		res, err := p.fetch(pmids, s.local)
+		res, err := p.fetch(tenant, pmids, s.local)
 		if err != nil {
-			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+			return errPDU(s, err, typed)
 		}
 		return pcp.PDUFetchResp, pcp.AppendFetchResp(s.respBuf[:0], res)
 	case pcp.PDUFetchBatchReq:
@@ -711,9 +1006,9 @@ func (p *Proxy) handleReq(typ uint8, payload []byte, s *proxyScratch) (uint8, []
 			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
 		}
 		s.sets = sets
-		results, err := p.fetchBatch(sets, s.local)
+		results, err := p.fetchBatch(tenant, sets, s.local)
 		if err != nil {
-			return pcp.PDUError, pcp.AppendError(s.respBuf[:0], err.Error())
+			return errPDU(s, err, typed)
 		}
 		return pcp.PDUFetchBatchResp, pcp.AppendFetchBatchResp(s.respBuf[:0], results, nil, "")
 	default:
@@ -722,7 +1017,8 @@ func (p *Proxy) handleReq(typ uint8, payload []byte, s *proxyScratch) (uint8, []
 }
 
 // serveConn speaks the daemon side of the PDU protocol to one client:
-// lockstep until a PDUVersionReq negotiates Version2, tagged after.
+// lockstep until a PDUVersionReq negotiates Version2 (tagged frames) or
+// Version3 (wide frames carrying the tenant in-band).
 func (p *Proxy) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
@@ -741,12 +1037,12 @@ func (p *Proxy) serveConn(conn net.Conn) {
 		payloadBuf = payload
 		var respType uint8
 		var resp []byte
-		tagged := false
+		var version uint32
 		if typ == pcp.PDUVersionReq {
-			respType, resp, tagged = pcp.NegotiateVersion(payload, s.respBuf[:0])
+			respType, resp, version = pcp.NegotiateVersionV(payload, s.respBuf[:0])
 			s.respBuf = resp
 		} else {
-			respType, resp = p.handleReq(typ, payload, &s)
+			respType, resp = p.handleReq(typ, DefaultTenant, payload, &s, false)
 		}
 		if err := pcp.WritePDU(bw, respType, resp); err != nil {
 			return
@@ -754,9 +1050,15 @@ func (p *Proxy) serveConn(conn net.Conn) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
-		if tagged {
+		switch {
+		case version >= pcp.Version3:
+			pcp.ServeTaggedWide(conn, br, func(typ uint8, tenant uint32, payload []byte) (uint8, []byte) {
+				return p.handleReq(typ, tenant, payload, &s, true)
+			})
+			return
+		case version >= pcp.Version2:
 			pcp.ServeTagged(conn, br, func(typ uint8, payload []byte) (uint8, []byte) {
-				return p.handleReq(typ, payload, &s)
+				return p.handleReq(typ, DefaultTenant, payload, &s, false)
 			})
 			return
 		}
@@ -770,6 +1072,9 @@ func (p *Proxy) Close() error {
 	var err error
 	p.closeOnce.Do(func() {
 		close(p.closed)
+		if p.queue != nil {
+			p.queue.shutdown()
+		}
 		if p.ln != nil {
 			err = p.ln.Close()
 		}

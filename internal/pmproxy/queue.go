@@ -1,0 +1,156 @@
+package pmproxy
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// wfq is the weighted fair queue gating upstream operations. Cache hits
+// never touch it; only work that would occupy an upstream connection
+// acquires a slot. When all slots are busy, waiters queue per tenant
+// and are released in virtual-finish-time order: each waiter is stamped
+// finish = max(queue vtime, tenant's last finish) + 1/weight, so a
+// backlogged tenant's requests space out by the inverse of its weight
+// and a heavier tenant drains proportionally faster — weighted fair
+// sharing without timers or per-tenant goroutines.
+//
+// Each tenant's backlog is bounded: a request arriving with maxQueue
+// waiters already queued for its tenant is shed immediately with a
+// typed ErrAdmissionRejected, which upstream of here turns into either
+// a stale serve (degradable tenants) or a counted shed.
+type wfq struct {
+	maxQueue int
+	weight   func(tenant uint32) float64
+
+	mu         sync.Mutex
+	slots      int // free service slots
+	vtime      float64
+	waiters    waiterHeap
+	queued     map[uint32]int     // waiters per tenant (the bound)
+	lastFinish map[uint32]float64 // per-tenant virtual finish memo
+	closed     bool
+}
+
+// waiter is one queued acquire: its release signal and heap bookkeeping.
+type waiter struct {
+	tenant  uint32
+	finish  float64
+	ready   chan struct{} // 1-buffered: granting never blocks
+	index   int
+	granted bool
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int           { return len(h) }
+func (h waiterHeap) Less(i, j int) bool { return h[i].finish < h[j].finish }
+func (h waiterHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *waiterHeap) Push(x any)        { w := x.(*waiter); w.index = len(*h); *h = append(*h, w) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+func newWFQ(slots, maxQueue int, weight func(uint32) float64) *wfq {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 1 {
+		maxQueue = 64
+	}
+	if weight == nil {
+		weight = func(uint32) float64 { return 1 }
+	}
+	return &wfq{
+		maxQueue:   maxQueue,
+		weight:     weight,
+		slots:      slots,
+		queued:     make(map[uint32]int),
+		lastFinish: make(map[uint32]float64),
+	}
+}
+
+// acquire takes a service slot for the tenant, blocking in fair-queue
+// order when none is free. It returns a typed rejection when the
+// tenant's queue is full or the queue is shut down.
+func (q *wfq) acquire(tenant uint32) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return fmt.Errorf("%w: proxy shutting down", ErrAdmissionRejected)
+	}
+	if q.slots > 0 && len(q.waiters) == 0 {
+		q.slots--
+		q.mu.Unlock()
+		return nil
+	}
+	if q.queued[tenant] >= q.maxQueue {
+		q.mu.Unlock()
+		return fmt.Errorf("%w: tenant %d queue full (%d waiting)", ErrAdmissionRejected, tenant, q.maxQueue)
+	}
+	w := &waiter{tenant: tenant, ready: make(chan struct{}, 1)}
+	start := q.vtime
+	if lf := q.lastFinish[tenant]; lf > start {
+		start = lf
+	}
+	w.finish = start + 1/q.weight(tenant)
+	q.lastFinish[tenant] = w.finish
+	q.queued[tenant]++
+	heap.Push(&q.waiters, w)
+	// A slot may be free with waiters still queued (freed between the
+	// fast path above and here, or granted by a release that raced):
+	// dispatch so the head waiter — possibly this one — runs.
+	q.dispatchLocked()
+	q.mu.Unlock()
+	<-w.ready
+	q.mu.Lock()
+	closed := q.closed && !w.granted
+	q.mu.Unlock()
+	if closed {
+		return fmt.Errorf("%w: proxy shutting down", ErrAdmissionRejected)
+	}
+	return nil
+}
+
+// release returns a slot and hands it to the earliest-finish waiter, if
+// any — the slot transfer that keeps the queue work-conserving.
+func (q *wfq) release() {
+	q.mu.Lock()
+	q.slots++
+	q.dispatchLocked()
+	q.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to waiters in virtual-finish order.
+func (q *wfq) dispatchLocked() {
+	for q.slots > 0 && len(q.waiters) > 0 {
+		w := heap.Pop(&q.waiters).(*waiter)
+		q.slots--
+		q.vtime = w.finish
+		q.queued[w.tenant]--
+		if q.queued[w.tenant] == 0 {
+			delete(q.queued, w.tenant)
+		}
+		w.granted = true
+		w.ready <- struct{}{}
+	}
+}
+
+// shutdown fails every queued waiter with a typed rejection and makes
+// all future acquires fail immediately.
+func (q *wfq) shutdown() {
+	q.mu.Lock()
+	q.closed = true
+	ws := append([]*waiter(nil), q.waiters...)
+	q.waiters = q.waiters[:0]
+	q.queued = make(map[uint32]int)
+	q.mu.Unlock()
+	for _, w := range ws {
+		w.ready <- struct{}{}
+	}
+}

@@ -1,0 +1,187 @@
+package pmproxy
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// waitQueued spins until the queue holds exactly n waiters.
+func waitQueued(t *testing.T, q *wfq, n int) {
+	t.Helper()
+	for i := 0; ; i++ {
+		q.mu.Lock()
+		got := len(q.waiters)
+		q.mu.Unlock()
+		if got == n {
+			return
+		}
+		if i > 1e7 {
+			t.Fatalf("queue never reached %d waiters (at %d)", n, got)
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestWFQFastPath(t *testing.T) {
+	q := newWFQ(2, 0, nil)
+	if err := q.acquire(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.acquire(2); err != nil {
+		t.Fatal(err)
+	}
+	q.release()
+	q.release()
+	if err := q.acquire(1); err != nil {
+		t.Fatal(err)
+	}
+	q.release()
+}
+
+// TestWFQWeightedDrainOrder pins the fair-queueing discipline: with one
+// service slot held, a weight-2 tenant's backlog and a weight-0.8
+// tenant's backlog drain interleaved in virtual-finish order — the
+// heavier tenant gets proportionally more of the early grants.
+func TestWFQWeightedDrainOrder(t *testing.T) {
+	weights := map[uint32]float64{1: 2, 2: 0.8}
+	q := newWFQ(1, 64, func(id uint32) float64 {
+		if w, ok := weights[id]; ok {
+			return w
+		}
+		return 1
+	})
+	if err := q.acquire(9); err != nil { // park the only slot
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []uint32
+	var wg sync.WaitGroup
+	enqueue := func(tenant uint32, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := q.acquire(tenant); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				q.release()
+			}()
+		}
+	}
+	// Virtual finishes — tenant 1 (w=2): 0.5, 1.0, 1.5, 2.0;
+	// tenant 2 (w=0.8): 1.25, 2.5.
+	enqueue(1, 4)
+	enqueue(2, 2)
+	waitQueued(t, q, 6)
+	q.release() // hand the slot to the head waiter; the rest chain
+	wg.Wait()
+
+	want := []uint32{1, 1, 2, 1, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("drained %d waiters, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWFQQueueBound pins the per-tenant backlog bound: the request that
+// finds its tenant's queue full is shed immediately with the typed
+// rejection, while other tenants keep queueing.
+func TestWFQQueueBound(t *testing.T) {
+	q := newWFQ(1, 2, nil)
+	if err := q.acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := q.acquire(5); err != nil {
+				t.Error(err)
+				return
+			}
+			q.release()
+		}()
+	}
+	waitQueued(t, q, 2)
+	if err := q.acquire(5); !IsShed(err) {
+		t.Fatalf("over-bound acquire: err = %v, want typed shed", err)
+	}
+	// The bound is per tenant: tenant 6 still has room.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := q.acquire(6); err != nil {
+			t.Error(err)
+			return
+		}
+		q.release()
+	}()
+	waitQueued(t, q, 3)
+	q.release()
+	wg.Wait()
+}
+
+// TestWFQShutdown pins the drain path: queued waiters fail typed, and
+// every later acquire fails typed without blocking.
+func TestWFQShutdown(t *testing.T) {
+	q := newWFQ(1, 64, nil)
+	if err := q.acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(tenant uint32) {
+			errs <- q.acquire(tenant)
+		}(uint32(i + 1))
+	}
+	waitQueued(t, q, 2)
+	q.shutdown()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !IsShed(err) {
+			t.Fatalf("shutdown waiter err = %v, want typed shed", err)
+		}
+	}
+	if err := q.acquire(3); !IsShed(err) {
+		t.Fatalf("post-shutdown acquire err = %v, want typed shed", err)
+	}
+}
+
+// TestWFQConcurrencyOracle stresses acquire/release under -race against
+// the slot invariant: never more than slots holders at once, and every
+// acquire eventually succeeds (no lost wakeups, no stuck waiters).
+func TestWFQConcurrencyOracle(t *testing.T) {
+	const slots = 4
+	q := newWFQ(slots, 1000, nil)
+	var holding atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(tenant uint32) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := q.acquire(tenant); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if h := holding.Add(1); h > slots {
+					t.Errorf("%d concurrent holders, slots = %d", h, slots)
+				}
+				holding.Add(-1)
+				q.release()
+			}
+		}(uint32(w % 5))
+	}
+	wg.Wait()
+}
